@@ -1,0 +1,148 @@
+//===- bench_ablation_schedules.cpp - Schedule-quality ablation ----------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation A2 (DESIGN.md), two halves:
+///  * Section 2.3's claim that the minimal-partition schedule is the
+///    efficient one: edit distance under the minimal x + y against the
+///    valid-but-wasteful 2x + y.
+///  * Section 4.7's conditional parallelisation: a diagonal-only
+///    recursion over rectangles of fixed area and varying aspect ratio,
+///    comparing the runtime-selected schedule against each fixed
+///    candidate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace parrec;
+using namespace parrecbench;
+
+namespace {
+
+const char *EditDistanceSource =
+    "int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =\n"
+    "  if i == 0 then j\n"
+    "  else if j == 0 then i\n"
+    "  else if s[i-1] == t[j-1] then d(i-1, j-1)\n"
+    "  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1\n";
+
+// A recursion with only the diagonal dependency: the Section 4.7
+// motivating example, counting matching characters along the diagonal.
+const char *DiagonalSource =
+    "int g(seq[en] a, index[a] i, seq[en] b, index[b] j) =\n"
+    "  if i == 0 then 0\n"
+    "  else if j == 0 then 0\n"
+    "  else g(i-1, j-1) + (if a[i-1] == b[j-1] then 1 else 0)\n";
+
+void runEditDistance(benchmark::State &State,
+                     std::optional<solver::Schedule> Forced,
+                     const char *Series) {
+  const auto &Fn = compiledOnce(EditDistanceSource);
+  int64_t N = State.range(0);
+  bio::Sequence S =
+      bio::randomSequence(bio::Alphabet::english(), N, 31, "s");
+  bio::Sequence T =
+      bio::randomSequence(bio::Alphabet::english(), N, 32, "t");
+  std::vector<codegen::ArgValue> Args = {
+      codegen::ArgValue::ofSeq(&S), codegen::ArgValue(),
+      codegen::ArgValue::ofSeq(&T), codegen::ArgValue()};
+
+  gpu::Device Device;
+  runtime::RunOptions Options;
+  Options.ForcedSchedule = std::move(Forced);
+  DiagnosticEngine Diags;
+  std::optional<runtime::RunResult> R;
+  for (auto _ : State)
+    R = Fn.runGpu(Args, Device, Diags, Options);
+  if (!R) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    std::abort();
+  }
+  double Seconds = Device.costModel().gpuSeconds(R->Cycles);
+  State.counters["modelled_s"] = Seconds;
+  State.counters["partitions"] = static_cast<double>(R->Partitions);
+  FigureTable::instance().record(
+      "Ablation A2a: minimal vs non-minimal schedule (edit distance)",
+      Series, N, Seconds);
+}
+
+void BM_MinimalSchedule(benchmark::State &State) {
+  runEditDistance(State, std::nullopt, "minimal_x_plus_y");
+}
+void BM_WastefulSchedule(benchmark::State &State) {
+  runEditDistance(State, solver::Schedule{{2, 1}}, "valid_2x_plus_y");
+}
+
+void editSizes(benchmark::internal::Benchmark *B) {
+  for (int64_t N : {100, 200, 400})
+    B->Arg(N);
+  B->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+BENCHMARK(BM_MinimalSchedule)->Apply(editSizes);
+BENCHMARK(BM_WastefulSchedule)->Apply(editSizes);
+
+/// Aspect-ratio sweep at (roughly) constant area 65536: range(0) is the
+/// first side.
+void runDiagonal(benchmark::State &State,
+                 std::optional<solver::Schedule> Forced,
+                 const char *Series) {
+  const auto &Fn = compiledOnce(DiagonalSource);
+  int64_t A = State.range(0);
+  int64_t B = 65536 / A;
+  bio::Sequence SA =
+      bio::randomSequence(bio::Alphabet::english(), A, 41, "a");
+  bio::Sequence SB =
+      bio::randomSequence(bio::Alphabet::english(), B, 42, "b");
+  std::vector<codegen::ArgValue> Args = {
+      codegen::ArgValue::ofSeq(&SA), codegen::ArgValue(),
+      codegen::ArgValue::ofSeq(&SB), codegen::ArgValue()};
+
+  gpu::Device Device;
+  runtime::RunOptions Options;
+  Options.ForcedSchedule = std::move(Forced);
+  DiagnosticEngine Diags;
+  std::optional<runtime::RunResult> R;
+  for (auto _ : State)
+    R = Fn.runGpu(Args, Device, Diags, Options);
+  if (!R) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    std::abort();
+  }
+  double Seconds = Device.costModel().gpuSeconds(R->Cycles);
+  State.counters["modelled_s"] = Seconds;
+  State.counters["partitions"] = static_cast<double>(R->Partitions);
+  FigureTable::instance().record(
+      "Ablation A2b: conditional schedules (diagonal recursion, "
+      "area 64k, x = first side)",
+      Series, A, Seconds);
+}
+
+void BM_ConditionalSelected(benchmark::State &State) {
+  // No forced schedule: the batch/auto path picks the minimal candidate
+  // per problem shape (S = i or S = j).
+  runDiagonal(State, std::nullopt, "selected");
+}
+void BM_AlwaysSi(benchmark::State &State) {
+  runDiagonal(State, solver::Schedule{{1, 0}}, "fixed_S_i");
+}
+void BM_AlwaysSj(benchmark::State &State) {
+  runDiagonal(State, solver::Schedule{{0, 1}}, "fixed_S_j");
+}
+
+void aspects(benchmark::internal::Benchmark *B) {
+  for (int64_t A : {64, 128, 256, 512, 1024})
+    B->Arg(A);
+  B->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+BENCHMARK(BM_ConditionalSelected)->Apply(aspects);
+BENCHMARK(BM_AlwaysSi)->Apply(aspects);
+BENCHMARK(BM_AlwaysSj)->Apply(aspects);
+
+} // namespace
+
+int main(int Argc, char **Argv) { return benchMain(Argc, Argv); }

@@ -1,0 +1,80 @@
+//===- bench_ablation_sliding_window.cpp - Section 4.8 ablation ---------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation A1 (DESIGN.md): the sliding-window optimisation of
+/// Section 4.8. With the window, intermediate values fit in shared
+/// memory, "almost eliminating the significant latency to global
+/// memory"; without it the full table spills to global memory as the
+/// problem grows. We sweep edit-distance problem sizes and report
+/// modelled time and table footprint for both configurations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace parrec;
+using namespace parrecbench;
+
+namespace {
+
+const char *EditDistanceSource =
+    "int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =\n"
+    "  if i == 0 then j\n"
+    "  else if j == 0 then i\n"
+    "  else if s[i-1] == t[j-1] then d(i-1, j-1)\n"
+    "  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1\n";
+
+constexpr const char *FigureName =
+    "Ablation A1: sliding window (edit distance, n x n)";
+
+void runOne(benchmark::State &State, bool UseWindow) {
+  const auto &Fn = compiledOnce(EditDistanceSource);
+  int64_t N = State.range(0);
+  bio::Sequence S =
+      bio::randomSequence(bio::Alphabet::english(), N, 11, "s");
+  bio::Sequence T =
+      bio::randomSequence(bio::Alphabet::english(), N, 22, "t");
+  std::vector<codegen::ArgValue> Args = {
+      codegen::ArgValue::ofSeq(&S), codegen::ArgValue(),
+      codegen::ArgValue::ofSeq(&T), codegen::ArgValue()};
+
+  gpu::Device Device;
+  runtime::RunOptions Options;
+  Options.UseSlidingWindow = UseWindow;
+
+  DiagnosticEngine Diags;
+  std::optional<runtime::RunResult> R;
+  for (auto _ : State)
+    R = Fn.runGpu(Args, Device, Diags, Options);
+  if (!R) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    std::abort();
+  }
+  double Seconds = Device.costModel().gpuSeconds(R->Cycles);
+  State.counters["modelled_s"] = Seconds;
+  State.counters["table_bytes"] =
+      static_cast<double>(R->Metrics.TableBytes);
+  FigureTable::instance().record(
+      FigureName, UseWindow ? "window" : "full_table", N, Seconds);
+}
+
+void BM_Window(benchmark::State &State) { runOne(State, true); }
+void BM_FullTable(benchmark::State &State) { runOne(State, false); }
+
+void sizes(benchmark::internal::Benchmark *B) {
+  for (int64_t N : {50, 100, 200, 400, 800})
+    B->Arg(N);
+  B->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Window)->Apply(sizes);
+BENCHMARK(BM_FullTable)->Apply(sizes);
+
+} // namespace
+
+int main(int Argc, char **Argv) { return benchMain(Argc, Argv); }

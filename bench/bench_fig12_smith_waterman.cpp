@@ -1,0 +1,196 @@
+//===- bench_fig12_smith_waterman.cpp - Figure 12 ------------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 12: Smith-Waterman database search against query sequence size.
+///
+/// The figure is reproduced in two parts (see EXPERIMENTS.md):
+///  * 12a — the query-size sweep on a moderate database: ParRec's
+///    synthesized intra-task kernel vs CUDASW++-style intra-task vs the
+///    serial ssearch-style CPU scan. Expected shape: ParRec tracks the
+///    hand-coded intra kernel closely; both beat the CPU comfortably.
+///  * 12b — the kernel comparison at database scale (hand-coded kernels
+///    only; the simulator's interpretive evaluator makes ParRec too slow
+///    in wall-clock terms at this size): intra vs inter vs hybrid vs
+///    CPU over growing databases. Expected shape: inter-task degrades on
+///    long subjects (DP rows spill to global memory), intra-task pays
+///    per-diagonal barriers, and the hybrid dispatch is fastest once the
+///    database fills the device.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace parrec;
+using namespace parrecbench;
+
+namespace {
+
+baselines::SwParams swParams() {
+  baselines::SwParams Params;
+  Params.Matrix = &bio::SubstitutionMatrix::blosum62();
+  Params.GapPenalty = 4;
+  return Params;
+}
+
+bio::Sequence queryOfLength(int64_t Length) {
+  return bio::randomSequence(bio::Alphabet::protein(), Length,
+                             /*Seed=*/0xCAFE + Length, "query");
+}
+
+//===----------------------------------------------------------------------===//
+// 12a: query-size sweep
+//===----------------------------------------------------------------------===//
+
+constexpr unsigned SweepDatabaseSize = 150;
+constexpr const char *Fig12a =
+    "Figure 12a: Smith-Waterman vs query size (150-seq database)";
+
+const bio::SequenceDatabase &sweepDatabase() {
+  static const bio::SequenceDatabase Db =
+      proteinDatabase(SweepDatabaseSize);
+  return Db;
+}
+
+void BM_Fig12a_ParRec(benchmark::State &State) {
+  gpu::Device Device;
+  bio::Sequence Query = queryOfLength(State.range(0));
+  double Seconds = 0.0;
+  for (auto _ : State)
+    Seconds = parrecSwSearch(Query, sweepDatabase(), Device);
+  State.counters["modelled_s"] = Seconds;
+  FigureTable::instance().record(Fig12a, "parrec", State.range(0),
+                                 Seconds);
+}
+
+void BM_Fig12a_CudaSwIntra(benchmark::State &State) {
+  gpu::Device Device;
+  bio::Sequence Query = queryOfLength(State.range(0));
+  double Seconds = 0.0;
+  for (auto _ : State)
+    Seconds = baselines::searchCudaSwIntra(Query, sweepDatabase(),
+                                           swParams(), Device)
+                  .Seconds;
+  State.counters["modelled_s"] = Seconds;
+  FigureTable::instance().record(Fig12a, "cudasw_intra", State.range(0),
+                                 Seconds);
+}
+
+void BM_Fig12a_SsearchCpu(benchmark::State &State) {
+  gpu::CostModel Model;
+  bio::Sequence Query = queryOfLength(State.range(0));
+  double Seconds = 0.0;
+  for (auto _ : State)
+    Seconds = baselines::searchSmithWatermanCpu(Query, sweepDatabase(),
+                                                swParams(), Model)
+                  .Seconds;
+  State.counters["modelled_s"] = Seconds;
+  FigureTable::instance().record(Fig12a, "ssearch_cpu", State.range(0),
+                                 Seconds);
+}
+
+void querySizes(benchmark::internal::Benchmark *B) {
+  for (int64_t Length : {100, 200, 300, 400, 600, 800})
+    B->Arg(Length);
+  B->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Fig12a_ParRec)->Apply(querySizes);
+BENCHMARK(BM_Fig12a_CudaSwIntra)->Apply(querySizes);
+BENCHMARK(BM_Fig12a_SsearchCpu)->Apply(querySizes);
+
+//===----------------------------------------------------------------------===//
+// 12b: kernel comparison at database scale
+//===----------------------------------------------------------------------===//
+
+constexpr int64_t ScaleQueryLength = 400;
+constexpr const char *Fig12b =
+    "Figure 12b: kernel comparison vs database size (query 400)";
+
+const bio::SequenceDatabase &scaleDatabase(unsigned Count) {
+  static const bio::SequenceDatabase Full = proteinDatabase(20000);
+  static std::map<unsigned, bio::SequenceDatabase> Cache;
+  auto It = Cache.find(Count);
+  if (It == Cache.end())
+    It = Cache
+             .emplace(Count, bio::SequenceDatabase(Full.begin(),
+                                                   Full.begin() + Count))
+             .first;
+  return It->second;
+}
+
+template <typename SearchFn>
+void runScale(benchmark::State &State, SearchFn &&Search,
+              const char *Series) {
+  bio::Sequence Query = queryOfLength(ScaleQueryLength);
+  const bio::SequenceDatabase &Db =
+      scaleDatabase(static_cast<unsigned>(State.range(0)));
+  double Seconds = 0.0;
+  for (auto _ : State)
+    Seconds = Search(Query, Db);
+  State.counters["modelled_s"] = Seconds;
+  FigureTable::instance().record(Fig12b, Series, State.range(0), Seconds);
+}
+
+void BM_Fig12b_Intra(benchmark::State &State) {
+  gpu::Device Device;
+  runScale(State,
+           [&](const bio::Sequence &Q, const bio::SequenceDatabase &Db) {
+             return baselines::searchCudaSwIntra(Q, Db, swParams(),
+                                                 Device)
+                 .Seconds;
+           },
+           "cudasw_intra");
+}
+
+void BM_Fig12b_Inter(benchmark::State &State) {
+  gpu::Device Device;
+  runScale(State,
+           [&](const bio::Sequence &Q, const bio::SequenceDatabase &Db) {
+             return baselines::searchCudaSwInter(Q, Db, swParams(),
+                                                 Device)
+                 .Seconds;
+           },
+           "cudasw_inter");
+}
+
+void BM_Fig12b_Hybrid(benchmark::State &State) {
+  gpu::Device Device;
+  runScale(State,
+           [&](const bio::Sequence &Q, const bio::SequenceDatabase &Db) {
+             return baselines::searchCudaSwHybrid(Q, Db, swParams(),
+                                                  Device)
+                 .Seconds;
+           },
+           "cudasw_hybrid");
+}
+
+void BM_Fig12b_SsearchCpu(benchmark::State &State) {
+  gpu::CostModel Model;
+  runScale(State,
+           [&](const bio::Sequence &Q, const bio::SequenceDatabase &Db) {
+             return baselines::searchSmithWatermanCpu(Q, Db, swParams(),
+                                                      Model)
+                 .Seconds;
+           },
+           "ssearch_cpu");
+}
+
+void databaseSizes(benchmark::internal::Benchmark *B) {
+  for (int64_t Count : {500, 2000, 8000, 20000})
+    B->Arg(Count);
+  B->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Fig12b_Intra)->Apply(databaseSizes);
+BENCHMARK(BM_Fig12b_Inter)->Apply(databaseSizes);
+BENCHMARK(BM_Fig12b_Hybrid)->Apply(databaseSizes);
+BENCHMARK(BM_Fig12b_SsearchCpu)->Apply(databaseSizes);
+
+} // namespace
+
+int main(int Argc, char **Argv) { return benchMain(Argc, Argv); }

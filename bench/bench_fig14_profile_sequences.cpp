@@ -1,0 +1,142 @@
+//===- bench_fig14_profile_sequences.cpp - Figure 14 ---------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 14: profile-HMM database search with the full forward algorithm
+/// on a 10-position model, execution time vs number of sequences.
+/// Series: ParRec, HMMoC-style CPU, HMMER2-style CPU, GPU-HMMER-style
+/// inter-task GPU, and HMMER3 with filters off.
+///
+/// Expected shape (paper): ParRec on par with GPU-HMMER; both well ahead
+/// of HMMoC and HMMER2; HMMER3's optimised CPU pipeline beats everything.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace parrec;
+using namespace parrecbench;
+
+namespace {
+
+constexpr unsigned ModelPositions = 10;
+constexpr int64_t ReadLength = 150;
+
+const bio::Hmm &profileModel() {
+  // Interior silent (delete) states are eliminated up front: the DSL's
+  // forward recursion consumes one symbol per step (see DESIGN.md), and
+  // every baseline runs on the same emitting-only model for a fair
+  // comparison.
+  static const bio::Hmm Model = [] {
+    DiagnosticEngine Diags;
+    bio::Hmm Raw = bio::makeProfileHmm(ModelPositions,
+                                       bio::Alphabet::protein(), 0xABCD);
+    auto Emitting = bio::eliminateSilentStates(Raw, Diags);
+    if (!Emitting) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      std::abort();
+    }
+    return *Emitting;
+  }();
+  return Model;
+}
+
+const bio::SequenceDatabase &databaseOfSize(unsigned Count) {
+  static const bio::SequenceDatabase Full =
+      proteinReads(24000, ReadLength);
+  static std::map<unsigned, bio::SequenceDatabase> Cache;
+  auto It = Cache.find(Count);
+  if (It == Cache.end())
+    It = Cache
+             .emplace(Count, bio::SequenceDatabase(Full.begin(),
+                                                   Full.begin() + Count))
+             .first;
+  return It->second;
+}
+
+constexpr const char *FigureName =
+    "Figure 14: profile forward vs number of sequences";
+
+void BM_Fig14_ParRec(benchmark::State &State) {
+  gpu::Device Device;
+  const bio::SequenceDatabase &Db =
+      databaseOfSize(static_cast<unsigned>(State.range(0)));
+  double Seconds = 0.0;
+  for (auto _ : State)
+    Seconds = parrecForwardSearch(profileModel(), Db, Device);
+  State.counters["modelled_s"] = Seconds;
+  FigureTable::instance().record(FigureName, "parrec", State.range(0),
+                                 Seconds);
+}
+
+void BM_Fig14_HmmocCpu(benchmark::State &State) {
+  gpu::CostModel Model;
+  const bio::SequenceDatabase &Db =
+      databaseOfSize(static_cast<unsigned>(State.range(0)));
+  double Seconds = 0.0;
+  for (auto _ : State)
+    Seconds =
+        baselines::searchHmmocCpu(profileModel(), Db, Model).Seconds;
+  State.counters["modelled_s"] = Seconds;
+  FigureTable::instance().record(FigureName, "hmmoc_cpu", State.range(0),
+                                 Seconds);
+}
+
+void BM_Fig14_Hmmer2Cpu(benchmark::State &State) {
+  gpu::CostModel Model;
+  const bio::SequenceDatabase &Db =
+      databaseOfSize(static_cast<unsigned>(State.range(0)));
+  double Seconds = 0.0;
+  for (auto _ : State)
+    Seconds =
+        baselines::searchHmmer2Cpu(profileModel(), Db, Model).Seconds;
+  State.counters["modelled_s"] = Seconds;
+  FigureTable::instance().record(FigureName, "hmmer2_cpu",
+                                 State.range(0), Seconds);
+}
+
+void BM_Fig14_GpuHmmer(benchmark::State &State) {
+  gpu::Device Device;
+  const bio::SequenceDatabase &Db =
+      databaseOfSize(static_cast<unsigned>(State.range(0)));
+  double Seconds = 0.0;
+  for (auto _ : State)
+    Seconds =
+        baselines::searchGpuHmmer(profileModel(), Db, Device).Seconds;
+  State.counters["modelled_s"] = Seconds;
+  FigureTable::instance().record(FigureName, "gpu_hmmer",
+                                 State.range(0), Seconds);
+}
+
+void BM_Fig14_Hmmer3Cpu(benchmark::State &State) {
+  gpu::CostModel Model;
+  const bio::SequenceDatabase &Db =
+      databaseOfSize(static_cast<unsigned>(State.range(0)));
+  double Seconds = 0.0;
+  for (auto _ : State)
+    Seconds =
+        baselines::searchHmmer3Cpu(profileModel(), Db, Model).Seconds;
+  State.counters["modelled_s"] = Seconds;
+  FigureTable::instance().record(FigureName, "hmmer3_cpu",
+                                 State.range(0), Seconds);
+}
+
+void sequenceCounts(benchmark::internal::Benchmark *B) {
+  for (int64_t Count : {1500, 3000, 6000, 12000, 24000})
+    B->Arg(Count);
+  B->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Fig14_ParRec)->Apply(sequenceCounts);
+BENCHMARK(BM_Fig14_HmmocCpu)->Apply(sequenceCounts);
+BENCHMARK(BM_Fig14_Hmmer2Cpu)->Apply(sequenceCounts);
+BENCHMARK(BM_Fig14_GpuHmmer)->Apply(sequenceCounts);
+BENCHMARK(BM_Fig14_Hmmer3Cpu)->Apply(sequenceCounts);
+
+} // namespace
+
+int main(int Argc, char **Argv) { return benchMain(Argc, Argv); }

@@ -1,0 +1,130 @@
+//===- bench_fig15_profile_modelsize.cpp - Figure 15 ---------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 15: profile-HMM forward on a fixed database, execution time vs
+/// model size (number of positions). The paper runs 13,355 sequences;
+/// the simulator's evaluator is the wall-clock bottleneck here, so we
+/// keep the paper's *shape* with a 2,000-sequence database (documented
+/// in EXPERIMENTS.md). Series as in Figure 14.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace parrec;
+using namespace parrecbench;
+
+namespace {
+
+constexpr unsigned DatabaseSize = 2000;
+constexpr int64_t ReadLength = 100;
+
+const bio::SequenceDatabase &database() {
+  static const bio::SequenceDatabase Db =
+      proteinReads(DatabaseSize, ReadLength);
+  return Db;
+}
+
+const bio::Hmm &profileModelOfSize(unsigned Positions) {
+  static std::map<unsigned, bio::Hmm> Cache;
+  auto It = Cache.find(Positions);
+  if (It == Cache.end()) {
+    DiagnosticEngine Diags;
+    bio::Hmm Raw = bio::makeProfileHmm(
+        Positions, bio::Alphabet::protein(), 0xABCD + Positions);
+    auto Emitting = bio::eliminateSilentStates(Raw, Diags);
+    if (!Emitting) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      std::abort();
+    }
+    It = Cache.emplace(Positions, std::move(*Emitting)).first;
+  }
+  return It->second;
+}
+
+constexpr const char *FigureName =
+    "Figure 15: profile forward vs model size";
+
+void BM_Fig15_ParRec(benchmark::State &State) {
+  gpu::Device Device;
+  const bio::Hmm &Model =
+      profileModelOfSize(static_cast<unsigned>(State.range(0)));
+  double Seconds = 0.0;
+  for (auto _ : State)
+    Seconds = parrecForwardSearch(Model, database(), Device);
+  State.counters["modelled_s"] = Seconds;
+  FigureTable::instance().record(FigureName, "parrec", State.range(0),
+                                 Seconds);
+}
+
+void BM_Fig15_HmmocCpu(benchmark::State &State) {
+  gpu::CostModel CostModel;
+  const bio::Hmm &Model =
+      profileModelOfSize(static_cast<unsigned>(State.range(0)));
+  double Seconds = 0.0;
+  for (auto _ : State)
+    Seconds =
+        baselines::searchHmmocCpu(Model, database(), CostModel).Seconds;
+  State.counters["modelled_s"] = Seconds;
+  FigureTable::instance().record(FigureName, "hmmoc_cpu", State.range(0),
+                                 Seconds);
+}
+
+void BM_Fig15_Hmmer2Cpu(benchmark::State &State) {
+  gpu::CostModel CostModel;
+  const bio::Hmm &Model =
+      profileModelOfSize(static_cast<unsigned>(State.range(0)));
+  double Seconds = 0.0;
+  for (auto _ : State)
+    Seconds =
+        baselines::searchHmmer2Cpu(Model, database(), CostModel).Seconds;
+  State.counters["modelled_s"] = Seconds;
+  FigureTable::instance().record(FigureName, "hmmer2_cpu",
+                                 State.range(0), Seconds);
+}
+
+void BM_Fig15_GpuHmmer(benchmark::State &State) {
+  gpu::Device Device;
+  const bio::Hmm &Model =
+      profileModelOfSize(static_cast<unsigned>(State.range(0)));
+  double Seconds = 0.0;
+  for (auto _ : State)
+    Seconds = baselines::searchGpuHmmer(Model, database(), Device).Seconds;
+  State.counters["modelled_s"] = Seconds;
+  FigureTable::instance().record(FigureName, "gpu_hmmer",
+                                 State.range(0), Seconds);
+}
+
+void BM_Fig15_Hmmer3Cpu(benchmark::State &State) {
+  gpu::CostModel CostModel;
+  const bio::Hmm &Model =
+      profileModelOfSize(static_cast<unsigned>(State.range(0)));
+  double Seconds = 0.0;
+  for (auto _ : State)
+    Seconds =
+        baselines::searchHmmer3Cpu(Model, database(), CostModel).Seconds;
+  State.counters["modelled_s"] = Seconds;
+  FigureTable::instance().record(FigureName, "hmmer3_cpu",
+                                 State.range(0), Seconds);
+}
+
+void modelSizes(benchmark::internal::Benchmark *B) {
+  for (int64_t Positions : {10, 20, 40, 60, 80})
+    B->Arg(Positions);
+  B->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Fig15_ParRec)->Apply(modelSizes);
+BENCHMARK(BM_Fig15_HmmocCpu)->Apply(modelSizes);
+BENCHMARK(BM_Fig15_Hmmer2Cpu)->Apply(modelSizes);
+BENCHMARK(BM_Fig15_GpuHmmer)->Apply(modelSizes);
+BENCHMARK(BM_Fig15_Hmmer3Cpu)->Apply(modelSizes);
+
+} // namespace
+
+int main(int Argc, char **Argv) { return benchMain(Argc, Argv); }

@@ -1,0 +1,116 @@
+//===- profile_search.cpp - Profile-HMM database search example ----------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 6.3 case study: database search against a profile HMM with
+/// the full forward algorithm. Shows the model-preparation step (silent
+/// delete states eliminated into an emitting-only model), batch execution
+/// across multiprocessors, and a side-by-side with the GPU-HMMER-style
+/// inter-task port sharing the same numeric core.
+///
+/// Build and run:  ./build/examples/profile_search
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/HmmBaselines.h"
+#include "bio/Fasta.h"
+#include "bio/HmmZoo.h"
+#include "runtime/CompiledRecurrence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+using namespace parrec;
+using codegen::ArgValue;
+
+int main() {
+  const char *Source =
+      "prob forward(hmm h, state[h] s, seq[*] x, index[x] i) =\n"
+      "  if i == 0 then\n"
+      "    if s.isstart then 1.0 else 0.0\n"
+      "  else\n"
+      "    (if s.isend then 1.0 else s.emission[x[i-1]]) *\n"
+      "    sum(t in s.transitionsto : t.prob * forward(t.start, "
+      "i - 1))\n";
+
+  DiagnosticEngine Diags;
+  auto Compiled = runtime::CompiledRecurrence::compile(Source, Diags);
+  if (!Compiled) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+
+  // A 12-position profile; delete states are silent, so the model is
+  // normalised to emitting-only form before scoring (DESIGN.md).
+  bio::Hmm Raw = bio::makeProfileHmm(12, bio::Alphabet::protein(),
+                                     /*Seed=*/2012);
+  auto Model = bio::eliminateSilentStates(Raw, Diags);
+  if (!Model) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  std::printf("profile: %u states raw -> %u emitting states\n",
+              Raw.numStates(), Model->numStates());
+
+  // Database: random proteins plus sequences sampled from the profile.
+  bio::SequenceDatabase Db =
+      bio::randomDatabase(bio::Alphabet::protein(), 60, 10, 24,
+                          /*Seed=*/77);
+  for (uint64_t Seed = 0; Seed != 6; ++Seed) {
+    std::string Member = Model->sample(500 + Seed);
+    if (!Member.empty())
+      Db.emplace_back("family" + std::to_string(Seed),
+                      std::move(Member));
+  }
+
+  std::vector<std::vector<ArgValue>> Problems;
+  for (const bio::Sequence &Seq : Db)
+    Problems.push_back({ArgValue::ofHmm(&*Model), ArgValue(),
+                        ArgValue::ofSeq(&Seq), ArgValue()});
+
+  gpu::Device Device;
+  auto Batch = Compiled->runGpuBatch(Problems, Device, Diags);
+  if (!Batch) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+
+  // GPU-HMMER-style scoring of the same database: identical numbers.
+  auto Port = baselines::searchGpuHmmer(*Model, Db, Device);
+  double MaxDelta = 0.0;
+  for (size_t I = 0; I != Db.size(); ++I)
+    MaxDelta = std::max(MaxDelta,
+                        std::abs(Batch->Problems[I].RootValue -
+                                 Port.LogLikelihoods[I]));
+
+  // Rank by length-normalised log-likelihood; family members surface.
+  std::vector<size_t> Order(Db.size());
+  for (size_t I = 0; I != Db.size(); ++I)
+    Order[I] = I;
+  auto Normalised = [&](size_t I) {
+    return Batch->Problems[I].RootValue /
+           static_cast<double>(std::max<int64_t>(1, Db[I].length()));
+  };
+  std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return Normalised(A) > Normalised(B);
+  });
+
+  std::printf("\ntop hits (length-normalised log-likelihood):\n");
+  for (size_t Rank = 0; Rank != 8; ++Rank) {
+    size_t I = Order[Rank];
+    std::printf("  %2zu. %-10s len %3lld  %8.3f\n", Rank + 1,
+                Db[I].name().c_str(),
+                static_cast<long long>(Db[I].length()), Normalised(I));
+  }
+
+  std::printf("\nGPU-HMMER port agrees to %.2e on every sequence\n",
+              MaxDelta);
+  std::printf("modelled time: ParRec %.3f ms, GPU-HMMER-style %.3f ms\n",
+              Batch->Seconds * 1e3, Port.Seconds * 1e3);
+  return 0;
+}

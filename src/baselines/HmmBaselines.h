@@ -1,0 +1,87 @@
+//===- HmmBaselines.h - HMM forward-algorithm baselines ------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison systems of the Section 6.2 and 6.3 case studies,
+/// rebuilt against the simulator's cost model:
+///  * HmmocForwardCpu — HMMoC's role: generated, generic, single-threaded
+///    CPU forward code for arbitrary HMMs (log-space).
+///  * HmmerProfileCpu — HMMER 2's role: a profile-specialised CPU forward
+///    with a fixed-width inner loop.
+///  * Hmmer3LikeCpu — HMMER 3 with filters disabled (--max): the same
+///    profile recursion with striped-SIMD and multi-threaded cost
+///    accounting (the "15 years of optimisation" constant factor).
+///  * GpuHmmerInterTask — GPU-HMMER's role: one sequence per thread on
+///    the device.
+///
+/// Every variant computes the same log-likelihoods; only the cost
+/// accounting differs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_BASELINES_HMMBASELINES_H
+#define PARREC_BASELINES_HMMBASELINES_H
+
+#include "bio/Hmm.h"
+#include "bio/Sequence.h"
+#include "gpu/Device.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace parrec {
+namespace baselines {
+
+/// Database scoring outcome: one log-likelihood per sequence plus the
+/// modelled time.
+struct HmmSearchResult {
+  std::vector<double> LogLikelihoods;
+  uint64_t Cycles = 0;
+  double Seconds = 0.0;
+};
+
+/// The shared numeric core: log-space forward over an emitting-only HMM
+/// (interior silent states must have been eliminated first). F(s, i) is
+/// the likelihood of emitting the first i symbols and sitting in state s,
+/// with the silent end state contributing emission 1 — exactly the
+/// Figure 11 recursion. \p Cost accumulates the per-transition events of
+/// a generic implementation.
+double forwardLogLikelihood(const bio::Hmm &Model,
+                            const bio::Sequence &Seq,
+                            gpu::CostCounter &Cost);
+
+/// Generic single-threaded CPU forward over the whole database (HMMoC).
+HmmSearchResult searchHmmocCpu(const bio::Hmm &Model,
+                               const bio::SequenceDatabase &Db,
+                               const gpu::CostModel &CostModel);
+
+/// Profile-specialised CPU forward (HMMER 2): same values, but the inner
+/// loop is compiled for the fixed match/insert topology, so the
+/// per-transition bookkeeping of the generic code disappears.
+HmmSearchResult searchHmmer2Cpu(const bio::Hmm &Model,
+                                const bio::SequenceDatabase &Db,
+                                const gpu::CostModel &CostModel);
+
+/// HMMER 3 with all filters off: profile-specialised like HMMER 2, plus
+/// \p SimdWidth -wide striped vector arithmetic and \p NumThreads worker
+/// threads. Defaults model SSE2 (8 16-bit lanes) on a 4-core Xeon.
+HmmSearchResult searchHmmer3Cpu(const bio::Hmm &Model,
+                                const bio::SequenceDatabase &Db,
+                                const gpu::CostModel &CostModel,
+                                unsigned SimdWidth = 8,
+                                unsigned NumThreads = 4);
+
+/// GPU-HMMER: one sequence per thread, DP tables in global memory (the
+/// port kept HMMER 2's memory layout).
+HmmSearchResult searchGpuHmmer(const bio::Hmm &Model,
+                               const bio::SequenceDatabase &Db,
+                               const gpu::Device &Device);
+
+} // namespace baselines
+} // namespace parrec
+
+#endif // PARREC_BASELINES_HMMBASELINES_H

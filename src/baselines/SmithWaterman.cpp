@@ -1,0 +1,183 @@
+//===- SmithWaterman.cpp - Smith-Waterman baselines --------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/SmithWaterman.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace parrec;
+using namespace parrec::baselines;
+
+namespace {
+
+/// Per-cell events of a hand-written Smith-Waterman inner loop: the three
+/// max candidates and the clamp at zero (6 arithmetic ops), three DP
+/// reads, one DP write, two sequence characters plus one matrix lookup.
+gpu::CostCounter swCellEvents() {
+  gpu::CostCounter C;
+  C.Ops = 6;
+  C.TableReads = 3;
+  C.TableWrites = 1;
+  C.ModelReads = 3;
+  return C;
+}
+
+/// True when an inter-task thread's private DP row (4 bytes per cell for
+/// every thread of the block) still fits the multiprocessor's shared
+/// memory; beyond that the row spills to global memory, which is what
+/// makes the inter-task kernel lose on long subjects.
+bool interTaskRowInShared(int64_t SubjectLength,
+                          const gpu::CostModel &Model) {
+  uint64_t RowBytes = static_cast<uint64_t>(SubjectLength) * 4 *
+                      Model.CoresPerMultiprocessor;
+  return RowBytes <= Model.SharedMemBytes;
+}
+
+} // namespace
+
+int parrec::baselines::smithWatermanScore(const bio::Sequence &Query,
+                                          const bio::Sequence &Subject,
+                                          const SwParams &Params,
+                                          gpu::CostCounter &Cost) {
+  assert(Params.Matrix && "a substitution matrix is required");
+  const int64_t M = Query.length();
+  const int64_t N = Subject.length();
+  std::vector<int> Prev(static_cast<size_t>(N) + 1, 0);
+  std::vector<int> Cur(static_cast<size_t>(N) + 1, 0);
+  int Best = 0;
+  for (int64_t I = 1; I <= M; ++I) {
+    Cur[0] = 0;
+    char QC = Query.at(I - 1);
+    for (int64_t J = 1; J <= N; ++J) {
+      int Diag = Prev[J - 1] + Params.Matrix->score(QC, Subject.at(J - 1));
+      int Up = Prev[J] - Params.GapPenalty;
+      int Left = Cur[J - 1] - Params.GapPenalty;
+      int H = std::max({0, Diag, Up, Left});
+      Cur[J] = H;
+      Best = std::max(Best, H);
+    }
+    std::swap(Prev, Cur);
+  }
+  gpu::CostCounter PerCell = swCellEvents();
+  uint64_t Cells = static_cast<uint64_t>(M) * static_cast<uint64_t>(N);
+  Cost.Ops += PerCell.Ops * Cells;
+  Cost.TableReads += PerCell.TableReads * Cells;
+  Cost.TableWrites += PerCell.TableWrites * Cells;
+  Cost.ModelReads += PerCell.ModelReads * Cells;
+  return Best;
+}
+
+SearchResult parrec::baselines::searchSmithWatermanCpu(
+    const bio::Sequence &Query, const bio::SequenceDatabase &Db,
+    const SwParams &Params, const gpu::CostModel &Model) {
+  SearchResult Result;
+  gpu::CostCounter Cost;
+  for (const bio::Sequence &Subject : Db)
+    Result.Scores.push_back(
+        smithWatermanScore(Query, Subject, Params, Cost));
+  Result.Cycles = Model.cpuCycles(Cost);
+  Result.Seconds = Model.cpuSeconds(Result.Cycles);
+  return Result;
+}
+
+SearchResult parrec::baselines::searchCudaSwIntra(
+    const bio::Sequence &Query, const bio::SequenceDatabase &Db,
+    const SwParams &Params, const gpu::Device &Device) {
+  const gpu::CostModel &Model = Device.costModel();
+  SearchResult Result;
+  // The intra-task kernel keeps its diagonal buffers in shared memory.
+  uint64_t CellCycles =
+      Model.gpuCellCycles(swCellEvents(), /*TableInShared=*/true);
+  unsigned Threads = Model.CoresPerMultiprocessor;
+
+  std::vector<uint64_t> ProblemCycles;
+  ProblemCycles.reserve(Db.size());
+  for (const bio::Sequence &Subject : Db) {
+    gpu::CostCounter Cost;
+    Result.Scores.push_back(
+        smithWatermanScore(Query, Subject, Params, Cost));
+    // Anti-diagonal wavefront: diagonal d of an M x N grid holds
+    // min(d, M, N, M+N-d) cells; the block advances by
+    // ceil(cells/threads) cell-times plus a barrier per diagonal.
+    int64_t M = Query.length(), N = Subject.length();
+    uint64_t Cycles = 0;
+    for (int64_t D = 1; D <= M + N - 1; ++D) {
+      int64_t Cells = std::min({D, M, N, M + N - D});
+      uint64_t Rounds =
+          (static_cast<uint64_t>(Cells) + Threads - 1) / Threads;
+      Cycles += Rounds * CellCycles + Model.SyncCycles;
+    }
+    ProblemCycles.push_back(Cycles);
+  }
+  Result.Cycles = Device.dispatchProblems(ProblemCycles);
+  Result.Seconds = Model.gpuSeconds(Result.Cycles);
+  return Result;
+}
+
+SearchResult parrec::baselines::searchCudaSwInter(
+    const bio::Sequence &Query, const bio::SequenceDatabase &Db,
+    const SwParams &Params, const gpu::Device &Device) {
+  const gpu::CostModel &Model = Device.costModel();
+  SearchResult Result;
+  std::vector<uint64_t> TaskCycles;
+  TaskCycles.reserve(Db.size());
+  for (const bio::Sequence &Subject : Db) {
+    gpu::CostCounter Cost;
+    Result.Scores.push_back(
+        smithWatermanScore(Query, Subject, Params, Cost));
+    bool Shared = interTaskRowInShared(Subject.length(), Model);
+    uint64_t CellCycles = Model.gpuCellCycles(swCellEvents(), Shared);
+    uint64_t Cells = static_cast<uint64_t>(Query.length()) *
+                     static_cast<uint64_t>(Subject.length());
+    TaskCycles.push_back(Cells * CellCycles);
+  }
+  // CUDASW++ sorts the database by length so the lockstep rounds process
+  // similarly-sized alignments; model the same batching.
+  std::vector<uint64_t> Sorted = TaskCycles;
+  std::sort(Sorted.begin(), Sorted.end());
+  Result.Cycles = Device.interTaskCycles(Sorted);
+  Result.Seconds = Model.gpuSeconds(Result.Cycles);
+  return Result;
+}
+
+SearchResult parrec::baselines::searchCudaSwHybrid(
+    const bio::Sequence &Query, const bio::SequenceDatabase &Db,
+    const SwParams &Params, const gpu::Device &Device,
+    int64_t LengthThreshold) {
+  const gpu::CostModel &Model = Device.costModel();
+  if (LengthThreshold < 0)
+    LengthThreshold = static_cast<int64_t>(
+        Model.SharedMemBytes / (4 * Model.CoresPerMultiprocessor));
+
+  bio::SequenceDatabase Short, Long;
+  std::vector<bool> IsShort;
+  IsShort.reserve(Db.size());
+  for (const bio::Sequence &Subject : Db) {
+    bool S = Subject.length() <= LengthThreshold;
+    IsShort.push_back(S);
+    (S ? Short : Long).push_back(Subject);
+  }
+
+  SearchResult ShortResult =
+      Short.empty() ? SearchResult{}
+                    : searchCudaSwInter(Query, Short, Params, Device);
+  SearchResult LongResult =
+      Long.empty() ? SearchResult{}
+                   : searchCudaSwIntra(Query, Long, Params, Device);
+
+  // Reassemble scores in database order; the two kernels run back to
+  // back, so times add.
+  SearchResult Result;
+  size_t ShortIndex = 0, LongIndex = 0;
+  for (bool S : IsShort)
+    Result.Scores.push_back(S ? ShortResult.Scores[ShortIndex++]
+                              : LongResult.Scores[LongIndex++]);
+  Result.Cycles = ShortResult.Cycles + LongResult.Cycles;
+  Result.Seconds = Model.gpuSeconds(Result.Cycles);
+  return Result;
+}

@@ -1,0 +1,95 @@
+//===- SmithWaterman.h - Smith-Waterman baselines ------------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison systems of the Section 6.1 case study, rebuilt against
+/// the simulator's cost model:
+///  * SmithWatermanCpu — the Fasta/ssearch role: a serial CPU scan
+///    (compiled without vector instructions, as in the paper).
+///  * CudaSwIntra — CUDASW++ 2.0's intra-task kernel: hand-coded
+///    anti-diagonal parallelisation of one alignment per multiprocessor.
+///  * CudaSwInter — CUDASW++'s inter-task kernel: one alignment per
+///    thread.
+///  * CudaSwHybrid — CUDASW++'s length-thresholded dispatch combining
+///    both.
+///
+/// All variants compute identical scores (linear gap penalty, shared
+/// scoring core); they differ in how execution time is accounted, exactly
+/// like their real counterparts differ in how they use the hardware.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_BASELINES_SMITHWATERMAN_H
+#define PARREC_BASELINES_SMITHWATERMAN_H
+
+#include "bio/Sequence.h"
+#include "bio/SubstitutionMatrix.h"
+#include "gpu/Device.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace parrec {
+namespace baselines {
+
+/// The outcome of a database search: one score per database sequence and
+/// the modelled execution time.
+struct SearchResult {
+  std::vector<int> Scores;
+  uint64_t Cycles = 0;
+  double Seconds = 0.0;
+};
+
+/// Scoring parameters shared by every variant.
+struct SwParams {
+  const bio::SubstitutionMatrix *Matrix = nullptr;
+  int GapPenalty = 4; // Linear gap model, subtracted per gap column.
+};
+
+/// Best local alignment score of \p Query vs \p Subject; the scoring core
+/// every baseline (and the DSL case study) agrees on. \p Cost accumulates
+/// the per-cell events of a straightforward implementation.
+int smithWatermanScore(const bio::Sequence &Query,
+                       const bio::Sequence &Subject, const SwParams &Params,
+                       gpu::CostCounter &Cost);
+
+/// Serial CPU database scan (the ssearch role).
+SearchResult searchSmithWatermanCpu(const bio::Sequence &Query,
+                                    const bio::SequenceDatabase &Db,
+                                    const SwParams &Params,
+                                    const gpu::CostModel &Model);
+
+/// Hand-coded intra-task GPU kernel: one alignment per multiprocessor,
+/// anti-diagonal wavefronts striped over the block's threads, DP rows in
+/// shared memory.
+SearchResult searchCudaSwIntra(const bio::Sequence &Query,
+                               const bio::SequenceDatabase &Db,
+                               const SwParams &Params,
+                               const gpu::Device &Device);
+
+/// Hand-coded inter-task GPU kernel: one alignment per thread, lockstep
+/// rounds across the whole device.
+SearchResult searchCudaSwInter(const bio::Sequence &Query,
+                               const bio::SequenceDatabase &Db,
+                               const SwParams &Params,
+                               const gpu::Device &Device);
+
+/// CUDASW++'s hybrid dispatch: subjects no longer than
+/// \p LengthThreshold go to the inter-task kernel, the rest to the
+/// intra-task kernel. A negative threshold derives the crossover from
+/// the cost model (the longest subject whose per-thread DP row still
+/// fits shared memory).
+SearchResult searchCudaSwHybrid(const bio::Sequence &Query,
+                                const bio::SequenceDatabase &Db,
+                                const SwParams &Params,
+                                const gpu::Device &Device,
+                                int64_t LengthThreshold = -1);
+
+} // namespace baselines
+} // namespace parrec
+
+#endif // PARREC_BASELINES_SMITHWATERMAN_H

@@ -1,0 +1,44 @@
+//===- Alphabet.cpp - Character alphabets -----------------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bio/Alphabet.h"
+
+#include <cassert>
+
+using namespace parrec;
+using namespace parrec::bio;
+
+Alphabet::Alphabet(std::string Name, std::string Letters)
+    : Name(std::move(Name)), Letters(std::move(Letters)) {
+  CharToIndex.fill(-1);
+  assert(this->Letters.size() < 128 && "alphabet too large");
+  for (unsigned I = 0; I != this->Letters.size(); ++I) {
+    unsigned char C = static_cast<unsigned char>(this->Letters[I]);
+    assert(CharToIndex[C] == -1 && "duplicate letter in alphabet");
+    CharToIndex[C] = static_cast<int8_t>(I);
+  }
+}
+
+const Alphabet &Alphabet::dna() {
+  static const Alphabet A("dna", "acgt");
+  return A;
+}
+
+const Alphabet &Alphabet::rna() {
+  static const Alphabet A("rna", "acgu");
+  return A;
+}
+
+const Alphabet &Alphabet::protein() {
+  static const Alphabet A("protein", "ARNDCQEGHILKMFPSTWYV");
+  return A;
+}
+
+const Alphabet &Alphabet::english() {
+  static const Alphabet A("en", "abcdefghijklmnopqrstuvwxyz");
+  return A;
+}

@@ -1,0 +1,59 @@
+//===- Alphabet.h - Character alphabets ---------------------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Alphabets define the character sets sequences range over
+/// (Section 3.2). Besides user-defined alphabets, the builtins the case
+/// studies use are provided: dna, rna, protein and en (English).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_BIO_ALPHABET_H
+#define PARREC_BIO_ALPHABET_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace parrec {
+namespace bio {
+
+/// An ordered, case-sensitive character set. The ordering defines each
+/// character's index, which is how characters map to natural numbers.
+class Alphabet {
+public:
+  Alphabet() = default;
+  Alphabet(std::string Name, std::string Letters);
+
+  const std::string &name() const { return Name; }
+  const std::string &letters() const { return Letters; }
+  unsigned size() const { return static_cast<unsigned>(Letters.size()); }
+
+  /// Index of \p C, or -1 when the character is not in the alphabet.
+  int indexOf(char C) const {
+    return CharToIndex[static_cast<unsigned char>(C)];
+  }
+  bool contains(char C) const { return indexOf(C) >= 0; }
+
+  char charAt(unsigned Index) const { return Letters[Index]; }
+
+  // Builtins.
+  static const Alphabet &dna();     // acgt
+  static const Alphabet &rna();     // acgu
+  static const Alphabet &protein(); // 20 amino acids
+  static const Alphabet &english(); // a-z
+
+private:
+  std::string Name;
+  std::string Letters;
+  std::array<int8_t, 256> CharToIndex{};
+};
+
+} // namespace bio
+} // namespace parrec
+
+#endif // PARREC_BIO_ALPHABET_H

@@ -1,0 +1,116 @@
+//===- Fasta.cpp - FASTA I/O and synthetic databases ------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bio/Fasta.h"
+
+#include "support/Random.h"
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+using namespace parrec;
+using namespace parrec::bio;
+
+std::optional<SequenceDatabase> parrec::bio::parseFasta(
+    std::string_view Text, DiagnosticEngine &Diags) {
+  SequenceDatabase Db;
+  std::string CurrentName;
+  std::string CurrentData;
+  bool InRecord = false;
+  uint32_t LineNo = 0;
+
+  auto FlushRecord = [&]() {
+    if (InRecord)
+      Db.emplace_back(CurrentName, CurrentData);
+    CurrentName.clear();
+    CurrentData.clear();
+  };
+
+  for (const std::string &RawLine : splitString(Text, '\n')) {
+    ++LineNo;
+    std::string_view Line = trimString(RawLine);
+    if (Line.empty())
+      continue;
+    if (Line[0] == '>') {
+      FlushRecord();
+      InRecord = true;
+      CurrentName = std::string(trimString(Line.substr(1)));
+      continue;
+    }
+    if (Line[0] == ';')
+      continue; // Classic FASTA comment line.
+    if (!InRecord) {
+      Diags.error({LineNo, 1},
+                  "FASTA data before the first '>' header line");
+      return std::nullopt;
+    }
+    for (char C : Line) {
+      if (std::isspace(static_cast<unsigned char>(C)))
+        continue;
+      CurrentData += C;
+    }
+  }
+  FlushRecord();
+  return Db;
+}
+
+std::optional<SequenceDatabase>
+parrec::bio::readFastaFile(const std::string &Path,
+                           DiagnosticEngine &Diags) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Diags.error({}, "cannot open FASTA file '" + Path + "'");
+    return std::nullopt;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return parseFasta(Buffer.str(), Diags);
+}
+
+std::string parrec::bio::writeFasta(const SequenceDatabase &Db) {
+  std::string Out;
+  for (const Sequence &S : Db) {
+    Out += '>';
+    Out += S.name();
+    Out += '\n';
+    const std::string &Data = S.data();
+    for (size_t I = 0; I < Data.size(); I += 60) {
+      Out += Data.substr(I, 60);
+      Out += '\n';
+    }
+  }
+  return Out;
+}
+
+Sequence parrec::bio::randomSequence(const Alphabet &Alpha, int64_t Length,
+                                     uint64_t Seed, std::string Name) {
+  SplitMix64 Rng(Seed);
+  std::string Data;
+  Data.reserve(static_cast<size_t>(Length));
+  for (int64_t I = 0; I != Length; ++I)
+    Data += Alpha.charAt(
+        static_cast<unsigned>(Rng.nextBelow(Alpha.size())));
+  return Sequence(std::move(Name), std::move(Data));
+}
+
+SequenceDatabase parrec::bio::randomDatabase(const Alphabet &Alpha,
+                                             unsigned Count,
+                                             int64_t MinLength,
+                                             int64_t MaxLength,
+                                             uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  SequenceDatabase Db;
+  Db.reserve(Count);
+  for (unsigned I = 0; I != Count; ++I) {
+    int64_t Length = Rng.nextInRange(MinLength, MaxLength);
+    Db.push_back(randomSequence(Alpha, Length, Rng.next(),
+                                "seq" + std::to_string(I)));
+  }
+  return Db;
+}

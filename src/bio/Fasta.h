@@ -1,0 +1,55 @@
+//===- Fasta.h - FASTA I/O and synthetic databases ----------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FASTA reading/writing and seeded random sequence generation. The
+/// paper's evaluation runs on genome databases; without access to those,
+/// the benches generate deterministic synthetic databases of matching
+/// shape (sequence counts and length distributions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_BIO_FASTA_H
+#define PARREC_BIO_FASTA_H
+
+#include "bio/Alphabet.h"
+#include "bio/Sequence.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace parrec {
+namespace bio {
+
+/// Parses FASTA-formatted \p Text. Unknown characters are reported as
+/// warnings and dropped; returns nullopt only on structural errors.
+std::optional<SequenceDatabase> parseFasta(std::string_view Text,
+                                           DiagnosticEngine &Diags);
+
+/// Reads and parses \p Path. Missing files produce an error diagnostic.
+std::optional<SequenceDatabase> readFastaFile(const std::string &Path,
+                                              DiagnosticEngine &Diags);
+
+/// Renders \p Db in FASTA format (60-column lines).
+std::string writeFasta(const SequenceDatabase &Db);
+
+/// Generates a uniform random sequence of \p Length over \p Alpha.
+Sequence randomSequence(const Alphabet &Alpha, int64_t Length,
+                        uint64_t Seed, std::string Name = "random");
+
+/// Generates \p Count sequences whose lengths are uniform in
+/// [MinLength, MaxLength]; deterministic in \p Seed.
+SequenceDatabase randomDatabase(const Alphabet &Alpha, unsigned Count,
+                                int64_t MinLength, int64_t MaxLength,
+                                uint64_t Seed);
+
+} // namespace bio
+} // namespace parrec
+
+#endif // PARREC_BIO_FASTA_H

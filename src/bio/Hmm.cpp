@@ -1,0 +1,462 @@
+//===- Hmm.cpp - Hidden Markov Models ----------------------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bio/Hmm.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+using namespace parrec;
+using namespace parrec::bio;
+
+unsigned Hmm::addState(std::string StateName, std::vector<double> Emissions,
+                       bool IsStart, bool IsEnd) {
+  assert((Emissions.empty() || Emissions.size() == Alpha.size()) &&
+         "emission table must cover the whole alphabet");
+  HmmState S;
+  S.Name = std::move(StateName);
+  S.IsStart = IsStart;
+  S.IsEnd = IsEnd;
+  S.Emissions = std::move(Emissions);
+  States.push_back(std::move(S));
+  IncomingByState.emplace_back();
+  OutgoingByState.emplace_back();
+  return numStates() - 1;
+}
+
+void Hmm::addTransition(unsigned From, unsigned To, double Prob) {
+  assert(From < numStates() && To < numStates() && "state out of range");
+  Transitions.push_back({From, To, Prob});
+}
+
+int Hmm::findState(std::string_view StateName) const {
+  for (unsigned I = 0; I != numStates(); ++I)
+    if (States[I].Name == StateName)
+      return static_cast<int>(I);
+  return -1;
+}
+
+unsigned Hmm::startState() const {
+  for (unsigned I = 0; I != numStates(); ++I)
+    if (States[I].IsStart)
+      return I;
+  assert(false && "model has no start state");
+  return 0;
+}
+
+unsigned Hmm::endState() const {
+  for (unsigned I = 0; I != numStates(); ++I)
+    if (States[I].IsEnd)
+      return I;
+  assert(false && "model has no end state");
+  return 0;
+}
+
+double Hmm::emission(unsigned StateIndex, char C) const {
+  const HmmState &S = States[StateIndex];
+  if (S.isSilent())
+    return 1.0;
+  int Index = Alpha.indexOf(C);
+  if (Index < 0)
+    return 0.0;
+  return S.Emissions[static_cast<size_t>(Index)];
+}
+
+void Hmm::finalize() {
+  IncomingByState.assign(numStates(), {});
+  OutgoingByState.assign(numStates(), {});
+  for (unsigned T = 0; T != numTransitions(); ++T) {
+    IncomingByState[Transitions[T].To].push_back(T);
+    OutgoingByState[Transitions[T].From].push_back(T);
+  }
+}
+
+bool Hmm::validate(DiagnosticEngine &Diags) const {
+  bool HasStart = false, HasEnd = false;
+  for (const HmmState &S : States) {
+    HasStart |= S.IsStart;
+    HasEnd |= S.IsEnd;
+    double EmissionSum = 0.0;
+    for (double P : S.Emissions) {
+      if (P < 0.0 || P > 1.0) {
+        Diags.error({}, "state '" + S.Name +
+                            "' has an emission probability outside "
+                            "[0, 1]");
+        return false;
+      }
+      EmissionSum += P;
+    }
+    if (!S.isSilent() && std::abs(EmissionSum - 1.0) > 1e-6)
+      Diags.warning({}, "emissions of state '" + S.Name +
+                            "' sum to " + std::to_string(EmissionSum) +
+                            ", not 1");
+  }
+  if (!HasStart || !HasEnd) {
+    Diags.error({}, "model '" + Name + "' must designate start and end "
+                    "states");
+    return false;
+  }
+  std::vector<double> OutSums(numStates(), 0.0);
+  for (const HmmTransition &T : Transitions) {
+    if (T.Prob < 0.0 || T.Prob > 1.0) {
+      Diags.error({}, "transition probability outside [0, 1] in model '" +
+                          Name + "'");
+      return false;
+    }
+    OutSums[T.From] += T.Prob;
+  }
+  for (unsigned I = 0; I != numStates(); ++I)
+    if (!States[I].IsEnd && !OutgoingByState[I].empty() &&
+        std::abs(OutSums[I] - 1.0) > 1e-6)
+      Diags.warning({}, "outgoing probabilities of state '" +
+                            States[I].Name + "' sum to " +
+                            std::to_string(OutSums[I]) + ", not 1");
+  return true;
+}
+
+std::string Hmm::sample(uint64_t Seed, size_t MaxLength) const {
+  SplitMix64 Rng(Seed);
+  std::string Out;
+  unsigned Current = startState();
+  unsigned End = endState();
+  while (Current != End && Out.size() < MaxLength) {
+    const HmmState &S = States[Current];
+    if (!S.isSilent()) {
+      double Roll = Rng.nextDouble();
+      double Accum = 0.0;
+      char Emitted = Alpha.charAt(Alpha.size() - 1);
+      for (unsigned C = 0; C != Alpha.size(); ++C) {
+        Accum += S.Emissions[C];
+        if (Roll < Accum) {
+          Emitted = Alpha.charAt(C);
+          break;
+        }
+      }
+      Out += Emitted;
+    }
+    const std::vector<unsigned> &Outgoing = OutgoingByState[Current];
+    if (Outgoing.empty())
+      break; // Dead end; treat as termination.
+    double Roll = Rng.nextDouble();
+    double Accum = 0.0;
+    unsigned Next = Transitions[Outgoing.back()].To;
+    for (unsigned T : Outgoing) {
+      Accum += Transitions[T].Prob;
+      if (Roll < Accum) {
+        Next = Transitions[T].To;
+        break;
+      }
+    }
+    Current = Next;
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Textual format
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Splits \p Text into whitespace-separated words.
+std::vector<std::string> tokenizeWords(std::string_view Text) {
+  std::vector<std::string> Words;
+  std::string Current;
+  for (char C : Text) {
+    if (C == ' ' || C == '\t' || C == '\n' || C == '\r') {
+      if (!Current.empty()) {
+        Words.push_back(std::move(Current));
+        Current.clear();
+      }
+      continue;
+    }
+    if (C == ';') {
+      if (!Current.empty()) {
+        Words.push_back(std::move(Current));
+        Current.clear();
+      }
+      Words.emplace_back(";");
+      continue;
+    }
+    Current += C;
+  }
+  if (!Current.empty())
+    Words.push_back(std::move(Current));
+  return Words;
+}
+
+const Alphabet *builtinAlphabet(const std::string &Name) {
+  if (Name == "dna")
+    return &Alphabet::dna();
+  if (Name == "rna")
+    return &Alphabet::rna();
+  if (Name == "protein")
+    return &Alphabet::protein();
+  if (Name == "en")
+    return &Alphabet::english();
+  return nullptr;
+}
+
+} // namespace
+
+std::optional<Hmm> Hmm::parse(std::string_view Text,
+                              DiagnosticEngine &Diags) {
+  std::vector<std::string> Words = tokenizeWords(Text);
+  size_t Pos = 0;
+  auto AtEnd = [&] { return Pos >= Words.size(); };
+  auto Next = [&]() -> const std::string & {
+    static const std::string Empty;
+    return AtEnd() ? Empty : Words[Pos++];
+  };
+  auto ExpectSemi = [&]() -> bool {
+    if (!AtEnd() && Words[Pos] == ";") {
+      ++Pos;
+      return true;
+    }
+    Diags.error({}, "expected ';' in hmm description");
+    return false;
+  };
+
+  Hmm Model("hmm", Alphabet::dna());
+  bool SawAlphabet = false;
+  // Transitions are recorded by name and resolved after all states exist.
+  struct PendingTransition {
+    std::string From, To;
+    double Prob;
+  };
+  std::vector<PendingTransition> Pending;
+
+  while (!AtEnd()) {
+    if (Words[Pos] == ";") {
+      ++Pos;
+      continue;
+    }
+    std::string Keyword = Next();
+    if (Keyword == "alphabet") {
+      std::string AlphaName = Next();
+      if (AlphaName == "letters") {
+        // Custom alphabet: "alphabet letters abcdef ;".
+        std::string Letters = Next();
+        if (Letters.empty()) {
+          Diags.error({}, "expected alphabet letters");
+          return std::nullopt;
+        }
+        Model = Hmm(Model.name(), Alphabet("custom", Letters));
+      } else {
+        const Alphabet *Builtin = builtinAlphabet(AlphaName);
+        if (!Builtin) {
+          Diags.error({}, "unknown alphabet '" + AlphaName +
+                              "' in hmm description");
+          return std::nullopt;
+        }
+        Model = Hmm(Model.name(), *Builtin);
+      }
+      SawAlphabet = true;
+      if (!ExpectSemi())
+        return std::nullopt;
+      continue;
+    }
+    if (Keyword == "state") {
+      if (!SawAlphabet) {
+        Diags.error({}, "hmm must declare its alphabet before states");
+        return std::nullopt;
+      }
+      std::string StateName = Next();
+      if (StateName.empty()) {
+        Diags.error({}, "expected state name");
+        return std::nullopt;
+      }
+      bool IsStart = false, IsEnd = false;
+      std::vector<double> Emissions;
+      while (!AtEnd() && Words[Pos] != ";") {
+        std::string Mod = Next();
+        if (Mod == "start") {
+          IsStart = true;
+        } else if (Mod == "end") {
+          IsEnd = true;
+        } else if (Mod == "emits") {
+          Emissions.assign(Model.alphabet().size(), 0.0);
+          while (!AtEnd() && Words[Pos] != ";") {
+            std::string CharWord = Next();
+            if (CharWord.size() != 1 ||
+                !Model.alphabet().contains(CharWord[0])) {
+              Diags.error({}, "'" + CharWord +
+                                  "' is not a character of the model "
+                                  "alphabet");
+              return std::nullopt;
+            }
+            std::string ProbWord = Next();
+            // The DSL tokenizer splits "0.3" into "0", ".", "3"; accept
+            // both a single word and the split form.
+            if (ProbWord == "0" || ProbWord == "1") {
+              if (!AtEnd() && Words[Pos] == ".") {
+                ++Pos;
+                ProbWord += "." + Next();
+              }
+            }
+            double P = std::strtod(ProbWord.c_str(), nullptr);
+            Emissions[static_cast<size_t>(
+                Model.alphabet().indexOf(CharWord[0]))] = P;
+          }
+        } else {
+          Diags.error({}, "unknown state modifier '" + Mod + "'");
+          return std::nullopt;
+        }
+      }
+      if (Model.findState(StateName) >= 0) {
+        Diags.error({}, "duplicate state '" + StateName + "'");
+        return std::nullopt;
+      }
+      Model.addState(StateName, std::move(Emissions), IsStart, IsEnd);
+      if (!ExpectSemi())
+        return std::nullopt;
+      continue;
+    }
+    if (Keyword == "transition") {
+      std::string From = Next();
+      std::string ArrowWord = Next();
+      if (ArrowWord != "->") {
+        Diags.error({}, "expected '->' in transition");
+        return std::nullopt;
+      }
+      std::string To = Next();
+      std::string ProbWord = Next();
+      if (ProbWord == "0" || ProbWord == "1") {
+        if (!AtEnd() && Words[Pos] == ".") {
+          ++Pos;
+          ProbWord += "." + Next();
+        }
+      }
+      double P = std::strtod(ProbWord.c_str(), nullptr);
+      Pending.push_back({std::move(From), std::move(To), P});
+      if (!ExpectSemi())
+        return std::nullopt;
+      continue;
+    }
+    Diags.error({}, "unknown hmm statement '" + Keyword + "'");
+    return std::nullopt;
+  }
+
+  for (const PendingTransition &T : Pending) {
+    int From = Model.findState(T.From);
+    int To = Model.findState(T.To);
+    if (From < 0 || To < 0) {
+      Diags.error({}, "transition references unknown state '" +
+                          (From < 0 ? T.From : T.To) + "'");
+      return std::nullopt;
+    }
+    Model.addTransition(static_cast<unsigned>(From),
+                        static_cast<unsigned>(To), T.Prob);
+  }
+  Model.finalize();
+  if (!Model.validate(Diags))
+    return std::nullopt;
+  return Model;
+}
+
+std::optional<Hmm>
+parrec::bio::eliminateSilentStates(const Hmm &Model,
+                                   DiagnosticEngine &Diags) {
+  unsigned N = Model.numStates();
+  // Dense transition matrix; the models here are small (profile HMMs cap
+  // out at a few hundred states in the evaluation).
+  std::vector<double> P(static_cast<size_t>(N) * N, 0.0);
+  for (unsigned T = 0; T != Model.numTransitions(); ++T) {
+    const HmmTransition &Tr = Model.transition(T);
+    P[static_cast<size_t>(Tr.From) * N + Tr.To] += Tr.Prob;
+  }
+
+  std::vector<bool> Removed(N, false);
+  for (unsigned S = 0; S != N; ++S) {
+    const HmmState &State = Model.state(S);
+    if (!State.isSilent() || State.IsStart || State.IsEnd)
+      continue;
+    double SelfLoop = P[static_cast<size_t>(S) * N + S];
+    if (SelfLoop >= 1.0 - 1e-12) {
+      Diags.error({}, "silent state '" + State.Name +
+                          "' forms an absorbing silent cycle; the model "
+                          "cannot be normalised to emitting form");
+      return std::nullopt;
+    }
+    double Scale = 1.0 / (1.0 - SelfLoop);
+    for (unsigned U = 0; U != N; ++U) {
+      if (U == S || Removed[U])
+        continue;
+      double In = P[static_cast<size_t>(U) * N + S];
+      if (In == 0.0)
+        continue;
+      for (unsigned V = 0; V != N; ++V) {
+        if (V == S)
+          continue;
+        double Out = P[static_cast<size_t>(S) * N + V];
+        if (Out == 0.0)
+          continue;
+        P[static_cast<size_t>(U) * N + V] += In * Scale * Out;
+      }
+      P[static_cast<size_t>(U) * N + S] = 0.0;
+    }
+    for (unsigned V = 0; V != N; ++V)
+      P[static_cast<size_t>(S) * N + V] = 0.0;
+    Removed[S] = true;
+  }
+
+  // Rebuild the model over the surviving states, preserving order.
+  Hmm Result(Model.name() + "_emitting", Model.alphabet());
+  std::vector<int> NewIndex(N, -1);
+  for (unsigned S = 0; S != N; ++S) {
+    if (Removed[S])
+      continue;
+    const HmmState &State = Model.state(S);
+    NewIndex[S] = static_cast<int>(Result.addState(
+        State.Name, State.Emissions, State.IsStart, State.IsEnd));
+  }
+  for (unsigned U = 0; U != N; ++U) {
+    if (Removed[U])
+      continue;
+    for (unsigned V = 0; V != N; ++V) {
+      if (Removed[V])
+        continue;
+      double Prob = P[static_cast<size_t>(U) * N + V];
+      if (Prob > 0.0)
+        Result.addTransition(static_cast<unsigned>(NewIndex[U]),
+                             static_cast<unsigned>(NewIndex[V]), Prob);
+    }
+  }
+  Result.finalize();
+  return Result;
+}
+
+std::string Hmm::str() const {
+  bool IsBuiltin = builtinAlphabet(Alpha.name()) != nullptr;
+  std::string Out = IsBuiltin
+                        ? "alphabet " + Alpha.name() + " ;\n"
+                        : "alphabet letters " + Alpha.letters() + " ;\n";
+  for (const HmmState &S : States) {
+    Out += "state " + S.Name;
+    if (S.IsStart)
+      Out += " start";
+    if (S.IsEnd)
+      Out += " end";
+    if (!S.isSilent()) {
+      Out += " emits";
+      for (unsigned C = 0; C != Alpha.size(); ++C) {
+        Out += ' ';
+        Out += Alpha.charAt(C);
+        Out += ' ';
+        Out += std::to_string(S.Emissions[C]);
+      }
+    }
+    Out += " ;\n";
+  }
+  for (const HmmTransition &T : Transitions)
+    Out += "transition " + States[T.From].Name + " -> " +
+           States[T.To].Name + " " + std::to_string(T.Prob) + " ;\n";
+  return Out;
+}

@@ -1,0 +1,157 @@
+//===- Hmm.h - Hidden Markov Models -------------------------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The HMM extension of Section 5.2: states with emission distributions,
+/// probabilistic transitions, designated start and end states, and the
+/// arbitrary total ordering over states and transitions that maps them to
+/// the natural numbers for tabulation (Section 3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_BIO_HMM_H
+#define PARREC_BIO_HMM_H
+
+#include "bio/Alphabet.h"
+#include "support/Diagnostics.h"
+#include "support/Random.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parrec {
+namespace bio {
+
+/// One HMM state. Silent states (start/end, profile deletes) have an
+/// empty emission table.
+struct HmmState {
+  std::string Name;
+  bool IsStart = false;
+  bool IsEnd = false;
+  /// Linear-space emission probabilities, one per alphabet character;
+  /// empty for silent states.
+  std::vector<double> Emissions;
+
+  bool isSilent() const { return Emissions.empty(); }
+};
+
+/// One directed transition with probability.
+struct HmmTransition {
+  unsigned From = 0;
+  unsigned To = 0;
+  double Prob = 0.0;
+};
+
+/// A Hidden Markov Model over an alphabet.
+///
+/// States and transitions are identified by their position in the model's
+/// vectors — the total ordering the DSL's analysis relies on.
+class Hmm {
+public:
+  Hmm() = default;
+  Hmm(std::string Name, Alphabet Alpha)
+      : Name(std::move(Name)), Alpha(std::move(Alpha)) {}
+
+  const std::string &name() const { return Name; }
+  const Alphabet &alphabet() const { return Alpha; }
+
+  unsigned numStates() const {
+    return static_cast<unsigned>(States.size());
+  }
+  unsigned numTransitions() const {
+    return static_cast<unsigned>(Transitions.size());
+  }
+
+  const HmmState &state(unsigned Index) const { return States[Index]; }
+  const HmmTransition &transition(unsigned Index) const {
+    return Transitions[Index];
+  }
+
+  /// Adds a state and returns its index.
+  unsigned addState(std::string StateName, std::vector<double> Emissions,
+                    bool IsStart = false, bool IsEnd = false);
+
+  /// Adds a transition From -> To with probability \p Prob.
+  void addTransition(unsigned From, unsigned To, double Prob);
+
+  /// Index of a state by name, or -1.
+  int findState(std::string_view StateName) const;
+
+  /// Transition indices entering state \p To (s.transitionsto).
+  const std::vector<unsigned> &transitionsTo(unsigned To) const {
+    return IncomingByState[To];
+  }
+  /// Transition indices leaving state \p From (s.transitionsfrom).
+  const std::vector<unsigned> &transitionsFrom(unsigned From) const {
+    return OutgoingByState[From];
+  }
+
+  /// The designated start/end states (asserts they exist).
+  unsigned startState() const;
+  unsigned endState() const;
+
+  /// Emission probability of \p StateIndex emitting \p C (0 when the
+  /// character is outside the alphabet; 1 for silent states, matching the
+  /// Figure 11 convention where the silent end state contributes 1.0).
+  double emission(unsigned StateIndex, char C) const;
+
+  /// Rebuilds the adjacency tables; called automatically by the builders
+  /// and the parser, and after manual addTransition sequences.
+  void finalize();
+
+  /// Checks structural sanity: designated start and end exist, transition
+  /// probabilities from each non-end state sum to ~1 (warning otherwise),
+  /// probabilities lie in [0, 1]. Returns false on hard errors.
+  bool validate(DiagnosticEngine &Diags) const;
+
+  /// Samples an emission sequence by walking the model from start to end
+  /// (silent interior states pass through). Deterministic in \p Seed.
+  std::string sample(uint64_t Seed, size_t MaxLength = 100000) const;
+
+  /// Parses the textual model format (also used for inline DSL bodies):
+  /// \code
+  ///   alphabet dna ;
+  ///   state begin start ;
+  ///   state exon emits a 0.3 c 0.2 g 0.2 t 0.3 ;
+  ///   state finish end ;
+  ///   transition begin -> exon 0.5 ;
+  /// \endcode
+  /// Whitespace and newlines are interchangeable; statements end in ';'.
+  static std::optional<Hmm> parse(std::string_view Text,
+                                  DiagnosticEngine &Diags);
+
+  /// Renders in the format parse() accepts.
+  std::string str() const;
+
+private:
+  std::string Name;
+  Alphabet Alpha;
+  std::vector<HmmState> States;
+  std::vector<HmmTransition> Transitions;
+  std::vector<std::vector<unsigned>> IncomingByState;
+  std::vector<std::vector<unsigned>> OutgoingByState;
+};
+
+/// Returns an equivalent model in which every interior silent state
+/// (anything silent other than the designated start and end) has been
+/// eliminated by summing transition probabilities over silent paths.
+///
+/// The DSL's forward/Viterbi recursions (Figure 11) consume one symbol
+/// per step and special-case only the silent end state, so models with
+/// interior silent states — e.g. profile-HMM delete states — are
+/// preprocessed with this transform before being handed to the DSL.
+/// Self-looping silent states are handled via geometric renormalisation;
+/// silent cycles with total probability 1 are reported as errors.
+std::optional<Hmm> eliminateSilentStates(const Hmm &Model,
+                                         DiagnosticEngine &Diags);
+
+} // namespace bio
+} // namespace parrec
+
+#endif // PARREC_BIO_HMM_H

@@ -1,0 +1,191 @@
+//===- HmmZoo.cpp - Model builders for the case studies ---------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bio/HmmZoo.h"
+
+#include "support/Random.h"
+
+#include <cmath>
+
+using namespace parrec;
+using namespace parrec::bio;
+
+Hmm parrec::bio::makeCasinoModel() {
+  static const Alphabet Dice("dice", "abcdef");
+  Hmm Model("casino", Dice);
+  unsigned Start = Model.addState("begin", {}, /*IsStart=*/true);
+  std::vector<double> Fair(6, 1.0 / 6.0);
+  std::vector<double> Loaded(6, 0.1);
+  Loaded[5] = 0.5;
+  unsigned FairState = Model.addState("fair", Fair);
+  unsigned LoadedState = Model.addState("loaded", Loaded);
+  unsigned End = Model.addState("finish", {}, false, /*IsEnd=*/true);
+
+  Model.addTransition(Start, FairState, 1.0);
+  Model.addTransition(FairState, FairState, 0.94);
+  Model.addTransition(FairState, LoadedState, 0.05);
+  Model.addTransition(FairState, End, 0.01);
+  Model.addTransition(LoadedState, LoadedState, 0.89);
+  Model.addTransition(LoadedState, FairState, 0.10);
+  Model.addTransition(LoadedState, End, 0.01);
+  Model.finalize();
+  return Model;
+}
+
+Hmm parrec::bio::makeCpgIslandModel() {
+  const Alphabet &Dna = Alphabet::dna();
+  Hmm Model("cpg", Dna);
+  unsigned Start = Model.addState("begin", {}, /*IsStart=*/true);
+
+  auto OneHot = [&](char C) {
+    std::vector<double> E(Dna.size(), 0.0);
+    E[static_cast<size_t>(Dna.indexOf(C))] = 1.0;
+    return E;
+  };
+  // Island (+) and background (-) copies of the four nucleotides.
+  unsigned Plus[4], Minus[4];
+  const char *Names[] = {"a", "c", "g", "t"};
+  for (unsigned I = 0; I != 4; ++I) {
+    Plus[I] = Model.addState(std::string(Names[I]) + "_plus",
+                             OneHot("acgt"[I]));
+    Minus[I] = Model.addState(std::string(Names[I]) + "_minus",
+                              OneHot("acgt"[I]));
+  }
+  unsigned End = Model.addState("finish", {}, false, /*IsEnd=*/true);
+
+  for (unsigned I = 0; I != 4; ++I) {
+    Model.addTransition(Start, Plus[I], 0.05);
+    Model.addTransition(Start, Minus[I], 0.20);
+  }
+  // CG-enriched island, AT-enriched background; 1% switch, 0.5% stop.
+  const double IslandEm[4] = {0.155, 0.341, 0.350, 0.154};
+  const double BackEm[4] = {0.300, 0.205, 0.200, 0.295};
+  for (unsigned From = 0; From != 4; ++From) {
+    double Stay = 1.0 - 0.01 - 0.005;
+    for (unsigned To = 0; To != 4; ++To) {
+      Model.addTransition(Plus[From], Plus[To], Stay * IslandEm[To]);
+      Model.addTransition(Plus[From], Minus[To], 0.01 * BackEm[To]);
+      Model.addTransition(Minus[From], Minus[To], Stay * BackEm[To]);
+      Model.addTransition(Minus[From], Plus[To], 0.01 * IslandEm[To]);
+    }
+    Model.addTransition(Plus[From], End, 0.005);
+    Model.addTransition(Minus[From], End, 0.005);
+  }
+  Model.finalize();
+  return Model;
+}
+
+Hmm parrec::bio::makeGeneFinderModel() {
+  const Alphabet &Dna = Alphabet::dna();
+  Hmm Model("genefinder", Dna);
+
+  auto OneHot = [&](char C) {
+    std::vector<double> E(Dna.size(), 0.0);
+    E[static_cast<size_t>(Dna.indexOf(C))] = 1.0;
+    return E;
+  };
+  std::vector<double> Background = {0.27, 0.23, 0.23, 0.27};
+  std::vector<double> Coding1 = {0.30, 0.20, 0.33, 0.17};
+  std::vector<double> Coding2 = {0.32, 0.22, 0.17, 0.29};
+  std::vector<double> Coding3 = {0.22, 0.28, 0.30, 0.20};
+  std::vector<double> StopMid = {0.5, 0.0, 0.5, 0.0};  // a or g.
+  std::vector<double> StopLast = {0.5, 0.0, 0.5, 0.0}; // a or g.
+
+  unsigned Start = Model.addState("begin", {}, /*IsStart=*/true);
+  unsigned Intergenic = Model.addState("intergenic", Background);
+  unsigned StartC1 = Model.addState("startcodon1", OneHot('a'));
+  unsigned StartC2 = Model.addState("startcodon2", OneHot('t'));
+  unsigned StartC3 = Model.addState("startcodon3", OneHot('g'));
+  unsigned Codon1 = Model.addState("codon1", Coding1);
+  unsigned Codon2 = Model.addState("codon2", Coding2);
+  unsigned Codon3 = Model.addState("codon3", Coding3);
+  unsigned StopC1 = Model.addState("stopcodon1", OneHot('t'));
+  unsigned StopC2 = Model.addState("stopcodon2", StopMid);
+  unsigned StopC3 = Model.addState("stopcodon3", StopLast);
+  unsigned End = Model.addState("finish", {}, false, /*IsEnd=*/true);
+
+  Model.addTransition(Start, Intergenic, 1.0);
+  Model.addTransition(Intergenic, Intergenic, 0.90);
+  Model.addTransition(Intergenic, StartC1, 0.095);
+  Model.addTransition(Intergenic, End, 0.005);
+  Model.addTransition(StartC1, StartC2, 1.0);
+  Model.addTransition(StartC2, StartC3, 1.0);
+  Model.addTransition(StartC3, Codon1, 1.0);
+  Model.addTransition(Codon1, Codon2, 1.0);
+  Model.addTransition(Codon2, Codon3, 1.0);
+  Model.addTransition(Codon3, Codon1, 0.95);
+  Model.addTransition(Codon3, StopC1, 0.05);
+  Model.addTransition(StopC1, StopC2, 1.0);
+  Model.addTransition(StopC2, StopC3, 1.0);
+  Model.addTransition(StopC3, Intergenic, 1.0);
+  Model.finalize();
+  return Model;
+}
+
+Hmm parrec::bio::makeProfileHmm(unsigned MatchPositions,
+                                const Alphabet &Alpha, uint64_t Seed) {
+  assert(MatchPositions >= 1 && "profile needs at least one position");
+  SplitMix64 Rng(Seed);
+  Hmm Model("profile" + std::to_string(MatchPositions), Alpha);
+
+  auto RandomEmissions = [&](double Sharpness) {
+    // Dirichlet-ish: one dominant character per position.
+    std::vector<double> E(Alpha.size());
+    double Sum = 0.0;
+    for (double &V : E) {
+      V = 0.05 + Rng.nextDouble();
+      Sum += V;
+    }
+    unsigned Dominant =
+        static_cast<unsigned>(Rng.nextBelow(Alpha.size()));
+    E[Dominant] += Sharpness * Sum;
+    Sum += Sharpness * Sum;
+    for (double &V : E)
+      V /= Sum;
+    return E;
+  };
+  std::vector<double> InsertEmissions(Alpha.size(),
+                                      1.0 / Alpha.size());
+
+  unsigned Begin = Model.addState("begin", {}, /*IsStart=*/true);
+  std::vector<unsigned> Match(MatchPositions + 1, 0);
+  std::vector<unsigned> Insert(MatchPositions + 1, 0);
+  std::vector<unsigned> Delete(MatchPositions + 1, 0);
+  Insert[0] = Model.addState("I0", InsertEmissions);
+  for (unsigned K = 1; K <= MatchPositions; ++K) {
+    Match[K] = Model.addState("M" + std::to_string(K),
+                              RandomEmissions(/*Sharpness=*/3.0));
+    Insert[K] = Model.addState("I" + std::to_string(K), InsertEmissions);
+    Delete[K] = Model.addState("D" + std::to_string(K), {});
+  }
+  unsigned End = Model.addState("finish", {}, false, /*IsEnd=*/true);
+
+  // Plan 7-style topology with fixed, well-formed probabilities.
+  Model.addTransition(Begin, Match[1], 0.90);
+  Model.addTransition(Begin, Insert[0], 0.05);
+  Model.addTransition(Begin, Delete[1], 0.05);
+  Model.addTransition(Insert[0], Insert[0], 0.30);
+  Model.addTransition(Insert[0], Match[1], 0.70);
+  for (unsigned K = 1; K <= MatchPositions; ++K) {
+    bool Last = K == MatchPositions;
+    unsigned NextMatch = Last ? End : Match[K + 1];
+    Model.addTransition(Match[K], NextMatch, Last ? 0.95 : 0.90);
+    Model.addTransition(Match[K], Insert[K], 0.05);
+    if (!Last)
+      Model.addTransition(Match[K], Delete[K + 1], 0.05);
+    Model.addTransition(Insert[K], Insert[K], 0.30);
+    Model.addTransition(Insert[K], NextMatch, 0.70);
+    if (!Last) {
+      Model.addTransition(Delete[K], Match[K + 1], 0.70);
+      Model.addTransition(Delete[K], Delete[K + 1], 0.30);
+    } else {
+      Model.addTransition(Delete[K], End, 1.0);
+    }
+  }
+  Model.finalize();
+  return Model;
+}

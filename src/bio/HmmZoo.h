@@ -1,0 +1,48 @@
+//===- HmmZoo.h - Model builders for the case studies -------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ready-made HMMs for tests and the evaluation benches: the classic
+/// occasionally-dishonest casino, a CpG-island model, a small gene-finder
+/// model in the spirit of the paper's Section 6.2 case study, and the
+/// parametric profile HMMs of Section 6.3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_BIO_HMMZOO_H
+#define PARREC_BIO_HMMZOO_H
+
+#include "bio/Hmm.h"
+
+namespace parrec {
+namespace bio {
+
+/// The occasionally dishonest casino: fair and loaded "dice" states over
+/// a 6-letter alphabet (digits mapped onto acgt... we use a dedicated
+/// alphabet of 'abcdef').
+Hmm makeCasinoModel();
+
+/// A CpG-island model over DNA: island and non-island copies of the four
+/// nucleotide states.
+Hmm makeCpgIslandModel();
+
+/// A small gene finder over DNA, in the spirit of the paper's TK gene
+/// model: intergenic background, start-codon positions, a 3-periodic
+/// coding region and stop-codon positions.
+Hmm makeGeneFinderModel();
+
+/// A profile HMM with \p MatchPositions match positions over \p Alpha
+/// (match/insert/delete per position, plus flanking begin/end), the model
+/// family of the Section 6.3 case study. Emissions are random but
+/// deterministic in \p Seed; state count is 3 * MatchPositions + 3.
+Hmm makeProfileHmm(unsigned MatchPositions, const Alphabet &Alpha,
+                   uint64_t Seed);
+
+} // namespace bio
+} // namespace parrec
+
+#endif // PARREC_BIO_HMMZOO_H

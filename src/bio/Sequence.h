@@ -1,0 +1,52 @@
+//===- Sequence.h - Immutable biological sequences ----------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sequence primitive of the host language: an immutable named string
+/// over an alphabet, queried by index only (Section 3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_BIO_SEQUENCE_H
+#define PARREC_BIO_SEQUENCE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parrec {
+namespace bio {
+
+/// An immutable sequence of characters with a record name.
+class Sequence {
+public:
+  Sequence() = default;
+  Sequence(std::string Name, std::string Data)
+      : Name(std::move(Name)), Data(std::move(Data)) {}
+
+  const std::string &name() const { return Name; }
+  const std::string &data() const { return Data; }
+  int64_t length() const { return static_cast<int64_t>(Data.size()); }
+
+  char at(int64_t Index) const {
+    assert(Index >= 0 && Index < length() && "sequence index out of range");
+    return Data[static_cast<size_t>(Index)];
+  }
+
+private:
+  std::string Name;
+  std::string Data;
+};
+
+/// A loaded database: an ordered collection of sequences.
+using SequenceDatabase = std::vector<Sequence>;
+
+} // namespace bio
+} // namespace parrec
+
+#endif // PARREC_BIO_SEQUENCE_H

@@ -1,0 +1,167 @@
+//===- SubstitutionMatrix.cpp - Substitution matrices -----------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bio/SubstitutionMatrix.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace parrec;
+using namespace parrec::bio;
+
+SubstitutionMatrix::SubstitutionMatrix(std::string Name, Alphabet Alpha,
+                                       std::vector<int> Scores)
+    : Name(std::move(Name)), Alpha(std::move(Alpha)),
+      Scores(std::move(Scores)) {
+  assert(this->Scores.size() ==
+             static_cast<size_t>(this->Alpha.size()) * this->Alpha.size() &&
+         "score table must be square over the alphabet");
+}
+
+const SubstitutionMatrix &SubstitutionMatrix::blosum62() {
+  // Standard BLOSUM62 over ARNDCQEGHILKMFPSTWYV.
+  static const int Table[20][20] = {
+      // A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+      {4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0},
+      {-1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3},
+      {-2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3},
+      {-2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3},
+      {0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1},
+      {-1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2},
+      {-1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2},
+      {0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3},
+      {-2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3},
+      {-1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3},
+      {-1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1},
+      {-1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2},
+      {-1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1},
+      {-2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1},
+      {-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2},
+      {1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2},
+      {0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0},
+      {-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3},
+      {-2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -1},
+      {0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -1, 4},
+  };
+  static const SubstitutionMatrix M = [] {
+    std::vector<int> Scores;
+    Scores.reserve(400);
+    for (const auto &Row : Table)
+      for (int V : Row)
+        Scores.push_back(V);
+    return SubstitutionMatrix("blosum62", Alphabet::protein(),
+                              std::move(Scores));
+  }();
+  return M;
+}
+
+SubstitutionMatrix SubstitutionMatrix::matchMismatch(const Alphabet &Alpha,
+                                                     int Match,
+                                                     int Mismatch) {
+  unsigned N = Alpha.size();
+  std::vector<int> Scores(static_cast<size_t>(N) * N, Mismatch);
+  for (unsigned I = 0; I != N; ++I)
+    Scores[static_cast<size_t>(I) * N + I] = Match;
+  return SubstitutionMatrix("matchmismatch", Alpha, std::move(Scores));
+}
+
+std::optional<SubstitutionMatrix>
+SubstitutionMatrix::parse(std::string_view Text, DiagnosticEngine &Diags) {
+  std::vector<std::string> Lines = splitString(Text, '\n');
+  std::string LettersLine;
+  std::vector<std::pair<char, std::vector<int>>> Rows;
+
+  uint32_t LineNo = 0;
+  for (const std::string &Raw : Lines) {
+    ++LineNo;
+    std::string_view Line = trimString(Raw);
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    if (LettersLine.empty()) {
+      // Header: the alphabet, as space-separated characters or one word.
+      for (char C : Line)
+        if (C != ' ' && C != '\t')
+          LettersLine += C;
+      continue;
+    }
+    size_t ColonPos = Line.find(':');
+    if (ColonPos == std::string_view::npos || ColonPos == 0) {
+      Diags.error({LineNo, 1}, "expected 'X: s1 s2 ...' matrix row");
+      return std::nullopt;
+    }
+    std::string_view RowName = trimString(Line.substr(0, ColonPos));
+    if (RowName.size() != 1) {
+      Diags.error({LineNo, 1}, "matrix row label must be one character");
+      return std::nullopt;
+    }
+    std::vector<int> Values;
+    for (const std::string &Piece :
+         splitString(Line.substr(ColonPos + 1), ' ')) {
+      std::string_view Trimmed = trimString(Piece);
+      if (Trimmed.empty())
+        continue;
+      Values.push_back(
+          static_cast<int>(std::strtol(std::string(Trimmed).c_str(),
+                                       nullptr, 10)));
+    }
+    Rows.emplace_back(RowName[0], std::move(Values));
+  }
+
+  if (LettersLine.empty()) {
+    Diags.error({}, "substitution matrix has no alphabet header");
+    return std::nullopt;
+  }
+  unsigned N = static_cast<unsigned>(LettersLine.size());
+  if (Rows.size() != N) {
+    Diags.error({}, "substitution matrix has " +
+                        std::to_string(Rows.size()) + " rows; expected " +
+                        std::to_string(N));
+    return std::nullopt;
+  }
+
+  Alphabet Alpha("matrix", LettersLine);
+  std::vector<int> Scores(static_cast<size_t>(N) * N, 0);
+  for (const auto &[RowChar, Values] : Rows) {
+    int Row = Alpha.indexOf(RowChar);
+    if (Row < 0) {
+      Diags.error({}, std::string("row character '") + RowChar +
+                          "' is not in the matrix alphabet");
+      return std::nullopt;
+    }
+    if (Values.size() != N) {
+      Diags.error({}, std::string("row '") + RowChar + "' has " +
+                          std::to_string(Values.size()) +
+                          " scores; expected " + std::to_string(N));
+      return std::nullopt;
+    }
+    for (unsigned Col = 0; Col != N; ++Col)
+      Scores[static_cast<size_t>(Row) * N + Col] = Values[Col];
+  }
+  return SubstitutionMatrix("parsed", std::move(Alpha), std::move(Scores));
+}
+
+std::string SubstitutionMatrix::str() const {
+  std::string Out;
+  for (unsigned I = 0; I != Alpha.size(); ++I) {
+    if (I)
+      Out += ' ';
+    Out += Alpha.charAt(I);
+  }
+  Out += '\n';
+  for (unsigned Row = 0; Row != Alpha.size(); ++Row) {
+    Out += Alpha.charAt(Row);
+    Out += ':';
+    for (unsigned Col = 0; Col != Alpha.size(); ++Col) {
+      Out += ' ';
+      Out += std::to_string(scoreByIndex(Row, Col));
+    }
+    Out += '\n';
+  }
+  return Out;
+}

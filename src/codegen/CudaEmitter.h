@@ -1,0 +1,52 @@
+//===- CudaEmitter.h - CUDA C source synthesis --------------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits the synthesized CUDA C source for a compiled recursion: a
+/// __device__ cell function lowered from the DSL body (prob arithmetic in
+/// log space, reductions as loops over CSR transition tables) and a
+/// __global__ kernel with the Figure 10 structure — the partition time
+/// loop, the thread-striped space loop, the reconstructed coordinates and
+/// the __syncthreads() barrier.
+///
+/// In this reproduction the kernel is documentation and a golden-test
+/// artifact; execution happens in the simulator (Evaluator.h), which
+/// implements the same semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_CODEGEN_CUDAEMITTER_H
+#define PARREC_CODEGEN_CUDAEMITTER_H
+
+#include "lang/Sema.h"
+#include "solver/Recurrence.h"
+
+#include <string>
+
+namespace parrec {
+namespace codegen {
+
+/// Renders the complete CUDA translation unit for \p F under schedule
+/// \p S: parameter marshalling comments, the cell function and the
+/// kernel. Domain extents appear as symbolic kernel arguments
+/// ("<dim>_n"), so one emission serves every problem size.
+std::string emitCudaKernel(const lang::FunctionDecl &F,
+                           const lang::FunctionInfo &Info,
+                           const solver::Schedule &S);
+
+/// Renders a host-side launch sketch for the kernel emitted by
+/// emitCudaKernel: device-table allocation, one block per problem
+/// (Section 4.7's problem-per-multiprocessor mapping) and the final
+/// table read-back. Documentation-quality output for users porting the
+/// synthesized kernel into their own build.
+std::string emitHostLaunchStub(const lang::FunctionDecl &F,
+                               const lang::FunctionInfo &Info);
+
+} // namespace codegen
+} // namespace parrec
+
+#endif // PARREC_CODEGEN_CUDAEMITTER_H

@@ -1,0 +1,115 @@
+//===- CostModel.h - Shared CPU/GPU cycle cost model --------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single cost model both sides of every benchmark share. No GPU is
+/// available in this reproduction environment, so GPU executions run on a
+/// simulator (see Device.h) and CPU baselines count the same abstract
+/// operation/memory events; both are converted to *modelled seconds*
+/// here. Defaults approximate the paper's hardware: an NVIDIA GTX 480
+/// (15 SMs x 32 cores at 1.4 GHz) and an Intel Xeon E5520 (2.26 GHz).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_GPU_COSTMODEL_H
+#define PARREC_GPU_COSTMODEL_H
+
+#include <cstdint>
+
+namespace parrec {
+namespace gpu {
+
+/// Abstract event counts accumulated while evaluating cells. "Ops" are
+/// arithmetic/logic operations. Table events touch the DP table, whose
+/// residency (shared vs. global) depends on the sliding-window
+/// optimisation (Section 4.8). Model events read sequences, substitution
+/// matrices and HMM parameters, which are small and treated as staged
+/// into shared memory (Section 5.1's placement discussion).
+struct CostCounter {
+  uint64_t Ops = 0;
+  uint64_t TableReads = 0;
+  uint64_t TableWrites = 0;
+  uint64_t ModelReads = 0;
+  /// exp/log pairs (log-sum-exp): expensive libm code on a CPU, cheap
+  /// special-function hardware on a GPU. Counting them separately is what
+  /// lets the model reflect that asymmetry — and HMMER 3's scaled
+  /// linear-space trick, which avoids them entirely.
+  uint64_t Transcendentals = 0;
+
+  CostCounter &operator+=(const CostCounter &Other) {
+    Ops += Other.Ops;
+    TableReads += Other.TableReads;
+    TableWrites += Other.TableWrites;
+    ModelReads += Other.ModelReads;
+    Transcendentals += Other.Transcendentals;
+    return *this;
+  }
+  CostCounter operator-(const CostCounter &Other) const {
+    return {Ops - Other.Ops, TableReads - Other.TableReads,
+            TableWrites - Other.TableWrites,
+            ModelReads - Other.ModelReads,
+            Transcendentals - Other.Transcendentals};
+  }
+  uint64_t tableAccesses() const { return TableReads + TableWrites; }
+};
+
+/// Machine parameters used to turn event counts into modelled time.
+struct CostModel {
+  // GPU side (GTX-480-like).
+  unsigned NumMultiprocessors = 15;
+  unsigned CoresPerMultiprocessor = 32;
+  double GpuClockGHz = 1.40;
+  uint64_t GpuCyclesPerOp = 2; // Simple in-order cores.
+  uint64_t GpuTranscendentalCycles = 8; // SFU expf/logf pair.
+  uint64_t GlobalMemLatencyCycles = 400;
+  uint64_t SharedMemLatencyCycles = 4;
+  uint64_t SyncCycles = 32;            // Single-warp barrier.
+  uint64_t KernelLaunchCycles = 20000; // Per problem/kernel dispatch.
+  uint64_t SharedMemBytes = 48 * 1024;
+
+  // CPU side (Xeon-E5520-like). DP inner loops are cache-friendly, so
+  // memory events are cheap on the CPU; exp/log pairs go through libm.
+  double CpuClockGHz = 2.26;
+  uint64_t CpuCyclesPerOp = 1;
+  uint64_t CpuMemLatencyCycles = 2;
+  uint64_t CpuTranscendentalCycles = 20;
+
+  unsigned totalGpuLanes() const {
+    return NumMultiprocessors * CoresPerMultiprocessor;
+  }
+
+  /// Cycles a GPU lane spends computing one cell with the given events.
+  /// \p TableInShared reflects whether the sliding window fits shared
+  /// memory.
+  uint64_t gpuCellCycles(const CostCounter &C, bool TableInShared) const {
+    uint64_t TableLatency = TableInShared ? SharedMemLatencyCycles
+                                          : GlobalMemLatencyCycles;
+    return C.Ops * GpuCyclesPerOp +
+           C.Transcendentals * GpuTranscendentalCycles +
+           C.tableAccesses() * TableLatency +
+           C.ModelReads * SharedMemLatencyCycles;
+  }
+
+  /// Cycles the CPU spends on the given events.
+  uint64_t cpuCycles(const CostCounter &C) const {
+    return C.Ops * CpuCyclesPerOp +
+           C.Transcendentals * CpuTranscendentalCycles +
+           (C.tableAccesses() + C.ModelReads) * CpuMemLatencyCycles;
+  }
+
+  double gpuSeconds(uint64_t Cycles) const {
+    return static_cast<double>(Cycles) / (GpuClockGHz * 1e9);
+  }
+  double cpuSeconds(uint64_t Cycles) const {
+    return static_cast<double>(Cycles) / (CpuClockGHz * 1e9);
+  }
+};
+
+} // namespace gpu
+} // namespace parrec
+
+#endif // PARREC_GPU_COSTMODEL_H

@@ -1,0 +1,104 @@
+//===- Device.h - CUDA-like execution model simulator -------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simulator of the paper's target execution model (Section 1.1): a
+/// device made of independent multiprocessors, each running a block of
+/// threads in lockstep with barrier synchronisation between partitions
+/// and no global synchronisation. The simulator executes real work (the
+/// caller's cell evaluations) and accounts cycles per the shared cost
+/// model; results are therefore bit-identical to a serial run while
+/// timing reflects the parallel structure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_GPU_DEVICE_H
+#define PARREC_GPU_DEVICE_H
+
+#include "gpu/CostModel.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parrec {
+namespace gpu {
+
+/// Metrics of one simulated GPU execution.
+struct GpuRunMetrics {
+  uint64_t Cycles = 0;
+  uint64_t Partitions = 0;
+  uint64_t CellsComputed = 0;
+  uint64_t SharedAccesses = 0;
+  uint64_t GlobalAccesses = 0;
+  uint64_t TableBytes = 0;
+
+  double seconds(const CostModel &Model) const {
+    return Model.gpuSeconds(Cycles);
+  }
+
+  GpuRunMetrics &operator+=(const GpuRunMetrics &Other);
+  std::string str(const CostModel &Model) const;
+};
+
+/// Tracks the lockstep cost of one block executing one problem:
+/// per-partition time is the maximum over its threads, a barrier closes
+/// each partition (Figure 8's template).
+class BlockTimer {
+public:
+  explicit BlockTimer(unsigned NumThreads)
+      : ThreadCycles(NumThreads, 0) {}
+
+  unsigned numThreads() const {
+    return static_cast<unsigned>(ThreadCycles.size());
+  }
+
+  /// Charges \p Cycles to thread \p ThreadId within the open partition.
+  void addThreadCycles(unsigned ThreadId, uint64_t Cycles) {
+    ThreadCycles[ThreadId] += Cycles;
+  }
+
+  /// Ends the current partition: the block advances by the slowest
+  /// thread's cycles plus the barrier cost. Returns that amount and
+  /// resets the per-thread accumulators.
+  uint64_t closePartition(uint64_t SyncCycles);
+
+  uint64_t totalCycles() const { return Total; }
+
+private:
+  std::vector<uint64_t> ThreadCycles;
+  uint64_t Total = 0;
+};
+
+/// The device: dispatch policies for laying work onto multiprocessors.
+class Device {
+public:
+  Device() = default;
+  explicit Device(CostModel Model) : Model(std::move(Model)) {}
+
+  const CostModel &costModel() const { return Model; }
+  CostModel &costModel() { return Model; }
+
+  /// Intra-task dispatch (Section 4.7): each problem occupies one
+  /// multiprocessor; problems are placed greedily (longest first) onto
+  /// the least-loaded multiprocessor. Returns the makespan in cycles,
+  /// including one kernel launch per batch.
+  uint64_t dispatchProblems(const std::vector<uint64_t> &ProblemCycles) const;
+
+  /// Inter-task dispatch (one problem per thread, the CUDASW++/GPU-HMMER
+  /// style): tasks are processed in submission order in rounds of
+  /// totalGpuLanes(); lockstep makes each round cost its maximum task.
+  uint64_t interTaskCycles(const std::vector<uint64_t> &TaskCycles) const;
+
+private:
+  CostModel Model;
+};
+
+} // namespace gpu
+} // namespace parrec
+
+#endif // PARREC_GPU_DEVICE_H

@@ -1,0 +1,237 @@
+//===- AST.cpp - Abstract syntax of the DSL --------------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AST.h"
+
+using namespace parrec;
+using namespace parrec::lang;
+
+std::string Type::str() const {
+  switch (Kind) {
+  case TypeKind::Invalid:
+    return "<invalid>";
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Float:
+    return "float";
+  case TypeKind::Prob:
+    return "prob";
+  case TypeKind::Bool:
+    return "bool";
+  case TypeKind::Char:
+    return "char[" + AlphabetName + "]";
+  case TypeKind::Seq:
+    return "seq[" + AlphabetName + "]";
+  case TypeKind::Index:
+    return "index[" + RefParam + "]";
+  case TypeKind::Alphabet:
+    return "alphabet";
+  case TypeKind::Matrix:
+    return "matrix[" + AlphabetName + "]";
+  case TypeKind::Hmm:
+    return "hmm";
+  case TypeKind::State:
+    return "state[" + RefParam + "]";
+  case TypeKind::Transition:
+    return "transition[" + RefParam + "]";
+  case TypeKind::TransitionSet:
+    return "transitionset[" + RefParam + "]";
+  }
+  return "<unknown>";
+}
+
+const char *parrec::lang::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Min:
+    return "min";
+  case BinaryOp::Max:
+    return "max";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  }
+  return "?";
+}
+
+const char *parrec::lang::memberKindSpelling(MemberKind Kind) {
+  switch (Kind) {
+  case MemberKind::Start:
+    return "start";
+  case MemberKind::End:
+    return "end";
+  case MemberKind::IsStart:
+    return "isstart";
+  case MemberKind::IsEnd:
+    return "isend";
+  case MemberKind::Prob:
+    return "prob";
+  case MemberKind::Emission:
+    return "emission";
+  case MemberKind::TransitionsTo:
+    return "transitionsto";
+  case MemberKind::TransitionsFrom:
+    return "transitionsfrom";
+  }
+  return "?";
+}
+
+const char *parrec::lang::reductionKindSpelling(ReductionKind Kind) {
+  switch (Kind) {
+  case ReductionKind::Sum:
+    return "sum";
+  case ReductionKind::Min:
+    return "min";
+  case ReductionKind::Max:
+    return "max";
+  }
+  return "?";
+}
+
+namespace {
+
+void printExpr(const Expr *E, std::string &Out) {
+  switch (E->getKind()) {
+  case ExprKind::IntLiteral:
+    Out += std::to_string(cast<IntLiteralExpr>(E)->Value);
+    return;
+  case ExprKind::FloatLiteral: {
+    std::string Text = std::to_string(cast<FloatLiteralExpr>(E)->Value);
+    Out += Text;
+    return;
+  }
+  case ExprKind::BoolLiteral:
+    Out += cast<BoolLiteralExpr>(E)->Value ? "true" : "false";
+    return;
+  case ExprKind::CharLiteral:
+    Out += '\'';
+    Out += cast<CharLiteralExpr>(E)->Value;
+    Out += '\'';
+    return;
+  case ExprKind::VarRef:
+    Out += cast<VarRefExpr>(E)->Name;
+    return;
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    Out += '(';
+    printExpr(B->Lhs.get(), Out);
+    Out += ' ';
+    Out += binaryOpSpelling(B->Op);
+    Out += ' ';
+    printExpr(B->Rhs.get(), Out);
+    Out += ')';
+    return;
+  }
+  case ExprKind::If: {
+    const auto *I = cast<IfExpr>(E);
+    Out += "if ";
+    printExpr(I->Condition.get(), Out);
+    Out += " then ";
+    printExpr(I->ThenExpr.get(), Out);
+    Out += " else ";
+    printExpr(I->ElseExpr.get(), Out);
+    return;
+  }
+  case ExprKind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    Out += C->Callee;
+    Out += '(';
+    for (size_t I = 0; I != C->Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      printExpr(C->Args[I].get(), Out);
+    }
+    Out += ')';
+    return;
+  }
+  case ExprKind::SeqIndex: {
+    const auto *S = cast<SeqIndexExpr>(E);
+    Out += S->SeqName;
+    Out += '[';
+    printExpr(S->Index.get(), Out);
+    Out += ']';
+    return;
+  }
+  case ExprKind::MatrixIndex: {
+    const auto *M = cast<MatrixIndexExpr>(E);
+    Out += M->MatrixName;
+    Out += '[';
+    printExpr(M->Row.get(), Out);
+    Out += ", ";
+    printExpr(M->Col.get(), Out);
+    Out += ']';
+    return;
+  }
+  case ExprKind::Member: {
+    const auto *M = cast<MemberExpr>(E);
+    printExpr(M->Base.get(), Out);
+    Out += '.';
+    Out += memberKindSpelling(M->Member);
+    if (M->Arg) {
+      Out += '[';
+      printExpr(M->Arg.get(), Out);
+      Out += ']';
+    }
+    return;
+  }
+  case ExprKind::Reduction: {
+    const auto *R = cast<ReductionExpr>(E);
+    Out += reductionKindSpelling(R->Reduction);
+    Out += '(';
+    Out += R->VarName;
+    Out += " in ";
+    printExpr(R->Domain.get(), Out);
+    Out += " : ";
+    printExpr(R->Body.get(), Out);
+    Out += ')';
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::string Expr::str() const {
+  std::string Out;
+  printExpr(this, Out);
+  return Out;
+}
+
+std::string FunctionDecl::signatureStr() const {
+  std::string Out = ReturnType.str() + " " + Name + "(";
+  for (size_t I = 0; I != Params.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Params[I].ParamType.str() + " " + Params[I].Name;
+  }
+  Out += ")";
+  return Out;
+}
+
+const FunctionDecl *Script::findFunction(const std::string &Name) const {
+  for (const Stmt &S : Statements)
+    if (S.Kind == StmtKind::Function && S.Function &&
+        S.Function->Name == Name)
+      return S.Function.get();
+  return nullptr;
+}

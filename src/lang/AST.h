@@ -1,0 +1,373 @@
+//===- AST.h - Abstract syntax of the DSL -------------------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expression and declaration nodes for the grammar of Figure 6 plus the
+/// Section 5 domain extensions. Nodes carry an LLVM-style kind tag for
+/// cheap casting (no RTTI) and a Type slot the semantic analysis fills.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_LANG_AST_H
+#define PARREC_LANG_AST_H
+
+#include "lang/Type.h"
+#include "support/SourceLocation.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace parrec {
+namespace lang {
+
+//===----------------------------------------------------------------------===//
+// Casting helpers (hand-rolled isa/cast/dyn_cast over kind tags).
+//===----------------------------------------------------------------------===//
+
+template <typename To, typename From> bool isa(const From *Node) {
+  return To::classof(Node);
+}
+template <typename To, typename From> To *cast(From *Node) {
+  assert(To::classof(Node) && "cast to incompatible node kind");
+  return static_cast<To *>(Node);
+}
+template <typename To, typename From> const To *cast(const From *Node) {
+  assert(To::classof(Node) && "cast to incompatible node kind");
+  return static_cast<const To *>(Node);
+}
+template <typename To, typename From> To *dyn_cast(From *Node) {
+  return To::classof(Node) ? static_cast<To *>(Node) : nullptr;
+}
+template <typename To, typename From> const To *dyn_cast(const From *Node) {
+  return To::classof(Node) ? static_cast<const To *>(Node) : nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind {
+  IntLiteral,
+  FloatLiteral,
+  BoolLiteral,
+  CharLiteral,
+  VarRef,
+  Binary,
+  If,
+  Call,
+  SeqIndex,
+  MatrixIndex,
+  Member,
+  Reduction,
+};
+
+class Expr {
+public:
+  virtual ~Expr() = default;
+
+  ExprKind getKind() const { return Kind; }
+  SourceLocation getLoc() const { return Loc; }
+
+  /// The resolved type; invalid until semantic analysis runs.
+  Type ExprType;
+
+  /// Renders the expression as (re-parseable) DSL source.
+  std::string str() const;
+
+protected:
+  Expr(ExprKind Kind, SourceLocation Loc) : Kind(Kind), Loc(Loc) {}
+
+private:
+  const ExprKind Kind;
+  SourceLocation Loc;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class IntLiteralExpr : public Expr {
+public:
+  int64_t Value;
+
+  IntLiteralExpr(int64_t Value, SourceLocation Loc)
+      : Expr(ExprKind::IntLiteral, Loc), Value(Value) {}
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::IntLiteral;
+  }
+};
+
+class FloatLiteralExpr : public Expr {
+public:
+  double Value;
+
+  FloatLiteralExpr(double Value, SourceLocation Loc)
+      : Expr(ExprKind::FloatLiteral, Loc), Value(Value) {}
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::FloatLiteral;
+  }
+};
+
+class BoolLiteralExpr : public Expr {
+public:
+  bool Value;
+
+  BoolLiteralExpr(bool Value, SourceLocation Loc)
+      : Expr(ExprKind::BoolLiteral, Loc), Value(Value) {}
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::BoolLiteral;
+  }
+};
+
+class CharLiteralExpr : public Expr {
+public:
+  char Value;
+
+  CharLiteralExpr(char Value, SourceLocation Loc)
+      : Expr(ExprKind::CharLiteral, Loc), Value(Value) {}
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::CharLiteral;
+  }
+};
+
+/// A reference to a function parameter or reduction variable.
+class VarRefExpr : public Expr {
+public:
+  std::string Name;
+
+  /// Index of the referenced function parameter, or -1 for a reduction
+  /// variable (filled by Sema).
+  int ParamIndex = -1;
+
+  VarRefExpr(std::string Name, SourceLocation Loc)
+      : Expr(ExprKind::VarRef, Loc), Name(std::move(Name)) {}
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::VarRef;
+  }
+};
+
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Min,
+  Max,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  Eq,
+  Ne,
+};
+
+/// Returns the DSL spelling of \p Op ("+", "min", "==", ...).
+const char *binaryOpSpelling(BinaryOp Op);
+
+class BinaryExpr : public Expr {
+public:
+  BinaryOp Op;
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+
+  BinaryExpr(BinaryOp Op, ExprPtr Lhs, ExprPtr Rhs, SourceLocation Loc)
+      : Expr(ExprKind::Binary, Loc), Op(Op), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Binary;
+  }
+};
+
+/// The branching "if c then a else b" expression.
+class IfExpr : public Expr {
+public:
+  ExprPtr Condition;
+  ExprPtr ThenExpr;
+  ExprPtr ElseExpr;
+
+  IfExpr(ExprPtr Condition, ExprPtr ThenExpr, ExprPtr ElseExpr,
+         SourceLocation Loc)
+      : Expr(ExprKind::If, Loc), Condition(std::move(Condition)),
+        ThenExpr(std::move(ThenExpr)), ElseExpr(std::move(ElseExpr)) {}
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::If; }
+};
+
+/// A recursive call. Only the recursive arguments are written at the call
+/// site (Figure 7's "d(i-1, j)"): calling parameters are passed through
+/// implicitly.
+class CallExpr : public Expr {
+public:
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args, SourceLocation Loc)
+      : Expr(ExprKind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Call;
+  }
+};
+
+/// Sequence element access s[e].
+class SeqIndexExpr : public Expr {
+public:
+  std::string SeqName;
+  ExprPtr Index;
+
+  /// Parameter index of the sequence (filled by Sema).
+  int SeqParamIndex = -1;
+
+  SeqIndexExpr(std::string SeqName, ExprPtr Index, SourceLocation Loc)
+      : Expr(ExprKind::SeqIndex, Loc), SeqName(std::move(SeqName)),
+        Index(std::move(Index)) {}
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::SeqIndex;
+  }
+};
+
+/// Substitution matrix lookup m[a, b] (Section 5.1).
+class MatrixIndexExpr : public Expr {
+public:
+  std::string MatrixName;
+  ExprPtr Row;
+  ExprPtr Col;
+
+  int MatrixParamIndex = -1; // Filled by Sema.
+
+  MatrixIndexExpr(std::string MatrixName, ExprPtr Row, ExprPtr Col,
+                  SourceLocation Loc)
+      : Expr(ExprKind::MatrixIndex, Loc), MatrixName(std::move(MatrixName)),
+        Row(std::move(Row)), Col(std::move(Col)) {}
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::MatrixIndex;
+  }
+};
+
+/// Accessors on HMM states and transitions (Section 5.2).
+enum class MemberKind {
+  Start,           // transition.start: source state.
+  End,             // transition.end: destination state.
+  IsStart,         // state.isstart.
+  IsEnd,           // state.isend.
+  Prob,            // transition.prob.
+  Emission,        // state.emission[c].
+  TransitionsTo,   // state.transitionsto.
+  TransitionsFrom, // state.transitionsfrom.
+};
+
+const char *memberKindSpelling(MemberKind Kind);
+
+class MemberExpr : public Expr {
+public:
+  MemberKind Member;
+  ExprPtr Base;
+  ExprPtr Arg; // Emission index; null otherwise.
+
+  MemberExpr(MemberKind Member, ExprPtr Base, ExprPtr Arg,
+             SourceLocation Loc)
+      : Expr(ExprKind::Member, Loc), Member(Member), Base(std::move(Base)),
+        Arg(std::move(Arg)) {}
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Member;
+  }
+};
+
+enum class ReductionKind { Sum, Min, Max };
+
+const char *reductionKindSpelling(ReductionKind Kind);
+
+/// "sum(t in s.transitionsto : body)" and the min/max variants.
+class ReductionExpr : public Expr {
+public:
+  ReductionKind Reduction;
+  std::string VarName;
+  ExprPtr Domain;
+  ExprPtr Body;
+
+  ReductionExpr(ReductionKind Reduction, std::string VarName, ExprPtr Domain,
+                ExprPtr Body, SourceLocation Loc)
+      : Expr(ExprKind::Reduction, Loc), Reduction(Reduction),
+        VarName(std::move(VarName)), Domain(std::move(Domain)),
+        Body(std::move(Body)) {}
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Reduction;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations and script statements
+//===----------------------------------------------------------------------===//
+
+struct Param {
+  std::string Name;
+  Type ParamType;
+  SourceLocation Loc;
+};
+
+/// A recursive function definition (Figure 7).
+struct FunctionDecl {
+  std::string Name;
+  Type ReturnType;
+  std::vector<Param> Params;
+  ExprPtr Body;
+  SourceLocation Loc;
+
+  /// Indices of the recursive parameters, in declaration order (filled by
+  /// Sema). These form the recursion's dimensions.
+  std::vector<unsigned> RecursiveParams;
+
+  /// Renders the declaration header "int d(seq[en] s, ...)".
+  std::string signatureStr() const;
+};
+
+enum class StmtKind {
+  Alphabet,
+  Function,
+  SeqLoad,    // seq[a] s = load "file" [n]
+  SeqDbLoad,  // seqdb[a] db = load "file"
+  MatrixLoad, // matrix[a] m = load "file"
+  HmmDef,     // hmm h = { ... } | hmm h = load "file"
+  Print,      // print [max] f(args...)
+  Map,        // map [max] f(args...), one arg names a seqdb
+};
+
+struct Stmt {
+  StmtKind Kind;
+  SourceLocation Loc;
+
+  // Alphabet.
+  std::string AlphabetName;
+  std::string AlphabetLetters;
+
+  // Function.
+  std::unique_ptr<FunctionDecl> Function;
+
+  // Loads and model definitions.
+  std::string VarName;
+  std::string TypeAlphabet;
+  std::string Path;    // Empty for inline HMM bodies.
+  int64_t RecordIndex = 0;
+  std::string HmmText; // Inline HMM body (raw text between braces).
+
+  // Print/Map.
+  bool TableMax = false;
+  std::string CalleeName;
+  std::vector<std::string> CallArgs; // Variable names or literals.
+};
+
+/// A parsed script: ordered statements (function declarations included).
+struct Script {
+  std::vector<Stmt> Statements;
+
+  /// Finds a function statement by name; null when absent.
+  const FunctionDecl *findFunction(const std::string &Name) const;
+};
+
+} // namespace lang
+} // namespace parrec
+
+#endif // PARREC_LANG_AST_H

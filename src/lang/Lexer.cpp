@@ -1,0 +1,404 @@
+//===- Lexer.cpp - DSL tokenizer -------------------------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace parrec;
+using namespace parrec::lang;
+
+const char *parrec::lang::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntegerLiteral:
+    return "integer literal";
+  case TokenKind::FloatLiteral:
+    return "float literal";
+  case TokenKind::StringLiteral:
+    return "string literal";
+  case TokenKind::CharLiteral:
+    return "character literal";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwThen:
+    return "'then'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwMin:
+    return "'min'";
+  case TokenKind::KwMax:
+    return "'max'";
+  case TokenKind::KwSum:
+    return "'sum'";
+  case TokenKind::KwIn:
+    return "'in'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwFloat:
+    return "'float'";
+  case TokenKind::KwProb:
+    return "'prob'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::KwChar:
+    return "'char'";
+  case TokenKind::KwSeq:
+    return "'seq'";
+  case TokenKind::KwIndex:
+    return "'index'";
+  case TokenKind::KwMatrix:
+    return "'matrix'";
+  case TokenKind::KwHmm:
+    return "'hmm'";
+  case TokenKind::KwState:
+    return "'state'";
+  case TokenKind::KwTransition:
+    return "'transition'";
+  case TokenKind::KwAlphabet:
+    return "'alphabet'";
+  case TokenKind::KwPrint:
+    return "'print'";
+  case TokenKind::KwMap:
+    return "'map'";
+  case TokenKind::KwLoad:
+    return "'load'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::NotEqual:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::Arrow:
+    return "'->'";
+  }
+  return "unknown";
+}
+
+Lexer::Lexer(std::string_view Source, DiagnosticEngine &Diags)
+    : Source(Source), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  while (!atEnd()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '#' || (C == '/' && peek(1) == '/')) {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLocation Loc, size_t Begin) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  T.Text = std::string(Source.substr(Begin, Pos - Begin));
+  return T;
+}
+
+Token Lexer::lexNumber(SourceLocation Loc) {
+  size_t Begin = Pos;
+  while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+    advance();
+  bool IsFloat = false;
+  if (!atEnd() && peek() == '.' &&
+      std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsFloat = true;
+    advance();
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+  if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+    size_t Save = Pos;
+    advance();
+    if (peek() == '+' || peek() == '-')
+      advance();
+    if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      IsFloat = true;
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    } else {
+      Pos = Save; // Not an exponent after all.
+    }
+  }
+  Token T = makeToken(
+      IsFloat ? TokenKind::FloatLiteral : TokenKind::IntegerLiteral, Loc,
+      Begin);
+  if (IsFloat)
+    T.FloatValue = std::strtod(T.Text.c_str(), nullptr);
+  else
+    T.IntValue = std::strtoll(T.Text.c_str(), nullptr, 10);
+  return T;
+}
+
+Token Lexer::lexIdentifier(SourceLocation Loc) {
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"if", TokenKind::KwIf},
+      {"then", TokenKind::KwThen},
+      {"else", TokenKind::KwElse},
+      {"min", TokenKind::KwMin},
+      {"max", TokenKind::KwMax},
+      {"sum", TokenKind::KwSum},
+      {"in", TokenKind::KwIn},
+      {"int", TokenKind::KwInt},
+      {"float", TokenKind::KwFloat},
+      {"prob", TokenKind::KwProb},
+      {"bool", TokenKind::KwBool},
+      {"char", TokenKind::KwChar},
+      {"seq", TokenKind::KwSeq},
+      {"index", TokenKind::KwIndex},
+      {"matrix", TokenKind::KwMatrix},
+      {"hmm", TokenKind::KwHmm},
+      {"state", TokenKind::KwState},
+      {"transition", TokenKind::KwTransition},
+      {"alphabet", TokenKind::KwAlphabet},
+      {"print", TokenKind::KwPrint},
+      {"map", TokenKind::KwMap},
+      {"load", TokenKind::KwLoad},
+      {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},
+  };
+  size_t Begin = Pos;
+  while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_'))
+    advance();
+  Token T = makeToken(TokenKind::Identifier, Loc, Begin);
+  auto It = Keywords.find(T.Text);
+  if (It != Keywords.end())
+    T.Kind = It->second;
+  return T;
+}
+
+Token Lexer::lexString(SourceLocation Loc) {
+  advance(); // Opening quote.
+  std::string Value;
+  while (!atEnd() && peek() != '"') {
+    char C = advance();
+    if (C == '\\' && !atEnd()) {
+      char Escaped = advance();
+      switch (Escaped) {
+      case 'n':
+        Value += '\n';
+        break;
+      case 't':
+        Value += '\t';
+        break;
+      default:
+        Value += Escaped;
+        break;
+      }
+    } else {
+      Value += C;
+    }
+  }
+  if (atEnd()) {
+    Diags.error(Loc, "unterminated string literal");
+    Token T;
+    T.Kind = TokenKind::Error;
+    T.Loc = Loc;
+    return T;
+  }
+  advance(); // Closing quote.
+  Token T;
+  T.Kind = TokenKind::StringLiteral;
+  T.Loc = Loc;
+  T.Text = Value;
+  return T;
+}
+
+Token Lexer::lexChar(SourceLocation Loc) {
+  advance(); // Opening quote.
+  if (atEnd()) {
+    Diags.error(Loc, "unterminated character literal");
+    Token T;
+    T.Kind = TokenKind::Error;
+    T.Loc = Loc;
+    return T;
+  }
+  char Value = advance();
+  if (Value == '\\' && !atEnd()) {
+    char Escaped = advance();
+    Value = Escaped == 'n' ? '\n' : Escaped == 't' ? '\t' : Escaped;
+  }
+  if (atEnd() || peek() != '\'') {
+    Diags.error(Loc, "unterminated character literal");
+    Token T;
+    T.Kind = TokenKind::Error;
+    T.Loc = Loc;
+    return T;
+  }
+  advance(); // Closing quote.
+  Token T;
+  T.Kind = TokenKind::CharLiteral;
+  T.Loc = Loc;
+  T.Text = std::string(1, Value);
+  T.CharValue = Value;
+  return T;
+}
+
+Token Lexer::lex() {
+  skipTrivia();
+  SourceLocation Loc = location();
+  if (atEnd()) {
+    Token T;
+    T.Kind = TokenKind::EndOfFile;
+    T.Loc = Loc;
+    return T;
+  }
+  char C = peek();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Loc);
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifier(Loc);
+  if (C == '"')
+    return lexString(Loc);
+  if (C == '\'')
+    return lexChar(Loc);
+
+  size_t Begin = Pos;
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Loc, Begin);
+  case ')':
+    return makeToken(TokenKind::RParen, Loc, Begin);
+  case '[':
+    return makeToken(TokenKind::LBracket, Loc, Begin);
+  case ']':
+    return makeToken(TokenKind::RBracket, Loc, Begin);
+  case '{':
+    return makeToken(TokenKind::LBrace, Loc, Begin);
+  case '}':
+    return makeToken(TokenKind::RBrace, Loc, Begin);
+  case ',':
+    return makeToken(TokenKind::Comma, Loc, Begin);
+  case ':':
+    return makeToken(TokenKind::Colon, Loc, Begin);
+  case ';':
+    return makeToken(TokenKind::Semicolon, Loc, Begin);
+  case '.':
+    return makeToken(TokenKind::Dot, Loc, Begin);
+  case '*':
+    return makeToken(TokenKind::Star, Loc, Begin);
+  case '+':
+    return makeToken(TokenKind::Plus, Loc, Begin);
+  case '/':
+    return makeToken(TokenKind::Slash, Loc, Begin);
+  case '-':
+    if (peek() == '>') {
+      advance();
+      return makeToken(TokenKind::Arrow, Loc, Begin);
+    }
+    return makeToken(TokenKind::Minus, Loc, Begin);
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::EqualEqual, Loc, Begin);
+    }
+    return makeToken(TokenKind::Assign, Loc, Begin);
+  case '!':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::NotEqual, Loc, Begin);
+    }
+    break;
+  case '<':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::LessEqual, Loc, Begin);
+    }
+    return makeToken(TokenKind::Less, Loc, Begin);
+  case '>':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::GreaterEqual, Loc, Begin);
+    }
+    return makeToken(TokenKind::Greater, Loc, Begin);
+  default:
+    break;
+  }
+  Diags.error(Loc, std::string("unexpected character '") + C + "'");
+  Token T = makeToken(TokenKind::Error, Loc, Begin);
+  return T;
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Tokens.push_back(lex());
+    if (Tokens.back().is(TokenKind::EndOfFile))
+      return Tokens;
+  }
+}

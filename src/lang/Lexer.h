@@ -1,0 +1,61 @@
+//===- Lexer.h - DSL tokenizer ------------------------------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts DSL source text to a token stream. Comments run from '#' or
+/// "//" to end of line. The lexer never fails hard: unknown characters
+/// produce Error tokens and a diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_LANG_LEXER_H
+#define PARREC_LANG_LEXER_H
+
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+#include <vector>
+
+namespace parrec {
+namespace lang {
+
+/// Single-pass tokenizer over an in-memory buffer.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags);
+
+  /// Lexes and returns the next token (EndOfFile at the end, repeatedly).
+  Token lex();
+
+  /// Lexes the whole buffer, including the trailing EndOfFile token.
+  std::vector<Token> lexAll();
+
+private:
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Source.size(); }
+  SourceLocation location() const { return {Line, Column}; }
+  void skipTrivia();
+
+  Token makeToken(TokenKind Kind, SourceLocation Loc, size_t Begin);
+  Token lexNumber(SourceLocation Loc);
+  Token lexIdentifier(SourceLocation Loc);
+  Token lexString(SourceLocation Loc);
+  Token lexChar(SourceLocation Loc);
+};
+
+} // namespace lang
+} // namespace parrec
+
+#endif // PARREC_LANG_LEXER_H

@@ -1,0 +1,87 @@
+//===- Parser.h - Recursive-descent parser for the DSL ------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses scripts in the host language: recursive function definitions
+/// over the expression grammar of Figure 6, plus the statement layer
+/// (alphabet/matrix/HMM definitions, loads, print and map) described in
+/// Sections 3 and 5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_LANG_PARSER_H
+#define PARREC_LANG_PARSER_H
+
+#include "lang/AST.h"
+#include "lang/Lexer.h"
+
+#include <optional>
+
+namespace parrec {
+namespace lang {
+
+/// Recursive-descent parser. Errors are reported to the diagnostics
+/// engine; parsing continues where reasonable so multiple errors surface
+/// in one pass.
+class Parser {
+public:
+  Parser(std::string_view Source, DiagnosticEngine &Diags);
+
+  /// Parses a whole script. On error the returned script contains the
+  /// statements parsed so far; check Diags.
+  Script parseScript();
+
+  /// Parses a single expression (used by tests and the REPL-style API).
+  ExprPtr parseExpressionOnly();
+
+  /// Parses a single function definition.
+  std::unique_ptr<FunctionDecl> parseFunctionOnly();
+
+private:
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  DiagnosticEngine &Diags;
+
+  const Token &current() const { return Tokens[Pos]; }
+  const Token &peekAhead(unsigned Ahead) const;
+  Token consume();
+  bool consumeIf(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void skipToStatementStart();
+
+  // Statements.
+  std::optional<Stmt> parseStatement();
+  std::optional<Stmt> parseAlphabetStmt();
+  std::optional<Stmt> parsePrintOrMapStmt(bool IsMap);
+  std::optional<Stmt> parseDeclarationOrFunction();
+  std::optional<Stmt> parseHmmStmt();
+
+  // Functions.
+  std::unique_ptr<FunctionDecl> parseFunctionTail(Type ReturnType,
+                                                  std::string Name,
+                                                  SourceLocation Loc);
+  std::optional<Type> parseTypeSpec();
+  std::optional<std::string> parseAlphabetRef();
+
+  // Expressions (precedence climbing).
+  ExprPtr parseExpr();
+  ExprPtr parseIfExpr();
+  ExprPtr parseCompare();
+  ExprPtr parseMinMax();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+  ExprPtr parseReduction(ReductionKind Kind);
+  std::optional<MemberKind> parseMemberName();
+};
+
+} // namespace lang
+} // namespace parrec
+
+#endif // PARREC_LANG_PARSER_H

@@ -1,0 +1,642 @@
+//===- Sema.cpp - Semantic analysis of DSL functions ------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Sema.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace parrec;
+using namespace parrec::lang;
+using poly::AffineExpr;
+
+int FunctionInfo::dimOfParam(unsigned ParamIndex) const {
+  for (unsigned D = 0; D != Dims.size(); ++D)
+    if (Dims[D].ParamIndex == ParamIndex)
+      return static_cast<int>(D);
+  return -1;
+}
+
+Sema::Sema(DiagnosticEngine &Diags, std::vector<std::string> KnownAlphabets)
+    : Diags(Diags), KnownAlphabets(std::move(KnownAlphabets)) {}
+
+bool Sema::isKnownAlphabet(const std::string &Name) const {
+  if (Name == "*")
+    return true;
+  return std::find(KnownAlphabets.begin(), KnownAlphabets.end(), Name) !=
+         KnownAlphabets.end();
+}
+
+/// Per-body state: the function being analysed and the reduction
+/// variables in scope.
+struct Sema::BodyContext {
+  FunctionDecl *Function = nullptr;
+  FunctionInfo *Info = nullptr;
+  /// Reduction variables: name -> transition type.
+  std::map<std::string, Type> ReductionVars;
+  /// Depth of nested reductions, to detect reduction-scoped descent args.
+  bool SawRecursiveCall = false;
+};
+
+bool Sema::checkParams(FunctionDecl &F, FunctionInfo &Info) {
+  bool Ok = true;
+  for (unsigned I = 0; I != F.Params.size(); ++I) {
+    Param &P = F.Params[I];
+    const Type &T = P.ParamType;
+
+    // Duplicate names.
+    for (unsigned J = 0; J != I; ++J)
+      if (F.Params[J].Name == P.Name) {
+        Diags.error(P.Loc, "duplicate parameter name '" + P.Name + "'");
+        Ok = false;
+      }
+
+    if (!T.isCallingType() && !T.isRecursiveType()) {
+      Diags.error(P.Loc, "parameter '" + P.Name + "' has type " + T.str() +
+                             " which is neither a calling nor a recursive "
+                             "type (Section 3.2)");
+      Ok = false;
+      continue;
+    }
+
+    switch (T.Kind) {
+    case TypeKind::Seq:
+    case TypeKind::Matrix:
+      if (!isKnownAlphabet(T.AlphabetName)) {
+        Diags.error(P.Loc, "unknown alphabet '" + T.AlphabetName + "'");
+        Ok = false;
+      }
+      break;
+    case TypeKind::Index: {
+      // The referenced parameter must be an earlier seq parameter.
+      int Ref = -1;
+      for (unsigned J = 0; J != I; ++J)
+        if (F.Params[J].Name == T.RefParam &&
+            F.Params[J].ParamType.Kind == TypeKind::Seq)
+          Ref = static_cast<int>(J);
+      if (Ref < 0) {
+        Diags.error(P.Loc, "index parameter '" + P.Name +
+                               "' must reference a preceding seq "
+                               "parameter; '" +
+                               T.RefParam + "' is not one");
+        Ok = false;
+      }
+      break;
+    }
+    case TypeKind::State:
+    case TypeKind::Transition: {
+      int Ref = -1;
+      for (unsigned J = 0; J != I; ++J)
+        if (F.Params[J].Name == T.RefParam &&
+            F.Params[J].ParamType.Kind == TypeKind::Hmm)
+          Ref = static_cast<int>(J);
+      if (Ref < 0) {
+        Diags.error(P.Loc, "parameter '" + P.Name +
+                               "' must reference a preceding hmm "
+                               "parameter; '" +
+                               T.RefParam + "' is not one");
+        Ok = false;
+      }
+      break;
+    }
+    default:
+      break;
+    }
+
+    if (T.isRecursiveType()) {
+      Info.RecursiveParams.push_back(I);
+      DimInfo Dim;
+      Dim.ParamIndex = I;
+      Dim.Name = P.Name;
+      Dim.RefParamIndex = -1;
+      switch (T.Kind) {
+      case TypeKind::Int:
+        Dim.Kind = DimKind::IntDim;
+        break;
+      case TypeKind::Index:
+        Dim.Kind = DimKind::IndexDim;
+        break;
+      case TypeKind::State:
+        Dim.Kind = DimKind::StateDim;
+        break;
+      case TypeKind::Transition:
+        Dim.Kind = DimKind::TransitionDim;
+        break;
+      default:
+        Dim.Kind = DimKind::IntDim;
+        break;
+      }
+      for (unsigned J = 0; J != I; ++J)
+        if (F.Params[J].Name == T.RefParam)
+          Dim.RefParamIndex = static_cast<int>(J);
+      Info.Dims.push_back(std::move(Dim));
+    }
+  }
+
+  if (Info.RecursiveParams.empty()) {
+    Diags.error(F.Loc, "function '" + F.Name +
+                           "' has no recursive parameters; nothing to "
+                           "tabulate");
+    Ok = false;
+  }
+  return Ok;
+}
+
+Type Sema::joinTypes(const Type &A, const Type &B, SourceLocation Loc) {
+  if (A == B)
+    return A;
+  auto IsIntLike = [](const Type &T) {
+    return T.Kind == TypeKind::Int || T.Kind == TypeKind::Index;
+  };
+  // Index and int join to int (an index is a natural number).
+  if (IsIntLike(A) && IsIntLike(B))
+    return Type::makeInt();
+  // Numeric promotions: int < float < prob.
+  auto Rank = [&](const Type &T) -> int {
+    if (IsIntLike(T))
+      return 0;
+    if (T.Kind == TypeKind::Float)
+      return 1;
+    if (T.Kind == TypeKind::Prob)
+      return 2;
+    return -1;
+  };
+  int RA = Rank(A), RB = Rank(B);
+  if (RA >= 0 && RB >= 0)
+    return RA > RB ? A : B;
+  Diags.error(Loc, "incompatible types " + A.str() + " and " + B.str());
+  return Type();
+}
+
+Type Sema::checkExpr(Expr *E, BodyContext &Ctx) {
+  FunctionDecl &F = *Ctx.Function;
+  switch (E->getKind()) {
+  case ExprKind::IntLiteral:
+    return E->ExprType = Type::makeInt();
+  case ExprKind::FloatLiteral:
+    return E->ExprType = Type::makeFloat();
+  case ExprKind::BoolLiteral:
+    return E->ExprType = Type::makeBool();
+  case ExprKind::CharLiteral:
+    return E->ExprType = Type::makeChar("*");
+
+  case ExprKind::VarRef: {
+    auto *V = cast<VarRefExpr>(E);
+    auto It = Ctx.ReductionVars.find(V->Name);
+    if (It != Ctx.ReductionVars.end()) {
+      V->ParamIndex = -1;
+      return E->ExprType = It->second;
+    }
+    for (unsigned I = 0; I != F.Params.size(); ++I)
+      if (F.Params[I].Name == V->Name) {
+        V->ParamIndex = static_cast<int>(I);
+        return E->ExprType = F.Params[I].ParamType;
+      }
+    Diags.error(E->getLoc(), "unknown variable '" + V->Name + "'");
+    return E->ExprType = Type();
+  }
+
+  case ExprKind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    Type L = checkExpr(B->Lhs.get(), Ctx);
+    Type R = checkExpr(B->Rhs.get(), Ctx);
+    if (!L.isValid() || !R.isValid())
+      return E->ExprType = Type();
+    switch (B->Op) {
+    case BinaryOp::Lt:
+    case BinaryOp::Gt:
+    case BinaryOp::Le:
+    case BinaryOp::Ge: {
+      Type J = joinTypes(L, R, E->getLoc());
+      if (!J.isValid())
+        return E->ExprType = Type();
+      if (!J.isNumeric() && J.Kind != TypeKind::Index) {
+        Diags.error(E->getLoc(), "ordered comparison requires numeric "
+                                 "operands, got " +
+                                     J.str());
+        return E->ExprType = Type();
+      }
+      return E->ExprType = Type::makeBool();
+    }
+    case BinaryOp::Eq:
+    case BinaryOp::Ne: {
+      // Equality also covers characters (Figure 7: s[i-1] == t[j-1]).
+      bool BothChars =
+          L.Kind == TypeKind::Char && R.Kind == TypeKind::Char;
+      if (!BothChars) {
+        Type J = joinTypes(L, R, E->getLoc());
+        if (!J.isValid())
+          return E->ExprType = Type();
+      }
+      return E->ExprType = Type::makeBool();
+    }
+    case BinaryOp::Add:
+    case BinaryOp::Sub: {
+      // index +- int stays an index (used in descent expressions).
+      if (L.Kind == TypeKind::Index &&
+          (R.Kind == TypeKind::Int))
+        return E->ExprType = L;
+      if (R.Kind == TypeKind::Index && L.Kind == TypeKind::Int &&
+          B->Op == BinaryOp::Add)
+        return E->ExprType = R;
+      Type J = joinTypes(L, R, E->getLoc());
+      if (J.isValid() && !J.isNumeric() && J.Kind != TypeKind::Index) {
+        Diags.error(E->getLoc(),
+                    "arithmetic requires numeric operands, got " + J.str());
+        return E->ExprType = Type();
+      }
+      return E->ExprType = J;
+    }
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+    case BinaryOp::Min:
+    case BinaryOp::Max: {
+      Type J = joinTypes(L, R, E->getLoc());
+      if (J.isValid() && !J.isNumeric() && J.Kind != TypeKind::Index) {
+        Diags.error(E->getLoc(),
+                    "arithmetic requires numeric operands, got " + J.str());
+        return E->ExprType = Type();
+      }
+      return E->ExprType = J;
+    }
+    }
+    return E->ExprType = Type();
+  }
+
+  case ExprKind::If: {
+    auto *I = cast<IfExpr>(E);
+    Type C = checkExpr(I->Condition.get(), Ctx);
+    if (C.isValid() && C.Kind != TypeKind::Bool)
+      Diags.error(I->Condition->getLoc(),
+                  "if condition must be bool, got " + C.str());
+    Type T = checkExpr(I->ThenExpr.get(), Ctx);
+    Type F2 = checkExpr(I->ElseExpr.get(), Ctx);
+    if (!T.isValid() || !F2.isValid())
+      return E->ExprType = Type();
+    return E->ExprType = joinTypes(T, F2, E->getLoc());
+  }
+
+  case ExprKind::Call: {
+    auto *C = cast<CallExpr>(E);
+    Ctx.SawRecursiveCall = true;
+    if (C->Callee != F.Name) {
+      Diags.error(E->getLoc(),
+                  "call to '" + C->Callee +
+                      "': only single self-recursive functions are "
+                      "supported (no mutual recursion; Section 3.1)");
+      return E->ExprType = Type();
+    }
+    FunctionInfo &Info = *Ctx.Info;
+    if (C->Args.size() != Info.RecursiveParams.size()) {
+      Diags.error(E->getLoc(),
+                  "recursive call passes " +
+                      std::to_string(C->Args.size()) + " arguments; '" +
+                      F.Name + "' has " +
+                      std::to_string(Info.RecursiveParams.size()) +
+                      " recursive parameters");
+      return E->ExprType = Type();
+    }
+    for (unsigned I = 0; I != C->Args.size(); ++I) {
+      Type ArgType = checkExpr(C->Args[I].get(), Ctx);
+      const Type &Expected =
+          F.Params[Info.RecursiveParams[I]].ParamType;
+      if (!ArgType.isValid())
+        continue;
+      bool Compatible = ArgType == Expected;
+      if (!Compatible) {
+        // Int literals/expressions are acceptable where indices are
+        // expected and vice versa; state expressions where states are.
+        auto IsIntLike = [](const Type &T) {
+          return T.Kind == TypeKind::Int || T.Kind == TypeKind::Index;
+        };
+        if (IsIntLike(ArgType) && IsIntLike(Expected))
+          Compatible = true;
+        if (ArgType.Kind == TypeKind::State &&
+            Expected.Kind == TypeKind::State)
+          Compatible = true;
+      }
+      if (!Compatible)
+        Diags.error(C->Args[I]->getLoc(),
+                    "recursive argument " + std::to_string(I + 1) +
+                        " has type " + ArgType.str() + "; expected " +
+                        Expected.str());
+    }
+    return E->ExprType = F.ReturnType;
+  }
+
+  case ExprKind::SeqIndex: {
+    auto *S = cast<SeqIndexExpr>(E);
+    int SeqParam = -1;
+    for (unsigned I = 0; I != F.Params.size(); ++I)
+      if (F.Params[I].Name == S->SeqName) {
+        SeqParam = static_cast<int>(I);
+        break;
+      }
+    if (SeqParam < 0 ||
+        F.Params[SeqParam].ParamType.Kind != TypeKind::Seq) {
+      Diags.error(E->getLoc(),
+                  "'" + S->SeqName + "' is not a sequence parameter");
+      return E->ExprType = Type();
+    }
+    S->SeqParamIndex = SeqParam;
+    Type IndexType = checkExpr(S->Index.get(), Ctx);
+    if (IndexType.isValid() && IndexType.Kind != TypeKind::Int &&
+        IndexType.Kind != TypeKind::Index)
+      Diags.error(S->Index->getLoc(),
+                  "sequence index must be an integer, got " +
+                      IndexType.str());
+    return E->ExprType =
+               Type::makeChar(F.Params[SeqParam].ParamType.AlphabetName);
+  }
+
+  case ExprKind::MatrixIndex: {
+    auto *M = cast<MatrixIndexExpr>(E);
+    int MatrixParam = -1;
+    for (unsigned I = 0; I != F.Params.size(); ++I)
+      if (F.Params[I].Name == M->MatrixName) {
+        MatrixParam = static_cast<int>(I);
+        break;
+      }
+    if (MatrixParam < 0 ||
+        F.Params[MatrixParam].ParamType.Kind != TypeKind::Matrix) {
+      Diags.error(E->getLoc(),
+                  "'" + M->MatrixName + "' is not a matrix parameter");
+      return E->ExprType = Type();
+    }
+    M->MatrixParamIndex = MatrixParam;
+    Type RowType = checkExpr(M->Row.get(), Ctx);
+    Type ColType = checkExpr(M->Col.get(), Ctx);
+    for (const Type *T : {&RowType, &ColType})
+      if (T->isValid() && T->Kind != TypeKind::Char)
+        Diags.error(E->getLoc(), "matrix lookups take characters, got " +
+                                     T->str());
+    return E->ExprType = Type::makeInt();
+  }
+
+  case ExprKind::Member: {
+    auto *M = cast<MemberExpr>(E);
+    Type BaseType = checkExpr(M->Base.get(), Ctx);
+    if (!BaseType.isValid())
+      return E->ExprType = Type();
+    switch (M->Member) {
+    case MemberKind::Start:
+    case MemberKind::End:
+      if (BaseType.Kind != TypeKind::Transition) {
+        Diags.error(E->getLoc(), ".start/.end require a transition, got " +
+                                     BaseType.str());
+        return E->ExprType = Type();
+      }
+      return E->ExprType = Type::makeState(BaseType.RefParam);
+    case MemberKind::Prob:
+      if (BaseType.Kind != TypeKind::Transition) {
+        Diags.error(E->getLoc(),
+                    ".prob requires a transition, got " + BaseType.str());
+        return E->ExprType = Type();
+      }
+      return E->ExprType = Type::makeProb();
+    case MemberKind::IsStart:
+    case MemberKind::IsEnd:
+      if (BaseType.Kind != TypeKind::State) {
+        Diags.error(E->getLoc(),
+                    ".isstart/.isend require a state, got " +
+                        BaseType.str());
+        return E->ExprType = Type();
+      }
+      return E->ExprType = Type::makeBool();
+    case MemberKind::Emission: {
+      if (BaseType.Kind != TypeKind::State) {
+        Diags.error(E->getLoc(),
+                    ".emission requires a state, got " + BaseType.str());
+        return E->ExprType = Type();
+      }
+      Type ArgType = checkExpr(M->Arg.get(), Ctx);
+      if (ArgType.isValid() && ArgType.Kind != TypeKind::Char)
+        Diags.error(M->Arg->getLoc(),
+                    "emission lookups take a character, got " +
+                        ArgType.str());
+      return E->ExprType = Type::makeProb();
+    }
+    case MemberKind::TransitionsTo:
+    case MemberKind::TransitionsFrom:
+      if (BaseType.Kind != TypeKind::State) {
+        Diags.error(E->getLoc(),
+                    ".transitionsto/.transitionsfrom require a state, "
+                    "got " +
+                        BaseType.str());
+        return E->ExprType = Type();
+      }
+      return E->ExprType = Type::makeTransitionSet(BaseType.RefParam);
+    }
+    return E->ExprType = Type();
+  }
+
+  case ExprKind::Reduction: {
+    auto *R = cast<ReductionExpr>(E);
+    Type DomainType = checkExpr(R->Domain.get(), Ctx);
+    if (DomainType.isValid() &&
+        DomainType.Kind != TypeKind::TransitionSet) {
+      Diags.error(R->Domain->getLoc(),
+                  "reductions iterate over transition sets, got " +
+                      DomainType.str());
+      return E->ExprType = Type();
+    }
+    if (Ctx.ReductionVars.count(R->VarName)) {
+      Diags.error(E->getLoc(),
+                  "reduction variable '" + R->VarName + "' shadows an "
+                  "enclosing reduction variable");
+      return E->ExprType = Type();
+    }
+    Ctx.ReductionVars.emplace(R->VarName,
+                              Type::makeTransition(DomainType.RefParam));
+    Type BodyType = checkExpr(R->Body.get(), Ctx);
+    Ctx.ReductionVars.erase(R->VarName);
+    if (BodyType.isValid() && !BodyType.isNumeric()) {
+      Diags.error(R->Body->getLoc(),
+                  "reduction body must be numeric, got " + BodyType.str());
+      return E->ExprType = Type();
+    }
+    return E->ExprType = BodyType;
+  }
+  }
+  return E->ExprType = Type();
+}
+
+std::optional<AffineExpr>
+Sema::extractAffinePart(const Expr *E, const FunctionInfo &Info) {
+  unsigned N = Info.numDims();
+  switch (E->getKind()) {
+  case ExprKind::IntLiteral:
+    return AffineExpr::constant(N, cast<IntLiteralExpr>(E)->Value);
+  case ExprKind::VarRef: {
+    const auto *V = cast<VarRefExpr>(E);
+    if (V->ParamIndex < 0)
+      return std::nullopt; // Reduction variable: not affine in the dims.
+    int Dim = Info.dimOfParam(static_cast<unsigned>(V->ParamIndex));
+    if (Dim < 0)
+      return std::nullopt; // A calling parameter, not a recursion dim.
+    return AffineExpr::dim(N, static_cast<unsigned>(Dim));
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    std::optional<AffineExpr> L = extractAffinePart(B->Lhs.get(), Info);
+    std::optional<AffineExpr> R = extractAffinePart(B->Rhs.get(), Info);
+    if (!L || !R)
+      return std::nullopt;
+    switch (B->Op) {
+    case BinaryOp::Add:
+      return *L + *R;
+    case BinaryOp::Sub:
+      return *L - *R;
+    case BinaryOp::Mul:
+      if (L->isConstant())
+        return *R * L->constantTerm();
+      if (R->isConstant())
+        return *L * R->constantTerm();
+      return std::nullopt;
+    default:
+      return std::nullopt;
+    }
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+std::optional<Sema::DescentComponent>
+Sema::extractDescent(const Expr *E, const FunctionInfo &Info,
+                     const BodyContext &Ctx, unsigned TargetDim) {
+  // A state argument produced from a reduction variable's transition
+  // (t.start / t.end) ranges over every state: a free dimension
+  // (Section 5.2's analysis of the forward algorithm).
+  if (const auto *M = dyn_cast<MemberExpr>(E)) {
+    if (M->Member == MemberKind::Start || M->Member == MemberKind::End) {
+      DescentComponent C;
+      C.Free = true;
+      C.Affine = AffineExpr::dim(Info.numDims(), TargetDim);
+      return C;
+    }
+  }
+  std::optional<AffineExpr> Affine = extractAffinePart(E, Info);
+  if (!Affine)
+    return std::nullopt;
+  DescentComponent C;
+  C.Affine = std::move(*Affine);
+  return C;
+}
+
+std::optional<FunctionInfo> Sema::analyze(FunctionDecl &F) {
+  FunctionInfo Info;
+  Info.Decl = &F;
+
+  switch (F.ReturnType.Kind) {
+  case TypeKind::Int:
+  case TypeKind::Float:
+  case TypeKind::Prob:
+  case TypeKind::Bool:
+    break;
+  default:
+    Diags.error(F.Loc, "function '" + F.Name + "' must return int, "
+                       "float, prob or bool; got " +
+                           F.ReturnType.str());
+    return std::nullopt;
+  }
+
+  if (!checkParams(F, Info))
+    return std::nullopt;
+
+  BodyContext Ctx;
+  Ctx.Function = &F;
+  Ctx.Info = &Info;
+  Type BodyType = checkExpr(F.Body.get(), Ctx);
+  if (Diags.hasErrors())
+    return std::nullopt;
+  if (BodyType.isValid()) {
+    Type J = joinTypes(BodyType, F.ReturnType, F.Loc);
+    if (!J.isValid())
+      return std::nullopt;
+  }
+
+  // Collect the descent functions of every recursive call (Section 4.4:
+  // no branch analysis — every call site contributes dependencies).
+  Info.Recurrence.Name = F.Name;
+  for (const DimInfo &Dim : Info.Dims)
+    Info.Recurrence.DimNames.push_back(Dim.Name);
+
+  bool DescentsOk = true;
+  std::vector<const CallExpr *> Calls;
+  // Walk the body collecting calls.
+  std::vector<const Expr *> Stack = {F.Body.get()};
+  while (!Stack.empty()) {
+    const Expr *E = Stack.back();
+    Stack.pop_back();
+    switch (E->getKind()) {
+    case ExprKind::Call:
+      Calls.push_back(cast<CallExpr>(E));
+      for (const ExprPtr &A : cast<CallExpr>(E)->Args)
+        Stack.push_back(A.get());
+      break;
+    case ExprKind::Binary:
+      Stack.push_back(cast<BinaryExpr>(E)->Lhs.get());
+      Stack.push_back(cast<BinaryExpr>(E)->Rhs.get());
+      break;
+    case ExprKind::If:
+      Stack.push_back(cast<IfExpr>(E)->Condition.get());
+      Stack.push_back(cast<IfExpr>(E)->ThenExpr.get());
+      Stack.push_back(cast<IfExpr>(E)->ElseExpr.get());
+      break;
+    case ExprKind::SeqIndex:
+      Stack.push_back(cast<SeqIndexExpr>(E)->Index.get());
+      break;
+    case ExprKind::MatrixIndex:
+      Stack.push_back(cast<MatrixIndexExpr>(E)->Row.get());
+      Stack.push_back(cast<MatrixIndexExpr>(E)->Col.get());
+      break;
+    case ExprKind::Member:
+      Stack.push_back(cast<MemberExpr>(E)->Base.get());
+      if (cast<MemberExpr>(E)->Arg)
+        Stack.push_back(cast<MemberExpr>(E)->Arg.get());
+      break;
+    case ExprKind::Reduction:
+      Stack.push_back(cast<ReductionExpr>(E)->Domain.get());
+      Stack.push_back(cast<ReductionExpr>(E)->Body.get());
+      break;
+    default:
+      break;
+    }
+  }
+  // Restore source order (the stack walk reverses it) for stable output.
+  std::reverse(Calls.begin(), Calls.end());
+
+  for (const CallExpr *Call : Calls) {
+    if (Call->Args.size() != Info.Dims.size())
+      continue; // Already diagnosed during type checking.
+    solver::DescentFunction Descent;
+    Descent.Components.resize(Info.Dims.size());
+    Descent.FreeDims.assign(Info.Dims.size(), false);
+    for (unsigned I = 0; I != Call->Args.size(); ++I) {
+      std::optional<DescentComponent> C =
+          extractDescent(Call->Args[I].get(), Info, Ctx, I);
+      if (!C) {
+        Diags.error(Call->Args[I]->getLoc(),
+                    "recursive argument '" + Call->Args[I]->str() +
+                        "' is not an affine function of the recursive "
+                        "parameters (Section 3.1 restriction)");
+        DescentsOk = false;
+        break;
+      }
+      Descent.Components[I] = std::move(C->Affine);
+      Descent.FreeDims[I] = C->Free;
+    }
+    if (DescentsOk)
+      Info.Recurrence.Calls.push_back(std::move(Descent));
+  }
+  if (!DescentsOk)
+    return std::nullopt;
+
+  F.RecursiveParams = Info.RecursiveParams;
+  return Info;
+}

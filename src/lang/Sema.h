@@ -1,0 +1,108 @@
+//===- Sema.h - Semantic analysis of DSL functions ----------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis: type checking over the Section 3.2 type system,
+/// enforcement of the calling/recursive parameter classifications, the
+/// single-recursion restriction, and extraction of the affine descent
+/// functions that feed the schedule synthesiser (Section 4.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_LANG_SEMA_H
+#define PARREC_LANG_SEMA_H
+
+#include "lang/AST.h"
+#include "solver/Recurrence.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parrec {
+namespace lang {
+
+/// What a recursion dimension ranges over; determines how the runtime
+/// sizes the domain box.
+enum class DimKind {
+  IntDim,        // [0, initial value].
+  IndexDim,      // [0, length of the referenced sequence].
+  StateDim,      // [0, number of HMM states - 1].
+  TransitionDim, // [0, number of HMM transitions - 1].
+};
+
+/// One recursion dimension: the parameter it comes from and, for
+/// index/state/transition dimensions, the calling parameter (sequence or
+/// HMM) whose size bounds it.
+struct DimInfo {
+  DimKind Kind;
+  unsigned ParamIndex;  // The recursive parameter.
+  int RefParamIndex;    // Sequence/HMM parameter, or -1 for IntDim.
+  std::string Name;     // Parameter name, used in diagnostics and output.
+};
+
+/// The result of analysing one function: annotated AST plus everything
+/// the schedule synthesiser and the runtime need.
+struct FunctionInfo {
+  const FunctionDecl *Decl = nullptr;
+
+  /// Indices of the recursive parameters in declaration order — the
+  /// recursion's dimensions.
+  std::vector<unsigned> RecursiveParams;
+  std::vector<DimInfo> Dims;
+
+  /// The analysis view consumed by solver::buildCriteria and friends.
+  solver::RecurrenceSpec Recurrence;
+
+  unsigned numDims() const {
+    return static_cast<unsigned>(Dims.size());
+  }
+
+  /// Maps a recursive parameter index to its dimension number, or -1.
+  int dimOfParam(unsigned ParamIndex) const;
+};
+
+/// Performs semantic analysis of function declarations.
+class Sema {
+public:
+  /// \p KnownAlphabets lists alphabet names usable in seq/char/matrix
+  /// types (builtins plus script-declared ones).
+  Sema(DiagnosticEngine &Diags, std::vector<std::string> KnownAlphabets);
+
+  /// Analyses \p F, annotating expression types in place. Returns the
+  /// function summary, or nullopt after reporting errors.
+  std::optional<FunctionInfo> analyze(FunctionDecl &F);
+
+private:
+  DiagnosticEngine &Diags;
+  std::vector<std::string> KnownAlphabets;
+
+  bool isKnownAlphabet(const std::string &Name) const;
+  bool checkParams(FunctionDecl &F, FunctionInfo &Info);
+
+  struct BodyContext;
+  Type checkExpr(Expr *E, BodyContext &Ctx);
+  Type joinTypes(const Type &A, const Type &B, SourceLocation Loc);
+
+  /// Extracts an affine descent component over the recursion dimensions,
+  /// or marks the dimension free (HMM reductions), or fails.
+  struct DescentComponent {
+    poly::AffineExpr Affine;
+    bool Free = false;
+  };
+  std::optional<DescentComponent>
+  extractDescent(const Expr *E, const FunctionInfo &Info,
+                 const BodyContext &Ctx, unsigned TargetDim);
+  std::optional<poly::AffineExpr>
+  extractAffinePart(const Expr *E, const FunctionInfo &Info);
+};
+
+} // namespace lang
+} // namespace parrec
+
+#endif // PARREC_LANG_SEMA_H

@@ -1,0 +1,106 @@
+//===- Token.h - Lexical tokens of the DSL ------------------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for the host language of Figure 6 plus the statement layer
+/// (Section 3) and the domain extensions of Section 5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_LANG_TOKEN_H
+#define PARREC_LANG_TOKEN_H
+
+#include "support/SourceLocation.h"
+
+#include <cstdint>
+#include <string>
+
+namespace parrec {
+namespace lang {
+
+enum class TokenKind {
+  EndOfFile,
+  Error,
+
+  Identifier,
+  IntegerLiteral,
+  FloatLiteral,
+  StringLiteral,
+  CharLiteral,
+
+  // Keywords.
+  KwIf,
+  KwThen,
+  KwElse,
+  KwMin,
+  KwMax,
+  KwSum,
+  KwIn,
+  KwInt,
+  KwFloat,
+  KwProb,
+  KwBool,
+  KwChar,
+  KwSeq,
+  KwIndex,
+  KwMatrix,
+  KwHmm,
+  KwState,
+  KwTransition,
+  KwAlphabet,
+  KwPrint,
+  KwMap,
+  KwLoad,
+  KwTrue,
+  KwFalse,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Comma,
+  Colon,
+  Semicolon,
+  Dot,
+  Star,
+  Plus,
+  Minus,
+  Slash,
+  Assign,     // =
+  EqualEqual, // ==
+  NotEqual,   // !=
+  Less,
+  Greater,
+  LessEqual,
+  GreaterEqual,
+  Arrow, // ->
+};
+
+/// Returns a human-readable name for \p Kind ("'if'", "identifier", ...).
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. Literal payloads are stored in the fields matching
+/// the kind; Text always holds the source spelling.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  SourceLocation Loc;
+  std::string Text;
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+  char CharValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isNot(TokenKind K) const { return Kind != K; }
+};
+
+} // namespace lang
+} // namespace parrec
+
+#endif // PARREC_LANG_TOKEN_H

@@ -1,0 +1,150 @@
+//===- Type.h - The DSL type system -------------------------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simple type system of Section 3.2: integers, characters,
+/// sequences, indices on sequences, floats, probabilities, booleans and
+/// alphabets, plus the Section 5 extension types (substitution matrices,
+/// HMMs, states and transitions). Each type is classified as *calling*
+/// (instantiated once per problem, constant over a recursion) and/or
+/// *recursive* (varies at every recursive call) — the classification is
+/// baked into the compiler exactly as the paper describes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_LANG_TYPE_H
+#define PARREC_LANG_TYPE_H
+
+#include <string>
+
+namespace parrec {
+namespace lang {
+
+enum class TypeKind {
+  Invalid,
+  Int,      // Calling and recursive (the initial value bounds the domain).
+  Float,    // Calling only.
+  Prob,     // Calling only; computed in log space by the backend.
+  Bool,
+  Char,       // Value type of s[i]; tied to an alphabet.
+  Seq,        // Calling: immutable character sequence over an alphabet.
+  Index,      // Recursive: index into a named sequence parameter.
+  Alphabet,   // Compile-time character set.
+  Matrix,     // Calling: substitution matrix (Section 5.1).
+  Hmm,        // Calling: Hidden Markov Model (Section 5.2).
+  State,      // Recursive: state of a named HMM parameter.
+  Transition, // Recursive: transition of a named HMM parameter.
+  TransitionSet, // Value of s.transitionsto / s.transitionsfrom.
+};
+
+/// A resolved DSL type. Value semantics; small enough to copy freely.
+struct Type {
+  TypeKind Kind = TypeKind::Invalid;
+
+  /// For Seq/Char/Matrix: the alphabet name ("*" accepts any alphabet).
+  std::string AlphabetName;
+
+  /// For Index: the sequence parameter indexed. For State/Transition/
+  /// TransitionSet: the HMM parameter they belong to.
+  std::string RefParam;
+
+  Type() = default;
+  explicit Type(TypeKind Kind) : Kind(Kind) {}
+
+  static Type makeInt() { return Type(TypeKind::Int); }
+  static Type makeFloat() { return Type(TypeKind::Float); }
+  static Type makeProb() { return Type(TypeKind::Prob); }
+  static Type makeBool() { return Type(TypeKind::Bool); }
+  static Type makeChar(std::string Alphabet) {
+    Type T(TypeKind::Char);
+    T.AlphabetName = std::move(Alphabet);
+    return T;
+  }
+  static Type makeSeq(std::string Alphabet) {
+    Type T(TypeKind::Seq);
+    T.AlphabetName = std::move(Alphabet);
+    return T;
+  }
+  static Type makeIndex(std::string SeqParam) {
+    Type T(TypeKind::Index);
+    T.RefParam = std::move(SeqParam);
+    return T;
+  }
+  static Type makeMatrix(std::string Alphabet) {
+    Type T(TypeKind::Matrix);
+    T.AlphabetName = std::move(Alphabet);
+    return T;
+  }
+  static Type makeHmm() { return Type(TypeKind::Hmm); }
+  static Type makeState(std::string HmmParam) {
+    Type T(TypeKind::State);
+    T.RefParam = std::move(HmmParam);
+    return T;
+  }
+  static Type makeTransition(std::string HmmParam) {
+    Type T(TypeKind::Transition);
+    T.RefParam = std::move(HmmParam);
+    return T;
+  }
+  static Type makeTransitionSet(std::string HmmParam) {
+    Type T(TypeKind::TransitionSet);
+    T.RefParam = std::move(HmmParam);
+    return T;
+  }
+
+  bool isValid() const { return Kind != TypeKind::Invalid; }
+
+  /// Calling types must be instantiated before a run and stay constant
+  /// over it (Section 3.2).
+  bool isCallingType() const {
+    switch (Kind) {
+    case TypeKind::Int:
+    case TypeKind::Float:
+    case TypeKind::Prob:
+    case TypeKind::Seq:
+    case TypeKind::Matrix:
+    case TypeKind::Hmm:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// Recursive types vary at each recursion and must map to the natural
+  /// numbers so the analysis can treat them as integers (Section 3.2).
+  bool isRecursiveType() const {
+    switch (Kind) {
+    case TypeKind::Int:
+    case TypeKind::Index:
+    case TypeKind::State:
+    case TypeKind::Transition:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// True when values of this type are numbers the arithmetic operators
+  /// accept.
+  bool isNumeric() const {
+    return Kind == TypeKind::Int || Kind == TypeKind::Float ||
+           Kind == TypeKind::Prob;
+  }
+
+  std::string str() const;
+
+  friend bool operator==(const Type &A, const Type &B) {
+    return A.Kind == B.Kind && A.AlphabetName == B.AlphabetName &&
+           A.RefParam == B.RefParam;
+  }
+  friend bool operator!=(const Type &A, const Type &B) { return !(A == B); }
+};
+
+} // namespace lang
+} // namespace parrec
+
+#endif // PARREC_LANG_TYPE_H

@@ -1,0 +1,157 @@
+//===- AffineExpr.cpp - Integer affine expressions -------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/AffineExpr.h"
+
+#include "support/StringUtils.h"
+
+using namespace parrec;
+using namespace parrec::poly;
+
+bool AffineExpr::isConstant() const {
+  for (int64_t C : Coefficients)
+    if (C != 0)
+      return false;
+  return true;
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr &Other) const {
+  AffineExpr Result = *this;
+  Result += Other;
+  return Result;
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr &Other) const {
+  AffineExpr Result = *this;
+  Result -= Other;
+  return Result;
+}
+
+AffineExpr AffineExpr::operator*(int64_t Scale) const {
+  AffineExpr Result = *this;
+  for (int64_t &C : Result.Coefficients)
+    C *= Scale;
+  Result.Constant *= Scale;
+  return Result;
+}
+
+AffineExpr &AffineExpr::operator+=(const AffineExpr &Other) {
+  assert(numDims() == Other.numDims() && "dimension mismatch");
+  for (unsigned I = 0, E = numDims(); I != E; ++I)
+    Coefficients[I] += Other.Coefficients[I];
+  Constant += Other.Constant;
+  return *this;
+}
+
+AffineExpr &AffineExpr::operator-=(const AffineExpr &Other) {
+  assert(numDims() == Other.numDims() && "dimension mismatch");
+  for (unsigned I = 0, E = numDims(); I != E; ++I)
+    Coefficients[I] -= Other.Coefficients[I];
+  Constant -= Other.Constant;
+  return *this;
+}
+
+int64_t AffineExpr::evaluate(const std::vector<int64_t> &Values) const {
+  return evaluate(Values.data(), Values.size());
+}
+
+int64_t AffineExpr::evaluate(const int64_t *Values, size_t Count) const {
+  assert(Count >= numDims() && "too few values for evaluation");
+  (void)Count;
+  int64_t Sum = Constant;
+  for (unsigned I = 0, E = numDims(); I != E; ++I)
+    Sum += Coefficients[I] * Values[I];
+  return Sum;
+}
+
+AffineExpr AffineExpr::insertDims(unsigned At, unsigned Extra) const {
+  assert(At <= numDims() && "insertion point out of range");
+  AffineExpr Result;
+  Result.Coefficients.reserve(numDims() + Extra);
+  Result.Coefficients.assign(Coefficients.begin(), Coefficients.begin() + At);
+  Result.Coefficients.insert(Result.Coefficients.end(), Extra, 0);
+  Result.Coefficients.insert(Result.Coefficients.end(),
+                             Coefficients.begin() + At, Coefficients.end());
+  Result.Constant = Constant;
+  return Result;
+}
+
+AffineExpr AffineExpr::removeDim(unsigned Dim) const {
+  assert(Dim < numDims() && "dimension out of range");
+  assert(Coefficients[Dim] == 0 && "removing a used dimension");
+  AffineExpr Result;
+  Result.Coefficients = Coefficients;
+  Result.Coefficients.erase(Result.Coefficients.begin() + Dim);
+  Result.Constant = Constant;
+  return Result;
+}
+
+AffineExpr AffineExpr::substitute(unsigned Dim,
+                                  const AffineExpr &Replacement) const {
+  assert(Replacement.numDims() == numDims() && "dimension mismatch");
+  assert(Replacement.coefficient(Dim) == 0 &&
+         "replacement must not mention the substituted dimension");
+  AffineExpr Result = *this;
+  int64_t Coefficient = Result.Coefficients[Dim];
+  Result.Coefficients[Dim] = 0;
+  Result += Replacement * Coefficient;
+  return Result;
+}
+
+std::string AffineExpr::str(const std::vector<std::string> &DimNames) const {
+  std::string Out;
+  bool First = true;
+  for (unsigned I = 0, E = numDims(); I != E; ++I) {
+    std::string Fallback;
+    std::string_view Name;
+    if (I < DimNames.size()) {
+      Name = DimNames[I];
+    } else {
+      Fallback = "x" + std::to_string(I);
+      Name = Fallback;
+    }
+    appendAffineTerm(Out, Coefficients[I], Name, First);
+  }
+  if (First)
+    return std::to_string(Constant);
+  if (Constant > 0)
+    Out += " + " + std::to_string(Constant);
+  else if (Constant < 0)
+    Out += " - " + std::to_string(-Constant);
+  return Out;
+}
+
+std::string AffineExpr::str() const { return str({}); }
+
+int64_t parrec::poly::gcd64(int64_t A, int64_t B) {
+  if (A < 0)
+    A = -A;
+  if (B < 0)
+    B = -B;
+  while (B != 0) {
+    int64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+int64_t parrec::poly::ceilDiv(int64_t Numerator, int64_t Denominator) {
+  assert(Denominator > 0 && "ceilDiv requires a positive denominator");
+  int64_t Quotient = Numerator / Denominator;
+  if (Numerator % Denominator != 0 && Numerator > 0)
+    ++Quotient;
+  return Quotient;
+}
+
+int64_t parrec::poly::floorDiv(int64_t Numerator, int64_t Denominator) {
+  assert(Denominator > 0 && "floorDiv requires a positive denominator");
+  int64_t Quotient = Numerator / Denominator;
+  if (Numerator % Denominator != 0 && Numerator < 0)
+    --Quotient;
+  return Quotient;
+}

@@ -1,0 +1,177 @@
+//===- CPrinter.cpp - C-source rendering of generated loops ----------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/CPrinter.h"
+
+using namespace parrec;
+using namespace parrec::poly;
+
+namespace {
+
+std::string boundToString(const LoopBound &Bound,
+                          const std::vector<std::string> &Names,
+                          bool IsLower) {
+  std::string Expr = Bound.Numerator.str(Names);
+  if (Bound.Divisor == 1)
+    return Expr;
+  return std::string(IsLower ? "ceild(" : "floord(") + Expr + "," +
+         std::to_string(Bound.Divisor) + ")";
+}
+
+std::string boundListToString(const std::vector<LoopBound> &Bounds,
+                              const std::vector<std::string> &Names,
+                              bool IsLower) {
+  assert(!Bounds.empty() && "loop must be bounded");
+  if (Bounds.size() == 1)
+    return boundToString(Bounds[0], Names, IsLower);
+  std::string Out = IsLower ? "max(" : "min(";
+  for (size_t I = 0; I != Bounds.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += boundToString(Bounds[I], Names, IsLower);
+  }
+  Out += ")";
+  return Out;
+}
+
+std::string levelValueToString(const LoopLevel &Level,
+                               const std::vector<std::string> &Names) {
+  if (!Level.isFixed())
+    return Level.Name;
+  std::string Expr = Level.FixedNumerator->str(Names);
+  if (Level.FixedDivisor == 1)
+    return Expr;
+  return "(" + Expr + ")/" + std::to_string(Level.FixedDivisor);
+}
+
+void indent(std::string &Out, unsigned Depth) {
+  Out.append(2 * Depth, ' ');
+}
+
+std::string statementArgs(const LoopNest &Nest) {
+  std::string Args;
+  for (unsigned L = 1; L < Nest.Levels.size(); ++L) {
+    if (L > 1)
+      Args += ",";
+    std::string V = levelValueToString(Nest.Levels[L], Nest.NestDimNames);
+    // Parenthesise compound expressions for readability, matching the
+    // paper's "S1(i,p-i)" output style for simple ones.
+    Args += V;
+  }
+  return Args;
+}
+
+} // namespace
+
+std::string poly::printSequentialLoops(const LoopNest &Nest,
+                                       const std::string &StatementName) {
+  std::string Out;
+  unsigned Depth = 0;
+  const std::vector<std::string> &Names = Nest.NestDimNames;
+  std::vector<unsigned> OpenLoops;
+
+  for (unsigned L = 0; L < Nest.Levels.size(); ++L) {
+    const LoopLevel &Level = Nest.Levels[L];
+    if (Level.isFixed())
+      continue; // Fixed levels appear only inside the statement arguments.
+    indent(Out, Depth);
+    Out += "for (" + Level.Name + "=" +
+           boundListToString(Level.Lower, Names, /*IsLower=*/true) + ";" +
+           Level.Name + "<=" +
+           boundListToString(Level.Upper, Names, /*IsLower=*/false) + ";" +
+           Level.Name + "++) {\n";
+    ++Depth;
+    OpenLoops.push_back(L);
+  }
+
+  indent(Out, Depth);
+  Out += StatementName + "(" + statementArgs(Nest) + ");\n";
+
+  while (!OpenLoops.empty()) {
+    --Depth;
+    indent(Out, Depth);
+    Out += "}\n";
+    OpenLoops.pop_back();
+  }
+  return Out;
+}
+
+std::string poly::printParallelLoops(const LoopNest &Nest,
+                                     const std::string &FunctionName,
+                                     const std::string &ArrayName,
+                                     const std::string &ThreadVarName,
+                                     const std::string &ThreadCountName) {
+  std::string Out;
+  const std::vector<std::string> &Names = Nest.NestDimNames;
+  std::optional<unsigned> Striped = Nest.threadedLevel();
+
+  Out += "parfor threads " + ThreadVarName + " in 0.." + ThreadCountName +
+         " {\n";
+  unsigned Depth = 1;
+
+  // Time loop.
+  const LoopLevel &Time = Nest.Levels[0];
+  indent(Out, Depth);
+  Out += "for (" + Time.Name + "=" +
+         boundListToString(Time.Lower, Names, true) + ";" + Time.Name +
+         "<=" + boundListToString(Time.Upper, Names, false) + ";" +
+         Time.Name + "++) {\n";
+  ++Depth;
+
+  std::vector<unsigned> OpenLoops;
+  for (unsigned L = 1; L < Nest.Levels.size(); ++L) {
+    const LoopLevel &Level = Nest.Levels[L];
+    if (Level.isFixed())
+      continue;
+    bool IsStriped = Striped && L == *Striped;
+    indent(Out, Depth);
+    std::string Lower = boundListToString(Level.Lower, Names, true);
+    if (IsStriped)
+      Lower = ThreadVarName + "+" + Lower;
+    std::string Step =
+        IsStriped ? Level.Name + "+=" + ThreadCountName : Level.Name + "++";
+    Out += "for (" + Level.Name + "=" + Lower + ";" + Level.Name + "<=" +
+           boundListToString(Level.Upper, Names, false) + ";" + Step +
+           ") {\n";
+    ++Depth;
+    OpenLoops.push_back(L);
+  }
+
+  // Statement: recover the original recursion coordinates and tabulate.
+  std::string Coords;
+  std::string Values;
+  for (unsigned L = 1; L < Nest.Levels.size(); ++L) {
+    if (L > 1) {
+      Coords += ",";
+      Values += ", ";
+    }
+    Coords += "x" + std::to_string(L - 1);
+    std::string V = levelValueToString(Nest.Levels[L], Names);
+    if (Nest.Levels[L].isFixed())
+      V = "(" + V + ")";
+    Values += V;
+  }
+  indent(Out, Depth);
+  Out += Coords + " = " + Values + ";\n";
+  indent(Out, Depth);
+  Out += ArrayName + "[" + Coords + "] = " + FunctionName + "(" + Coords +
+         ");\n";
+
+  while (!OpenLoops.empty()) {
+    --Depth;
+    indent(Out, Depth);
+    Out += "}\n";
+    OpenLoops.pop_back();
+  }
+  indent(Out, Depth);
+  Out += "sync\n";
+  --Depth;
+  indent(Out, Depth);
+  Out += "}\n";
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,49 @@
+//===- CPrinter.h - C-source rendering of generated loops ---------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty-prints generated loop nests in the style of the paper: the
+/// CLooG-like sequential form of Figure 9 and the thread-partitioned
+/// "parfor" form of Figure 10.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_POLY_CPRINTER_H
+#define PARREC_POLY_CPRINTER_H
+
+#include "poly/LoopGen.h"
+
+#include <string>
+
+namespace parrec {
+namespace poly {
+
+/// Renders the sequential scan of \p Nest with a statement macro named
+/// \p StatementName — the form CLooG emits (Figure 9):
+/// \code
+///   for (p=0;p<=m+n;p++) {
+///     for (i=max(0,p-m);i<=min(n,p);i++) {
+///       S1(i,p-i);
+///     }
+///   }
+/// \endcode
+std::string printSequentialLoops(const LoopNest &Nest,
+                                 const std::string &StatementName = "S1");
+
+/// Renders the thread-partitioned conversion of Figure 10: the outermost
+/// space loop is striped across \p ThreadCountName threads, elements are
+/// stored into \p ArrayName, and a sync closes each partition.
+std::string printParallelLoops(const LoopNest &Nest,
+                               const std::string &FunctionName = "f",
+                               const std::string &ArrayName = "farr",
+                               const std::string &ThreadVarName = "t",
+                               const std::string &ThreadCountName = "tn");
+
+} // namespace poly
+} // namespace parrec
+
+#endif // PARREC_POLY_CPRINTER_H

@@ -1,0 +1,241 @@
+//===- LoopGen.cpp - Polyhedral loop-nest generation -----------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/LoopGen.h"
+
+using namespace parrec;
+using namespace parrec::poly;
+
+std::optional<unsigned> LoopNest::threadedLevel() const {
+  for (unsigned L = 1; L < Levels.size(); ++L)
+    if (!Levels[L].isFixed())
+      return L;
+  return std::nullopt;
+}
+
+namespace {
+
+/// Evaluates the max of the ceil-divided lower bounds at \p Env; nullopt
+/// when there is no lower bound (unbounded).
+std::optional<int64_t> evalLower(const LoopLevel &Level,
+                                 const std::vector<int64_t> &Env) {
+  std::optional<int64_t> Best;
+  for (const LoopBound &B : Level.Lower) {
+    int64_t V = ceilDiv(B.Numerator.evaluate(Env), B.Divisor);
+    if (!Best || V > *Best)
+      Best = V;
+  }
+  return Best;
+}
+
+std::optional<int64_t> evalUpper(const LoopLevel &Level,
+                                 const std::vector<int64_t> &Env) {
+  std::optional<int64_t> Best;
+  for (const LoopBound &B : Level.Upper) {
+    int64_t V = floorDiv(B.Numerator.evaluate(Env), B.Divisor);
+    if (!Best || V < *Best)
+      Best = V;
+  }
+  return Best;
+}
+
+} // namespace
+
+std::optional<std::pair<int64_t, int64_t>>
+LoopNest::timeRange(const std::vector<int64_t> &ParamValues) const {
+  assert(ParamValues.size() == NumParams && "wrong parameter count");
+  std::vector<int64_t> Env(NestDimNames.size(), 0);
+  for (unsigned I = 0; I != NumParams; ++I)
+    Env[I] = ParamValues[I];
+
+  const LoopLevel &Time = Levels[0];
+  if (Time.isFixed()) {
+    int64_t Num = Time.FixedNumerator->evaluate(Env);
+    if (Num % Time.FixedDivisor != 0)
+      return std::nullopt;
+    int64_t V = Num / Time.FixedDivisor;
+    return std::make_pair(V, V);
+  }
+  std::optional<int64_t> Lo = evalLower(Time, Env);
+  std::optional<int64_t> Hi = evalUpper(Time, Env);
+  if (!Lo || !Hi || *Lo > *Hi)
+    return std::nullopt;
+  return std::make_pair(*Lo, *Hi);
+}
+
+void LoopNest::walk(std::vector<int64_t> &Env, unsigned Level,
+                    std::optional<unsigned> StripedLevel, unsigned ThreadId,
+                    unsigned NumThreads,
+                    const std::function<void(const int64_t *)> &Body) const {
+  if (Level == Levels.size()) {
+    Body(Env.data() + NumParams + 1); // x values follow params and t.
+    return;
+  }
+  const LoopLevel &L = Levels[Level];
+  unsigned EnvIndex = NumParams + Level;
+  if (L.isFixed()) {
+    int64_t Num = L.FixedNumerator->evaluate(Env);
+    if (Num % L.FixedDivisor != 0)
+      return; // Divisibility guard: no integer point here.
+    Env[EnvIndex] = Num / L.FixedDivisor;
+    walk(Env, Level + 1, StripedLevel, ThreadId, NumThreads, Body);
+    return;
+  }
+  std::optional<int64_t> Lo = evalLower(L, Env);
+  std::optional<int64_t> Hi = evalUpper(L, Env);
+  assert(Lo && Hi && "generated loops must be bounded");
+  int64_t Start = *Lo;
+  int64_t Step = 1;
+  if (StripedLevel && Level == *StripedLevel) {
+    Start += ThreadId;
+    Step = NumThreads;
+  }
+  for (int64_t V = Start; V <= *Hi; V += Step) {
+    Env[EnvIndex] = V;
+    walk(Env, Level + 1, StripedLevel, ThreadId, NumThreads, Body);
+  }
+}
+
+void LoopNest::forEachPoint(
+    const std::vector<int64_t> &ParamValues, int64_t TimeStep,
+    const std::function<void(const int64_t *)> &Body) const {
+  forEachPointForThread(ParamValues, TimeStep, 0, 1, Body);
+}
+
+void LoopNest::forEachPointForThread(
+    const std::vector<int64_t> &ParamValues, int64_t TimeStep,
+    unsigned ThreadId, unsigned NumThreads,
+    const std::function<void(const int64_t *)> &Body) const {
+  assert(NumThreads > 0 && ThreadId < NumThreads && "bad thread mapping");
+  std::vector<int64_t> Env(NestDimNames.size(), 0);
+  for (unsigned I = 0; I != NumParams; ++I)
+    Env[I] = ParamValues[I];
+
+  // Confirm TimeStep lies within the partition range; Figure 8's template
+  // iterates the range, so out-of-range steps simply contain no work.
+  auto Range = timeRange(ParamValues);
+  if (!Range || TimeStep < Range->first || TimeStep > Range->second)
+    return;
+  Env[NumParams] = TimeStep;
+
+  std::optional<unsigned> Striped;
+  if (NumThreads > 1)
+    Striped = threadedLevel();
+  if (NumThreads > 1 && !Striped && ThreadId != 0)
+    return; // No space loop: all the work belongs to thread 0.
+
+  walk(Env, 1, Striped, ThreadId, NumThreads, Body);
+}
+
+uint64_t LoopNest::countPoints(const std::vector<int64_t> &ParamValues,
+                               int64_t TimeStep) const {
+  uint64_t Count = 0;
+  forEachPoint(ParamValues, TimeStep, [&](const int64_t *) { ++Count; });
+  return Count;
+}
+
+LoopNest parrec::poly::generateLoops(const Polyhedron &Domain,
+                                     unsigned NumParams,
+                                     const AffineExpr &Schedule,
+                                     const std::string &TimeName) {
+  unsigned DomDims = Domain.numDims();
+  assert(NumParams < DomDims && "domain must have recursion dimensions");
+  assert(Schedule.numDims() == DomDims && "schedule dimension mismatch");
+  unsigned NumRec = DomDims - NumParams;
+  unsigned NestDims = DomDims + 1; // params, t, x0..xn-1.
+  unsigned TimeDim = NumParams;
+
+  // Assemble the scattered polyhedron over [params, t, x...].
+  std::vector<std::string> NestNames;
+  NestNames.reserve(NestDims);
+  for (unsigned I = 0; I != NumParams; ++I)
+    NestNames.push_back(Domain.dimNames()[I]);
+  NestNames.push_back(TimeName);
+  for (unsigned I = NumParams; I != DomDims; ++I)
+    NestNames.push_back(Domain.dimNames()[I]);
+
+  Polyhedron Scattered(NestNames);
+  for (const Constraint &C : Domain.constraints())
+    Scattered.addConstraint(
+        Constraint(C.Expr.insertDims(TimeDim, 1), C.Kind));
+  // t - Schedule(x) == 0.
+  AffineExpr TimeEq = AffineExpr::dim(NestDims, TimeDim) -
+                      Schedule.insertDims(TimeDim, 1);
+  Scattered.addConstraint(Constraint::eq(TimeEq));
+
+  // Project from the innermost level outwards: Proj[L] constrains the
+  // variable of level L in terms of parameters and outer levels.
+  unsigned NumLevels = 1 + NumRec;
+  std::vector<Polyhedron> Proj(NumLevels);
+  Proj[NumLevels - 1] = Scattered;
+  for (unsigned L = NumLevels - 1; L > 0; --L)
+    Proj[L - 1] = Proj[L].eliminateDim(Proj[L].numDims() - 1);
+
+  LoopNest Nest;
+  Nest.NumParams = NumParams;
+  Nest.NumRecursionDims = NumRec;
+  Nest.NestDimNames = NestNames;
+  Nest.Levels.resize(NumLevels);
+
+  for (unsigned L = 0; L != NumLevels; ++L) {
+    LoopLevel &Level = Nest.Levels[L];
+    unsigned Dim = NumParams + L; // Level variable within Proj[L].
+    Level.Name = NestNames[Dim];
+
+    // Prefer defining the variable through an equality: this is what
+    // reconstructs the eliminated recursion dimension from the time-step
+    // (Figure 9's S1(i, p-i)).
+    const Constraint *Pivot = nullptr;
+    for (const Constraint &C : Proj[L].constraints())
+      if (C.Kind == Constraint::EQ && C.Expr.coefficient(Dim) != 0) {
+        Pivot = &C;
+        break;
+      }
+    if (Pivot) {
+      int64_t A = Pivot->Expr.coefficient(Dim);
+      // A * v + rest == 0  =>  v = -rest / A; keep the divisor positive.
+      AffineExpr Rest = Pivot->Expr;
+      Rest.setCoefficient(Dim, 0);
+      if (A > 0) {
+        Level.FixedNumerator = -Rest;
+        Level.FixedDivisor = A;
+      } else {
+        Level.FixedNumerator = Rest;
+        Level.FixedDivisor = -A;
+      }
+      // Pad back to the full nest dimensionality.
+      unsigned Missing = NestDims - Proj[L].numDims();
+      if (Missing)
+        Level.FixedNumerator =
+            Level.FixedNumerator->insertDims(Proj[L].numDims(), Missing);
+      continue;
+    }
+
+    for (const Constraint &C : Proj[L].constraints()) {
+      int64_t A = C.Expr.coefficient(Dim);
+      if (A == 0)
+        continue;
+      AffineExpr Rest = C.Expr;
+      Rest.setCoefficient(Dim, 0);
+      unsigned Missing = NestDims - Proj[L].numDims();
+      if (A > 0) {
+        // A*v + rest >= 0  =>  v >= ceil(-rest / A).
+        AffineExpr Num = -Rest;
+        if (Missing)
+          Num = Num.insertDims(Proj[L].numDims(), Missing);
+        Level.Lower.push_back({Num, A});
+      } else {
+        // A*v + rest >= 0  =>  v <= floor(rest / -A).
+        AffineExpr Num = Rest;
+        if (Missing)
+          Num = Num.insertDims(Proj[L].numDims(), Missing);
+        Level.Upper.push_back({Num, -A});
+      }
+    }
+  }
+  return Nest;
+}

@@ -1,0 +1,116 @@
+//===- LoopGen.h - Polyhedral loop-nest generation ----------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CLooG-style code generation (Section 4.3): given a recursion's domain
+/// polyhedron and an affine scheduling (scattering) function, produce a
+/// loop nest whose outer loop runs over partition time-steps and whose
+/// inner loops enumerate the elements of each partition — Figure 9 of the
+/// paper — plus the thread-partitioned conversion of Figure 10.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_POLY_LOOPGEN_H
+#define PARREC_POLY_LOOPGEN_H
+
+#include "poly/Polyhedron.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parrec {
+namespace poly {
+
+/// One affine bound "value (>=|<=) ceil|floor(Numerator / Divisor)" where
+/// Numerator only mentions parameters and outer loop variables.
+struct LoopBound {
+  AffineExpr Numerator; // Over the full nest dimension space.
+  int64_t Divisor = 1;  // Always positive.
+};
+
+/// One level of the generated nest: either a genuine loop with max-of-
+/// lower / min-of-upper bounds, or a variable fixed by an equality of the
+/// scattered polyhedron (e.g. the reconstructed x1 = p - x0 of Figure 9).
+struct LoopLevel {
+  std::string Name;
+
+  /// Loop form: iterate from max(Lower) to min(Upper).
+  std::vector<LoopBound> Lower;
+  std::vector<LoopBound> Upper;
+
+  /// Fixed form: value = FixedNumerator / FixedDivisor; iterations where
+  /// the division is inexact are skipped (divisibility guard).
+  std::optional<AffineExpr> FixedNumerator;
+  int64_t FixedDivisor = 1;
+
+  bool isFixed() const { return FixedNumerator.has_value(); }
+};
+
+/// A generated loop nest over dimensions
+/// [parameters..., t (time/partition), x0..xn-1 (original recursion dims)].
+///
+/// The nest can be executed directly (the simulator interprets it) and can
+/// be pretty-printed as C (see CPrinter.h), reproducing Figures 9 and 10.
+class LoopNest {
+public:
+  unsigned NumParams = 0;
+  unsigned NumRecursionDims = 0;
+  std::vector<std::string> NestDimNames; // params, t, x dims.
+  std::vector<LoopLevel> Levels;         // Size 1 + NumRecursionDims.
+
+  /// Index (into Levels) of the outermost non-fixed *space* loop, the one
+  /// Figure 10 stripes across threads. Level 0 is the time loop, so this
+  /// is >= 1 when present.
+  std::optional<unsigned> threadedLevel() const;
+
+  /// Inclusive time-step range for the given parameter values; nullopt if
+  /// the domain is empty.
+  std::optional<std::pair<int64_t, int64_t>>
+  timeRange(const std::vector<int64_t> &ParamValues) const;
+
+  /// Invokes \p Body with each recursion-space point (x0..xn-1) of
+  /// partition \p TimeStep, in lexicographic nest order.
+  void forEachPoint(const std::vector<int64_t> &ParamValues, int64_t TimeStep,
+                    const std::function<void(const int64_t *)> &Body) const;
+
+  /// Like forEachPoint but enumerates only the slice assigned to
+  /// \p ThreadId when the outermost space loop is striped across
+  /// \p NumThreads threads (the conversion of Figure 10). When the nest
+  /// has no space loop, thread 0 receives every point.
+  void forEachPointForThread(
+      const std::vector<int64_t> &ParamValues, int64_t TimeStep,
+      unsigned ThreadId, unsigned NumThreads,
+      const std::function<void(const int64_t *)> &Body) const;
+
+  /// Number of points in partition \p TimeStep.
+  uint64_t countPoints(const std::vector<int64_t> &ParamValues,
+                       int64_t TimeStep) const;
+
+private:
+  void walk(std::vector<int64_t> &Env, unsigned Level,
+            std::optional<unsigned> StripedLevel, unsigned ThreadId,
+            unsigned NumThreads,
+            const std::function<void(const int64_t *)> &Body) const;
+};
+
+/// Builds the loop nest for \p Domain scanned under schedule \p Schedule.
+///
+/// \p Domain ranges over [params..., x0..xn-1] with \p NumParams leading
+/// parameter dimensions. \p Schedule is an affine expression over the same
+/// dimension space (its parameter coefficients are usually zero). The
+/// generated nest scans, for each value of t = Schedule(x), exactly the
+/// integer points of the domain in that partition.
+LoopNest generateLoops(const Polyhedron &Domain, unsigned NumParams,
+                       const AffineExpr &Schedule,
+                       const std::string &TimeName = "p");
+
+} // namespace poly
+} // namespace parrec
+
+#endif // PARREC_POLY_LOOPGEN_H

@@ -1,0 +1,236 @@
+//===- Polyhedron.cpp - Integer polyhedra and projection -------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/Polyhedron.h"
+
+#include <algorithm>
+
+using namespace parrec;
+using namespace parrec::poly;
+
+void Constraint::normalize() {
+  int64_t G = 0;
+  for (unsigned I = 0, E = Expr.numDims(); I != E; ++I)
+    G = gcd64(G, Expr.coefficient(I));
+  if (G == 0 || G == 1)
+    return;
+  for (unsigned I = 0, E = Expr.numDims(); I != E; ++I)
+    Expr.setCoefficient(I, Expr.coefficient(I) / G);
+  if (Kind == EQ) {
+    // Only normalise an equality when the constant divides evenly;
+    // otherwise the constraint is unsatisfiable and we leave it alone so
+    // emptiness checks still see the contradiction.
+    if (Expr.constantTerm() % G == 0)
+      Expr.setConstantTerm(Expr.constantTerm() / G);
+    else
+      for (unsigned I = 0, E = Expr.numDims(); I != E; ++I)
+        Expr.setCoefficient(I, Expr.coefficient(I) * G);
+  } else {
+    // a*G . x + c >= 0  <=>  a . x >= ceil(-c / G)  <=>
+    // a . x + floor(c / G) >= 0 for integer points.
+    Expr.setConstantTerm(floorDiv(Expr.constantTerm(), G));
+  }
+}
+
+bool Constraint::isSatisfiedAt(const std::vector<int64_t> &Values) const {
+  int64_t V = Expr.evaluate(Values);
+  return Kind == EQ ? V == 0 : V >= 0;
+}
+
+std::string Constraint::str(const std::vector<std::string> &DimNames) const {
+  return Expr.str(DimNames) + (Kind == EQ ? " == 0" : " >= 0");
+}
+
+void Polyhedron::addConstraint(Constraint C) {
+  assert(C.Expr.numDims() == numDims() && "constraint dimension mismatch");
+  C.normalize();
+  Constraints.push_back(std::move(C));
+}
+
+void Polyhedron::addBounds(unsigned Dim, int64_t Lower, int64_t Upper) {
+  AffineExpr X = AffineExpr::dim(numDims(), Dim);
+  addConstraint(Constraint::ge(X - AffineExpr::constant(numDims(), Lower)));
+  addConstraint(Constraint::ge(AffineExpr::constant(numDims(), Upper) - X));
+}
+
+bool Polyhedron::containsPoint(const std::vector<int64_t> &Values) const {
+  for (const Constraint &C : Constraints)
+    if (!C.isSatisfiedAt(Values))
+      return false;
+  return true;
+}
+
+void Polyhedron::simplify() {
+  std::vector<Constraint> Kept;
+  for (Constraint &C : Constraints) {
+    C.normalize();
+    if (C.Expr.isConstant()) {
+      bool Holds = C.Kind == Constraint::EQ ? C.Expr.constantTerm() == 0
+                                            : C.Expr.constantTerm() >= 0;
+      if (Holds)
+        continue; // Trivially true: drop.
+      // Trivially false: keep exactly this contradiction and nothing else.
+      Kept.clear();
+      Kept.push_back(C);
+      Constraints = std::move(Kept);
+      return;
+    }
+    bool Duplicate = false;
+    for (const Constraint &K : Kept)
+      if (K.Kind == C.Kind && K.Expr == C.Expr) {
+        Duplicate = true;
+        break;
+      }
+    if (!Duplicate)
+      Kept.push_back(C);
+  }
+  Constraints = std::move(Kept);
+}
+
+Polyhedron Polyhedron::eliminateDim(unsigned Dim) const {
+  assert(Dim < numDims() && "dimension out of range");
+
+  std::vector<std::string> NewNames = DimNames;
+  NewNames.erase(NewNames.begin() + Dim);
+  Polyhedron Result(std::move(NewNames));
+
+  // Prefer Gaussian substitution through an equality that uses Dim: it is
+  // exact and avoids the quadratic FM blowup.
+  const Constraint *Pivot = nullptr;
+  for (const Constraint &C : Constraints)
+    if (C.Kind == Constraint::EQ && C.Expr.coefficient(Dim) != 0) {
+      Pivot = &C;
+      break;
+    }
+
+  if (Pivot) {
+    int64_t P = Pivot->Expr.coefficient(Dim);
+    int64_t AbsP = P < 0 ? -P : P;
+    for (const Constraint &C : Constraints) {
+      if (&C == Pivot)
+        continue;
+      int64_t A = C.Expr.coefficient(Dim);
+      if (A == 0) {
+        Result.addConstraint(
+            Constraint(C.Expr.removeDim(Dim), C.Kind));
+        continue;
+      }
+      // Combine so Dim cancels while keeping >= orientation: multiply the
+      // constraint by |P| (positive) and subtract the right multiple of
+      // the pivot equality (an equality may be scaled by any integer).
+      AffineExpr Combined =
+          C.Expr * AbsP - Pivot->Expr * ((P < 0 ? -1 : 1) * A);
+      assert(Combined.coefficient(Dim) == 0 && "pivot failed to cancel");
+      Result.addConstraint(Constraint(Combined.removeDim(Dim), C.Kind));
+    }
+    Result.simplify();
+    return Result;
+  }
+
+  // Classic Fourier–Motzkin on the inequalities.
+  std::vector<const Constraint *> Lower, Upper;
+  for (const Constraint &C : Constraints) {
+    int64_t A = C.Expr.coefficient(Dim);
+    if (A == 0) {
+      Result.addConstraint(Constraint(C.Expr.removeDim(Dim), C.Kind));
+    } else if (A > 0) {
+      Lower.push_back(&C); // Dim >= -rest / A.
+    } else {
+      Upper.push_back(&C); // Dim <= rest / -A.
+    }
+  }
+  for (const Constraint *L : Lower)
+    for (const Constraint *U : Upper) {
+      int64_t LA = L->Expr.coefficient(Dim);
+      int64_t UA = -U->Expr.coefficient(Dim);
+      AffineExpr Combined = L->Expr * UA + U->Expr * LA;
+      assert(Combined.coefficient(Dim) == 0 && "FM failed to cancel");
+      Result.addConstraint(Constraint::ge(Combined.removeDim(Dim)));
+    }
+  Result.simplify();
+  return Result;
+}
+
+bool Polyhedron::isEmpty() const {
+  Polyhedron P = *this;
+  P.simplify();
+  while (P.numDims() > 0)
+    P = P.eliminateDim(P.numDims() - 1);
+  for (const Constraint &C : P.constraints()) {
+    int64_t V = C.Expr.constantTerm();
+    if (C.Kind == Constraint::EQ ? V != 0 : V < 0)
+      return true;
+  }
+  return false;
+}
+
+std::optional<int64_t> Polyhedron::constantLowerBound(unsigned Dim) const {
+  Polyhedron P = *this;
+  // Eliminate every dimension except Dim, from the back so indices of the
+  // surviving dimension stay trackable.
+  unsigned Target = Dim;
+  for (unsigned I = numDims(); I-- > 0;) {
+    if (I == Dim)
+      continue;
+    P = P.eliminateDim(I);
+    if (I < Target)
+      --Target;
+  }
+  std::optional<int64_t> Best;
+  for (const Constraint &C : P.constraints()) {
+    int64_t A = C.Expr.coefficient(Target);
+    if (C.Kind == Constraint::EQ && A != 0) {
+      int64_t V = -C.Expr.constantTerm();
+      if (V % A == 0)
+        return V / A;
+      continue;
+    }
+    if (A <= 0)
+      continue;
+    int64_t Bound = ceilDiv(-C.Expr.constantTerm(), A);
+    if (!Best || Bound > *Best)
+      Best = Bound;
+  }
+  return Best;
+}
+
+std::optional<int64_t> Polyhedron::constantUpperBound(unsigned Dim) const {
+  Polyhedron P = *this;
+  unsigned Target = Dim;
+  for (unsigned I = numDims(); I-- > 0;) {
+    if (I == Dim)
+      continue;
+    P = P.eliminateDim(I);
+    if (I < Target)
+      --Target;
+  }
+  std::optional<int64_t> Best;
+  for (const Constraint &C : P.constraints()) {
+    int64_t A = C.Expr.coefficient(Target);
+    if (C.Kind == Constraint::EQ && A != 0) {
+      int64_t V = -C.Expr.constantTerm();
+      if (V % A == 0)
+        return V / A;
+      continue;
+    }
+    if (A >= 0)
+      continue;
+    int64_t Bound = floorDiv(C.Expr.constantTerm(), -A);
+    if (!Best || Bound < *Best)
+      Best = Bound;
+  }
+  return Best;
+}
+
+std::string Polyhedron::str() const {
+  std::string Out;
+  for (const Constraint &C : Constraints) {
+    Out += C.str(DimNames);
+    Out += '\n';
+  }
+  return Out;
+}

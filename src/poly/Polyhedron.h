@@ -1,0 +1,112 @@
+//===- Polyhedron.h - Integer polyhedra and projection ------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convex integer polyhedra represented as conjunctions of affine
+/// constraints, plus the Fourier–Motzkin projection that underpins the
+/// CLooG-style loop generator (Section 4.3 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_POLY_POLYHEDRON_H
+#define PARREC_POLY_POLYHEDRON_H
+
+#include "poly/AffineExpr.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parrec {
+namespace poly {
+
+/// One affine constraint: Expr >= 0 or Expr == 0.
+struct Constraint {
+  enum KindType { GE, EQ };
+
+  AffineExpr Expr;
+  KindType Kind = GE;
+
+  Constraint() = default;
+  Constraint(AffineExpr Expr, KindType Kind)
+      : Expr(std::move(Expr)), Kind(Kind) {}
+
+  static Constraint ge(AffineExpr Expr) {
+    return Constraint(std::move(Expr), GE);
+  }
+  static Constraint eq(AffineExpr Expr) {
+    return Constraint(std::move(Expr), EQ);
+  }
+
+  /// Divides out the gcd of the coefficients. For >= constraints the
+  /// constant is tightened with an integer floor, which is exact for
+  /// integer points.
+  void normalize();
+
+  /// True at the integer point \p Values.
+  bool isSatisfiedAt(const std::vector<int64_t> &Values) const;
+
+  std::string str(const std::vector<std::string> &DimNames) const;
+};
+
+/// A conjunction of affine constraints over named dimensions.
+///
+/// Projection uses Gaussian substitution for equalities and classic
+/// Fourier–Motzkin for inequalities. Over the box-plus-diagonal domains
+/// the compiler builds, FM is exact for the loop-bound queries we make
+/// (tests cross-check generated loops against brute-force enumeration).
+class Polyhedron {
+public:
+  Polyhedron() = default;
+  explicit Polyhedron(std::vector<std::string> DimNames)
+      : DimNames(std::move(DimNames)) {}
+
+  unsigned numDims() const {
+    return static_cast<unsigned>(DimNames.size());
+  }
+  const std::vector<std::string> &dimNames() const { return DimNames; }
+
+  const std::vector<Constraint> &constraints() const { return Constraints; }
+
+  void addConstraint(Constraint C);
+
+  /// Adds Lower <= x_Dim <= Upper.
+  void addBounds(unsigned Dim, int64_t Lower, int64_t Upper);
+
+  /// True at the integer point \p Values.
+  bool containsPoint(const std::vector<int64_t> &Values) const;
+
+  /// Projects away dimension \p Dim. The result has one fewer dimension;
+  /// dimensions after \p Dim shift down by one.
+  Polyhedron eliminateDim(unsigned Dim) const;
+
+  /// True when no rational point satisfies the constraints (a sound
+  /// emptiness test; never claims empty when integer points exist in the
+  /// domains the compiler builds).
+  bool isEmpty() const;
+
+  /// Computes constant bounds of dimension \p Dim over the whole
+  /// polyhedron by eliminating every other dimension. Returns nullopt for
+  /// an unbounded direction.
+  std::optional<int64_t> constantLowerBound(unsigned Dim) const;
+  std::optional<int64_t> constantUpperBound(unsigned Dim) const;
+
+  /// Renders each constraint on its own line.
+  std::string str() const;
+
+private:
+  std::vector<std::string> DimNames;
+  std::vector<Constraint> Constraints;
+
+  /// Removes duplicate and trivially-true constraints.
+  void simplify();
+};
+
+} // namespace poly
+} // namespace parrec
+
+#endif // PARREC_POLY_POLYHEDRON_H

@@ -1,0 +1,312 @@
+//===- CompiledRecurrence.cpp - End-to-end compilation & execution ----------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/CompiledRecurrence.h"
+
+#include "lang/Parser.h"
+#include "poly/LoopGen.h"
+#include "runtime/Table.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace parrec;
+using namespace parrec::runtime;
+using codegen::ArgValue;
+using codegen::Evaluator;
+using lang::DimKind;
+using solver::DomainBox;
+using solver::Schedule;
+
+static std::vector<std::string>
+allAlphabets(std::vector<std::string> Extra) {
+  std::vector<std::string> Names = {"dna", "rna", "protein", "en"};
+  for (std::string &E : Extra)
+    Names.push_back(std::move(E));
+  return Names;
+}
+
+std::optional<CompiledRecurrence>
+CompiledRecurrence::compile(const std::string &Source,
+                            DiagnosticEngine &Diags,
+                            std::vector<std::string> ExtraAlphabets) {
+  lang::Parser P(Source, Diags);
+  std::unique_ptr<lang::FunctionDecl> Decl = P.parseFunctionOnly();
+  if (!Decl || Diags.hasErrors())
+    return std::nullopt;
+  return fromDecl(std::move(Decl), Diags, std::move(ExtraAlphabets));
+}
+
+std::optional<CompiledRecurrence>
+CompiledRecurrence::fromDecl(std::unique_ptr<lang::FunctionDecl> Decl,
+                             DiagnosticEngine &Diags,
+                             std::vector<std::string> ExtraAlphabets) {
+  lang::Sema S(Diags, allAlphabets(std::move(ExtraAlphabets)));
+  std::optional<lang::FunctionInfo> Info = S.analyze(*Decl);
+  if (!Info)
+    return std::nullopt;
+  if (!codegen::validateForExecution(*Decl, Diags))
+    return std::nullopt;
+  CompiledRecurrence C;
+  C.Decl = std::move(Decl);
+  C.Info = std::move(*Info);
+  C.Info.Decl = C.Decl.get();
+  return C;
+}
+
+std::optional<DomainBox>
+CompiledRecurrence::domainFor(const std::vector<ArgValue> &Args,
+                              DiagnosticEngine &Diags) const {
+  if (Args.size() != Decl->Params.size()) {
+    Diags.error({}, "expected " + std::to_string(Decl->Params.size()) +
+                        " arguments for '" + Decl->Name + "', got " +
+                        std::to_string(Args.size()));
+    return std::nullopt;
+  }
+  DomainBox Box;
+  for (const lang::DimInfo &Dim : Info.Dims) {
+    int64_t Upper = 0;
+    switch (Dim.Kind) {
+    case DimKind::IntDim:
+      Upper = Args[Dim.ParamIndex].Int;
+      break;
+    case DimKind::IndexDim: {
+      const bio::Sequence *Seq =
+          Args[static_cast<unsigned>(Dim.RefParamIndex)].Seq;
+      if (!Seq) {
+        Diags.error({}, "sequence parameter '" +
+                            Decl->Params[Dim.RefParamIndex].Name +
+                            "' is not bound");
+        return std::nullopt;
+      }
+      Upper = Seq->length(); // Indices run 0..len inclusive.
+      break;
+    }
+    case DimKind::StateDim: {
+      const bio::Hmm *Hmm =
+          Args[static_cast<unsigned>(Dim.RefParamIndex)].Hmm;
+      if (!Hmm) {
+        Diags.error({}, "hmm parameter '" +
+                            Decl->Params[Dim.RefParamIndex].Name +
+                            "' is not bound");
+        return std::nullopt;
+      }
+      Upper = static_cast<int64_t>(Hmm->numStates()) - 1;
+      break;
+    }
+    case DimKind::TransitionDim: {
+      const bio::Hmm *Hmm =
+          Args[static_cast<unsigned>(Dim.RefParamIndex)].Hmm;
+      if (!Hmm) {
+        Diags.error({}, "hmm parameter '" +
+                            Decl->Params[Dim.RefParamIndex].Name +
+                            "' is not bound");
+        return std::nullopt;
+      }
+      Upper = static_cast<int64_t>(Hmm->numTransitions()) - 1;
+      break;
+    }
+    }
+    if (Upper < 0) {
+      Diags.error({}, "dimension '" + Dim.Name + "' has an empty domain");
+      return std::nullopt;
+    }
+    Box.Lower.push_back(0);
+    Box.Upper.push_back(Upper);
+  }
+  return Box;
+}
+
+std::optional<Schedule>
+CompiledRecurrence::scheduleFor(const DomainBox &Box,
+                                DiagnosticEngine &Diags) const {
+  return solver::findMinimalSchedule(Info.Recurrence, Box, Diags);
+}
+
+const std::optional<std::vector<solver::ConditionalSchedule>> &
+CompiledRecurrence::conditionalSchedules(DiagnosticEngine &Diags) const {
+  if (!ConditionalCache) {
+    if (Info.Recurrence.allUniform()) {
+      ConditionalCache =
+          solver::findConditionalSchedules(Info.Recurrence, Diags);
+    } else {
+      ConditionalCache = std::optional<
+          std::vector<solver::ConditionalSchedule>>(std::nullopt);
+    }
+  }
+  return *ConditionalCache;
+}
+
+std::optional<RunResult> CompiledRecurrence::runInternal(
+    const std::vector<ArgValue> &Args, const gpu::CostModel &Model,
+    bool IsGpu, DiagnosticEngine &Diags, const RunOptions &Options,
+    std::optional<Schedule> PreselectedSchedule) const {
+  std::optional<DomainBox> Box = domainFor(Args, Diags);
+  if (!Box)
+    return std::nullopt;
+  unsigned N = Box->numDims();
+
+  // 1. The schedule: forced, preselected (batch), or freshly minimised.
+  Schedule Sched;
+  if (Options.ForcedSchedule) {
+    if (!solver::verifySchedule(Info.Recurrence, *Options.ForcedSchedule,
+                                *Box, Diags))
+      return std::nullopt;
+    Sched = *Options.ForcedSchedule;
+  } else if (PreselectedSchedule) {
+    Sched = std::move(*PreselectedSchedule);
+  } else {
+    std::optional<Schedule> Minimal = scheduleFor(*Box, Diags);
+    if (!Minimal)
+      return std::nullopt;
+    Sched = std::move(*Minimal);
+  }
+
+  // 2. The table: sliding window (Section 4.8) when enabled and legal.
+  std::optional<int64_t> Window =
+      solver::slidingWindowDepth(Info.Recurrence, Sched);
+  int DropDim = Window ? pickWindowDropDim(Sched, *Box) : -1;
+  bool UseWindow = Options.UseSlidingWindow && !Options.KeepTable &&
+                   Window && DropDim >= 0;
+
+  std::shared_ptr<DpTable> Table;
+  if (UseWindow)
+    Table = std::make_shared<SlidingWindowTable>(
+        *Box, Sched, *Window, static_cast<unsigned>(DropDim));
+  else
+    Table = std::make_shared<FullTable>(*Box);
+  bool TableInShared = IsGpu && Table->bytes() <= Model.SharedMemBytes;
+
+  // 3. The loop nest (Section 4.3): scan the box under the schedule.
+  std::vector<std::string> DimNames;
+  for (const lang::DimInfo &Dim : Info.Dims)
+    DimNames.push_back(Dim.Name);
+  poly::Polyhedron Domain(DimNames);
+  for (unsigned D = 0; D != N; ++D)
+    Domain.addBounds(D, Box->Lower[D], Box->Upper[D]);
+  poly::LoopNest Nest =
+      poly::generateLoops(Domain, /*NumParams=*/0, Sched.toAffineExpr(0));
+
+  auto TimeRange = Nest.timeRange({});
+  if (!TimeRange) {
+    Diags.error({}, "empty domain for '" + Decl->Name + "'");
+    return std::nullopt;
+  }
+
+  // 4. Execute partition by partition (Figure 8's template).
+  Evaluator Eval(*Decl, Info);
+  Eval.bind(Args);
+
+  unsigned Threads =
+      IsGpu ? (Options.Threads ? Options.Threads
+                               : Model.CoresPerMultiprocessor)
+            : 1;
+  gpu::BlockTimer Timer(Threads);
+
+  RunResult Result;
+  Result.UsedSchedule = Sched;
+  Result.TableMax = -std::numeric_limits<double>::infinity();
+  const std::vector<int64_t> &Root = Box->Upper;
+
+  gpu::CostCounter Cost;
+  for (int64_t P = TimeRange->first; P <= TimeRange->second; ++P) {
+    for (unsigned T = 0; T != Threads; ++T) {
+      Nest.forEachPointForThread(
+          {}, P, T, Threads, [&](const int64_t *Point) {
+            gpu::CostCounter Before = Cost;
+            double Value = Eval.evalCell(Point, *Table, Cost);
+            Table->set(Point, Value);
+            gpu::CostCounter Delta = Cost - Before;
+            Timer.addThreadCycles(
+                T, IsGpu ? Model.gpuCellCycles(Delta, TableInShared)
+                         : Model.cpuCycles(Delta));
+            ++Result.Cells;
+            if (Value > Result.TableMax)
+              Result.TableMax = Value;
+            if (std::memcmp(Point, Root.data(),
+                            N * sizeof(int64_t)) == 0)
+              Result.RootValue = Value;
+          });
+    }
+    Timer.closePartition(IsGpu ? Model.SyncCycles : 0);
+  }
+
+  Result.Partitions = TimeRange->second - TimeRange->first + 1;
+  Result.Cost = Cost;
+  Result.Cycles = Timer.totalCycles();
+  if (IsGpu) {
+    Result.Metrics.Cycles = Result.Cycles;
+    Result.Metrics.Partitions =
+        static_cast<uint64_t>(Result.Partitions);
+    Result.Metrics.CellsComputed = Result.Cells;
+    Result.Metrics.TableBytes = Table->bytes();
+    if (TableInShared)
+      Result.Metrics.SharedAccesses = Cost.tableAccesses();
+    else
+      Result.Metrics.GlobalAccesses = Cost.tableAccesses();
+    Result.Metrics.SharedAccesses += Cost.ModelReads;
+  }
+  if (Options.KeepTable)
+    Result.Table = Table;
+  return Result;
+}
+
+std::optional<RunResult>
+CompiledRecurrence::runCpu(const std::vector<ArgValue> &Args,
+                           const gpu::CostModel &Model,
+                           DiagnosticEngine &Diags,
+                           const RunOptions &Options) const {
+  return runInternal(Args, Model, /*IsGpu=*/false, Diags, Options,
+                     std::nullopt);
+}
+
+std::optional<RunResult>
+CompiledRecurrence::runGpu(const std::vector<ArgValue> &Args,
+                           const gpu::Device &Device,
+                           DiagnosticEngine &Diags,
+                           const RunOptions &Options) const {
+  return runInternal(Args, Device.costModel(), /*IsGpu=*/true, Diags,
+                     Options, std::nullopt);
+}
+
+std::optional<BatchResult> CompiledRecurrence::runGpuBatch(
+    const std::vector<std::vector<ArgValue>> &Problems,
+    const gpu::Device &Device, DiagnosticEngine &Diags,
+    const RunOptions &Options) const {
+  BatchResult Batch;
+  Batch.Problems.reserve(Problems.size());
+
+  // Conditional parallelisation (Section 4.7): derive the candidate
+  // schedule set once, then pick the minimal candidate per problem. When
+  // the descents are not uniform this fails and we fall back to
+  // per-problem synthesis — a fallback, not an error, so the derivation
+  // gets a scratch diagnostic engine.
+  DiagnosticEngine Scratch;
+  const auto &Candidates = conditionalSchedules(Scratch);
+
+  std::vector<uint64_t> ProblemCycles;
+  ProblemCycles.reserve(Problems.size());
+  for (const std::vector<ArgValue> &Args : Problems) {
+    std::optional<Schedule> Preselected;
+    if (!Options.ForcedSchedule && Candidates) {
+      std::optional<DomainBox> Box = domainFor(Args, Diags);
+      if (!Box)
+        return std::nullopt;
+      Preselected = solver::selectSchedule(*Candidates, *Box).S;
+    }
+    std::optional<RunResult> R =
+        runInternal(Args, Device.costModel(), /*IsGpu=*/true, Diags,
+                    Options, std::move(Preselected));
+    if (!R)
+      return std::nullopt;
+    ProblemCycles.push_back(R->Cycles);
+    Batch.Problems.push_back(std::move(*R));
+  }
+  Batch.TotalCycles = Device.dispatchProblems(ProblemCycles);
+  Batch.Seconds = Device.costModel().gpuSeconds(Batch.TotalCycles);
+  return Batch;
+}

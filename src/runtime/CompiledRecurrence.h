@@ -1,0 +1,156 @@
+//===- CompiledRecurrence.h - End-to-end compilation & execution --*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library's main entry point: compile a DSL recursion, derive its
+/// schedule(s), and execute problems either serially (the CPU reference)
+/// or on the simulated GPU with the synthesized partition loop nest,
+/// thread striping and optional sliding-window table (Sections 4.3-4.8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_RUNTIME_COMPILEDRECURRENCE_H
+#define PARREC_RUNTIME_COMPILEDRECURRENCE_H
+
+#include "codegen/Evaluator.h"
+#include "gpu/Device.h"
+#include "lang/Sema.h"
+#include "solver/ScheduleSynthesis.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parrec {
+namespace runtime {
+
+/// Options controlling one execution.
+struct RunOptions {
+  /// Use the Section 4.8 sliding-window table when the schedule permits.
+  bool UseSlidingWindow = true;
+  /// Threads per block; 0 means "one per multiprocessor core".
+  unsigned Threads = 0;
+  /// Override the automatically derived schedule (must be valid).
+  std::optional<solver::Schedule> ForcedSchedule;
+  /// Keep the full DP table alive in RunResult::Table so arbitrary
+  /// cells can be read afterwards (forces full tabulation — useful for
+  /// recursions whose interesting value is not at the root corner, e.g.
+  /// the backward algorithm's B(start, 0)).
+  bool KeepTable = false;
+};
+
+/// The outcome of running one problem.
+struct RunResult {
+  /// Value at the root point (every recursion dimension at its maximum) —
+  /// the paper's d(x, y) / forward(end, n) convention. Log-space for prob
+  /// functions.
+  double RootValue = 0.0;
+  /// Maximum over all table cells (the Smith-Waterman result).
+  double TableMax = 0.0;
+  uint64_t Cells = 0;
+  int64_t Partitions = 0;
+  gpu::CostCounter Cost;
+  /// Lockstep block cycles for GPU runs; serial cycles for CPU runs.
+  uint64_t Cycles = 0;
+  solver::Schedule UsedSchedule;
+  /// Populated for GPU runs.
+  gpu::GpuRunMetrics Metrics;
+  /// The full DP table, when RunOptions::KeepTable was set.
+  std::shared_ptr<codegen::TableView> Table;
+
+  /// Reads a cell from the kept table (requires KeepTable).
+  double cellValue(const std::vector<int64_t> &Point) const {
+    assert(Table && "run without KeepTable");
+    return Table->get(Point.data());
+  }
+};
+
+/// Results of a multi-problem batch (the map primitive): per-problem
+/// outcomes plus the device-level makespan.
+struct BatchResult {
+  std::vector<RunResult> Problems;
+  uint64_t TotalCycles = 0;
+  double Seconds = 0.0;
+};
+
+/// A compiled recursive function, ready to run against bindings.
+class CompiledRecurrence {
+public:
+  /// Compiles DSL source containing exactly one function definition.
+  /// \p ExtraAlphabets extends the builtin alphabet set (dna, rna,
+  /// protein, en).
+  static std::optional<CompiledRecurrence>
+  compile(const std::string &Source, DiagnosticEngine &Diags,
+          std::vector<std::string> ExtraAlphabets = {});
+
+  /// Compiles an already-parsed declaration.
+  static std::optional<CompiledRecurrence>
+  fromDecl(std::unique_ptr<lang::FunctionDecl> Decl,
+           DiagnosticEngine &Diags,
+           std::vector<std::string> ExtraAlphabets = {});
+
+  CompiledRecurrence(CompiledRecurrence &&) = default;
+  CompiledRecurrence &operator=(CompiledRecurrence &&) = default;
+
+  const lang::FunctionDecl &decl() const { return *Decl; }
+  const lang::FunctionInfo &info() const { return Info; }
+
+  /// Derives the domain box for a set of calling arguments (sequence
+  /// lengths, state counts, integer initial values).
+  std::optional<solver::DomainBox>
+  domainFor(const std::vector<codegen::ArgValue> &Args,
+            DiagnosticEngine &Diags) const;
+
+  /// The minimal-partition schedule for \p Box (Section 4.6).
+  std::optional<solver::Schedule>
+  scheduleFor(const solver::DomainBox &Box, DiagnosticEngine &Diags) const;
+
+  /// The compile-time conditional schedule set (Section 4.7); cached.
+  /// Empty optional when derivation fails (non-uniform descents).
+  const std::optional<std::vector<solver::ConditionalSchedule>> &
+  conditionalSchedules(DiagnosticEngine &Diags) const;
+
+  /// Runs one problem serially on the (modelled) CPU.
+  std::optional<RunResult> runCpu(const std::vector<codegen::ArgValue> &Args,
+                                  const gpu::CostModel &Model,
+                                  DiagnosticEngine &Diags,
+                                  const RunOptions &Options = {}) const;
+
+  /// Runs one problem on the simulated GPU, one block on one
+  /// multiprocessor (the intra-task scheme the paper synthesises).
+  std::optional<RunResult> runGpu(const std::vector<codegen::ArgValue> &Args,
+                                  const gpu::Device &Device,
+                                  DiagnosticEngine &Diags,
+                                  const RunOptions &Options = {}) const;
+
+  /// Runs many problems on the simulated GPU, dispatching one problem per
+  /// multiprocessor with per-problem conditional schedules (Section 4.7).
+  std::optional<BatchResult>
+  runGpuBatch(const std::vector<std::vector<codegen::ArgValue>> &Problems,
+              const gpu::Device &Device, DiagnosticEngine &Diags,
+              const RunOptions &Options = {}) const;
+
+private:
+  CompiledRecurrence() = default;
+
+  std::unique_ptr<lang::FunctionDecl> Decl;
+  lang::FunctionInfo Info;
+  mutable std::optional<std::optional<std::vector<solver::ConditionalSchedule>>>
+      ConditionalCache;
+
+  std::optional<RunResult>
+  runInternal(const std::vector<codegen::ArgValue> &Args,
+              const gpu::CostModel &Model, bool IsGpu,
+              DiagnosticEngine &Diags, const RunOptions &Options,
+              std::optional<solver::Schedule> PreselectedSchedule) const;
+};
+
+} // namespace runtime
+} // namespace parrec
+
+#endif // PARREC_RUNTIME_COMPILEDRECURRENCE_H

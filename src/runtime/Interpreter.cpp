@@ -1,0 +1,347 @@
+//===- Interpreter.cpp - Script execution -------------------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Interpreter.h"
+
+#include "lang/Parser.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+using namespace parrec;
+using namespace parrec::runtime;
+using codegen::ArgValue;
+using lang::Stmt;
+using lang::StmtKind;
+using lang::TypeKind;
+
+Interpreter::Interpreter(DiagnosticEngine &Diags)
+    : Diags(Diags), Opts() {}
+
+Interpreter::Interpreter(DiagnosticEngine &Diags, Options Opts)
+    : Diags(Diags), Opts(std::move(Opts)) {}
+
+void Interpreter::defineSequence(const std::string &Name,
+                                 bio::Sequence Seq) {
+  Sequences[Name] = std::move(Seq);
+}
+void Interpreter::defineDatabase(const std::string &Name,
+                                 bio::SequenceDatabase Db) {
+  Databases[Name] = std::move(Db);
+}
+void Interpreter::defineMatrix(const std::string &Name,
+                               bio::SubstitutionMatrix M) {
+  Matrices[Name] = std::move(M);
+}
+void Interpreter::defineHmm(const std::string &Name, bio::Hmm Model) {
+  Hmms[Name] = std::move(Model);
+}
+
+std::string Interpreter::resolvePath(const std::string &Path) const {
+  if (Opts.BasePath.empty() || (!Path.empty() && Path[0] == '/'))
+    return Path;
+  return Opts.BasePath + "/" + Path;
+}
+
+std::vector<std::string> Interpreter::extraAlphabetNames() const {
+  std::vector<std::string> Names;
+  for (const auto &[Name, Letters] : Alphabets)
+    Names.push_back(Name);
+  return Names;
+}
+
+void Interpreter::printValue(const std::string &Label, double Value,
+                             bool IsProb) {
+  char Buffer[128];
+  if (IsProb)
+    snprintf(Buffer, sizeof(Buffer), "%s = %.6g (log %.6g)",
+             Label.c_str(), std::exp(Value), Value);
+  else
+    snprintf(Buffer, sizeof(Buffer), "%s = %.10g", Label.c_str(), Value);
+  Output += Buffer;
+  Output += '\n';
+}
+
+std::optional<std::string> Interpreter::run(const std::string &Source) {
+  lang::Parser P(Source, Diags);
+  lang::Script Script = P.parseScript();
+  if (Diags.hasErrors())
+    return std::nullopt;
+  for (Stmt &S : Script.Statements)
+    if (!executeStatement(S))
+      return std::nullopt;
+  return Output;
+}
+
+bool Interpreter::executeStatement(Stmt &S) {
+  switch (S.Kind) {
+  case StmtKind::Alphabet:
+    Alphabets[S.AlphabetName] = S.AlphabetLetters;
+    return true;
+
+  case StmtKind::Function: {
+    std::string Name = S.Function->Name;
+    auto Compiled = CompiledRecurrence::fromDecl(
+        std::move(S.Function), Diags, extraAlphabetNames());
+    if (!Compiled)
+      return false;
+    Functions[Name] =
+        std::make_unique<CompiledRecurrence>(std::move(*Compiled));
+    return true;
+  }
+
+  case StmtKind::SeqLoad: {
+    auto Db = bio::readFastaFile(resolvePath(S.Path), Diags);
+    if (!Db)
+      return false;
+    if (S.RecordIndex < 0 ||
+        static_cast<size_t>(S.RecordIndex) >= Db->size()) {
+      Diags.error(S.Loc, "record index " +
+                             std::to_string(S.RecordIndex) +
+                             " out of range for '" + S.Path + "'");
+      return false;
+    }
+    Sequences[S.VarName] = (*Db)[static_cast<size_t>(S.RecordIndex)];
+    return true;
+  }
+
+  case StmtKind::SeqDbLoad: {
+    auto Db = bio::readFastaFile(resolvePath(S.Path), Diags);
+    if (!Db)
+      return false;
+    Databases[S.VarName] = std::move(*Db);
+    return true;
+  }
+
+  case StmtKind::MatrixLoad: {
+    std::ifstream In(resolvePath(S.Path));
+    if (!In) {
+      Diags.error(S.Loc, "cannot open matrix file '" + S.Path + "'");
+      return false;
+    }
+    std::string Text((std::istreambuf_iterator<char>(In)),
+                     std::istreambuf_iterator<char>());
+    auto M = bio::SubstitutionMatrix::parse(Text, Diags);
+    if (!M)
+      return false;
+    Matrices[S.VarName] = std::move(*M);
+    return true;
+  }
+
+  case StmtKind::HmmDef: {
+    std::optional<bio::Hmm> Model;
+    if (!S.Path.empty()) {
+      std::ifstream In(resolvePath(S.Path));
+      if (!In) {
+        Diags.error(S.Loc, "cannot open hmm file '" + S.Path + "'");
+        return false;
+      }
+      std::string Text((std::istreambuf_iterator<char>(In)),
+                       std::istreambuf_iterator<char>());
+      Model = bio::Hmm::parse(Text, Diags);
+    } else {
+      Model = bio::Hmm::parse(S.HmmText, Diags);
+    }
+    if (!Model)
+      return false;
+    Hmms[S.VarName] = std::move(*Model);
+    return true;
+  }
+
+  case StmtKind::Print:
+    return executePrint(S);
+  case StmtKind::Map:
+    return executeMap(S);
+  }
+  return false;
+}
+
+std::optional<std::vector<ArgValue>> Interpreter::bindArguments(
+    const CompiledRecurrence &Fn, const std::vector<std::string> &Names,
+    bool AllowDatabase, int &DbParamIndex,
+    const bio::SequenceDatabase **Db) {
+  const lang::FunctionDecl &Decl = Fn.decl();
+  DbParamIndex = -1;
+  std::vector<ArgValue> Args(Decl.Params.size());
+
+  size_t NextName = 0;
+  for (unsigned P = 0; P != Decl.Params.size(); ++P) {
+    const lang::Type &T = Decl.Params[P].ParamType;
+    bool IsDim = false;
+    for (const lang::DimInfo &Dim : Fn.info().Dims)
+      IsDim |= Dim.ParamIndex == P;
+    if (IsDim && T.Kind != TypeKind::Int)
+      continue; // Recursive parameters are implicit at the script level.
+
+    if (NextName >= Names.size()) {
+      Diags.error(Decl.Loc, "too few arguments for '" + Decl.Name +
+                                "': calling parameter '" +
+                                Decl.Params[P].Name + "' is unbound");
+      return std::nullopt;
+    }
+    const std::string &Name = Names[NextName++];
+
+    switch (T.Kind) {
+    case TypeKind::Seq: {
+      auto SeqIt = Sequences.find(Name);
+      if (SeqIt != Sequences.end()) {
+        Args[P] = ArgValue::ofSeq(&SeqIt->second);
+        break;
+      }
+      auto DbIt = Databases.find(Name);
+      if (AllowDatabase && DbIt != Databases.end()) {
+        if (DbParamIndex >= 0) {
+          Diags.error(Decl.Loc,
+                      "map statements take exactly one database");
+          return std::nullopt;
+        }
+        DbParamIndex = static_cast<int>(P);
+        *Db = &DbIt->second;
+        break;
+      }
+      Diags.error(Decl.Loc, "unknown sequence '" + Name + "'");
+      return std::nullopt;
+    }
+    case TypeKind::Matrix: {
+      auto It = Matrices.find(Name);
+      if (It == Matrices.end()) {
+        Diags.error(Decl.Loc, "unknown matrix '" + Name + "'");
+        return std::nullopt;
+      }
+      Args[P] = ArgValue::ofMatrix(&It->second);
+      break;
+    }
+    case TypeKind::Hmm: {
+      auto It = Hmms.find(Name);
+      if (It == Hmms.end()) {
+        Diags.error(Decl.Loc, "unknown hmm '" + Name + "'");
+        return std::nullopt;
+      }
+      Args[P] = ArgValue::ofHmm(&It->second);
+      break;
+    }
+    case TypeKind::Int: {
+      // Integer literals bind int parameters (both calling value and
+      // domain bound for int recursion dimensions).
+      if (!Name.empty() &&
+          std::isdigit(static_cast<unsigned char>(Name[0]))) {
+        Args[P] = ArgValue::ofInt(std::stoll(Name));
+        break;
+      }
+      Diags.error(Decl.Loc, "expected an integer literal for '" +
+                                Decl.Params[P].Name + "'");
+      return std::nullopt;
+    }
+    default:
+      Diags.error(Decl.Loc, "cannot bind parameter '" +
+                                Decl.Params[P].Name + "' of type " +
+                                T.str() + " from a script");
+      return std::nullopt;
+    }
+  }
+  if (NextName != Names.size()) {
+    Diags.error(Decl.Loc, "too many arguments for '" + Decl.Name + "'");
+    return std::nullopt;
+  }
+  return Args;
+}
+
+bool Interpreter::executePrint(const Stmt &S) {
+  auto It = Functions.find(S.CalleeName);
+  if (It == Functions.end()) {
+    Diags.error(S.Loc, "unknown function '" + S.CalleeName + "'");
+    return false;
+  }
+  const CompiledRecurrence &Fn = *It->second;
+  int DbParam = -1;
+  const bio::SequenceDatabase *Db = nullptr;
+  auto Args = bindArguments(Fn, S.CallArgs, /*AllowDatabase=*/false,
+                            DbParam, &Db);
+  if (!Args)
+    return false;
+
+  std::optional<RunResult> R =
+      Opts.UseGpu ? Fn.runGpu(*Args, Opts.Device, Diags)
+                  : Fn.runCpu(*Args, Opts.Device.costModel(), Diags);
+  if (!R)
+    return false;
+  bool IsProb = Fn.decl().ReturnType.Kind == TypeKind::Prob;
+  std::string Label = S.CalleeName + "(";
+  for (size_t I = 0; I != S.CallArgs.size(); ++I)
+    Label += (I ? ", " : "") + S.CallArgs[I];
+  Label += ")";
+  if (S.TableMax)
+    Label = "max " + Label;
+  printValue(Label, S.TableMax ? R->TableMax : R->RootValue, IsProb);
+  return true;
+}
+
+bool Interpreter::executeMap(const Stmt &S) {
+  auto It = Functions.find(S.CalleeName);
+  if (It == Functions.end()) {
+    Diags.error(S.Loc, "unknown function '" + S.CalleeName + "'");
+    return false;
+  }
+  const CompiledRecurrence &Fn = *It->second;
+  int DbParam = -1;
+  const bio::SequenceDatabase *Db = nullptr;
+  auto Template = bindArguments(Fn, S.CallArgs, /*AllowDatabase=*/true,
+                                DbParam, &Db);
+  if (!Template)
+    return false;
+  if (DbParam < 0 || !Db) {
+    Diags.error(S.Loc, "map statements need one database argument");
+    return false;
+  }
+
+  std::vector<std::vector<ArgValue>> Problems;
+  Problems.reserve(Db->size());
+  for (const bio::Sequence &Seq : *Db) {
+    std::vector<ArgValue> Args = *Template;
+    Args[static_cast<size_t>(DbParam)] = ArgValue::ofSeq(&Seq);
+    Problems.push_back(std::move(Args));
+  }
+
+  bool IsProb = Fn.decl().ReturnType.Kind == TypeKind::Prob;
+  if (Opts.UseGpu) {
+    auto Batch = Fn.runGpuBatch(Problems, Opts.Device, Diags);
+    if (!Batch)
+      return false;
+    for (size_t I = 0; I != Batch->Problems.size(); ++I) {
+      const RunResult &R = Batch->Problems[I];
+      printValue(S.CalleeName + "(" + (*Db)[I].name() + ")",
+                 S.TableMax ? R.TableMax : R.RootValue, IsProb);
+    }
+    char Buffer[96];
+    snprintf(Buffer, sizeof(Buffer),
+             "map %s: %zu problems, %.6f modelled GPU seconds",
+             S.CalleeName.c_str(), Db->size(), Batch->Seconds);
+    Output += Buffer;
+    Output += '\n';
+    return true;
+  }
+
+  uint64_t TotalCycles = 0;
+  for (size_t I = 0; I != Problems.size(); ++I) {
+    auto R = Fn.runCpu(Problems[I], Opts.Device.costModel(), Diags);
+    if (!R)
+      return false;
+    TotalCycles += R->Cycles;
+    printValue(S.CalleeName + "(" + (*Db)[I].name() + ")",
+               S.TableMax ? R->TableMax : R->RootValue, IsProb);
+  }
+  char Buffer[96];
+  snprintf(Buffer, sizeof(Buffer),
+           "map %s: %zu problems, %.6f modelled CPU seconds",
+           S.CalleeName.c_str(), Problems.size(),
+           Opts.Device.costModel().cpuSeconds(TotalCycles));
+  Output += Buffer;
+  Output += '\n';
+  return true;
+}

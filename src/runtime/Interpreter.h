@@ -1,0 +1,91 @@
+//===- Interpreter.h - Script execution ---------------------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scripting layer of Section 3: a runtime environment that executes
+/// whole DSL scripts — alphabet/model/data declarations, function
+/// definitions, single executions (print) and the map primitive that
+/// spreads problems over the device's multiprocessors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_RUNTIME_INTERPRETER_H
+#define PARREC_RUNTIME_INTERPRETER_H
+
+#include "bio/Fasta.h"
+#include "bio/Hmm.h"
+#include "bio/SubstitutionMatrix.h"
+#include "runtime/CompiledRecurrence.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace parrec {
+namespace runtime {
+
+/// Executes scripts statement by statement. Values (sequences, models,
+/// matrices, compiled functions) live in a flat name environment.
+class Interpreter {
+public:
+  struct Options {
+    /// Execute recursions on the simulated GPU (true) or the modelled
+    /// serial CPU (false).
+    bool UseGpu = true;
+    /// Directory prefix applied to load paths.
+    std::string BasePath;
+    gpu::Device Device;
+  };
+
+  explicit Interpreter(DiagnosticEngine &Diags);
+  Interpreter(DiagnosticEngine &Diags, Options Opts);
+
+  /// Parses and executes \p Source. Returns the accumulated print output
+  /// (one line per printed value), or nullopt after errors.
+  std::optional<std::string> run(const std::string &Source);
+
+  /// Pre-binds a value, letting embedders inject data without files.
+  void defineSequence(const std::string &Name, bio::Sequence Seq);
+  void defineDatabase(const std::string &Name, bio::SequenceDatabase Db);
+  void defineMatrix(const std::string &Name, bio::SubstitutionMatrix M);
+  void defineHmm(const std::string &Name, bio::Hmm Model);
+
+private:
+  DiagnosticEngine &Diags;
+  Options Opts;
+
+  std::map<std::string, std::string> Alphabets; // name -> letters.
+  std::map<std::string, bio::Sequence> Sequences;
+  std::map<std::string, bio::SequenceDatabase> Databases;
+  std::map<std::string, bio::SubstitutionMatrix> Matrices;
+  std::map<std::string, bio::Hmm> Hmms;
+  std::map<std::string, std::unique_ptr<CompiledRecurrence>> Functions;
+
+  std::string Output;
+
+  bool executeStatement(lang::Stmt &S);
+  bool executePrint(const lang::Stmt &S);
+  bool executeMap(const lang::Stmt &S);
+
+  /// Builds the full argument vector for \p Fn from the statement's
+  /// calling-argument names. \p DbParamIndex receives the parameter a
+  /// database was bound to (map statements), or -1.
+  std::optional<std::vector<codegen::ArgValue>>
+  bindArguments(const CompiledRecurrence &Fn,
+                const std::vector<std::string> &Names, bool AllowDatabase,
+                int &DbParamIndex, const bio::SequenceDatabase **Db);
+
+  std::string resolvePath(const std::string &Path) const;
+  std::vector<std::string> extraAlphabetNames() const;
+  void printValue(const std::string &Label, double Value, bool IsProb);
+};
+
+} // namespace runtime
+} // namespace parrec
+
+#endif // PARREC_RUNTIME_INTERPRETER_H

@@ -1,0 +1,164 @@
+//===- Table.h - Dynamic-programming tables -----------------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Storage for tabulated recursion results: a dense full table, and the
+/// sliding-window table of Section 4.8 that keeps only the last w+1
+/// partitions alive — the memory reduction that lets intermediate values
+/// live in a GPU's shared memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_RUNTIME_TABLE_H
+#define PARREC_RUNTIME_TABLE_H
+
+#include "codegen/Evaluator.h"
+#include "solver/Recurrence.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace parrec {
+namespace runtime {
+
+/// Writable extension of the evaluator's read view.
+class DpTable : public codegen::TableView {
+public:
+  virtual void set(const int64_t *Point, double Value) = 0;
+  virtual uint64_t bytes() const = 0;
+};
+
+/// Dense row-major storage over the whole domain box.
+class FullTable : public DpTable {
+public:
+  explicit FullTable(const solver::DomainBox &Box) : Box(Box) {
+    Strides.resize(Box.numDims());
+    uint64_t Stride = 1;
+    for (unsigned D = Box.numDims(); D-- > 0;) {
+      Strides[D] = Stride;
+      Stride *= static_cast<uint64_t>(Box.extent(D));
+    }
+    Data.assign(Stride, std::numeric_limits<double>::quiet_NaN());
+  }
+
+  double get(const int64_t *Point) const override {
+    double V = Data[flatten(Point)];
+    assert(!std::isnan(V) && "read of an uncomputed cell: the schedule "
+                             "violated a dependency");
+    return V;
+  }
+  void set(const int64_t *Point, double Value) override {
+    Data[flatten(Point)] = Value;
+  }
+  uint64_t bytes() const override { return Data.size() * sizeof(double); }
+
+private:
+  solver::DomainBox Box;
+  std::vector<uint64_t> Strides;
+  std::vector<double> Data;
+
+  uint64_t flatten(const int64_t *Point) const {
+    uint64_t Index = 0;
+    for (unsigned D = 0; D != Box.numDims(); ++D) {
+      assert(Point[D] >= Box.Lower[D] && Point[D] <= Box.Upper[D] &&
+             "point outside the domain box");
+      Index += static_cast<uint64_t>(Point[D] - Box.Lower[D]) * Strides[D];
+    }
+    return Index;
+  }
+};
+
+/// Ring buffer of the last Window+1 partitions (Section 4.8).
+///
+/// One dimension with |schedule coefficient| == 1 is dropped from the
+/// plane addressing: within a partition, a point is uniquely identified
+/// by its remaining coordinates (two points differing only in the dropped
+/// dimension lie in different partitions, since the coefficient is ±1).
+class SlidingWindowTable : public DpTable {
+public:
+  /// \p DropDim must satisfy |Schedule.Coefficients[DropDim]| == 1.
+  SlidingWindowTable(const solver::DomainBox &Box,
+                     const solver::Schedule &S, int64_t Window,
+                     unsigned DropDim)
+      : Box(Box), Sched(S), NumPlanes(static_cast<uint64_t>(Window) + 1),
+        DropDim(DropDim) {
+    assert((S.Coefficients[DropDim] == 1 ||
+            S.Coefficients[DropDim] == -1) &&
+           "dropped dimension must have a unit schedule coefficient");
+    MinPartition = S.minOver(Box);
+    Strides.assign(Box.numDims(), 0);
+    uint64_t Stride = 1;
+    for (unsigned D = Box.numDims(); D-- > 0;) {
+      if (D == DropDim)
+        continue;
+      Strides[D] = Stride;
+      Stride *= static_cast<uint64_t>(Box.extent(D));
+    }
+    PlaneSize = Stride;
+    Data.assign(NumPlanes * PlaneSize, 0.0);
+  }
+
+  double get(const int64_t *Point) const override {
+    return Data[slot(Point)];
+  }
+  void set(const int64_t *Point, double Value) override {
+    Data[slot(Point)] = Value;
+  }
+  uint64_t bytes() const override { return Data.size() * sizeof(double); }
+
+private:
+  solver::DomainBox Box;
+  solver::Schedule Sched;
+  uint64_t NumPlanes;
+  unsigned DropDim;
+  int64_t MinPartition = 0;
+  uint64_t PlaneSize = 0;
+  std::vector<uint64_t> Strides;
+  std::vector<double> Data;
+
+  uint64_t slot(const int64_t *Point) const {
+    int64_t Partition = 0;
+    for (unsigned D = 0; D != Box.numDims(); ++D)
+      Partition += Sched.Coefficients[D] * Point[D];
+    uint64_t Plane = static_cast<uint64_t>(Partition - MinPartition) %
+                     NumPlanes;
+    uint64_t Index = 0;
+    for (unsigned D = 0; D != Box.numDims(); ++D) {
+      if (D == DropDim)
+        continue;
+      Index += static_cast<uint64_t>(Point[D] - Box.Lower[D]) * Strides[D];
+    }
+    return Plane * PlaneSize + Index;
+  }
+};
+
+/// Picks the dimension a sliding-window table should drop: among the unit
+/// coefficients, the one with the largest extent minimises the window's
+/// footprint. Returns -1 when no unit coefficient exists (the window
+/// optimisation then falls back to full tabulation).
+inline int pickWindowDropDim(const solver::Schedule &S,
+                             const solver::DomainBox &Box) {
+  int Best = -1;
+  int64_t BestExtent = 0;
+  for (unsigned D = 0; D != S.numDims(); ++D) {
+    int64_t A = S.Coefficients[D];
+    if (A != 1 && A != -1)
+      continue;
+    if (Box.extent(D) > BestExtent) {
+      Best = static_cast<int>(D);
+      BestExtent = Box.extent(D);
+    }
+  }
+  return Best;
+}
+
+} // namespace runtime
+} // namespace parrec
+
+#endif // PARREC_RUNTIME_TABLE_H

@@ -1,0 +1,181 @@
+//===- CspSolver.cpp - Bounded-integer constraint solver -------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/CspSolver.h"
+
+#include <algorithm>
+
+using namespace parrec;
+using namespace parrec::solver;
+using poly::AffineExpr;
+using poly::Constraint;
+
+CspSolver::CspSolver(unsigned NumVars, int64_t Low, int64_t High)
+    : NumVars(NumVars), Ranges(NumVars, {Low, High}) {
+  assert(Low <= High && "empty variable domain");
+}
+
+void CspSolver::restrictVar(unsigned Var, int64_t Low, int64_t High) {
+  assert(Var < NumVars && "variable out of range");
+  Ranges[Var].first = std::max(Ranges[Var].first, Low);
+  Ranges[Var].second = std::min(Ranges[Var].second, High);
+}
+
+void CspSolver::addConstraint(Constraint C) {
+  assert(C.Expr.numDims() == NumVars && "constraint dimension mismatch");
+  Constraints.push_back(std::move(C));
+}
+
+void CspSolver::setObjective(AffineExpr Objective) {
+  assert(Objective.numDims() == NumVars && "objective dimension mismatch");
+  this->Objective = std::move(Objective);
+}
+
+namespace {
+
+/// Interval bounds of an affine expression when variables 0..Fixed-1 take
+/// \p Partial values and the rest range over \p Ranges.
+std::pair<int64_t, int64_t>
+exprBounds(const AffineExpr &Expr, const std::vector<int64_t> &Partial,
+           unsigned Fixed,
+           const std::vector<std::pair<int64_t, int64_t>> &Ranges) {
+  int64_t Min = Expr.constantTerm();
+  int64_t Max = Expr.constantTerm();
+  for (unsigned I = 0, E = Expr.numDims(); I != E; ++I) {
+    int64_t A = Expr.coefficient(I);
+    if (A == 0)
+      continue;
+    if (I < Fixed) {
+      Min += A * Partial[I];
+      Max += A * Partial[I];
+    } else if (A > 0) {
+      Min += A * Ranges[I].first;
+      Max += A * Ranges[I].second;
+    } else {
+      Min += A * Ranges[I].second;
+      Max += A * Ranges[I].first;
+    }
+  }
+  return {Min, Max};
+}
+
+} // namespace
+
+struct CspSolver::SearchState {
+  std::optional<CspSolution> Best;
+};
+
+void CspSolver::search(SearchState &State, unsigned Depth,
+                       std::vector<int64_t> &Partial) const {
+  // Prune: every constraint must still be satisfiable, and when minimising
+  // the objective's optimistic value must beat the incumbent.
+  for (const Constraint &C : Constraints) {
+    auto [Min, Max] = exprBounds(C.Expr, Partial, Depth, Ranges);
+    if (C.Kind == Constraint::EQ ? (Min > 0 || Max < 0) : Max < 0)
+      return;
+  }
+  if (Objective && State.Best) {
+    auto [Min, Max] = exprBounds(*Objective, Partial, Depth, Ranges);
+    (void)Max;
+    if (Min >= State.Best->ObjectiveValue)
+      return;
+  }
+
+  if (Depth == NumVars) {
+    CspSolution Solution;
+    Solution.Assignment = Partial;
+    Solution.ObjectiveValue =
+        Objective ? Objective->evaluate(Partial) : 0;
+    if (!State.Best || !Objective ||
+        Solution.ObjectiveValue < State.Best->ObjectiveValue)
+      State.Best = std::move(Solution);
+    return;
+  }
+
+  // Try small-magnitude values first: ties in the objective then resolve
+  // toward simpler schedules (x + y rather than 2x + y), matching the
+  // paper's examples.
+  std::vector<int64_t> Order;
+  for (int64_t V = Ranges[Depth].first; V <= Ranges[Depth].second; ++V)
+    Order.push_back(V);
+  std::stable_sort(Order.begin(), Order.end(), [](int64_t A, int64_t B) {
+    int64_t AA = A < 0 ? -A : A, AB = B < 0 ? -B : B;
+    return AA < AB;
+  });
+
+  for (int64_t V : Order) {
+    Partial.push_back(V);
+    search(State, Depth + 1, Partial);
+    Partial.pop_back();
+    if (State.Best && !Objective)
+      return; // Feasibility-only: first solution wins.
+  }
+}
+
+std::optional<CspSolution> CspSolver::solve() const {
+  for (const auto &[Low, High] : Ranges)
+    if (Low > High)
+      return std::nullopt;
+  SearchState State;
+  std::vector<int64_t> Partial;
+  Partial.reserve(NumVars);
+  search(State, 0, Partial);
+  return State.Best;
+}
+
+std::optional<std::vector<std::pair<int64_t, int64_t>>>
+CspSolver::propagate() const {
+  std::vector<std::pair<int64_t, int64_t>> Narrowed = Ranges;
+  bool Changed = true;
+  std::vector<int64_t> Empty;
+  while (Changed) {
+    Changed = false;
+    for (const Constraint &C : Constraints) {
+      for (unsigned V = 0; V != NumVars; ++V) {
+        int64_t A = C.Expr.coefficient(V);
+        if (A == 0)
+          continue;
+        // Bound of the expression without variable V's contribution.
+        AffineExpr Rest = C.Expr;
+        Rest.setCoefficient(V, 0);
+        auto [RMin, RMax] = exprBounds(Rest, Empty, 0, Narrowed);
+        // A*v + rest >= 0 (and == 0 additionally needs A*v + rest <= 0).
+        // From rest <= RMax: v >= ceil(-RMax / A) when A > 0, etc.
+        if (A > 0) {
+          int64_t NewLow = poly::ceilDiv(-RMax, A);
+          if (NewLow > Narrowed[V].first) {
+            Narrowed[V].first = NewLow;
+            Changed = true;
+          }
+          if (C.Kind == Constraint::EQ) {
+            int64_t NewHigh = poly::floorDiv(-RMin, A);
+            if (NewHigh < Narrowed[V].second) {
+              Narrowed[V].second = NewHigh;
+              Changed = true;
+            }
+          }
+        } else {
+          int64_t NewHigh = poly::floorDiv(RMax, -A);
+          if (NewHigh < Narrowed[V].second) {
+            Narrowed[V].second = NewHigh;
+            Changed = true;
+          }
+          if (C.Kind == Constraint::EQ) {
+            int64_t NewLow = poly::ceilDiv(RMin, -A);
+            if (NewLow > Narrowed[V].first) {
+              Narrowed[V].first = NewLow;
+              Changed = true;
+            }
+          }
+        }
+        if (Narrowed[V].first > Narrowed[V].second)
+          return std::nullopt;
+      }
+    }
+  }
+  return Narrowed;
+}

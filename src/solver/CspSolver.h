@@ -1,0 +1,80 @@
+//===- CspSolver.h - Bounded-integer constraint solver ------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small Constraint Satisfaction Problem solver over bounded integer
+/// variables with linear constraints and an optional linear objective to
+/// minimise. The schedule-search CSPs of Section 4.6 have two or three
+/// variables with coefficients restricted to a small fixed range (the
+/// paper uses 10), so branch-and-bound with interval propagation is ample.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_SOLVER_CSPSOLVER_H
+#define PARREC_SOLVER_CSPSOLVER_H
+
+#include "poly/Polyhedron.h"
+
+#include <optional>
+#include <vector>
+
+namespace parrec {
+namespace solver {
+
+/// Result of a solved CSP: the assignment and, when an objective was set,
+/// its value.
+struct CspSolution {
+  std::vector<int64_t> Assignment;
+  int64_t ObjectiveValue = 0;
+};
+
+/// Branch-and-bound solver for linear constraints over bounded integers.
+class CspSolver {
+public:
+  /// Creates a solver with \p NumVars variables, each in [Low, High].
+  CspSolver(unsigned NumVars, int64_t Low, int64_t High);
+
+  unsigned numVars() const { return NumVars; }
+
+  /// Narrows the domain of variable \p Var to [Low, High] (intersected
+  /// with the existing range).
+  void restrictVar(unsigned Var, int64_t Low, int64_t High);
+
+  /// Fixes variable \p Var to \p Value.
+  void fixVar(unsigned Var, int64_t Value) { restrictVar(Var, Value, Value); }
+
+  /// Adds a linear constraint over the variables (Expr >= 0 or == 0).
+  void addConstraint(poly::Constraint C);
+
+  /// Sets the linear objective to minimise. Without an objective, solve()
+  /// returns the first feasible assignment found.
+  void setObjective(poly::AffineExpr Objective);
+
+  /// Solves the CSP. Returns nullopt when infeasible.
+  std::optional<CspSolution> solve() const;
+
+  /// Propagates interval bounds without search, returning the narrowed
+  /// (Low, High) range for each variable, or nullopt when propagation
+  /// detects infeasibility. Used by the conditional-schedule derivation of
+  /// Section 4.7 to obtain valid coefficient ranges.
+  std::optional<std::vector<std::pair<int64_t, int64_t>>> propagate() const;
+
+private:
+  unsigned NumVars;
+  std::vector<std::pair<int64_t, int64_t>> Ranges;
+  std::vector<poly::Constraint> Constraints;
+  std::optional<poly::AffineExpr> Objective;
+
+  struct SearchState;
+  void search(SearchState &State, unsigned Depth,
+              std::vector<int64_t> &Partial) const;
+};
+
+} // namespace solver
+} // namespace parrec
+
+#endif // PARREC_SOLVER_CSPSOLVER_H

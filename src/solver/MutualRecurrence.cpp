@@ -1,0 +1,244 @@
+//===- MutualRecurrence.cpp - Schedules for mutual recursion ----------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/MutualRecurrence.h"
+
+#include "solver/CspSolver.h"
+#include "support/StringUtils.h"
+
+using namespace parrec;
+using namespace parrec::solver;
+using poly::AffineExpr;
+using poly::Constraint;
+
+std::string
+OffsetSchedule::str(const std::vector<std::string> &DimNames) const {
+  std::string Out = Coefficients.str(DimNames);
+  if (Offset > 0)
+    Out += " + " + std::to_string(Offset);
+  else if (Offset < 0)
+    Out += " - " + std::to_string(-Offset);
+  return Out;
+}
+
+int64_t SystemSchedule::totalPartitions(
+    const std::vector<DomainBox> &Boxes) const {
+  assert(Boxes.size() == PerFunction.size() && "box per function");
+  int64_t Min = 0, Max = 0;
+  bool First = true;
+  for (size_t F = 0; F != PerFunction.size(); ++F) {
+    int64_t Lo = PerFunction[F].minOver(Boxes[F]);
+    int64_t Hi = PerFunction[F].maxOver(Boxes[F]);
+    if (First) {
+      Min = Lo;
+      Max = Hi;
+      First = false;
+    } else {
+      Min = std::min(Min, Lo);
+      Max = std::max(Max, Hi);
+    }
+  }
+  return Max - Min + 1;
+}
+
+namespace {
+
+/// Variable layout of the system CSP: the coefficient variables of every
+/// function in order, then one offset variable per function.
+struct VarLayout {
+  std::vector<unsigned> CoeffBase; // Per function.
+  unsigned OffsetBase = 0;
+  unsigned Total = 0;
+
+  explicit VarLayout(const RecurrenceSystem &System) {
+    unsigned Next = 0;
+    for (const SystemFunction &F : System.Functions) {
+      CoeffBase.push_back(Next);
+      Next += F.numDims();
+    }
+    OffsetBase = Next;
+    Total = Next + static_cast<unsigned>(System.Functions.size());
+  }
+
+  unsigned coeff(unsigned Function, unsigned Dim) const {
+    return CoeffBase[Function] + Dim;
+  }
+  unsigned offset(unsigned Function) const {
+    return OffsetBase + Function;
+  }
+};
+
+/// Emits the vertex criteria of one call into \p Constraints:
+/// S_f(v) - S_g(descent(v)) >= 1 at every vertex v of the caller's box,
+/// plus a_g,k == 0 for the call's free callee dimensions.
+void buildCallCriteria(const RecurrenceSystem &System,
+                       const std::vector<DomainBox> &Boxes,
+                       const VarLayout &Layout, unsigned Caller,
+                       const SystemCall &Call,
+                       std::vector<Constraint> &Constraints) {
+  const SystemFunction &F = System.Functions[Caller];
+  const SystemFunction &G = System.Functions[Call.Callee];
+  unsigned NF = F.numDims();
+  unsigned NG = G.numDims();
+  const DomainBox &Box = Boxes[Caller];
+
+  for (unsigned K = 0; K != NG; ++K)
+    if (Call.isFreeDim(K)) {
+      AffineExpr Zero(Layout.Total);
+      Zero.setCoefficient(Layout.coeff(Call.Callee, K), 1);
+      Constraints.push_back(Constraint::eq(Zero));
+    }
+
+  for (uint64_t Mask = 0, End = uint64_t(1) << NF; Mask != End; ++Mask) {
+    std::vector<int64_t> Vertex(NF);
+    for (unsigned J = 0; J != NF; ++J)
+      Vertex[J] = (Mask >> J) & 1 ? Box.Upper[J] : Box.Lower[J];
+
+    AffineExpr Expr(Layout.Total);
+    for (unsigned J = 0; J != NF; ++J)
+      Expr.setCoefficient(Layout.coeff(Caller, J), Vertex[J]);
+    for (unsigned K = 0; K != NG; ++K) {
+      if (Call.isFreeDim(K))
+        continue; // Coefficient is forced to zero.
+      int64_t Target = Call.Components[K].evaluate(Vertex);
+      Expr.setCoefficient(
+          Layout.coeff(Call.Callee, K),
+          Expr.coefficient(Layout.coeff(Call.Callee, K)) - Target);
+    }
+    Expr.setCoefficient(Layout.offset(Caller),
+                        Expr.coefficient(Layout.offset(Caller)) + 1);
+    Expr.setCoefficient(Layout.offset(Call.Callee),
+                        Expr.coefficient(Layout.offset(Call.Callee)) -
+                            1);
+    Expr.setConstantTerm(-1);
+    Constraints.push_back(Constraint::ge(Expr));
+  }
+}
+
+} // namespace
+
+bool parrec::solver::verifySystemSchedule(
+    const RecurrenceSystem &System, const SystemSchedule &S,
+    const std::vector<DomainBox> &Boxes, DiagnosticEngine &Diags) {
+  if (S.PerFunction.size() != System.Functions.size()) {
+    Diags.error({}, "system schedule must assign one schedule per "
+                    "function");
+    return false;
+  }
+  for (unsigned F = 0; F != System.Functions.size(); ++F) {
+    const SystemFunction &Fn = System.Functions[F];
+    for (const SystemCall &Call : Fn.Calls) {
+      const SystemFunction &G = System.Functions[Call.Callee];
+      const OffsetSchedule &SF = S.PerFunction[F];
+      const OffsetSchedule &SG = S.PerFunction[Call.Callee];
+      for (unsigned K = 0; K != G.numDims(); ++K)
+        if (Call.isFreeDim(K) &&
+            SG.Coefficients.Coefficients[K] != 0) {
+          Diags.error({}, "schedule of '" + G.Name +
+                              "' must ignore dimension '" +
+                              G.DimNames[K] +
+                              "' (free in a call from '" + Fn.Name +
+                              "')");
+          return false;
+        }
+      // Delta is affine in the caller's point; vertices suffice.
+      unsigned NF = Fn.numDims();
+      for (uint64_t Mask = 0, End = uint64_t(1) << NF; Mask != End;
+           ++Mask) {
+        std::vector<int64_t> Vertex(NF);
+        for (unsigned J = 0; J != NF; ++J)
+          Vertex[J] =
+              (Mask >> J) & 1 ? Boxes[F].Upper[J] : Boxes[F].Lower[J];
+        std::vector<int64_t> Target(G.numDims(), 0);
+        int64_t CalleeValue = SG.Offset;
+        for (unsigned K = 0; K != G.numDims(); ++K) {
+          if (Call.isFreeDim(K))
+            continue;
+          CalleeValue += SG.Coefficients.Coefficients[K] *
+                         Call.Components[K].evaluate(Vertex);
+        }
+        if (SF.apply(Vertex) <= CalleeValue) {
+          Diags.error({}, "system schedule violates the dependency '" +
+                              Fn.Name + " -> " + G.Name + "'");
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<SystemSchedule> parrec::solver::findSystemSchedule(
+    const RecurrenceSystem &System, const std::vector<DomainBox> &Boxes,
+    DiagnosticEngine &Diags, const SystemScheduleOptions &Options) {
+  assert(Boxes.size() == System.Functions.size() &&
+         "one box per function");
+  VarLayout Layout(System);
+
+  std::vector<Constraint> Criteria;
+  for (unsigned F = 0; F != System.Functions.size(); ++F)
+    for (const SystemCall &Call : System.Functions[F].Calls)
+      buildCallCriteria(System, Boxes, Layout, F, Call, Criteria);
+
+  unsigned NumCoeffs = Layout.OffsetBase;
+  int64_t K = Options.MaxCoefficient;
+
+  std::optional<SystemSchedule> Best;
+  int64_t BestObjective = 0;
+
+  // Sign-pattern decomposition over every coefficient variable, as in
+  // the single-function search (Section 4.6); offsets cancel within a
+  // function's span so they are free in the objective and resolved to
+  // small magnitudes by the search order.
+  for (uint64_t Pattern = 0, End = uint64_t(1) << NumCoeffs;
+       Pattern != End; ++Pattern) {
+    CspSolver Solver(Layout.Total, -K, K);
+    AffineExpr Objective(Layout.Total);
+    for (unsigned F = 0; F != System.Functions.size(); ++F) {
+      for (unsigned J = 0; J != System.Functions[F].numDims(); ++J) {
+        unsigned Var = Layout.coeff(F, J);
+        bool Negative = (Pattern >> Var) & 1;
+        if (Negative)
+          Solver.restrictVar(Var, -K, 0);
+        else
+          Solver.restrictVar(Var, 0, K);
+        int64_t Extent = Boxes[F].Upper[J] - Boxes[F].Lower[J];
+        Objective.setCoefficient(Var, Negative ? -Extent : Extent);
+      }
+      Solver.restrictVar(Layout.offset(F), -Options.MaxOffset,
+                         Options.MaxOffset);
+    }
+    // Gauge freedom: the first function's offset is zero.
+    Solver.fixVar(Layout.offset(0), 0);
+    for (const Constraint &C : Criteria)
+      Solver.addConstraint(C);
+    Solver.setObjective(Objective);
+
+    std::optional<CspSolution> Solution = Solver.solve();
+    if (!Solution)
+      continue;
+    if (!Best || Solution->ObjectiveValue < BestObjective) {
+      SystemSchedule S;
+      for (unsigned F = 0; F != System.Functions.size(); ++F) {
+        OffsetSchedule OS;
+        for (unsigned J = 0; J != System.Functions[F].numDims(); ++J)
+          OS.Coefficients.Coefficients.push_back(
+              Solution->Assignment[Layout.coeff(F, J)]);
+        OS.Offset = Solution->Assignment[Layout.offset(F)];
+        S.PerFunction.push_back(std::move(OS));
+      }
+      Best = std::move(S);
+      BestObjective = Solution->ObjectiveValue;
+    }
+  }
+
+  if (!Best)
+    Diags.error({}, "no compatible system schedule exists within the "
+                    "coefficient and offset bounds; the system's "
+                    "dependencies are cyclic");
+  return Best;
+}

@@ -1,0 +1,115 @@
+//===- MutualRecurrence.h - Schedules for mutual recursion --------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 9 (Further Work), implemented at the analysis
+/// level: scheduling *systems* of mutually recursive functions by
+/// deriving one scheduling function per function whose partition
+/// time-steps are compatible — "if S_f(x) < S_g(y) then f(x) must be
+/// computed before g(y)". Schedules here carry a constant offset,
+/// S_f = a_f . x + c_f, so functions can interleave within the shared
+/// time axis (needed e.g. for affine-gap alignment's M/Ix/Iy matrices
+/// and for f -> g -> f chains that alternate within one step of x).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_SOLVER_MUTUALRECURRENCE_H
+#define PARREC_SOLVER_MUTUALRECURRENCE_H
+
+#include "solver/ScheduleSynthesis.h"
+
+namespace parrec {
+namespace solver {
+
+/// One call site inside a system: the callee and the affine map from the
+/// caller's dimensions to the callee's dimensions.
+struct SystemCall {
+  unsigned Callee = 0;
+  /// Component k gives the callee's k-th dimension as an affine function
+  /// of the *caller's* dimensions. FreeDims (over the callee's
+  /// dimensions) mark reduction-scoped arguments as in DescentFunction.
+  std::vector<poly::AffineExpr> Components;
+  std::vector<bool> FreeDims;
+
+  bool isFreeDim(unsigned Dim) const {
+    return Dim < FreeDims.size() && FreeDims[Dim];
+  }
+};
+
+/// One function of the system.
+struct SystemFunction {
+  std::string Name;
+  std::vector<std::string> DimNames;
+  std::vector<SystemCall> Calls;
+
+  unsigned numDims() const {
+    return static_cast<unsigned>(DimNames.size());
+  }
+};
+
+/// A system of mutually recursive functions.
+struct RecurrenceSystem {
+  std::vector<SystemFunction> Functions;
+};
+
+/// A schedule with a constant offset: S(x) = a . x + c. The offset is
+/// what lets two functions' partitions interleave.
+struct OffsetSchedule {
+  Schedule Coefficients;
+  int64_t Offset = 0;
+
+  int64_t apply(const std::vector<int64_t> &Point) const {
+    return Coefficients.apply(Point) + Offset;
+  }
+  int64_t minOver(const DomainBox &Box) const {
+    return Coefficients.minOver(Box) + Offset;
+  }
+  int64_t maxOver(const DomainBox &Box) const {
+    return Coefficients.maxOver(Box) + Offset;
+  }
+  std::string str(const std::vector<std::string> &DimNames) const;
+};
+
+/// A compatible schedule assignment for the whole system.
+struct SystemSchedule {
+  std::vector<OffsetSchedule> PerFunction;
+
+  /// Global number of partitions across all functions' boxes.
+  int64_t totalPartitions(const std::vector<DomainBox> &Boxes) const;
+};
+
+/// Options for the system search.
+struct SystemScheduleOptions {
+  int64_t MaxCoefficient = 10;
+  /// Offsets are searched in [-MaxOffset, MaxOffset]; mutual chains of
+  /// length k need offsets up to ~k, so small bounds suffice.
+  int64_t MaxOffset = 20;
+};
+
+/// Verifies that \p S orders every cross-function dependency of
+/// \p System over the given per-function boxes: for every call f -> g
+/// and every x in f's box, S_f(x) > S_g(descent(x)). Reports the first
+/// violated criterion.
+bool verifySystemSchedule(const RecurrenceSystem &System,
+                          const SystemSchedule &S,
+                          const std::vector<DomainBox> &Boxes,
+                          DiagnosticEngine &Diags);
+
+/// Finds a compatible system schedule minimising the sum of the
+/// functions' partition spans (a proxy for the global makespan; the
+/// offsets are then the smallest feasible). Returns nullopt (with an
+/// error) when the system's dependencies are cyclic within a partition.
+std::optional<SystemSchedule>
+findSystemSchedule(const RecurrenceSystem &System,
+                   const std::vector<DomainBox> &Boxes,
+                   DiagnosticEngine &Diags,
+                   const SystemScheduleOptions &Options = {});
+
+} // namespace solver
+} // namespace parrec
+
+#endif // PARREC_SOLVER_MUTUALRECURRENCE_H

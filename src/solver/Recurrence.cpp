@@ -1,0 +1,121 @@
+//===- Recurrence.cpp - Analysis view of a recursive function --------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Recurrence.h"
+
+#include "support/StringUtils.h"
+
+using namespace parrec;
+using namespace parrec::solver;
+
+bool DescentFunction::isUniform() const {
+  for (unsigned I = 0, E = static_cast<unsigned>(Components.size()); I != E;
+       ++I) {
+    const poly::AffineExpr &C = Components[I];
+    for (unsigned J = 0, N = C.numDims(); J != N; ++J) {
+      int64_t Expected = (I == J) ? 1 : 0;
+      if (C.coefficient(J) != Expected)
+        return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int64_t> DescentFunction::uniformOffsets() const {
+  assert(isUniform() && "offsets only defined for uniform descents");
+  std::vector<int64_t> Offsets;
+  Offsets.reserve(Components.size());
+  for (const poly::AffineExpr &C : Components)
+    Offsets.push_back(C.constantTerm());
+  return Offsets;
+}
+
+std::string
+DescentFunction::str(const std::vector<std::string> &DimNames) const {
+  std::string Out = "(";
+  for (size_t I = 0; I != Components.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Components[I].str(DimNames);
+  }
+  Out += ")";
+  return Out;
+}
+
+bool RecurrenceSpec::allUniform() const {
+  for (const DescentFunction &D : Calls)
+    if (!D.isUniform())
+      return false;
+  return true;
+}
+
+DomainBox DomainBox::fromExtents(const std::vector<int64_t> &Extents) {
+  DomainBox Box;
+  Box.Lower.assign(Extents.size(), 0);
+  Box.Upper.reserve(Extents.size());
+  for (int64_t E : Extents) {
+    assert(E > 0 && "extents must be positive");
+    Box.Upper.push_back(E - 1);
+  }
+  return Box;
+}
+
+int64_t Schedule::apply(const std::vector<int64_t> &Point) const {
+  assert(Point.size() == Coefficients.size() && "dimension mismatch");
+  int64_t Sum = 0;
+  for (unsigned I = 0, E = numDims(); I != E; ++I)
+    Sum += Coefficients[I] * Point[I];
+  return Sum;
+}
+
+int64_t Schedule::minOver(const DomainBox &Box) const {
+  assert(Box.numDims() == numDims() && "dimension mismatch");
+  int64_t Sum = 0;
+  for (unsigned I = 0, E = numDims(); I != E; ++I)
+    Sum += Coefficients[I] *
+           (Coefficients[I] >= 0 ? Box.Lower[I] : Box.Upper[I]);
+  return Sum;
+}
+
+int64_t Schedule::maxOver(const DomainBox &Box) const {
+  assert(Box.numDims() == numDims() && "dimension mismatch");
+  int64_t Sum = 0;
+  for (unsigned I = 0, E = numDims(); I != E; ++I)
+    Sum += Coefficients[I] *
+           (Coefficients[I] >= 0 ? Box.Upper[I] : Box.Lower[I]);
+  return Sum;
+}
+
+int64_t Schedule::partitionCount(const DomainBox &Box) const {
+  return maxOver(Box) - minOver(Box) + 1;
+}
+
+poly::AffineExpr Schedule::toAffineExpr(unsigned NumParams) const {
+  poly::AffineExpr E(NumParams + numDims());
+  for (unsigned I = 0, N = numDims(); I != N; ++I)
+    E.setCoefficient(NumParams + I, Coefficients[I]);
+  return E;
+}
+
+std::string Schedule::str(const std::vector<std::string> &DimNames) const {
+  std::string Out;
+  bool First = true;
+  for (unsigned I = 0, E = numDims(); I != E; ++I) {
+    std::string Fallback;
+    std::string_view Name;
+    if (I < DimNames.size()) {
+      Name = DimNames[I];
+    } else {
+      Fallback = "x" + std::to_string(I);
+      Name = Fallback;
+    }
+    appendAffineTerm(Out, Coefficients[I], Name, First);
+  }
+  if (First)
+    Out = "0";
+  return Out;
+}

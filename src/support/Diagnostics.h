@@ -1,0 +1,69 @@
+//===- Diagnostics.h - Error and warning reporting ---------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostics engine. Library code never throws; recoverable
+/// problems (malformed DSL input, unsatisfiable schedules, ...) are reported
+/// here and callers test \c hasErrors().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_SUPPORT_DIAGNOSTICS_H
+#define PARREC_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <vector>
+
+namespace parrec {
+
+/// Severity of a reported diagnostic.
+enum class DiagSeverity { Note, Warning, Error };
+
+/// A single reported problem: severity, location and message text.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLocation Loc;
+  std::string Message;
+
+  /// Renders the diagnostic in the conventional "loc: severity: text" form.
+  std::string str() const;
+};
+
+/// Collects diagnostics produced while processing one compilation.
+///
+/// The engine is deliberately simple: diagnostics accumulate in order and
+/// can be rendered to a string. It performs no I/O itself so library code
+/// stays free of stream dependencies.
+class DiagnosticEngine {
+public:
+  void error(SourceLocation Loc, std::string Message);
+  void warning(SourceLocation Loc, std::string Message);
+  void note(SourceLocation Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic, one per line.
+  std::string str() const;
+
+  /// Drops all collected diagnostics.
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace parrec
+
+#endif // PARREC_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,62 @@
+//===- Random.h - Deterministic pseudo-random generation ---------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded SplitMix64 generator used to create synthetic workloads
+/// (sequence databases, HMM parameters). All evaluation data must be
+/// reproducible bit-for-bit, so std::random_device is never used.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_SUPPORT_RANDOM_H
+#define PARREC_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace parrec {
+
+/// SplitMix64: tiny, fast, and identical on every platform.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64 raw bits.
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    // Rejection-free modulo is fine for synthetic-data purposes.
+    return next() % Bound;
+  }
+
+  /// Returns a uniform integer in [Low, High] inclusive.
+  int64_t nextInRange(int64_t Low, int64_t High) {
+    assert(Low <= High && "empty range");
+    return Low + static_cast<int64_t>(
+                     nextBelow(static_cast<uint64_t>(High - Low) + 1));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace parrec
+
+#endif // PARREC_SUPPORT_RANDOM_H

@@ -1,0 +1,64 @@
+//===- SourceLocation.h - Positions within DSL source text ------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight value types describing positions and ranges within the DSL
+/// source text, used by the lexer, parser and diagnostics engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_SUPPORT_SOURCELOCATION_H
+#define PARREC_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+#include <string>
+
+namespace parrec {
+
+/// A (line, column) position in a source buffer. Lines and columns are
+/// 1-based; a zero line denotes an invalid/unknown location.
+struct SourceLocation {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  constexpr SourceLocation() = default;
+  constexpr SourceLocation(uint32_t Line, uint32_t Column)
+      : Line(Line), Column(Column) {}
+
+  bool isValid() const { return Line != 0; }
+
+  friend bool operator==(SourceLocation A, SourceLocation B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+  friend bool operator!=(SourceLocation A, SourceLocation B) {
+    return !(A == B);
+  }
+
+  /// Renders the location as "line:column" (or "<unknown>").
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+};
+
+/// A half-open range of source text [Begin, End).
+struct SourceRange {
+  SourceLocation Begin;
+  SourceLocation End;
+
+  constexpr SourceRange() = default;
+  constexpr SourceRange(SourceLocation Begin, SourceLocation End)
+      : Begin(Begin), End(End) {}
+  constexpr explicit SourceRange(SourceLocation Loc) : Begin(Loc), End(Loc) {}
+
+  bool isValid() const { return Begin.isValid(); }
+};
+
+} // namespace parrec
+
+#endif // PARREC_SUPPORT_SOURCELOCATION_H

@@ -1,0 +1,76 @@
+//===- StringUtils.cpp - Small string helpers -----------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+
+using namespace parrec;
+
+std::vector<std::string> parrec::splitString(std::string_view Text,
+                                             char Separator) {
+  std::vector<std::string> Pieces;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Text.find(Separator, Start);
+    if (Pos == std::string_view::npos) {
+      Pieces.emplace_back(Text.substr(Start));
+      return Pieces;
+    }
+    Pieces.emplace_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string_view parrec::trimString(std::string_view Text) {
+  size_t Begin = 0;
+  while (Begin < Text.size() &&
+         std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  size_t End = Text.size();
+  while (End > Begin &&
+         std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+bool parrec::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}
+
+std::string parrec::joinStrings(const std::vector<std::string> &Pieces,
+                                std::string_view Separator) {
+  std::string Out;
+  bool First = true;
+  for (const std::string &Piece : Pieces) {
+    if (!First)
+      Out += Separator;
+    Out += Piece;
+    First = false;
+  }
+  return Out;
+}
+
+void parrec::appendAffineTerm(std::string &Out, int64_t Coefficient,
+                              std::string_view Variable, bool &First) {
+  if (Coefficient == 0)
+    return;
+  int64_t Magnitude = Coefficient < 0 ? -Coefficient : Coefficient;
+  if (First) {
+    if (Coefficient < 0)
+      Out += "-";
+    First = false;
+  } else {
+    Out += Coefficient < 0 ? " - " : " + ";
+  }
+  if (Magnitude != 1) {
+    Out += std::to_string(Magnitude);
+    Out += "*";
+  }
+  Out += Variable;
+}

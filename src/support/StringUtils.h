@@ -1,0 +1,47 @@
+//===- StringUtils.h - Small string helpers ----------------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared across the compiler: splitting, trimming and a
+/// couple of formatting conveniences used when pretty-printing generated
+/// code and affine expressions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_SUPPORT_STRINGUTILS_H
+#define PARREC_SUPPORT_STRINGUTILS_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parrec {
+
+/// Splits \p Text on \p Separator. Empty pieces are kept so the result is
+/// always Separator-count + 1 entries.
+std::vector<std::string> splitString(std::string_view Text, char Separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trimString(std::string_view Text);
+
+/// True when \p Text begins with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// Joins \p Pieces with \p Separator between consecutive entries.
+std::string joinStrings(const std::vector<std::string> &Pieces,
+                        std::string_view Separator);
+
+/// Appends a signed coefficient * variable term ("x", "+ 2*y", "- z") to a
+/// textual affine expression under construction. \p First tracks whether a
+/// term has been emitted yet and is updated.
+void appendAffineTerm(std::string &Out, int64_t Coefficient,
+                      std::string_view Variable, bool &First);
+
+} // namespace parrec
+
+#endif // PARREC_SUPPORT_STRINGUTILS_H

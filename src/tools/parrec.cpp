@@ -1,0 +1,316 @@
+//===- parrec.cpp - The ParRec command-line driver ----------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler driver:
+///   parrec run <script.rdsl>         execute a script on the simulator
+///   parrec run --cpu <script.rdsl>   execute with the modelled CPU
+///   parrec check <fn.rdsl>           parse + analyse one function
+///   parrec schedule <fn.rdsl> n1 n2  print the minimal schedule for a box
+///   parrec emit <fn.rdsl> [n1 n2..]  print the synthesized CUDA source
+///   parrec loops <fn.rdsl> n1 n2     print the Figure 9/10 loop nests
+///
+/// `emit` and `loops` accept `--schedule a1,a2,...` to use a
+/// user-provided scheduling function instead of the derived one; it is
+/// verified against the dependency criteria first (Section 4.5).
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CudaEmitter.h"
+#include "lang/Parser.h"
+#include "poly/CPrinter.h"
+#include "runtime/Interpreter.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace parrec;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: parrec <command> [options] <file> [extents...]\n"
+               "commands:\n"
+               "  run [--cpu] <script>   execute a script\n"
+               "  check <function>       analyse a single function\n"
+               "  schedule <fn> <n...>   derive the minimal schedule\n"
+               "  emit <fn>              print synthesized CUDA source\n"
+               "  loops <fn> <n...>      print generated loop nests\n");
+  return 2;
+}
+
+std::optional<std::string> readFile(const char *Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+struct AnalyzedFunction {
+  std::unique_ptr<lang::FunctionDecl> Decl;
+  std::optional<lang::FunctionInfo> Info;
+};
+
+std::optional<AnalyzedFunction> analyzeFile(const char *Path,
+                                            DiagnosticEngine &Diags) {
+  std::optional<std::string> Source = readFile(Path);
+  if (!Source) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path);
+    return std::nullopt;
+  }
+  AnalyzedFunction Result;
+  lang::Parser P(*Source, Diags);
+  Result.Decl = P.parseFunctionOnly();
+  if (!Result.Decl)
+    return std::nullopt;
+  lang::Sema S(Diags, {"dna", "rna", "protein", "en"});
+  Result.Info = S.analyze(*Result.Decl);
+  if (!Result.Info)
+    return std::nullopt;
+  return Result;
+}
+
+/// Parses a --schedule a1,a2,... option if present at Argv[*Index],
+/// advancing *Index past it. Returns nullopt when absent; exits with an
+/// error message on malformed input.
+std::optional<solver::Schedule> parseScheduleOption(int Argc, char **Argv,
+                                                    int *Index) {
+  if (*Index + 1 >= Argc ||
+      std::strcmp(Argv[*Index], "--schedule") != 0)
+    return std::nullopt;
+  solver::Schedule S;
+  for (const std::string &Piece :
+       splitString(Argv[*Index + 1], ','))
+    S.Coefficients.push_back(std::atoll(Piece.c_str()));
+  *Index += 2;
+  return S;
+}
+
+std::optional<solver::DomainBox> boxFromArgs(int Argc, char **Argv,
+                                             int First, unsigned Dims) {
+  if (Argc - First != static_cast<int>(Dims)) {
+    std::fprintf(stderr,
+                 "error: expected %u domain extents, got %d\n", Dims,
+                 Argc - First);
+    return std::nullopt;
+  }
+  std::vector<int64_t> Extents;
+  for (int I = First; I != Argc; ++I)
+    Extents.push_back(std::atoll(Argv[I]));
+  for (int64_t E : Extents)
+    if (E <= 0) {
+      std::fprintf(stderr, "error: extents must be positive\n");
+      return std::nullopt;
+    }
+  return solver::DomainBox::fromExtents(Extents);
+}
+
+int cmdRun(int Argc, char **Argv) {
+  bool UseCpu = false;
+  int FileIndex = 2;
+  if (FileIndex < Argc && std::strcmp(Argv[FileIndex], "--cpu") == 0) {
+    UseCpu = true;
+    ++FileIndex;
+  }
+  if (FileIndex >= Argc)
+    return usage();
+  std::optional<std::string> Source = readFile(Argv[FileIndex]);
+  if (!Source) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Argv[FileIndex]);
+    return 1;
+  }
+  // Loads resolve relative to the script's directory.
+  std::string Dir = Argv[FileIndex];
+  size_t Slash = Dir.rfind('/');
+  Dir = Slash == std::string::npos ? std::string(".")
+                                   : Dir.substr(0, Slash);
+
+  DiagnosticEngine Diags;
+  runtime::Interpreter::Options Opts;
+  Opts.UseGpu = !UseCpu;
+  Opts.BasePath = Dir;
+  runtime::Interpreter Interp(Diags, std::move(Opts));
+  std::optional<std::string> Output = Interp.run(*Source);
+  std::fputs(Diags.str().c_str(), stderr);
+  if (!Output)
+    return 1;
+  std::fputs(Output->c_str(), stdout);
+  return 0;
+}
+
+int cmdCheck(int Argc, char **Argv) {
+  if (Argc < 3)
+    return usage();
+  DiagnosticEngine Diags;
+  auto Fn = analyzeFile(Argv[2], Diags);
+  std::fputs(Diags.str().c_str(), stderr);
+  if (!Fn)
+    return 1;
+  std::printf("%s\n", Fn->Decl->signatureStr().c_str());
+  std::printf("recursion dimensions:");
+  for (const lang::DimInfo &Dim : Fn->Info->Dims)
+    std::printf(" %s", Dim.Name.c_str());
+  std::printf("\nrecursive calls:\n");
+  for (const solver::DescentFunction &Call :
+       Fn->Info->Recurrence.Calls)
+    std::printf("  %s%s\n",
+                Call.str(Fn->Info->Recurrence.DimNames).c_str(),
+                Call.isUniform() ? " (uniform)" : " (affine)");
+  return 0;
+}
+
+int cmdSchedule(int Argc, char **Argv) {
+  if (Argc < 3)
+    return usage();
+  DiagnosticEngine Diags;
+  auto Fn = analyzeFile(Argv[2], Diags);
+  if (!Fn) {
+    std::fputs(Diags.str().c_str(), stderr);
+    return 1;
+  }
+  auto Box = boxFromArgs(Argc, Argv, 3, Fn->Info->numDims());
+  if (!Box)
+    return 1;
+  auto S = solver::findMinimalSchedule(Fn->Info->Recurrence, *Box, Diags);
+  std::fputs(Diags.str().c_str(), stderr);
+  if (!S)
+    return 1;
+  std::printf("S_%s = %s\n", Fn->Decl->Name.c_str(),
+              S->str(Fn->Info->Recurrence.DimNames).c_str());
+  std::printf("partitions: %lld\n",
+              static_cast<long long>(S->partitionCount(*Box)));
+  auto Window = solver::slidingWindowDepth(Fn->Info->Recurrence, *S);
+  if (Window)
+    std::printf("sliding window: %lld previous partitions\n",
+                static_cast<long long>(*Window));
+  else
+    std::printf("sliding window: unavailable (affine descents)\n");
+  return 0;
+}
+
+int cmdEmit(int Argc, char **Argv) {
+  int Index = 2;
+  DiagnosticEngine Diags;
+  std::optional<solver::Schedule> UserSchedule =
+      parseScheduleOption(Argc, Argv, &Index);
+  if (Index >= Argc)
+    return usage();
+  auto Fn = analyzeFile(Argv[Index], Diags);
+  if (!Fn) {
+    std::fputs(Diags.str().c_str(), stderr);
+    return 1;
+  }
+  if (UserSchedule) {
+    // Verify against the criteria before emitting (Section 4.5); with
+    // uniform descents no box is needed.
+    if (!solver::verifySchedule(Fn->Info->Recurrence, *UserSchedule,
+                                std::nullopt, Diags)) {
+      std::fputs(Diags.str().c_str(), stderr);
+      return 1;
+    }
+    std::printf("%s\n%s",
+                codegen::emitCudaKernel(*Fn->Decl, *Fn->Info,
+                                        *UserSchedule)
+                    .c_str(),
+                codegen::emitHostLaunchStub(*Fn->Decl, *Fn->Info)
+                    .c_str());
+    return 0;
+  }
+  // Conditional derivation needs no box; fall back to a generic box for
+  // affine descents.
+  std::optional<solver::Schedule> S;
+  if (Fn->Info->Recurrence.allUniform()) {
+    auto Candidates =
+        solver::findConditionalSchedules(Fn->Info->Recurrence, Diags);
+    if (Candidates && !Candidates->empty())
+      S = (*Candidates)[0].S;
+  }
+  if (!S) {
+    std::vector<int64_t> Extents(Fn->Info->numDims(), 128);
+    S = solver::findMinimalSchedule(Fn->Info->Recurrence,
+                                    solver::DomainBox::fromExtents(
+                                        Extents),
+                                    Diags);
+  }
+  std::fputs(Diags.str().c_str(), stderr);
+  if (!S)
+    return 1;
+  std::printf("%s\n%s",
+              codegen::emitCudaKernel(*Fn->Decl, *Fn->Info, *S).c_str(),
+              codegen::emitHostLaunchStub(*Fn->Decl, *Fn->Info)
+                  .c_str());
+  return 0;
+}
+
+int cmdLoops(int Argc, char **Argv) {
+  int Index = 2;
+  DiagnosticEngine Diags;
+  std::optional<solver::Schedule> UserSchedule =
+      parseScheduleOption(Argc, Argv, &Index);
+  if (Index >= Argc)
+    return usage();
+  auto Fn = analyzeFile(Argv[Index], Diags);
+  if (!Fn) {
+    std::fputs(Diags.str().c_str(), stderr);
+    return 1;
+  }
+  auto Box = boxFromArgs(Argc, Argv, Index + 1, Fn->Info->numDims());
+  if (!Box)
+    return 1;
+  std::optional<solver::Schedule> S;
+  if (UserSchedule) {
+    if (!solver::verifySchedule(Fn->Info->Recurrence, *UserSchedule,
+                                *Box, Diags)) {
+      std::fputs(Diags.str().c_str(), stderr);
+      return 1;
+    }
+    S = std::move(UserSchedule);
+  } else {
+    S = solver::findMinimalSchedule(Fn->Info->Recurrence, *Box, Diags);
+  }
+  std::fputs(Diags.str().c_str(), stderr);
+  if (!S)
+    return 1;
+
+  std::vector<std::string> Names;
+  for (const lang::DimInfo &Dim : Fn->Info->Dims)
+    Names.push_back(Dim.Name);
+  poly::Polyhedron Domain(Names);
+  for (unsigned D = 0; D != Box->numDims(); ++D)
+    Domain.addBounds(D, Box->Lower[D], Box->Upper[D]);
+  poly::LoopNest Nest =
+      poly::generateLoops(Domain, 0, S->toAffineExpr(0));
+  std::printf("// CLooG-style sequential scan (Figure 9)\n%s\n",
+              poly::printSequentialLoops(Nest).c_str());
+  std::printf("// Thread-partitioned conversion (Figure 10)\n%s",
+              poly::printParallelLoops(Nest).c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  if (std::strcmp(Argv[1], "run") == 0)
+    return cmdRun(Argc, Argv);
+  if (std::strcmp(Argv[1], "check") == 0)
+    return cmdCheck(Argc, Argv);
+  if (std::strcmp(Argv[1], "schedule") == 0)
+    return cmdSchedule(Argc, Argv);
+  if (std::strcmp(Argv[1], "emit") == 0)
+    return cmdEmit(Argc, Argv);
+  if (std::strcmp(Argv[1], "loops") == 0)
+    return cmdLoops(Argc, Argv);
+  return usage();
+}

@@ -1,0 +1,160 @@
+//===- BioTest.cpp - Tests for alphabets, sequences, FASTA, matrices ---------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bio/Fasta.h"
+#include "bio/SubstitutionMatrix.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+using namespace parrec;
+using namespace parrec::bio;
+
+TEST(AlphabetTest, Builtins) {
+  EXPECT_EQ(Alphabet::dna().size(), 4u);
+  EXPECT_EQ(Alphabet::protein().size(), 20u);
+  EXPECT_EQ(Alphabet::english().size(), 26u);
+  EXPECT_EQ(Alphabet::dna().indexOf('c'), 1);
+  EXPECT_EQ(Alphabet::dna().indexOf('z'), -1);
+  EXPECT_EQ(Alphabet::dna().charAt(3), 't');
+  EXPECT_TRUE(Alphabet::protein().contains('W'));
+  EXPECT_FALSE(Alphabet::protein().contains('w'));
+}
+
+TEST(SequenceTest, Basics) {
+  Sequence S("query", "acgtacgt");
+  EXPECT_EQ(S.length(), 8);
+  EXPECT_EQ(S.at(0), 'a');
+  EXPECT_EQ(S.at(7), 't');
+  EXPECT_EQ(S.name(), "query");
+}
+
+TEST(FastaTest, ParseRoundTrip) {
+  DiagnosticEngine Diags;
+  auto Db = parseFasta(">first record\nacgt\nACGT ignored-spaces\n"
+                       "; comment\n>second\n\ncccc\n",
+                       Diags);
+  ASSERT_TRUE(Db.has_value()) << Diags.str();
+  ASSERT_EQ(Db->size(), 2u);
+  EXPECT_EQ((*Db)[0].name(), "first record");
+  EXPECT_EQ((*Db)[0].data(), "acgtACGTignored-spaces");
+  EXPECT_EQ((*Db)[1].data(), "cccc");
+
+  std::string Text = writeFasta(*Db);
+  DiagnosticEngine Diags2;
+  auto Again = parseFasta(Text, Diags2);
+  ASSERT_TRUE(Again.has_value());
+  EXPECT_EQ((*Again)[0].data(), (*Db)[0].data());
+  EXPECT_EQ((*Again)[1].name(), "second");
+}
+
+TEST(FastaTest, DataBeforeHeaderIsError) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(parseFasta("acgt\n>late\nacgt\n", Diags).has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(FastaTest, LongLinesWrapAt60) {
+  SequenceDatabase Db = {Sequence("s", std::string(150, 'a'))};
+  std::string Text = writeFasta(Db);
+  for (const std::string &Line : splitString(Text, '\n'))
+    EXPECT_LE(Line.size(), 60u);
+}
+
+TEST(FastaTest, RandomDatabaseDeterministic) {
+  auto A = randomDatabase(Alphabet::dna(), 10, 50, 100, 7);
+  auto B = randomDatabase(Alphabet::dna(), 10, 50, 100, 7);
+  ASSERT_EQ(A.size(), 10u);
+  for (unsigned I = 0; I != 10; ++I) {
+    EXPECT_EQ(A[I].data(), B[I].data());
+    EXPECT_GE(A[I].length(), 50);
+    EXPECT_LE(A[I].length(), 100);
+    for (char C : A[I].data())
+      EXPECT_TRUE(Alphabet::dna().contains(C));
+  }
+  auto C = randomDatabase(Alphabet::dna(), 10, 50, 100, 8);
+  EXPECT_NE(A[0].data(), C[0].data());
+}
+
+TEST(SubstitutionMatrixTest, Blosum62KnownValues) {
+  const SubstitutionMatrix &M = SubstitutionMatrix::blosum62();
+  EXPECT_EQ(M.score('A', 'A'), 4);
+  EXPECT_EQ(M.score('W', 'W'), 11);
+  EXPECT_EQ(M.score('A', 'W'), -3);
+  EXPECT_EQ(M.score('W', 'A'), -3);
+  EXPECT_EQ(M.score('R', 'K'), 2);
+  EXPECT_EQ(M.score('?', 'A'), 0) << "unknown characters score default";
+}
+
+TEST(SubstitutionMatrixTest, Symmetry) {
+  const SubstitutionMatrix &M = SubstitutionMatrix::blosum62();
+  const Alphabet &P = Alphabet::protein();
+  for (unsigned A = 0; A != P.size(); ++A)
+    for (unsigned B = 0; B != P.size(); ++B)
+      EXPECT_EQ(M.scoreByIndex(A, B), M.scoreByIndex(B, A))
+          << P.charAt(A) << " vs " << P.charAt(B);
+}
+
+TEST(SubstitutionMatrixTest, MatchMismatch) {
+  SubstitutionMatrix M =
+      SubstitutionMatrix::matchMismatch(Alphabet::dna(), 2, -1);
+  EXPECT_EQ(M.score('a', 'a'), 2);
+  EXPECT_EQ(M.score('a', 'c'), -1);
+}
+
+TEST(SubstitutionMatrixTest, ParseRoundTrip) {
+  const SubstitutionMatrix &M = SubstitutionMatrix::blosum62();
+  DiagnosticEngine Diags;
+  auto Parsed = SubstitutionMatrix::parse(M.str(), Diags);
+  ASSERT_TRUE(Parsed.has_value()) << Diags.str();
+  for (unsigned A = 0; A != 20; ++A)
+    for (unsigned B = 0; B != 20; ++B)
+      EXPECT_EQ(Parsed->scoreByIndex(A, B), M.scoreByIndex(A, B));
+}
+
+TEST(FastaTest, FileRoundTrip) {
+  SequenceDatabase Db = randomDatabase(Alphabet::protein(), 5, 20, 80,
+                                       /*Seed=*/31337);
+  std::string Path = ::testing::TempDir() + "/parrec_fasta_test.fa";
+  {
+    std::ofstream Out(Path);
+    ASSERT_TRUE(Out.good());
+    Out << writeFasta(Db);
+  }
+  DiagnosticEngine Diags;
+  auto Loaded = readFastaFile(Path, Diags);
+  ASSERT_TRUE(Loaded.has_value()) << Diags.str();
+  ASSERT_EQ(Loaded->size(), Db.size());
+  for (size_t I = 0; I != Db.size(); ++I) {
+    EXPECT_EQ((*Loaded)[I].name(), Db[I].name());
+    EXPECT_EQ((*Loaded)[I].data(), Db[I].data());
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(FastaTest, MissingFileReported) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(
+      readFastaFile("/nonexistent/parrec.fa", Diags).has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(SubstitutionMatrixTest, ParseErrors) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(SubstitutionMatrix::parse("", Diags).has_value());
+  DiagnosticEngine Diags2;
+  EXPECT_FALSE(
+      SubstitutionMatrix::parse("ab\na: 1 2\n", Diags2).has_value())
+      << "missing row must be rejected";
+  DiagnosticEngine Diags3;
+  EXPECT_FALSE(
+      SubstitutionMatrix::parse("ab\na: 1\nb: 1 2\n", Diags3).has_value())
+      << "short row must be rejected";
+}

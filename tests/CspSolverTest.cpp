@@ -1,0 +1,172 @@
+//===- CspSolverTest.cpp - Tests for the CSP solver --------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/CspSolver.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace parrec::poly;
+using namespace parrec::solver;
+
+TEST(CspSolverTest, FeasibilityOnly) {
+  // x + y >= 3, x - y == 1, x,y in [0, 5].
+  CspSolver Solver(2, 0, 5);
+  Solver.addConstraint(Constraint::ge(AffineExpr({1, 1}, -3)));
+  Solver.addConstraint(Constraint::eq(AffineExpr({1, -1}, -1)));
+  auto Solution = Solver.solve();
+  ASSERT_TRUE(Solution.has_value());
+  int64_t X = Solution->Assignment[0], Y = Solution->Assignment[1];
+  EXPECT_GE(X + Y, 3);
+  EXPECT_EQ(X - Y, 1);
+}
+
+TEST(CspSolverTest, Infeasible) {
+  CspSolver Solver(1, 0, 3);
+  Solver.addConstraint(Constraint::ge(AffineExpr({1}, -10))); // x >= 10.
+  EXPECT_FALSE(Solver.solve().has_value());
+}
+
+TEST(CspSolverTest, MinimisesObjective) {
+  // Minimise 3x + 2y subject to x + y >= 4, x,y in [0, 10].
+  CspSolver Solver(2, 0, 10);
+  Solver.addConstraint(Constraint::ge(AffineExpr({1, 1}, -4)));
+  Solver.setObjective(AffineExpr({3, 2}, 0));
+  auto Solution = Solver.solve();
+  ASSERT_TRUE(Solution.has_value());
+  // Optimum: x = 0, y = 4 with objective 8.
+  EXPECT_EQ(Solution->ObjectiveValue, 8);
+  EXPECT_EQ(Solution->Assignment[0], 0);
+  EXPECT_EQ(Solution->Assignment[1], 4);
+}
+
+TEST(CspSolverTest, NegativeRanges) {
+  // Minimise x subject to x >= -3 within [-5, 5].
+  CspSolver Solver(1, -5, 5);
+  Solver.addConstraint(Constraint::ge(AffineExpr({1}, 3)));
+  Solver.setObjective(AffineExpr({1}, 0));
+  auto Solution = Solver.solve();
+  ASSERT_TRUE(Solution.has_value());
+  EXPECT_EQ(Solution->Assignment[0], -3);
+}
+
+TEST(CspSolverTest, FixAndRestrict) {
+  CspSolver Solver(3, -10, 10);
+  Solver.fixVar(0, 2);
+  Solver.restrictVar(1, 0, 10);
+  Solver.addConstraint(Constraint::eq(AffineExpr({1, 1, 1}, 0)));
+  Solver.setObjective(AffineExpr({0, 1, 0}, 0));
+  auto Solution = Solver.solve();
+  ASSERT_TRUE(Solution.has_value());
+  EXPECT_EQ(Solution->Assignment[0], 2);
+  EXPECT_EQ(Solution->Assignment[1], 0);
+  EXPECT_EQ(Solution->Assignment[2], -2);
+}
+
+TEST(CspSolverTest, EmptyDomainAfterRestriction) {
+  CspSolver Solver(1, 0, 5);
+  Solver.restrictVar(0, 3, 2);
+  EXPECT_FALSE(Solver.solve().has_value());
+}
+
+TEST(CspSolverTest, PropagationNarrowsRanges) {
+  // x in [0, 10], y in [0, 10], x + y <= 4, x >= 2.
+  CspSolver Solver(2, 0, 10);
+  Solver.addConstraint(Constraint::ge(AffineExpr({-1, -1}, 4)));
+  Solver.addConstraint(Constraint::ge(AffineExpr({1, 0}, -2)));
+  auto Ranges = Solver.propagate();
+  ASSERT_TRUE(Ranges.has_value());
+  EXPECT_EQ((*Ranges)[0].first, 2);
+  EXPECT_EQ((*Ranges)[0].second, 4);
+  EXPECT_EQ((*Ranges)[1].first, 0);
+  EXPECT_EQ((*Ranges)[1].second, 2);
+}
+
+TEST(CspSolverTest, PropagationDetectsInfeasibility) {
+  CspSolver Solver(2, 0, 3);
+  Solver.addConstraint(Constraint::ge(AffineExpr({1, 1}, -10)));
+  EXPECT_FALSE(Solver.propagate().has_value());
+}
+
+/// Property: branch-and-bound agrees with exhaustive enumeration on
+/// random small CSPs (feasibility and optimal objective value).
+TEST(CspSolverTest, AgreesWithBruteForceOnRandomProblems) {
+  using parrec::poly::AffineExpr;
+  using parrec::poly::Constraint;
+  parrec::SplitMix64 Rng(4242);
+  for (int Round = 0; Round != 40; ++Round) {
+    unsigned NumVars = 2 + static_cast<unsigned>(Rng.nextBelow(2));
+    int64_t Low = -4, High = 4;
+    CspSolver Solver(NumVars, Low, High);
+
+    unsigned NumConstraints =
+        1 + static_cast<unsigned>(Rng.nextBelow(4));
+    std::vector<Constraint> Cs;
+    for (unsigned C = 0; C != NumConstraints; ++C) {
+      AffineExpr E(NumVars);
+      for (unsigned V = 0; V != NumVars; ++V)
+        E.setCoefficient(V, Rng.nextInRange(-3, 3));
+      E.setConstantTerm(Rng.nextInRange(-5, 5));
+      Constraint Con = Rng.nextBelow(4) == 0 ? Constraint::eq(E)
+                                             : Constraint::ge(E);
+      Cs.push_back(Con);
+      Solver.addConstraint(Con);
+    }
+    AffineExpr Objective(NumVars);
+    for (unsigned V = 0; V != NumVars; ++V)
+      Objective.setCoefficient(V, Rng.nextInRange(-3, 3));
+    Solver.setObjective(Objective);
+
+    // Brute force.
+    std::optional<int64_t> BestObjective;
+    std::vector<int64_t> Point(NumVars, Low);
+    while (true) {
+      bool Feasible = true;
+      for (const Constraint &Con : Cs) {
+        int64_t V = Con.Expr.evaluate(Point);
+        if (Con.Kind == Constraint::EQ ? V != 0 : V < 0) {
+          Feasible = false;
+          break;
+        }
+      }
+      if (Feasible) {
+        int64_t Obj = Objective.evaluate(Point);
+        if (!BestObjective || Obj < *BestObjective)
+          BestObjective = Obj;
+      }
+      unsigned D = 0;
+      for (; D != NumVars; ++D) {
+        if (++Point[D] <= High)
+          break;
+        Point[D] = Low;
+      }
+      if (D == NumVars)
+        break;
+    }
+
+    auto Solution = Solver.solve();
+    ASSERT_EQ(Solution.has_value(), BestObjective.has_value())
+        << "round " << Round;
+    if (Solution) {
+      EXPECT_EQ(Solution->ObjectiveValue, *BestObjective)
+          << "round " << Round;
+    }
+  }
+}
+
+TEST(CspSolverTest, PrefersSmallMagnitudes) {
+  // Both (1, 1) and (2, 2) satisfy x == y, x >= 1; without an objective
+  // the solver should land on the smallest magnitudes.
+  CspSolver Solver(2, -10, 10);
+  Solver.addConstraint(Constraint::eq(AffineExpr({1, -1}, 0)));
+  Solver.addConstraint(Constraint::ge(AffineExpr({1, 0}, -1)));
+  auto Solution = Solver.solve();
+  ASSERT_TRUE(Solution.has_value());
+  EXPECT_EQ(Solution->Assignment[0], 1);
+  EXPECT_EQ(Solution->Assignment[1], 1);
+}

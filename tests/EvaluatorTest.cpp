@@ -1,0 +1,249 @@
+//===- EvaluatorTest.cpp - Tests for the cell evaluator ------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Evaluator.h"
+
+#include "bio/HmmZoo.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace parrec;
+using namespace parrec::codegen;
+
+namespace {
+
+/// A trivial table stub returning a fixed value.
+class ConstantTable : public TableView {
+public:
+  explicit ConstantTable(double Value) : Value(Value) {}
+  double get(const int64_t *) const override { return Value; }
+
+private:
+  double Value;
+};
+
+struct Harness {
+  std::unique_ptr<lang::FunctionDecl> Decl;
+  lang::FunctionInfo Info;
+  std::unique_ptr<Evaluator> Eval;
+  DiagnosticEngine Diags;
+
+  bool compile(const char *Source) {
+    lang::Parser P(Source, Diags);
+    Decl = P.parseFunctionOnly();
+    if (!Decl)
+      return false;
+    lang::Sema S(Diags, {"dna", "rna", "protein", "en"});
+    auto MaybeInfo = S.analyze(*Decl);
+    if (!MaybeInfo)
+      return false;
+    Info = std::move(*MaybeInfo);
+    Info.Decl = Decl.get();
+    Eval = std::make_unique<Evaluator>(*Decl, Info);
+    return true;
+  }
+
+  double evalAt(std::vector<int64_t> Point, double TableValue,
+                gpu::CostCounter *CostOut = nullptr) {
+    ConstantTable Table(TableValue);
+    gpu::CostCounter Cost;
+    double V = Eval->evalCell(Point.data(), Table, Cost);
+    if (CostOut)
+      *CostOut = Cost;
+    return V;
+  }
+};
+
+} // namespace
+
+TEST(EvaluatorTest, IntegerArithmetic) {
+  Harness H;
+  ASSERT_TRUE(H.compile(
+      "int f(int n) = if n == 0 then 0 else ((n * 3 + 4) / 2 - 1) min "
+      "100 max (0 - 5)\n"))
+      << H.Diags.str();
+  H.Eval->bind({ArgValue::ofInt(10)});
+  // n = 7: (7*3+4)/2 - 1 = 11; min 100 -> 11; max -5 -> 11.
+  EXPECT_DOUBLE_EQ(H.evalAt({7}, 0.0), 11.0);
+  EXPECT_DOUBLE_EQ(H.evalAt({0}, 0.0), 0.0);
+}
+
+TEST(EvaluatorTest, ComparisonsAndBooleans) {
+  Harness H;
+  ASSERT_TRUE(H.compile("int f(int n) =\n"
+                        "  if n < 3 then 1\n"
+                        "  else if n >= 8 then 2\n"
+                        "  else if n != 5 then 3\n"
+                        "  else 4 + f(n - 1) * 0\n"))
+      << H.Diags.str();
+  H.Eval->bind({ArgValue::ofInt(10)});
+  EXPECT_DOUBLE_EQ(H.evalAt({2}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(H.evalAt({9}, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(H.evalAt({6}, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(H.evalAt({5}, 0.0), 4.0);
+}
+
+TEST(EvaluatorTest, RecursiveLookupUsesTable) {
+  Harness H;
+  ASSERT_TRUE(H.compile(
+      "int f(int n) = if n == 0 then 1 else f(n - 1) + 2\n"));
+  H.Eval->bind({ArgValue::ofInt(5)});
+  gpu::CostCounter Cost;
+  EXPECT_DOUBLE_EQ(H.evalAt({3}, 40.0, &Cost), 42.0);
+  EXPECT_EQ(Cost.TableReads, 1u);
+  EXPECT_EQ(Cost.TableWrites, 1u);
+}
+
+TEST(EvaluatorTest, SequenceAndCharEquality) {
+  Harness H;
+  ASSERT_TRUE(H.compile(
+      "int f(seq[dna] s, index[s] i) =\n"
+      "  if i == 0 then 0\n"
+      "  else if s[i-1] == 'a' then 1 + f(i-1) * 0 else 2\n"))
+      << H.Diags.str();
+  bio::Sequence S("s", "acg");
+  H.Eval->bind({ArgValue::ofSeq(&S), ArgValue()});
+  EXPECT_DOUBLE_EQ(H.evalAt({1}, 0.0), 1.0); // s[0] == 'a'.
+  EXPECT_DOUBLE_EQ(H.evalAt({2}, 0.0), 2.0); // s[1] == 'c'.
+}
+
+TEST(EvaluatorTest, MatrixLookup) {
+  Harness H;
+  ASSERT_TRUE(H.compile(
+      "int f(matrix[protein] m, seq[protein] a, index[a] i) =\n"
+      "  if i == 0 then 0 else m[a[i-1], a[i-1]] + f(i-1) * 0\n"))
+      << H.Diags.str();
+  bio::Sequence A("a", "WA");
+  H.Eval->bind({ArgValue::ofMatrix(&bio::SubstitutionMatrix::blosum62()),
+                ArgValue::ofSeq(&A), ArgValue()});
+  EXPECT_DOUBLE_EQ(H.evalAt({1}, 0.0), 11.0); // W vs W.
+  EXPECT_DOUBLE_EQ(H.evalAt({2}, 0.0), 4.0);  // A vs A.
+}
+
+TEST(EvaluatorTest, ProbabilityLogSpace) {
+  Harness H;
+  ASSERT_TRUE(H.compile(
+      "prob f(float p, int n) =\n"
+      "  if n == 0 then 0.5 else (f(n-1) * 0.5) + f(n-1)\n"))
+      << H.Diags.str();
+  H.Eval->bind({ArgValue::ofReal(0.0), ArgValue::ofInt(4)});
+  // Base case: stored value is log(0.5).
+  EXPECT_NEAR(H.evalAt({0}, 0.0), std::log(0.5), 1e-12);
+  // Recursive case with table cell = log(0.25):
+  // 0.25*0.5 + 0.25 = 0.375 in linear space.
+  gpu::CostCounter Cost;
+  double V = H.evalAt({2}, std::log(0.25), &Cost);
+  EXPECT_NEAR(V, std::log(0.375), 1e-12);
+  EXPECT_GE(Cost.Transcendentals, 1u)
+      << "log-space addition must count a transcendental";
+}
+
+TEST(EvaluatorTest, HmmMembersAndReductions) {
+  Harness H;
+  ASSERT_TRUE(H.compile(
+      "prob f(hmm h, state[h] s, int n) =\n"
+      "  if n == 0 then (if s.isstart then 1.0 else 0.0)\n"
+      "  else sum(t in s.transitionsto : t.prob * f(t.start, n - 1))\n"))
+      << H.Diags.str();
+  bio::Hmm Model = bio::makeCasinoModel();
+  H.Eval->bind({ArgValue::ofHmm(&Model), ArgValue(),
+                ArgValue::ofInt(3)});
+
+  // Base cases: start state stores log 1 = 0, others log 0 = -inf.
+  unsigned Start = Model.startState();
+  EXPECT_DOUBLE_EQ(
+      H.evalAt({static_cast<int64_t>(Start), 0}, 0.0), 0.0);
+  int Fair = Model.findState("fair");
+  EXPECT_TRUE(std::isinf(H.evalAt({Fair, 0}, 0.0)));
+
+  // fair at n > 0: incoming from begin (1.0), fair (0.94), loaded (0.1);
+  // with all table cells = log(0.5): sum = 0.5 * (1 + 0.94 + 0.1).
+  double V = H.evalAt({Fair, 1}, std::log(0.5));
+  EXPECT_NEAR(V, std::log(0.5 * (1.0 + 0.94 + 0.1)), 1e-9);
+}
+
+TEST(EvaluatorTest, EmptyReductionIdentities) {
+  // The begin state has no incoming transitions: sum over the empty set
+  // is probability 0 (log -inf), max is -inf, NOT probability 1. (This
+  // was a real bug: see the Viterbi example.)
+  for (const char *Op : {"sum", "max", "min"}) {
+    Harness H;
+    std::string Source =
+        std::string("prob f(hmm h, state[h] s, int n) =\n"
+                    "  if n == 0 then 1.0\n"
+                    "  else ") +
+        Op + "(t in s.transitionsto : t.prob * f(t.start, n - 1))\n";
+    ASSERT_TRUE(H.compile(Source.c_str())) << Op << H.Diags.str();
+    bio::Hmm Model = bio::makeCasinoModel();
+    H.Eval->bind({ArgValue::ofHmm(&Model), ArgValue(),
+                  ArgValue::ofInt(2)});
+    int64_t Begin = Model.startState();
+    double V = H.evalAt({Begin, 1}, 0.0);
+    if (std::string(Op) == "min")
+      EXPECT_TRUE(std::isinf(V) && V > 0) << Op;
+    else
+      EXPECT_TRUE(std::isinf(V) && V < 0) << Op;
+  }
+}
+
+TEST(EvaluatorTest, TransitionsFromDirection) {
+  Harness H;
+  ASSERT_TRUE(H.compile(
+      "prob f(hmm h, state[h] s, int n) =\n"
+      "  if n == 0 then 1.0\n"
+      "  else sum(t in s.transitionsfrom : t.prob * f(t.end, n - 1))\n"))
+      << H.Diags.str();
+  bio::Hmm Model = bio::makeCasinoModel();
+  H.Eval->bind({ArgValue::ofHmm(&Model), ArgValue(),
+                ArgValue::ofInt(2)});
+  // Outgoing probabilities of fair sum to 1 -> with table cells log(1)=0
+  // the sum is log(1) = 0.
+  int Fair = Model.findState("fair");
+  EXPECT_NEAR(H.evalAt({Fair, 1}, 0.0), 0.0, 1e-9);
+}
+
+TEST(EvaluatorTest, ValidationRejectsProbSubtraction) {
+  DiagnosticEngine Diags;
+  lang::Parser P("prob f(int n) = if n == 0 then 0.5 else f(n-1) - "
+                 "f(n-1)\n",
+                 Diags);
+  auto Decl = P.parseFunctionOnly();
+  ASSERT_TRUE(Decl != nullptr);
+  lang::Sema S(Diags, {});
+  auto Info = S.analyze(*Decl);
+  ASSERT_TRUE(Info.has_value()) << Diags.str();
+  EXPECT_FALSE(validateForExecution(*Decl, Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(EvaluatorTest, CostCountingIsMonotoneInWork) {
+  Harness H;
+  ASSERT_TRUE(H.compile(
+      "int f(int n) = if n == 0 then 0 else f(n-1) + f(n-1) + f(n-1)\n"));
+  H.Eval->bind({ArgValue::ofInt(4)});
+  gpu::CostCounter Base, Rec;
+  H.evalAt({0}, 0.0, &Base);
+  H.evalAt({3}, 1.0, &Rec);
+  EXPECT_GT(Rec.Ops, Base.Ops);
+  EXPECT_EQ(Rec.TableReads, 3u);
+}
+
+TEST(HmmLogCacheTest, MatchesModelParameters) {
+  bio::Hmm Model = bio::makeCasinoModel();
+  HmmLogCache Cache;
+  Cache.build(Model);
+  ASSERT_EQ(Cache.LogTransitionProbs.size(), Model.numTransitions());
+  for (unsigned T = 0; T != Model.numTransitions(); ++T)
+    EXPECT_NEAR(Cache.LogTransitionProbs[T],
+                std::log(Model.transition(T).Prob), 1e-12);
+  unsigned Loaded = static_cast<unsigned>(Model.findState("loaded"));
+  EXPECT_NEAR(Cache.LogEmissions[Loaded][5], std::log(0.5), 1e-12);
+  EXPECT_TRUE(Cache.LogEmissions[Model.startState()].empty());
+}

@@ -1,0 +1,130 @@
+//===- GpuTest.cpp - Tests for the GPU execution-model simulator -------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpu/Device.h"
+
+#include <gtest/gtest.h>
+
+using namespace parrec::gpu;
+
+TEST(CostModelTest, CellCycles) {
+  CostModel Model;
+  CostCounter C;
+  C.Ops = 10;
+  C.TableReads = 2;
+  C.TableWrites = 1;
+  C.ModelReads = 3;
+  C.Transcendentals = 2;
+  EXPECT_EQ(Model.gpuCellCycles(C, /*TableInShared=*/true),
+            10 * Model.GpuCyclesPerOp +
+                2 * Model.GpuTranscendentalCycles +
+                3 * Model.SharedMemLatencyCycles +
+                3 * Model.SharedMemLatencyCycles);
+  EXPECT_EQ(Model.gpuCellCycles(C, /*TableInShared=*/false),
+            10 * Model.GpuCyclesPerOp +
+                2 * Model.GpuTranscendentalCycles +
+                3 * Model.GlobalMemLatencyCycles +
+                3 * Model.SharedMemLatencyCycles);
+  EXPECT_EQ(Model.cpuCycles(C),
+            10 * Model.CpuCyclesPerOp +
+                2 * Model.CpuTranscendentalCycles +
+                6 * Model.CpuMemLatencyCycles);
+}
+
+TEST(CostModelTest, SecondsConversion) {
+  CostModel Model;
+  EXPECT_DOUBLE_EQ(Model.gpuSeconds(1400000000ull), 1.0);
+  EXPECT_DOUBLE_EQ(Model.cpuSeconds(2260000000ull), 1.0);
+  EXPECT_EQ(Model.totalGpuLanes(), 15u * 32u);
+}
+
+TEST(CostCounterTest, Arithmetic) {
+  CostCounter A{10, 2, 1, 4};
+  CostCounter B{3, 1, 1, 2};
+  A += B;
+  EXPECT_EQ(A.Ops, 13u);
+  EXPECT_EQ(A.tableAccesses(), 5u);
+  CostCounter D = A - B;
+  EXPECT_EQ(D.Ops, 10u);
+  EXPECT_EQ(D.ModelReads, 4u);
+}
+
+TEST(BlockTimerTest, LockstepMaxPlusSync) {
+  BlockTimer Timer(4);
+  Timer.addThreadCycles(0, 10);
+  Timer.addThreadCycles(1, 25);
+  Timer.addThreadCycles(2, 5);
+  // Partition advances by the slowest thread plus the barrier.
+  EXPECT_EQ(Timer.closePartition(64), 25u + 64u);
+  // Accumulators reset between partitions.
+  Timer.addThreadCycles(3, 7);
+  EXPECT_EQ(Timer.closePartition(64), 7u + 64u);
+  EXPECT_EQ(Timer.totalCycles(), 25u + 64u + 7u + 64u);
+}
+
+TEST(DeviceTest, DispatchBalancesAcrossMultiprocessors) {
+  CostModel Model;
+  Model.NumMultiprocessors = 4;
+  Model.KernelLaunchCycles = 0;
+  Device Dev(Model);
+
+  // Eight equal problems on four MPs: two rounds.
+  std::vector<uint64_t> Problems(8, 100);
+  EXPECT_EQ(Dev.dispatchProblems(Problems), 200u);
+
+  // One giant problem dominates.
+  Problems.push_back(10000);
+  EXPECT_EQ(Dev.dispatchProblems(Problems), 10000u);
+
+  EXPECT_EQ(Dev.dispatchProblems({}), 0u);
+}
+
+TEST(DeviceTest, DispatchIsNearOptimal) {
+  CostModel Model;
+  Model.NumMultiprocessors = 3;
+  Model.KernelLaunchCycles = 0;
+  Device Dev(Model);
+  // LPT on {7,6,5,4,3,2}: loads end up (7+2, 6+3, 5+4) — makespan 9,
+  // which is optimal here.
+  EXPECT_EQ(Dev.dispatchProblems({7, 6, 5, 4, 3, 2}), 9u);
+}
+
+TEST(DeviceTest, InterTaskRounds) {
+  CostModel Model;
+  Model.NumMultiprocessors = 2;
+  Model.CoresPerMultiprocessor = 2; // 4 lanes.
+  Model.KernelLaunchCycles = 0;
+  Device Dev(Model);
+
+  // Six tasks on four lanes: round 1 max(1,2,3,4)=4, round 2 max(5,6)=6.
+  EXPECT_EQ(Dev.interTaskCycles({1, 2, 3, 4, 5, 6}), 10u);
+  EXPECT_EQ(Dev.interTaskCycles({}), 0u);
+}
+
+TEST(DeviceTest, LaunchOverheadCharged) {
+  CostModel Model;
+  Model.NumMultiprocessors = 2;
+  Model.KernelLaunchCycles = 500;
+  Device Dev(Model);
+  EXPECT_EQ(Dev.dispatchProblems({100}), 600u);
+}
+
+TEST(GpuRunMetricsTest, AggregationAndRendering) {
+  CostModel Model;
+  GpuRunMetrics A;
+  A.Cycles = 1000;
+  A.Partitions = 5;
+  A.CellsComputed = 50;
+  A.TableBytes = 100;
+  GpuRunMetrics B = A;
+  B.TableBytes = 400;
+  A += B;
+  EXPECT_EQ(A.Cycles, 2000u);
+  EXPECT_EQ(A.Partitions, 10u);
+  EXPECT_EQ(A.TableBytes, 400u) << "table bytes aggregate by max";
+  EXPECT_NE(A.str(Model).find("cells=100"), std::string::npos);
+}

@@ -1,0 +1,196 @@
+//===- HmmTest.cpp - Tests for the HMM extension -----------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bio/HmmZoo.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace parrec;
+using namespace parrec::bio;
+
+TEST(HmmTest, CasinoStructure) {
+  Hmm M = makeCasinoModel();
+  EXPECT_EQ(M.numStates(), 4u);
+  EXPECT_EQ(M.numTransitions(), 7u);
+  EXPECT_EQ(M.state(M.startState()).Name, "begin");
+  EXPECT_EQ(M.state(M.endState()).Name, "finish");
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(M.validate(Diags)) << Diags.str();
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(HmmTest, AdjacencyTables) {
+  Hmm M = makeCasinoModel();
+  int Fair = M.findState("fair");
+  ASSERT_GE(Fair, 0);
+  // fair receives from begin, fair, loaded.
+  EXPECT_EQ(M.transitionsTo(static_cast<unsigned>(Fair)).size(), 3u);
+  // fair sends to fair, loaded, finish.
+  EXPECT_EQ(M.transitionsFrom(static_cast<unsigned>(Fair)).size(), 3u);
+  for (unsigned T : M.transitionsTo(static_cast<unsigned>(Fair)))
+    EXPECT_EQ(M.transition(T).To, static_cast<unsigned>(Fair));
+}
+
+TEST(HmmTest, EmissionLookups) {
+  Hmm M = makeCasinoModel();
+  unsigned Loaded = static_cast<unsigned>(M.findState("loaded"));
+  EXPECT_DOUBLE_EQ(M.emission(Loaded, 'f'), 0.5);
+  EXPECT_DOUBLE_EQ(M.emission(Loaded, 'a'), 0.1);
+  EXPECT_DOUBLE_EQ(M.emission(Loaded, 'z'), 0.0);
+  // Silent states emit "probability 1" (the Figure 11 convention).
+  EXPECT_DOUBLE_EQ(M.emission(M.endState(), 'a'), 1.0);
+}
+
+TEST(HmmTest, SamplingRespectsAlphabet) {
+  Hmm M = makeCasinoModel();
+  std::string S = M.sample(123);
+  EXPECT_FALSE(S.empty());
+  for (char C : S)
+    EXPECT_TRUE(M.alphabet().contains(C));
+  EXPECT_EQ(S, M.sample(123)) << "sampling must be deterministic";
+  EXPECT_NE(S, M.sample(124));
+}
+
+TEST(HmmTest, TextRoundTrip) {
+  Hmm M = makeCasinoModel();
+  DiagnosticEngine Diags;
+  auto Parsed = Hmm::parse(M.str(), Diags);
+  ASSERT_TRUE(Parsed.has_value()) << Diags.str();
+  EXPECT_EQ(Parsed->numStates(), M.numStates());
+  EXPECT_EQ(Parsed->numTransitions(), M.numTransitions());
+  unsigned Loaded = static_cast<unsigned>(Parsed->findState("loaded"));
+  EXPECT_NEAR(Parsed->emission(Loaded, 'f'), 0.5, 1e-9);
+}
+
+TEST(HmmTest, ParseRejectsBadModels) {
+  DiagnosticEngine D1;
+  EXPECT_FALSE(Hmm::parse("state s0 ;", D1).has_value())
+      << "alphabet must come first";
+  DiagnosticEngine D2;
+  EXPECT_FALSE(
+      Hmm::parse("alphabet dna ; state a start ; state a end ;", D2)
+          .has_value())
+      << "duplicate state";
+  DiagnosticEngine D3;
+  EXPECT_FALSE(Hmm::parse("alphabet dna ; state a start ; "
+                          "transition a -> b 0.5 ;",
+                          D3)
+                   .has_value())
+      << "unknown transition target";
+  DiagnosticEngine D4;
+  EXPECT_FALSE(Hmm::parse("alphabet dna ; state a start ;", D4)
+                   .has_value())
+      << "missing end state";
+}
+
+TEST(HmmTest, ValidationWarnsOnBadSums) {
+  Hmm M("broken", Alphabet::dna());
+  unsigned A = M.addState("a", {}, true, false);
+  unsigned B = M.addState("b", {0.5, 0.5, 0.5, 0.5}, false, true);
+  M.addTransition(A, B, 0.25);
+  M.finalize();
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(M.validate(Diags));
+  // Emission and transition sums are off: two warnings.
+  unsigned Warnings = 0;
+  for (const Diagnostic &D : Diags.diagnostics())
+    Warnings += D.Severity == DiagSeverity::Warning;
+  EXPECT_EQ(Warnings, 2u);
+}
+
+TEST(HmmTest, GeneFinderAndCpgWellFormed) {
+  for (Hmm M : {makeGeneFinderModel(), makeCpgIslandModel()}) {
+    DiagnosticEngine Diags;
+    EXPECT_TRUE(M.validate(Diags)) << M.name() << ": " << Diags.str();
+    for (const Diagnostic &D : Diags.diagnostics())
+      EXPECT_NE(D.Severity, DiagSeverity::Warning)
+          << M.name() << ": " << D.str();
+  }
+}
+
+TEST(ProfileHmmTest, StructureScalesWithPositions) {
+  for (unsigned Positions : {1u, 5u, 30u}) {
+    Hmm M = makeProfileHmm(Positions, Alphabet::protein(), 99);
+    EXPECT_EQ(M.numStates(), 3 * Positions + 3) << Positions;
+    DiagnosticEngine Diags;
+    EXPECT_TRUE(M.validate(Diags)) << Diags.str();
+    for (const Diagnostic &D : Diags.diagnostics())
+      EXPECT_NE(D.Severity, DiagSeverity::Warning) << D.str();
+  }
+}
+
+TEST(ProfileHmmTest, DeterministicInSeed) {
+  Hmm A = makeProfileHmm(4, Alphabet::protein(), 5);
+  Hmm B = makeProfileHmm(4, Alphabet::protein(), 5);
+  unsigned M1 = static_cast<unsigned>(A.findState("M1"));
+  EXPECT_EQ(A.state(M1).Emissions, B.state(M1).Emissions);
+}
+
+TEST(SilentEliminationTest, RemovesDeleteStates) {
+  Hmm M = makeProfileHmm(6, Alphabet::protein(), 42);
+  DiagnosticEngine Diags;
+  auto E = eliminateSilentStates(M, Diags);
+  ASSERT_TRUE(E.has_value()) << Diags.str();
+  // Only begin, I0, M1..M6, I1..I6 and finish remain.
+  EXPECT_EQ(E->numStates(), M.numStates() - 6);
+  for (unsigned S = 0; S != E->numStates(); ++S) {
+    const HmmState &State = E->state(S);
+    EXPECT_TRUE(!State.isSilent() || State.IsStart || State.IsEnd)
+        << State.Name;
+  }
+  // Outgoing probabilities must still sum to 1 for every emitting state.
+  DiagnosticEngine Diags2;
+  EXPECT_TRUE(E->validate(Diags2));
+  for (const Diagnostic &D : Diags2.diagnostics())
+    EXPECT_NE(D.Severity, DiagSeverity::Warning) << D.str();
+}
+
+TEST(SilentEliminationTest, PreservesPathProbabilities) {
+  // A tiny chain: start -> silent -> emit -> end, plus a silent
+  // self-loop. The effective start -> emit probability must be
+  // p(start->silent) * p(silent->emit) / (1 - selfloop).
+  Hmm M("chain", Alphabet::dna());
+  unsigned Start = M.addState("s", {}, true, false);
+  unsigned Silent = M.addState("mid", {});
+  unsigned Emit = M.addState("e", {0.25, 0.25, 0.25, 0.25});
+  unsigned End = M.addState("f", {}, false, true);
+  M.addTransition(Start, Silent, 1.0);
+  M.addTransition(Silent, Silent, 0.2);
+  M.addTransition(Silent, Emit, 0.8);
+  M.addTransition(Emit, End, 1.0);
+  M.finalize();
+
+  DiagnosticEngine Diags;
+  auto E = eliminateSilentStates(M, Diags);
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(E->numStates(), 3u);
+  int NewStart = E->findState("s");
+  int NewEmit = E->findState("e");
+  ASSERT_GE(NewStart, 0);
+  ASSERT_GE(NewEmit, 0);
+  double Effective = 0.0;
+  for (unsigned T : E->transitionsFrom(static_cast<unsigned>(NewStart)))
+    if (E->transition(T).To == static_cast<unsigned>(NewEmit))
+      Effective += E->transition(T).Prob;
+  EXPECT_NEAR(Effective, 1.0, 1e-12) << "1.0 * 0.8 / (1 - 0.2)";
+}
+
+TEST(SilentEliminationTest, RejectsAbsorbingSilentCycle) {
+  Hmm M("cycle", Alphabet::dna());
+  unsigned Start = M.addState("s", {}, true, false);
+  unsigned Silent = M.addState("mid", {});
+  unsigned End = M.addState("f", {}, false, true);
+  M.addTransition(Start, Silent, 1.0);
+  M.addTransition(Silent, Silent, 1.0);
+  (void)End;
+  M.finalize();
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(eliminateSilentStates(M, Diags).has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}

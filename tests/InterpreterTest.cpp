@@ -1,0 +1,248 @@
+//===- InterpreterTest.cpp - Tests for the script interpreter -----------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Interpreter.h"
+
+#include "baselines/SmithWaterman.h"
+#include "bio/HmmZoo.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+using namespace parrec;
+using namespace parrec::runtime;
+
+namespace {
+
+const char *EditDistanceFunction =
+    "int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =\n"
+    "  if i == 0 then j\n"
+    "  else if j == 0 then i\n"
+    "  else if s[i-1] == t[j-1] then d(i-1, j-1)\n"
+    "  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1\n";
+
+} // namespace
+
+TEST(InterpreterTest, PrintRunsARecursion) {
+  DiagnosticEngine Diags;
+  Interpreter Interp(Diags);
+  Interp.defineSequence("a", bio::Sequence("a", "kitten"));
+  Interp.defineSequence("b", bio::Sequence("b", "sitting"));
+
+  std::string Script = std::string(EditDistanceFunction) +
+                       "print d(a, b)\n";
+  auto Output = Interp.run(Script);
+  ASSERT_TRUE(Output.has_value()) << Diags.str();
+  EXPECT_NE(Output->find("d(a, b) = 3"), std::string::npos) << *Output;
+}
+
+TEST(InterpreterTest, CpuAndGpuModesAgree) {
+  for (bool UseGpu : {false, true}) {
+    DiagnosticEngine Diags;
+    Interpreter::Options Opts;
+    Opts.UseGpu = UseGpu;
+    Interpreter Interp(Diags, std::move(Opts));
+    Interp.defineSequence("a", bio::Sequence("a", "flaw"));
+    Interp.defineSequence("b", bio::Sequence("b", "lawn"));
+    auto Output = Interp.run(std::string(EditDistanceFunction) +
+                             "print d(a, b)\n");
+    ASSERT_TRUE(Output.has_value()) << Diags.str();
+    EXPECT_NE(Output->find("d(a, b) = 2"), std::string::npos)
+        << *Output;
+  }
+}
+
+TEST(InterpreterTest, TableMaxForSmithWaterman) {
+  DiagnosticEngine Diags;
+  Interpreter Interp(Diags);
+  Interp.defineMatrix("blosum", bio::SubstitutionMatrix::blosum62());
+  Interp.defineSequence("q", bio::Sequence("q", "HEAGAWGHEE"));
+  Interp.defineSequence("s", bio::Sequence("s", "PAWHEAE"));
+
+  const char *Script =
+      "int sw(matrix[protein] m, seq[protein] a, index[a] i,\n"
+      "       seq[protein] b, index[b] j) =\n"
+      "  if i == 0 then 0\n"
+      "  else if j == 0 then 0\n"
+      "  else 0 max (sw(i-1, j-1) + m[a[i-1], b[j-1]])\n"
+      "       max (sw(i-1, j) - 4) max (sw(i, j-1) - 4)\n"
+      "print max sw(blosum, q, s)\n";
+  auto Output = Interp.run(Script);
+  ASSERT_TRUE(Output.has_value()) << Diags.str();
+  // Must equal the hand-written Smith-Waterman implementation.
+  baselines::SwParams Params;
+  Params.Matrix = &bio::SubstitutionMatrix::blosum62();
+  Params.GapPenalty = 4;
+  gpu::CostCounter Cost;
+  int Expected = baselines::smithWatermanScore(
+      bio::Sequence("q", "HEAGAWGHEE"), bio::Sequence("s", "PAWHEAE"),
+      Params, Cost);
+  EXPECT_NE(Output->find("= " + std::to_string(Expected)),
+            std::string::npos)
+      << *Output << " expected score " << Expected;
+}
+
+TEST(InterpreterTest, InlineHmmAndMap) {
+  DiagnosticEngine Diags;
+  Interpreter Interp(Diags);
+  bio::SequenceDatabase Db = {bio::Sequence("one", "ff"),
+                              bio::Sequence("two", "ab")};
+  Interp.defineDatabase("rolls", Db);
+
+  const char *Script =
+      "hmm casino = {\n"
+      "  alphabet letters abcdef ;\n"
+      "  state begin start ;\n"
+      "  state loaded emits a 0.1 b 0.1 c 0.1 d 0.1 e 0.1 f 0.5 ;\n"
+      "  state finish end ;\n"
+      "  transition begin -> loaded 1.0 ;\n"
+      "  transition loaded -> loaded 0.9 ;\n"
+      "  transition loaded -> finish 0.1 ;\n"
+      "}\n"
+      "prob fwd(hmm h, state[h] s, seq[*] x, index[x] i) =\n"
+      "  if i == 0 then (if s.isstart then 1.0 else 0.0)\n"
+      "  else (if s.isend then 1.0 else s.emission[x[i-1]]) *\n"
+      "    sum(t in s.transitionsto : t.prob * fwd(t.start, i - 1))\n"
+      "map fwd(casino, rolls)\n";
+  auto Output = Interp.run(Script);
+  ASSERT_TRUE(Output.has_value()) << Diags.str();
+  // F(end, 2) = P(emit one symbol then end) = 1.0*e(x0)*0.1:
+  // "ff" -> 0.5*0.1 = 0.05; "ab" -> 0.1*0.1 = 0.01.
+  EXPECT_NE(Output->find("fwd(one) = 0.05"), std::string::npos)
+      << *Output;
+  EXPECT_NE(Output->find("fwd(two) = 0.01"), std::string::npos)
+      << *Output;
+  EXPECT_NE(Output->find("map fwd: 2 problems"), std::string::npos);
+}
+
+TEST(InterpreterTest, AlphabetStatementEnablesCustomSeqs) {
+  DiagnosticEngine Diags;
+  Interpreter Interp(Diags);
+  Interp.defineSequence("s", bio::Sequence("s", "0110"));
+  const char *Script =
+      "alphabet bin = \"01\"\n"
+      "int ones(seq[bin] s, index[s] i) =\n"
+      "  if i == 0 then 0\n"
+      "  else ones(i-1) + (if s[i-1] == '1' then 1 else 0)\n"
+      "print ones(s)\n";
+  auto Output = Interp.run(Script);
+  ASSERT_TRUE(Output.has_value()) << Diags.str();
+  EXPECT_NE(Output->find("ones(s) = 2"), std::string::npos) << *Output;
+}
+
+TEST(InterpreterTest, IntArgumentsBindLiterals) {
+  DiagnosticEngine Diags;
+  Interpreter Interp(Diags);
+  const char *Script =
+      "int fib(int n) = if n < 2 then n else fib(n-1) + fib(n-2)\n"
+      "print fib(20)\n";
+  auto Output = Interp.run(Script);
+  ASSERT_TRUE(Output.has_value()) << Diags.str();
+  EXPECT_NE(Output->find("fib(20) = 6765"), std::string::npos)
+      << *Output;
+}
+
+TEST(InterpreterTest, ErrorsAreReported) {
+  {
+    DiagnosticEngine Diags;
+    Interpreter Interp(Diags);
+    EXPECT_FALSE(Interp.run("print nosuch(a)\n").has_value());
+    EXPECT_TRUE(Diags.hasErrors());
+  }
+  {
+    DiagnosticEngine Diags;
+    Interpreter Interp(Diags);
+    std::string Script = std::string(EditDistanceFunction) +
+                         "print d(a, b)\n";
+    EXPECT_FALSE(Interp.run(Script).has_value())
+        << "unknown sequences must be reported";
+    EXPECT_TRUE(Diags.hasErrors());
+  }
+  {
+    DiagnosticEngine Diags;
+    Interpreter Interp(Diags);
+    Interp.defineSequence("a", bio::Sequence("a", "x"));
+    std::string Script = std::string(EditDistanceFunction) +
+                         "print d(a)\n";
+    EXPECT_FALSE(Interp.run(Script).has_value())
+        << "arity errors must be reported";
+  }
+  {
+    DiagnosticEngine Diags;
+    Interpreter Interp(Diags);
+    EXPECT_FALSE(
+        Interp.run("seq[dna] s = load \"/nonexistent.fa\"\n")
+            .has_value());
+    EXPECT_TRUE(Diags.hasErrors());
+  }
+}
+
+TEST(InterpreterTest, LoadStatementsFromFiles) {
+  std::string Dir = ::testing::TempDir();
+  {
+    std::ofstream Fa(Dir + "/parrec_itest.fa");
+    Fa << ">first\nkitten\n>second\nsitting\n";
+    std::ofstream Mx(Dir + "/parrec_itest.mx");
+    Mx << "ab\na: 1 -1\nb: -1 1\n";
+    std::ofstream Hm(Dir + "/parrec_itest.hmm");
+    Hm << "alphabet letters ab ;\n"
+          "state begin start ;\n"
+          "state only emits a 0.5 b 0.5 ;\n"
+          "state finish end ;\n"
+          "transition begin -> only 1.0 ;\n"
+          "transition only -> only 0.5 ;\n"
+          "transition only -> finish 0.5 ;\n";
+  }
+  DiagnosticEngine Diags;
+  Interpreter::Options Opts;
+  Opts.BasePath = Dir;
+  Interpreter Interp(Diags, std::move(Opts));
+  std::string Script =
+      std::string("seq[en] a = load \"parrec_itest.fa\" [0]\n"
+                  "seq[en] b = load \"parrec_itest.fa\" [1]\n"
+                  "seqdb[en] db = load \"parrec_itest.fa\"\n"
+                  "matrix[*] m = load \"parrec_itest.mx\"\n"
+                  "hmm h = load \"parrec_itest.hmm\"\n") +
+      EditDistanceFunction + "print d(a, b)\n";
+  auto Output = Interp.run(Script);
+  ASSERT_TRUE(Output.has_value()) << Diags.str();
+  EXPECT_NE(Output->find("d(a, b) = 3"), std::string::npos) << *Output;
+
+  std::remove((Dir + "/parrec_itest.fa").c_str());
+  std::remove((Dir + "/parrec_itest.mx").c_str());
+  std::remove((Dir + "/parrec_itest.hmm").c_str());
+}
+
+TEST(InterpreterTest, RecordIndexOutOfRange) {
+  std::string Dir = ::testing::TempDir();
+  {
+    std::ofstream Fa(Dir + "/parrec_itest2.fa");
+    Fa << ">only\nacgt\n";
+  }
+  DiagnosticEngine Diags;
+  Interpreter::Options Opts;
+  Opts.BasePath = Dir;
+  Interpreter Interp(Diags, std::move(Opts));
+  EXPECT_FALSE(
+      Interp.run("seq[dna] s = load \"parrec_itest2.fa\" [5]\n")
+          .has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+  std::remove((Dir + "/parrec_itest2.fa").c_str());
+}
+
+TEST(InterpreterTest, MapRequiresExactlyOneDatabase) {
+  DiagnosticEngine Diags;
+  Interpreter Interp(Diags);
+  Interp.defineSequence("a", bio::Sequence("a", "ab"));
+  Interp.defineSequence("b", bio::Sequence("b", "cd"));
+  std::string Script = std::string(EditDistanceFunction) +
+                       "map d(a, b)\n";
+  EXPECT_FALSE(Interp.run(Script).has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}

@@ -1,0 +1,125 @@
+//===- LexerTest.cpp - Tests for the DSL tokenizer ----------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace parrec;
+using namespace parrec::lang;
+
+namespace {
+
+std::vector<Token> lexAll(std::string_view Source) {
+  DiagnosticEngine Diags;
+  Lexer L(Source, Diags);
+  std::vector<Token> Tokens = L.lexAll();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Tokens;
+}
+
+std::vector<TokenKind> kindsOf(std::string_view Source) {
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : lexAll(Source))
+    Kinds.push_back(T.Kind);
+  return Kinds;
+}
+
+} // namespace
+
+TEST(LexerTest, Keywords) {
+  auto Kinds = kindsOf("if then else min max sum in int prob hmm");
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwIf,  TokenKind::KwThen, TokenKind::KwElse,
+      TokenKind::KwMin, TokenKind::KwMax,  TokenKind::KwSum,
+      TokenKind::KwIn,  TokenKind::KwInt,  TokenKind::KwProb,
+      TokenKind::KwHmm, TokenKind::EndOfFile};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, IdentifiersVsKeywords) {
+  auto Tokens = lexAll("iff forward index2");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[0].Text, "iff");
+  EXPECT_EQ(Tokens[1].Text, "forward");
+  EXPECT_EQ(Tokens[2].Text, "index2");
+}
+
+TEST(LexerTest, NumbersAndOperators) {
+  auto Tokens = lexAll("42 3.5 1e3 x==y a!=b i<=j k>=l m<n o>p");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::IntegerLiteral);
+  EXPECT_EQ(Tokens[0].IntValue, 42);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(Tokens[1].FloatValue, 3.5);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(Tokens[2].FloatValue, 1000.0);
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::EqualEqual);
+  EXPECT_EQ(Tokens[7].Kind, TokenKind::NotEqual);
+  EXPECT_EQ(Tokens[10].Kind, TokenKind::LessEqual);
+  EXPECT_EQ(Tokens[13].Kind, TokenKind::GreaterEqual);
+  EXPECT_EQ(Tokens[16].Kind, TokenKind::Less);
+  EXPECT_EQ(Tokens[19].Kind, TokenKind::Greater);
+}
+
+TEST(LexerTest, Figure7Source) {
+  // The paper's edit-distance function must tokenize cleanly.
+  const char *Source =
+      "int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =\n"
+      "  if i == 0 then j\n"
+      "  else if j == 0 then i\n"
+      "  else if s[i-1] == t[j-1] then d(i-1, j-1)\n"
+      "  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1\n";
+  auto Tokens = lexAll(Source);
+  EXPECT_GT(Tokens.size(), 40u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::KwInt);
+  EXPECT_EQ(Tokens[1].Text, "d");
+}
+
+TEST(LexerTest, CommentsAndLocations) {
+  auto Tokens = lexAll("a # comment to end\nb // another\nc");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[2].Loc.Line, 3u);
+  EXPECT_EQ(Tokens[2].Loc.Column, 1u);
+}
+
+TEST(LexerTest, StringsAndChars) {
+  auto Tokens = lexAll("\"hello\\nworld\" 'x' '\\t'");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::StringLiteral);
+  EXPECT_EQ(Tokens[0].Text, "hello\nworld");
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::CharLiteral);
+  EXPECT_EQ(Tokens[1].CharValue, 'x');
+  EXPECT_EQ(Tokens[2].CharValue, '\t');
+}
+
+TEST(LexerTest, ArrowAndDots) {
+  auto Kinds = kindsOf("a -> b . c - d");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Identifier, TokenKind::Arrow,      TokenKind::Identifier,
+      TokenKind::Dot,        TokenKind::Identifier, TokenKind::Minus,
+      TokenKind::Identifier, TokenKind::EndOfFile};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, ErrorRecovery) {
+  DiagnosticEngine Diags;
+  Lexer L("a ? b", Diags);
+  std::vector<Token> Tokens = L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+  // The '?' becomes an error token; lexing continues.
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Error);
+  EXPECT_EQ(Tokens[2].Text, "b");
+}
+
+TEST(LexerTest, UnterminatedString) {
+  DiagnosticEngine Diags;
+  Lexer L("\"oops", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}

@@ -1,0 +1,210 @@
+//===- MutualRecurrenceTest.cpp - Tests for system scheduling ----------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the Section 9 (Further Work) implementation: deriving
+/// multiple compatible scheduling functions for mutually recursive
+/// systems.
+///
+//===----------------------------------------------------------------------===//
+
+#include "solver/MutualRecurrence.h"
+
+#include <gtest/gtest.h>
+
+using namespace parrec;
+using namespace parrec::poly;
+using namespace parrec::solver;
+
+namespace {
+
+/// Uniform descent over \p Dims dimensions.
+SystemCall callTo(unsigned Callee, std::vector<int64_t> Offsets) {
+  SystemCall Call;
+  Call.Callee = Callee;
+  unsigned N = static_cast<unsigned>(Offsets.size());
+  for (unsigned I = 0; I != N; ++I) {
+    AffineExpr C = AffineExpr::dim(N, I);
+    C.setConstantTerm(Offsets[I]);
+    Call.Components.push_back(C);
+  }
+  return Call;
+}
+
+/// The affine-gap alignment system of three 2-D matrices (the structure
+/// behind Gotoh's algorithm, and the RNA-adjacent shape the paper's
+/// future work aims at):
+///   M(i,j)  <- M(i-1,j-1), Ix(i-1,j-1), Iy(i-1,j-1)
+///   Ix(i,j) <- M(i-1,j),   Ix(i-1,j)
+///   Iy(i,j) <- M(i,j-1),   Iy(i,j-1)
+RecurrenceSystem affineGapSystem() {
+  RecurrenceSystem System;
+  SystemFunction M, Ix, Iy;
+  M.Name = "M";
+  M.DimNames = {"i", "j"};
+  M.Calls = {callTo(0, {-1, -1}), callTo(1, {-1, -1}),
+             callTo(2, {-1, -1})};
+  Ix.Name = "Ix";
+  Ix.DimNames = {"i", "j"};
+  Ix.Calls = {callTo(0, {-1, 0}), callTo(1, {-1, 0})};
+  Iy.Name = "Iy";
+  Iy.DimNames = {"i", "j"};
+  Iy.Calls = {callTo(0, {0, -1}), callTo(2, {0, -1})};
+  System.Functions = {std::move(M), std::move(Ix), std::move(Iy)};
+  return System;
+}
+
+} // namespace
+
+TEST(SystemScheduleTest, AffineGapAlignment) {
+  RecurrenceSystem System = affineGapSystem();
+  std::vector<DomainBox> Boxes(3, DomainBox::fromExtents({6, 6}));
+
+  DiagnosticEngine Diags;
+  SystemScheduleOptions Options;
+  Options.MaxCoefficient = 3;
+  Options.MaxOffset = 4;
+  auto S = findSystemSchedule(System, Boxes, Diags, Options);
+  ASSERT_TRUE(S.has_value()) << Diags.str();
+
+  // The classic solution: every matrix on the anti-diagonal wavefront
+  // with identical offsets.
+  for (unsigned F = 0; F != 3; ++F)
+    EXPECT_EQ(S->PerFunction[F].Coefficients.Coefficients,
+              (std::vector<int64_t>{1, 1}))
+        << System.Functions[F].Name << ": "
+        << S->PerFunction[F].str({"i", "j"});
+  EXPECT_TRUE(verifySystemSchedule(System, *S, Boxes, Diags))
+      << Diags.str();
+  EXPECT_EQ(S->totalPartitions(Boxes), 11);
+}
+
+TEST(SystemScheduleTest, AlternatingChainNeedsOffsets) {
+  // f(x) calls g(x); g(x) calls f(x-1). Identical schedules without
+  // offsets cannot order f(x) after g(x) in the same step; the solution
+  // interleaves them: S_f = 2x + 1, S_g = 2x (up to gauge).
+  RecurrenceSystem System;
+  SystemFunction F, G;
+  F.Name = "f";
+  F.DimNames = {"x"};
+  F.Calls = {callTo(1, {0})};
+  G.Name = "g";
+  G.DimNames = {"x"};
+  G.Calls = {callTo(0, {-1})};
+  System.Functions = {std::move(F), std::move(G)};
+
+  std::vector<DomainBox> Boxes(2, DomainBox::fromExtents({10}));
+  DiagnosticEngine Diags;
+  SystemScheduleOptions Options;
+  Options.MaxCoefficient = 4;
+  Options.MaxOffset = 4;
+  auto S = findSystemSchedule(System, Boxes, Diags, Options);
+  ASSERT_TRUE(S.has_value()) << Diags.str();
+
+  const OffsetSchedule &SF = S->PerFunction[0];
+  const OffsetSchedule &SG = S->PerFunction[1];
+  // Compatibility conditions rather than one specific solution:
+  // S_f(x) > S_g(x) and S_g(x) > S_f(x-1) for all x in [0, 9].
+  for (int64_t X = 0; X != 10; ++X) {
+    EXPECT_GT(SF.apply({X}), SG.apply({X})) << "f->g at x=" << X;
+    if (X > 0) {
+      EXPECT_GT(SG.apply({X}), SF.apply({X - 1})) << "g->f at x=" << X;
+    }
+  }
+  // The coefficient must be at least 2: the two functions interleave
+  // inside each step of x.
+  EXPECT_GE(SF.Coefficients.Coefficients[0], 2);
+  EXPECT_TRUE(verifySystemSchedule(System, *S, Boxes, Diags));
+}
+
+TEST(SystemScheduleTest, SelfCallWithinSystem) {
+  // A system containing an ordinary single recursion reduces to the
+  // single-function result.
+  RecurrenceSystem System;
+  SystemFunction F;
+  F.Name = "d";
+  F.DimNames = {"x", "y"};
+  F.Calls = {callTo(0, {-1, 0}), callTo(0, {0, -1}),
+             callTo(0, {-1, -1})};
+  System.Functions = {std::move(F)};
+
+  std::vector<DomainBox> Boxes = {DomainBox::fromExtents({3, 3})};
+  DiagnosticEngine Diags;
+  SystemScheduleOptions Options;
+  Options.MaxCoefficient = 3;
+  auto S = findSystemSchedule(System, Boxes, Diags, Options);
+  ASSERT_TRUE(S.has_value()) << Diags.str();
+  EXPECT_EQ(S->PerFunction[0].Coefficients.Coefficients,
+            (std::vector<int64_t>{1, 1}));
+  EXPECT_EQ(S->PerFunction[0].Offset, 0);
+  EXPECT_EQ(S->totalPartitions(Boxes), 5);
+}
+
+TEST(SystemScheduleTest, CyclicSystemRejected) {
+  // f(x) calls g(x), g(x) calls f(x): a genuine same-point cycle.
+  RecurrenceSystem System;
+  SystemFunction F, G;
+  F.Name = "f";
+  F.DimNames = {"x"};
+  F.Calls = {callTo(1, {0})};
+  G.Name = "g";
+  G.DimNames = {"x"};
+  G.Calls = {callTo(0, {0})};
+  System.Functions = {std::move(F), std::move(G)};
+
+  std::vector<DomainBox> Boxes(2, DomainBox::fromExtents({5}));
+  DiagnosticEngine Diags;
+  SystemScheduleOptions Options;
+  Options.MaxCoefficient = 2;
+  Options.MaxOffset = 3;
+  EXPECT_FALSE(
+      findSystemSchedule(System, Boxes, Diags, Options).has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(SystemScheduleTest, VerifyRejectsBadSchedules) {
+  RecurrenceSystem System = affineGapSystem();
+  std::vector<DomainBox> Boxes(3, DomainBox::fromExtents({4, 4}));
+
+  SystemSchedule Bad;
+  // S = i for every matrix: Iy(i, j) <- Iy(i, j-1) is unordered.
+  for (unsigned F = 0; F != 3; ++F) {
+    OffsetSchedule OS;
+    OS.Coefficients.Coefficients = {1, 0};
+    Bad.PerFunction.push_back(OS);
+  }
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(verifySystemSchedule(System, Bad, Boxes, Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+
+  SystemSchedule Good;
+  for (unsigned F = 0; F != 3; ++F) {
+    OffsetSchedule OS;
+    OS.Coefficients.Coefficients = {1, 1};
+    Good.PerFunction.push_back(OS);
+  }
+  DiagnosticEngine Diags2;
+  EXPECT_TRUE(verifySystemSchedule(System, Good, Boxes, Diags2))
+      << Diags2.str();
+
+  SystemSchedule WrongArity;
+  WrongArity.PerFunction.resize(1);
+  DiagnosticEngine Diags3;
+  EXPECT_FALSE(
+      verifySystemSchedule(System, WrongArity, Boxes, Diags3));
+}
+
+TEST(OffsetScheduleTest, ApplyAndRender) {
+  OffsetSchedule S;
+  S.Coefficients.Coefficients = {2, -1};
+  S.Offset = 3;
+  EXPECT_EQ(S.apply({4, 1}), 2 * 4 - 1 + 3);
+  EXPECT_EQ(S.str({"i", "j"}), "2*i - j + 3");
+  DomainBox Box = DomainBox::fromExtents({5, 5});
+  EXPECT_EQ(S.minOver(Box), -4 + 3);
+  EXPECT_EQ(S.maxOver(Box), 8 + 3);
+}

@@ -1,0 +1,228 @@
+//===- ParserTest.cpp - Tests for the DSL parser ------------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace parrec;
+using namespace parrec::lang;
+
+namespace {
+
+ExprPtr parseExpr(std::string_view Source) {
+  DiagnosticEngine Diags;
+  Parser P(Source, Diags);
+  ExprPtr E = P.parseExpressionOnly();
+  EXPECT_TRUE(E != nullptr) << Diags.str();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return E;
+}
+
+std::unique_ptr<FunctionDecl> parseFunction(std::string_view Source) {
+  DiagnosticEngine Diags;
+  Parser P(Source, Diags);
+  auto F = P.parseFunctionOnly();
+  EXPECT_TRUE(F != nullptr) << Diags.str();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return F;
+}
+
+} // namespace
+
+TEST(ParserTest, Precedence) {
+  // * binds tighter than +, + tighter than min, min tighter than <.
+  EXPECT_EQ(parseExpr("a + b * c")->str(), "(a + (b * c))");
+  EXPECT_EQ(parseExpr("a min b + 1")->str(), "(a min (b + 1))");
+  EXPECT_EQ(parseExpr("a min b min c")->str(), "((a min b) min c)");
+  EXPECT_EQ(parseExpr("a + b < c * d")->str(), "((a + b) < (c * d))");
+  EXPECT_EQ(parseExpr("(a min b) + 1")->str(), "((a min b) + 1)");
+}
+
+TEST(ParserTest, UnaryMinusDesugars) {
+  EXPECT_EQ(parseExpr("-x + y")->str(), "((0 - x) + y)");
+}
+
+TEST(ParserTest, IfExpression) {
+  ExprPtr E = parseExpr("if i == 0 then j else i + 1");
+  const auto *If = dyn_cast<IfExpr>(E.get());
+  ASSERT_NE(If, nullptr);
+  EXPECT_EQ(If->Condition->str(), "(i == 0)");
+  EXPECT_EQ(If->ThenExpr->str(), "j");
+  EXPECT_EQ(If->ElseExpr->str(), "(i + 1)");
+}
+
+TEST(ParserTest, NestedIfChains) {
+  ExprPtr E = parseExpr("if a == 0 then 1 else if b == 0 then 2 else 3");
+  const auto *Outer = dyn_cast<IfExpr>(E.get());
+  ASSERT_NE(Outer, nullptr);
+  EXPECT_NE(dyn_cast<IfExpr>(Outer->ElseExpr.get()), nullptr);
+}
+
+TEST(ParserTest, CallsAndIndexing) {
+  EXPECT_EQ(parseExpr("d(i - 1, j)")->str(), "d((i - 1), j)");
+  EXPECT_EQ(parseExpr("s[i - 1]")->str(), "s[(i - 1)]");
+  EXPECT_EQ(parseExpr("m[s[i-1], t[j-1]]")->str(),
+            "m[s[(i - 1)], t[(j - 1)]]");
+}
+
+TEST(ParserTest, MemberAccess) {
+  EXPECT_EQ(parseExpr("s.isstart")->str(), "s.isstart");
+  EXPECT_EQ(parseExpr("t.prob")->str(), "t.prob");
+  EXPECT_EQ(parseExpr("t.start")->str(), "t.start");
+  EXPECT_EQ(parseExpr("s.emission[x[i-1]]")->str(),
+            "s.emission[x[(i - 1)]]");
+}
+
+TEST(ParserTest, Reductions) {
+  ExprPtr E =
+      parseExpr("sum(t in s.transitionsto : t.prob * f(t.start, i - 1))");
+  const auto *R = dyn_cast<ReductionExpr>(E.get());
+  ASSERT_NE(R, nullptr);
+  EXPECT_EQ(R->Reduction, ReductionKind::Sum);
+  EXPECT_EQ(R->VarName, "t");
+  EXPECT_EQ(R->Domain->str(), "s.transitionsto");
+  EXPECT_EQ(R->Body->str(), "(t.prob * f(t.start, (i - 1)))");
+
+  // Prefix min/max are reductions; infix remains a binary operator.
+  ExprPtr M = parseExpr("max(t in s.transitionsfrom : t.prob)");
+  EXPECT_EQ(dyn_cast<ReductionExpr>(M.get())->Reduction,
+            ReductionKind::Max);
+}
+
+TEST(ParserTest, Figure7EditDistance) {
+  auto F = parseFunction(
+      "int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =\n"
+      "  if i == 0 then j\n"
+      "  else if j == 0 then i\n"
+      "  else if s[i-1] == t[j-1] then d(i-1, j-1)\n"
+      "  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1\n");
+  EXPECT_EQ(F->Name, "d");
+  EXPECT_EQ(F->ReturnType.Kind, TypeKind::Int);
+  ASSERT_EQ(F->Params.size(), 4u);
+  EXPECT_EQ(F->Params[0].ParamType.Kind, TypeKind::Seq);
+  EXPECT_EQ(F->Params[0].ParamType.AlphabetName, "en");
+  EXPECT_EQ(F->Params[1].ParamType.Kind, TypeKind::Index);
+  EXPECT_EQ(F->Params[1].ParamType.RefParam, "s");
+  EXPECT_EQ(F->signatureStr(),
+            "int d(seq[en] s, index[s] i, seq[en] t, index[t] j)");
+}
+
+TEST(ParserTest, Figure11Forward) {
+  auto F = parseFunction(
+      "prob forward(hmm h, state[h] s, seq[*] x, index[x] i) =\n"
+      "  if i == 0 then\n"
+      "    if s.isstart then 1.0 else 0.0\n"
+      "  else\n"
+      "    (if s.isend then 1.0 else s.emission[x[i-1]]) *\n"
+      "    sum(t in s.transitionsto : t.prob * forward(t.start, i - 1))\n");
+  EXPECT_EQ(F->Name, "forward");
+  EXPECT_EQ(F->ReturnType.Kind, TypeKind::Prob);
+  EXPECT_EQ(F->Params[1].ParamType.Kind, TypeKind::State);
+  EXPECT_EQ(F->Params[2].ParamType.AlphabetName, "*");
+}
+
+TEST(ParserTest, ScriptStatements) {
+  DiagnosticEngine Diags;
+  Parser P("alphabet bin = \"01\"\n"
+           "seq[bin] s = load \"a.fa\" [2]\n"
+           "seqdb[bin] db = load \"b.fa\"\n"
+           "matrix[bin] m = load \"m.txt\"\n"
+           "int f(seq[bin] q, index[q] i) = if i == 0 then 0 else f(i-1)\n"
+           "print f(s)\n"
+           "map max f(q, db)\n",
+           Diags);
+  Script S = P.parseScript();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  ASSERT_EQ(S.Statements.size(), 7u);
+  EXPECT_EQ(S.Statements[0].Kind, StmtKind::Alphabet);
+  EXPECT_EQ(S.Statements[0].AlphabetLetters, "01");
+  EXPECT_EQ(S.Statements[1].Kind, StmtKind::SeqLoad);
+  EXPECT_EQ(S.Statements[1].RecordIndex, 2);
+  EXPECT_EQ(S.Statements[2].Kind, StmtKind::SeqDbLoad);
+  EXPECT_EQ(S.Statements[3].Kind, StmtKind::MatrixLoad);
+  EXPECT_EQ(S.Statements[4].Kind, StmtKind::Function);
+  EXPECT_NE(S.findFunction("f"), nullptr);
+  EXPECT_EQ(S.Statements[5].Kind, StmtKind::Print);
+  EXPECT_FALSE(S.Statements[5].TableMax);
+  EXPECT_EQ(S.Statements[6].Kind, StmtKind::Map);
+  EXPECT_TRUE(S.Statements[6].TableMax);
+  EXPECT_EQ(S.Statements[6].CallArgs,
+            (std::vector<std::string>{"q", "db"}));
+}
+
+TEST(ParserTest, InlineHmmBody) {
+  DiagnosticEngine Diags;
+  Parser P("hmm h = { alphabet dna ; state begin start ; }", Diags);
+  Script S = P.parseScript();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  ASSERT_EQ(S.Statements.size(), 1u);
+  EXPECT_EQ(S.Statements[0].Kind, StmtKind::HmmDef);
+  EXPECT_NE(S.Statements[0].HmmText.find("alphabet dna"),
+            std::string::npos);
+  EXPECT_NE(S.Statements[0].HmmText.find("state begin start"),
+            std::string::npos);
+}
+
+TEST(ParserTest, ErrorsReportedAndRecovered) {
+  DiagnosticEngine Diags;
+  Parser P("int f(int x = 3\nprint g()", Diags);
+  Script S = P.parseScript();
+  EXPECT_TRUE(Diags.hasErrors());
+  // The parser must recover and still see the print statement.
+  bool SawPrint = false;
+  for (const Stmt &St : S.Statements)
+    SawPrint |= St.Kind == StmtKind::Print;
+  EXPECT_TRUE(SawPrint);
+}
+
+TEST(ParserFuzzTest, RandomInputsNeverCrash) {
+  // Robustness: arbitrary byte soup and random token salads must produce
+  // diagnostics, never crashes or hangs.
+  parrec::SplitMix64 Rng(0xF022);
+  const char *Tokens[] = {"if",   "then", "else", "min",  "max", "sum",
+                          "in",   "int",  "prob", "seq",  "(",   ")",
+                          "[",    "]",    "{",    "}",    ",",   ":",
+                          "=",    "==",   "!=",   "<",    ">",   "+",
+                          "-",    "*",    "/",    ".",    "->",  "x",
+                          "f",    "42",   "3.5",  "'a'",  "\"s\"",
+                          "hmm",  "state", "index", "matrix", "print",
+                          "map",  "load", "alphabet"};
+  for (int Round = 0; Round != 200; ++Round) {
+    std::string Source;
+    unsigned Length = 1 + static_cast<unsigned>(Rng.nextBelow(40));
+    for (unsigned I = 0; I != Length; ++I) {
+      Source += Tokens[Rng.nextBelow(std::size(Tokens))];
+      Source += ' ';
+    }
+    DiagnosticEngine Diags;
+    Parser P(Source, Diags);
+    Script S = P.parseScript(); // Must terminate without crashing.
+    (void)S;
+  }
+  for (int Round = 0; Round != 200; ++Round) {
+    std::string Source;
+    unsigned Length = static_cast<unsigned>(Rng.nextBelow(60));
+    for (unsigned I = 0; I != Length; ++I)
+      Source += static_cast<char>(Rng.nextInRange(1, 127));
+    DiagnosticEngine Diags;
+    Parser P(Source, Diags);
+    P.parseScript();
+    DiagnosticEngine Diags2;
+    Parser P2(Source, Diags2);
+    P2.parseExpressionOnly();
+  }
+}
+
+TEST(ParserTest, RejectsTrailingGarbage) {
+  DiagnosticEngine Diags;
+  Parser P("a + b c", Diags);
+  P.parseExpressionOnly();
+  EXPECT_TRUE(Diags.hasErrors());
+}

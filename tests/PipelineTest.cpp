@@ -1,0 +1,691 @@
+//===- PipelineTest.cpp - End-to-end compile-and-run tests -------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/SmithWaterman.h"
+#include "bio/Fasta.h"
+#include "bio/HmmZoo.h"
+#include "runtime/CompiledRecurrence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace parrec;
+using namespace parrec::runtime;
+using codegen::ArgValue;
+
+namespace {
+
+const char *EditDistanceSource =
+    "int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =\n"
+    "  if i == 0 then j\n"
+    "  else if j == 0 then i\n"
+    "  else if s[i-1] == t[j-1] then d(i-1, j-1)\n"
+    "  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1\n";
+
+const char *ForwardSource =
+    "prob forward(hmm h, state[h] s, seq[dna] x, index[x] i) =\n"
+    "  if i == 0 then\n"
+    "    if s.isstart then 1.0 else 0.0\n"
+    "  else\n"
+    "    (if s.isend then 1.0 else s.emission[x[i-1]]) *\n"
+    "    sum(t in s.transitionsto : t.prob * forward(t.start, i - 1))\n";
+
+/// Classic serial Levenshtein distance as an independent reference.
+int64_t levenshtein(const std::string &A, const std::string &B) {
+  std::vector<int64_t> Prev(B.size() + 1), Cur(B.size() + 1);
+  for (size_t J = 0; J <= B.size(); ++J)
+    Prev[J] = static_cast<int64_t>(J);
+  for (size_t I = 1; I <= A.size(); ++I) {
+    Cur[0] = static_cast<int64_t>(I);
+    for (size_t J = 1; J <= B.size(); ++J) {
+      if (A[I - 1] == B[J - 1])
+        Cur[J] = Prev[J - 1];
+      else
+        Cur[J] = 1 + std::min({Prev[J], Cur[J - 1], Prev[J - 1]});
+    }
+    std::swap(Prev, Cur);
+  }
+  return Prev[B.size()];
+}
+
+/// Independent linear-space forward algorithm over an emitting-only HMM,
+/// matching the DSL semantics of Figure 11: F(s, i) is the probability of
+/// emitting the first i symbols and being *about to leave* state s (the
+/// end state is silent).
+double forwardReference(const bio::Hmm &M, const std::string &X) {
+  unsigned N = M.numStates();
+  size_t L = X.size();
+  std::vector<double> Prev(N, 0.0), Cur(N, 0.0);
+  for (unsigned S = 0; S != N; ++S)
+    Prev[S] = M.state(S).IsStart ? 1.0 : 0.0;
+  for (size_t I = 1; I <= L; ++I) {
+    for (unsigned S = 0; S != N; ++S) {
+      double Incoming = 0.0;
+      for (unsigned T : M.transitionsTo(S))
+        Incoming += M.transition(T).Prob * Prev[M.transition(T).From];
+      double Emit =
+          M.state(S).IsEnd ? 1.0 : M.emission(S, X[I - 1]);
+      Cur[S] = Emit * Incoming;
+    }
+    std::swap(Prev, Cur);
+  }
+  return Prev[M.endState()];
+}
+
+gpu::Device testDevice() { return gpu::Device(gpu::CostModel()); }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Edit distance end to end
+//===----------------------------------------------------------------------===//
+
+struct EditDistanceCase {
+  const char *A;
+  const char *B;
+
+  friend std::ostream &operator<<(std::ostream &Os,
+                                  const EditDistanceCase &C) {
+    return Os << "\"" << C.A << "\" vs \"" << C.B << "\"";
+  }
+};
+
+class EditDistancePipelineTest
+    : public ::testing::TestWithParam<EditDistanceCase> {};
+
+TEST_P(EditDistancePipelineTest, MatchesReferenceOnCpuAndGpu) {
+  DiagnosticEngine Diags;
+  auto Compiled = CompiledRecurrence::compile(EditDistanceSource, Diags);
+  ASSERT_TRUE(Compiled.has_value()) << Diags.str();
+
+  bio::Sequence S("s", GetParam().A);
+  bio::Sequence T("t", GetParam().B);
+  std::vector<ArgValue> Args = {ArgValue::ofSeq(&S), ArgValue(),
+                                ArgValue::ofSeq(&T), ArgValue()};
+
+  int64_t Expected = levenshtein(GetParam().A, GetParam().B);
+
+  gpu::CostModel Model;
+  auto Cpu = Compiled->runCpu(Args, Model, Diags);
+  ASSERT_TRUE(Cpu.has_value()) << Diags.str();
+  EXPECT_DOUBLE_EQ(Cpu->RootValue, static_cast<double>(Expected));
+
+  gpu::Device Dev = testDevice();
+  auto Gpu = Compiled->runGpu(Args, Dev, Diags);
+  ASSERT_TRUE(Gpu.has_value()) << Diags.str();
+  EXPECT_DOUBLE_EQ(Gpu->RootValue, static_cast<double>(Expected));
+
+  // The diagonal schedule and partition count (Figure 3 generalised).
+  EXPECT_EQ(Gpu->UsedSchedule.Coefficients,
+            (std::vector<int64_t>{1, 1}));
+  EXPECT_EQ(Gpu->Partitions,
+            static_cast<int64_t>(S.length() + T.length() + 1));
+  EXPECT_EQ(Gpu->Cells, static_cast<uint64_t>((S.length() + 1) *
+                                              (T.length() + 1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strings, EditDistancePipelineTest,
+    ::testing::Values(EditDistanceCase{"", ""},
+                      EditDistanceCase{"a", ""},
+                      EditDistanceCase{"", "abc"},
+                      EditDistanceCase{"kitten", "sitting"},
+                      EditDistanceCase{"flaw", "lawn"},
+                      EditDistanceCase{"abcdefg", "abcdefg"},
+                      EditDistanceCase{"aaaaaaaaaa", "bbbbbbbbbb"},
+                      EditDistanceCase{"intention", "execution"}));
+
+TEST(EditDistancePipelineTest, SlidingWindowMatchesFullTable) {
+  DiagnosticEngine Diags;
+  auto Compiled = CompiledRecurrence::compile(EditDistanceSource, Diags);
+  ASSERT_TRUE(Compiled.has_value()) << Diags.str();
+
+  // Large enough that the full table exceeds shared memory (48 KiB)
+  // while the 3-diagonal window fits comfortably.
+  bio::Sequence S = bio::randomSequence(bio::Alphabet::english(), 120, 3);
+  bio::Sequence T = bio::randomSequence(bio::Alphabet::english(), 90, 4);
+  std::vector<ArgValue> Args = {ArgValue::ofSeq(&S), ArgValue(),
+                                ArgValue::ofSeq(&T), ArgValue()};
+  gpu::Device Dev = testDevice();
+
+  RunOptions WithWindow;
+  WithWindow.UseSlidingWindow = true;
+  RunOptions NoWindow;
+  NoWindow.UseSlidingWindow = false;
+
+  auto A = Compiled->runGpu(Args, Dev, Diags, WithWindow);
+  auto B = Compiled->runGpu(Args, Dev, Diags, NoWindow);
+  ASSERT_TRUE(A.has_value() && B.has_value()) << Diags.str();
+  EXPECT_DOUBLE_EQ(A->RootValue, B->RootValue);
+  EXPECT_DOUBLE_EQ(A->TableMax, B->TableMax);
+  // The window keeps only 3 diagonals alive: far less memory.
+  EXPECT_LT(A->Metrics.TableBytes, B->Metrics.TableBytes);
+  // Shared-memory residency makes the windowed run faster.
+  EXPECT_LT(A->Cycles, B->Cycles);
+}
+
+TEST(EditDistancePipelineTest, ForcedScheduleValidatedAndUsed) {
+  DiagnosticEngine Diags;
+  auto Compiled = CompiledRecurrence::compile(EditDistanceSource, Diags);
+  ASSERT_TRUE(Compiled.has_value()) << Diags.str();
+
+  bio::Sequence S("s", "abcd");
+  bio::Sequence T("t", "efg");
+  std::vector<ArgValue> Args = {ArgValue::ofSeq(&S), ArgValue(),
+                                ArgValue::ofSeq(&T), ArgValue()};
+  gpu::Device Dev = testDevice();
+
+  // 2x + y is valid (Section 2.3's "less efficient" example) and must
+  // produce the same values with more partitions.
+  RunOptions Forced;
+  Forced.ForcedSchedule = solver::Schedule{{2, 1}};
+  auto R = Compiled->runGpu(Args, Dev, Diags, Forced);
+  ASSERT_TRUE(R.has_value()) << Diags.str();
+  EXPECT_DOUBLE_EQ(R->RootValue,
+                   static_cast<double>(levenshtein("abcd", "efg")));
+  EXPECT_EQ(R->Partitions, 2 * 4 + 3 + 1);
+
+  // S = x is invalid and must be rejected.
+  DiagnosticEngine Diags2;
+  RunOptions Bad;
+  Bad.ForcedSchedule = solver::Schedule{{1, 0}};
+  EXPECT_FALSE(Compiled->runGpu(Args, Dev, Diags2, Bad).has_value());
+  EXPECT_TRUE(Diags2.hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// Forward algorithm end to end (HMM extension)
+//===----------------------------------------------------------------------===//
+
+TEST(ForwardPipelineTest, MatchesLinearSpaceReference) {
+  DiagnosticEngine Diags;
+  auto Compiled = CompiledRecurrence::compile(ForwardSource, Diags);
+  ASSERT_TRUE(Compiled.has_value()) << Diags.str();
+
+  bio::Hmm Model = bio::makeCpgIslandModel();
+  std::string Observed = Model.sample(2024);
+  ASSERT_FALSE(Observed.empty());
+  bio::Sequence X("x", Observed);
+
+  std::vector<ArgValue> Args = {ArgValue::ofHmm(&Model), ArgValue(),
+                                ArgValue::ofSeq(&X), ArgValue()};
+  gpu::CostModel CostModel;
+  auto Cpu = Compiled->runCpu(Args, CostModel, Diags);
+  ASSERT_TRUE(Cpu.has_value()) << Diags.str();
+
+  double Expected = forwardReference(Model, Observed);
+  ASSERT_GT(Expected, 0.0);
+  EXPECT_NEAR(Cpu->RootValue, std::log(Expected), 1e-9)
+      << "prob results are log-space";
+
+  gpu::Device Dev = testDevice();
+  auto Gpu = Compiled->runGpu(Args, Dev, Diags);
+  ASSERT_TRUE(Gpu.has_value()) << Diags.str();
+  EXPECT_DOUBLE_EQ(Gpu->RootValue, Cpu->RootValue);
+
+  // Section 5.2: the only schedule is S(s, i) = i; one partition per
+  // sequence position (plus the base column).
+  EXPECT_EQ(Gpu->UsedSchedule.Coefficients,
+            (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(Gpu->Partitions,
+            static_cast<int64_t>(Observed.size()) + 1);
+}
+
+TEST(ForwardPipelineTest, GeneratedSequencesScoreHigherThanRandom) {
+  DiagnosticEngine Diags;
+  auto Compiled = CompiledRecurrence::compile(ForwardSource, Diags);
+  ASSERT_TRUE(Compiled.has_value()) << Diags.str();
+
+  bio::Hmm Model = bio::makeGeneFinderModel();
+  gpu::CostModel CostModel;
+
+  std::string FromModel = Model.sample(7);
+  // Use a random string of the same length for a fair comparison.
+  bio::Sequence Random = bio::randomSequence(
+      bio::Alphabet::dna(), static_cast<int64_t>(FromModel.size()), 99);
+  bio::Sequence Sampled("m", FromModel);
+
+  auto Score = [&](const bio::Sequence &S) {
+    std::vector<ArgValue> Args = {ArgValue::ofHmm(&Model), ArgValue(),
+                                  ArgValue::ofSeq(&S), ArgValue()};
+    auto R = Compiled->runCpu(Args, CostModel, Diags);
+    EXPECT_TRUE(R.has_value()) << Diags.str();
+    return R ? R->RootValue : 0.0;
+  };
+  EXPECT_GT(Score(Sampled), Score(Random))
+      << "the model must prefer its own samples (log-likelihoods)";
+}
+
+TEST(ForwardPipelineTest, BatchRunsAcrossMultiprocessors) {
+  DiagnosticEngine Diags;
+  auto Compiled = CompiledRecurrence::compile(ForwardSource, Diags);
+  ASSERT_TRUE(Compiled.has_value()) << Diags.str();
+
+  bio::Hmm Model = bio::makeCasinoModel();
+  bio::SequenceDatabase Db;
+  for (uint64_t Seed = 0; Seed != 20; ++Seed) {
+    std::string S = Model.sample(Seed);
+    if (S.empty())
+      S = "a";
+    Db.emplace_back("s" + std::to_string(Seed), S);
+  }
+
+  std::vector<std::vector<ArgValue>> Problems;
+  for (const bio::Sequence &S : Db)
+    Problems.push_back({ArgValue::ofHmm(&Model), ArgValue(),
+                        ArgValue::ofSeq(&S), ArgValue()});
+
+  gpu::Device Dev = testDevice();
+  auto Batch = Compiled->runGpuBatch(Problems, Dev, Diags);
+  ASSERT_TRUE(Batch.has_value()) << Diags.str();
+  ASSERT_EQ(Batch->Problems.size(), 20u);
+
+  // The makespan must be far below the sum (problems run on different
+  // multiprocessors) but at least the largest single problem.
+  uint64_t Sum = 0, MaxOne = 0;
+  for (const RunResult &R : Batch->Problems) {
+    Sum += R.Cycles;
+    MaxOne = std::max(MaxOne, R.Cycles);
+    EXPECT_DOUBLE_EQ(
+        R.RootValue,
+        Compiled
+            ->runCpu({ArgValue::ofHmm(&Model), ArgValue(),
+                      ArgValue::ofSeq(&Db[&R - Batch->Problems.data()]),
+                      ArgValue()},
+                     Dev.costModel(), Diags)
+            ->RootValue);
+  }
+  EXPECT_LT(Batch->TotalCycles, Sum);
+  EXPECT_GE(Batch->TotalCycles, MaxOne);
+}
+
+TEST(EditDistancePipelineTest, ThreadCountNeverChangesResults) {
+  // Lockstep striping is a pure re-timing: any thread count produces
+  // bit-identical values; more threads only shrink the partition time
+  // (until the partition runs out of cells).
+  DiagnosticEngine Diags;
+  auto Compiled = CompiledRecurrence::compile(EditDistanceSource, Diags);
+  ASSERT_TRUE(Compiled.has_value()) << Diags.str();
+
+  bio::Sequence S = bio::randomSequence(bio::Alphabet::english(), 60, 5);
+  bio::Sequence T = bio::randomSequence(bio::Alphabet::english(), 80, 6);
+  std::vector<ArgValue> Args = {ArgValue::ofSeq(&S), ArgValue(),
+                                ArgValue::ofSeq(&T), ArgValue()};
+  gpu::Device Dev = testDevice();
+
+  std::optional<double> Value;
+  uint64_t PrevCycles = 0;
+  for (unsigned Threads : {1u, 2u, 8u, 32u, 64u}) {
+    RunOptions Options;
+    Options.Threads = Threads;
+    auto R = Compiled->runGpu(Args, Dev, Diags, Options);
+    ASSERT_TRUE(R.has_value()) << Diags.str();
+    if (Value) {
+      EXPECT_DOUBLE_EQ(*Value, R->RootValue) << Threads << " threads";
+      EXPECT_LE(R->Cycles, PrevCycles)
+          << "more threads must never be slower in the lockstep model";
+    }
+    Value = R->RootValue;
+    PrevCycles = R->Cycles;
+  }
+}
+
+TEST(EditDistancePipelineTest, DeterministicAcrossRuns) {
+  DiagnosticEngine Diags;
+  auto Compiled = CompiledRecurrence::compile(EditDistanceSource, Diags);
+  ASSERT_TRUE(Compiled.has_value()) << Diags.str();
+  bio::Sequence S = bio::randomSequence(bio::Alphabet::english(), 50, 9);
+  bio::Sequence T = bio::randomSequence(bio::Alphabet::english(), 50, 10);
+  std::vector<ArgValue> Args = {ArgValue::ofSeq(&S), ArgValue(),
+                                ArgValue::ofSeq(&T), ArgValue()};
+  gpu::Device Dev = testDevice();
+  auto A = Compiled->runGpu(Args, Dev, Diags);
+  auto B = Compiled->runGpu(Args, Dev, Diags);
+  ASSERT_TRUE(A.has_value() && B.has_value());
+  EXPECT_DOUBLE_EQ(A->RootValue, B->RootValue);
+  EXPECT_EQ(A->Cycles, B->Cycles);
+  EXPECT_EQ(A->Cost.Ops, B->Cost.Ops);
+  EXPECT_EQ(A->Cost.Transcendentals, B->Cost.Transcendentals);
+}
+
+TEST(EditDistancePipelineTest, BatchHonoursForcedSchedule) {
+  DiagnosticEngine Diags;
+  auto Compiled = CompiledRecurrence::compile(EditDistanceSource, Diags);
+  ASSERT_TRUE(Compiled.has_value()) << Diags.str();
+  bio::Sequence S("s", "abcde");
+  bio::Sequence T("t", "fghij");
+  std::vector<std::vector<ArgValue>> Problems = {
+      {ArgValue::ofSeq(&S), ArgValue(), ArgValue::ofSeq(&T),
+       ArgValue()}};
+  gpu::Device Dev = testDevice();
+  RunOptions Forced;
+  Forced.ForcedSchedule = solver::Schedule{{2, 1}};
+  auto Batch = Compiled->runGpuBatch(Problems, Dev, Diags, Forced);
+  ASSERT_TRUE(Batch.has_value()) << Diags.str();
+  EXPECT_EQ(Batch->Problems[0].UsedSchedule.Coefficients,
+            (std::vector<int64_t>{2, 1}));
+}
+
+TEST(ForwardPipelineTest, ViterbiMatchesIndependentReference) {
+  // Same recursion with max instead of sum: the Viterbi algorithm. An
+  // empty transition set must contribute probability zero (regression
+  // test: the begin state has no incoming transitions).
+  const char *ViterbiSource =
+      "prob viterbi(hmm h, state[h] s, seq[dna] x, index[x] i) =\n"
+      "  if i == 0 then\n"
+      "    if s.isstart then 1.0 else 0.0\n"
+      "  else\n"
+      "    (if s.isend then 1.0 else s.emission[x[i-1]]) *\n"
+      "    max(t in s.transitionsto : t.prob * viterbi(t.start, "
+      "i - 1))\n";
+  DiagnosticEngine Diags;
+  auto Compiled = CompiledRecurrence::compile(ViterbiSource, Diags);
+  ASSERT_TRUE(Compiled.has_value()) << Diags.str();
+
+  bio::Hmm Model = bio::makeCpgIslandModel();
+  std::string Observed = Model.sample(77);
+  ASSERT_FALSE(Observed.empty());
+  bio::Sequence X("x", Observed);
+
+  // Independent max-product reference.
+  unsigned N = Model.numStates();
+  std::vector<double> Prev(N, 0.0), Cur(N, 0.0);
+  for (unsigned S = 0; S != N; ++S)
+    Prev[S] = Model.state(S).IsStart ? 1.0 : 0.0;
+  for (size_t I = 1; I <= Observed.size(); ++I) {
+    for (unsigned S = 0; S != N; ++S) {
+      double BestIncoming = 0.0;
+      for (unsigned T : Model.transitionsTo(S))
+        BestIncoming = std::max(
+            BestIncoming,
+            Model.transition(T).Prob * Prev[Model.transition(T).From]);
+      double Emit = Model.state(S).IsEnd
+                        ? 1.0
+                        : Model.emission(S, Observed[I - 1]);
+      Cur[S] = Emit * BestIncoming;
+    }
+    std::swap(Prev, Cur);
+  }
+  double Expected = Prev[Model.endState()];
+  ASSERT_GT(Expected, 0.0);
+
+  std::vector<ArgValue> Args = {ArgValue::ofHmm(&Model), ArgValue(),
+                                ArgValue::ofSeq(&X), ArgValue()};
+  gpu::Device Dev = testDevice();
+  auto R = Compiled->runGpu(Args, Dev, Diags);
+  ASSERT_TRUE(R.has_value()) << Diags.str();
+  EXPECT_NEAR(R->RootValue, std::log(Expected), 1e-9);
+
+  // Viterbi (max over paths) never exceeds forward (sum over paths).
+  auto Forward = CompiledRecurrence::compile(ForwardSource, Diags);
+  ASSERT_TRUE(Forward.has_value());
+  auto F = Forward->runGpu(Args, Dev, Diags);
+  ASSERT_TRUE(F.has_value());
+  EXPECT_LE(R->RootValue, F->RootValue + 1e-12);
+}
+
+TEST(IntDimPipelineTest, FibonacciViaIntParameter) {
+  // Integer parameters are both calling and recursive (Section 3.2): the
+  // bound value sizes the domain. fib's minimal schedule is serial (one
+  // element per partition, Figure 2b).
+  DiagnosticEngine Diags;
+  auto Compiled = CompiledRecurrence::compile(
+      "int fib(int n) = if n < 2 then n else fib(n-1) + fib(n-2)\n",
+      Diags);
+  ASSERT_TRUE(Compiled.has_value()) << Diags.str();
+
+  std::vector<ArgValue> Args = {ArgValue::ofInt(25)};
+  gpu::Device Dev = testDevice();
+  auto R = Compiled->runGpu(Args, Dev, Diags);
+  ASSERT_TRUE(R.has_value()) << Diags.str();
+  EXPECT_DOUBLE_EQ(R->RootValue, 75025.0);
+  EXPECT_EQ(R->Partitions, 26);
+  EXPECT_EQ(R->UsedSchedule.Coefficients, (std::vector<int64_t>{1}));
+}
+
+const char *SmithWatermanSource =
+    "int sw(matrix[protein] m, seq[protein] a, index[a] i,\n"
+    "       seq[protein] b, index[b] j) =\n"
+    "  if i == 0 then 0\n"
+    "  else if j == 0 then 0\n"
+    "  else 0 max (sw(i-1, j-1) + m[a[i-1], b[j-1]])\n"
+    "       max (sw(i-1, j) - 4) max (sw(i, j-1) - 4)\n";
+
+class SmithWatermanPropertyTest : public ::testing::TestWithParam<int> {
+};
+
+TEST_P(SmithWatermanPropertyTest, TableMaxEqualsBaselineScore) {
+  DiagnosticEngine Diags;
+  static auto Compiled =
+      CompiledRecurrence::compile(SmithWatermanSource, Diags);
+  ASSERT_TRUE(Compiled.has_value()) << Diags.str();
+
+  SplitMix64 Rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  bio::Sequence A = bio::randomSequence(bio::Alphabet::protein(),
+                                        Rng.nextInRange(1, 40),
+                                        Rng.next());
+  bio::Sequence B = bio::randomSequence(bio::Alphabet::protein(),
+                                        Rng.nextInRange(1, 40),
+                                        Rng.next());
+  const bio::SubstitutionMatrix &M = bio::SubstitutionMatrix::blosum62();
+  std::vector<ArgValue> Args = {ArgValue::ofMatrix(&M),
+                                ArgValue::ofSeq(&A), ArgValue(),
+                                ArgValue::ofSeq(&B), ArgValue()};
+  gpu::Device Dev = testDevice();
+  auto R = Compiled->runGpu(Args, Dev, Diags);
+  ASSERT_TRUE(R.has_value()) << Diags.str();
+
+  baselines::SwParams Params;
+  Params.Matrix = &M;
+  Params.GapPenalty = 4;
+  gpu::CostCounter Cost;
+  int Expected = baselines::smithWatermanScore(A, B, Params, Cost);
+  EXPECT_DOUBLE_EQ(R->TableMax, static_cast<double>(Expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPairs, SmithWatermanPropertyTest,
+                         ::testing::Range(0, 16));
+
+TEST(ConditionalPipelineTest, BatchSelectsPerProblemSchedules) {
+  // The diagonal-only recursion over rectangles of opposite aspect
+  // ratios: the batch path must pick S = i for the wide problem and
+  // S = j for the tall one (Section 4.7's runtime dispatch).
+  const char *DiagonalSource =
+      "int g(seq[en] a, index[a] i, seq[en] b, index[b] j) =\n"
+      "  if i == 0 then 0\n"
+      "  else if j == 0 then 0\n"
+      "  else g(i-1, j-1) + (if a[i-1] == b[j-1] then 1 else 0)\n";
+  DiagnosticEngine Diags;
+  auto Compiled = CompiledRecurrence::compile(DiagonalSource, Diags);
+  ASSERT_TRUE(Compiled.has_value()) << Diags.str();
+
+  bio::Sequence Short =
+      bio::randomSequence(bio::Alphabet::english(), 5, 1);
+  bio::Sequence Long =
+      bio::randomSequence(bio::Alphabet::english(), 40, 2);
+
+  std::vector<std::vector<ArgValue>> Problems = {
+      {ArgValue::ofSeq(&Short), ArgValue(), ArgValue::ofSeq(&Long),
+       ArgValue()},
+      {ArgValue::ofSeq(&Long), ArgValue(), ArgValue::ofSeq(&Short),
+       ArgValue()},
+  };
+  gpu::Device Dev = testDevice();
+  auto Batch = Compiled->runGpuBatch(Problems, Dev, Diags);
+  ASSERT_TRUE(Batch.has_value()) << Diags.str();
+  EXPECT_EQ(Batch->Problems[0].UsedSchedule.Coefficients,
+            (std::vector<int64_t>{1, 0}))
+      << "wide problem: partition along the short i axis";
+  EXPECT_EQ(Batch->Problems[1].UsedSchedule.Coefficients,
+            (std::vector<int64_t>{0, 1}))
+      << "tall problem: partition along the short j axis";
+  EXPECT_EQ(Batch->Problems[0].Partitions, 6);
+  EXPECT_EQ(Batch->Problems[1].Partitions, 6);
+}
+
+TEST(ForwardPipelineTest, BackwardAlgorithmUsesNegativeSchedule) {
+  // The backward algorithm recurses on i+1 (transitionsfrom), so the
+  // only valid schedules have a *negative* coefficient on the index
+  // dimension: partitions sweep the sequence right to left. Its
+  // interesting value sits at B(start, 0), not the root corner, so the
+  // run keeps the table. Forward/backward consistency pins the numerics:
+  // B(start, 0, L) == F(end, L).
+  const char *Source =
+      "prob backward(hmm h, state[h] s, seq[dna] x, index[x] i, "
+      "int len) =\n"
+      "  if i >= len then\n"
+      "    if s.isend then 1.0 else 0.0\n"
+      "  else\n"
+      "    sum(t in s.transitionsfrom :\n"
+      "        t.prob *\n"
+      "        (if t.end.isend then 1.0 else t.end.emission[x[i]]) *\n"
+      "        backward(t.end, i + 1, len))\n";
+
+  DiagnosticEngine Diags;
+  auto Backward = CompiledRecurrence::compile(Source, Diags);
+  ASSERT_TRUE(Backward.has_value()) << Diags.str();
+
+  bio::Hmm Model = bio::makeCasinoModel();
+  std::string Observed = Model.sample(11);
+  ASSERT_FALSE(Observed.empty());
+  bio::Sequence X("x", Observed);
+  int64_t L = X.length();
+
+  std::vector<ArgValue> Args = {ArgValue::ofHmm(&Model), ArgValue(),
+                                ArgValue::ofSeq(&X), ArgValue(),
+                                ArgValue::ofInt(L)};
+  gpu::Device Dev = testDevice();
+  RunOptions Keep;
+  Keep.KeepTable = true;
+  auto B = Backward->runGpu(Args, Dev, Diags, Keep);
+  ASSERT_TRUE(B.has_value()) << Diags.str();
+
+  // Negative index coefficient; state (free) and len contribute nothing.
+  EXPECT_LT(B->UsedSchedule.Coefficients[1], 0)
+      << B->UsedSchedule.str({"s", "i", "len"});
+  EXPECT_EQ(B->UsedSchedule.Coefficients[0], 0);
+
+  auto Forward = CompiledRecurrence::compile(ForwardSource, Diags);
+  ASSERT_TRUE(Forward.has_value()) << Diags.str();
+  std::vector<ArgValue> FArgs = {ArgValue::ofHmm(&Model), ArgValue(),
+                                 ArgValue::ofSeq(&X), ArgValue()};
+  auto F = Forward->runGpu(FArgs, Dev, Diags);
+  ASSERT_TRUE(F.has_value()) << Diags.str();
+
+  double BackwardAtStart = B->cellValue(
+      {static_cast<int64_t>(Model.startState()), 0, L});
+  EXPECT_NEAR(BackwardAtStart, F->RootValue, 1e-9)
+      << "forward/backward consistency (log-space)";
+}
+
+TEST(AffineDescentPipelineTest, NonUniformRecursionRunsEndToEnd) {
+  // g(x) = g(2x - 12) + 1 above 6: a genuinely affine (non-uniform)
+  // descent. Criteria come from the runtime box vertices (Section 4.5's
+  // general case), and the sliding window is correctly unavailable.
+  DiagnosticEngine Diags;
+  auto Compiled = CompiledRecurrence::compile(
+      "int g(int x) = if x <= 6 then x else g(2 * x - 12) + 1\n",
+      Diags);
+  ASSERT_TRUE(Compiled.has_value()) << Diags.str();
+
+  std::vector<ArgValue> Args = {ArgValue::ofInt(11)};
+  gpu::Device Dev = testDevice();
+  auto R = Compiled->runGpu(Args, Dev, Diags);
+  ASSERT_TRUE(R.has_value()) << Diags.str();
+  // g(11) = g(10)+1 = g(8)+2 = g(4)+3 = 7.
+  EXPECT_DOUBLE_EQ(R->RootValue, 7.0);
+  EXPECT_FALSE(solver::slidingWindowDepth(
+                   Compiled->info().Recurrence, R->UsedSchedule)
+                   .has_value());
+  EXPECT_EQ(R->Metrics.TableBytes, 12u * sizeof(double))
+      << "affine descents force a full table";
+}
+
+TEST(ThreeDimPipelineTest, ThreeWayAlignment) {
+  // Three-sequence edit distance: a genuinely three-dimensional
+  // recursion with seven dependencies; the minimal schedule is the
+  // 3D anti-diagonal i + j + k.
+  const char *Source =
+      "int d3(seq[en] a, index[a] i, seq[en] b, index[b] j,\n"
+      "       seq[en] c, index[c] k) =\n"
+      "  if i == 0 then j max k\n"
+      "  else if j == 0 then i max k\n"
+      "  else if k == 0 then i max j\n"
+      "  else ((d3(i-1, j-1, k-1) +\n"
+      "         (if a[i-1] == b[j-1] then 0 else 1) +\n"
+      "         (if a[i-1] == c[k-1] then 0 else 1) +\n"
+      "         (if b[j-1] == c[k-1] then 0 else 1))\n"
+      "    min (d3(i-1, j, k) + 2) min (d3(i, j-1, k) + 2)\n"
+      "    min (d3(i, j, k-1) + 2)\n"
+      "    min (d3(i-1, j-1, k) + 1 +\n"
+      "         (if a[i-1] == b[j-1] then 0 else 1))\n"
+      "    min (d3(i-1, j, k-1) + 1 +\n"
+      "         (if a[i-1] == c[k-1] then 0 else 1))\n"
+      "    min (d3(i, j-1, k-1) + 1 +\n"
+      "         (if b[j-1] == c[k-1] then 0 else 1)))\n";
+  DiagnosticEngine Diags;
+  auto Compiled = CompiledRecurrence::compile(Source, Diags);
+  ASSERT_TRUE(Compiled.has_value()) << Diags.str();
+
+  bio::Sequence A("a", "acb");
+  bio::Sequence B("b", "abc");
+  bio::Sequence C("c", "bc");
+  std::vector<ArgValue> Args = {
+      ArgValue::ofSeq(&A), ArgValue(), ArgValue::ofSeq(&B), ArgValue(),
+      ArgValue::ofSeq(&C), ArgValue()};
+  gpu::Device Dev = testDevice();
+  auto R = Compiled->runGpu(Args, Dev, Diags);
+  ASSERT_TRUE(R.has_value()) << Diags.str();
+  EXPECT_EQ(R->UsedSchedule.Coefficients,
+            (std::vector<int64_t>{1, 1, 1}));
+  EXPECT_EQ(R->Partitions, 3 + 3 + 2 + 1);
+  EXPECT_EQ(R->Cells, 4u * 4u * 3u);
+
+  // Identical CPU result and agreement with the windowless run.
+  auto Cpu = Compiled->runCpu(Args, Dev.costModel(), Diags);
+  ASSERT_TRUE(Cpu.has_value());
+  EXPECT_DOUBLE_EQ(Cpu->RootValue, R->RootValue);
+  RunOptions NoWindow;
+  NoWindow.UseSlidingWindow = false;
+  auto Full = Compiled->runGpu(Args, Dev, Diags, NoWindow);
+  EXPECT_DOUBLE_EQ(Full->RootValue, R->RootValue);
+
+  // Identical sequences align for free.
+  std::vector<ArgValue> Same = {
+      ArgValue::ofSeq(&A), ArgValue(), ArgValue::ofSeq(&A), ArgValue(),
+      ArgValue::ofSeq(&A), ArgValue()};
+  auto Zero = Compiled->runGpu(Same, Dev, Diags);
+  EXPECT_DOUBLE_EQ(Zero->RootValue, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// GPU speed-up sanity: the simulated intra-task kernel beats the modelled
+// serial CPU on large problems (the paper's headline effect).
+//===----------------------------------------------------------------------===//
+
+TEST(SpeedupTest, GpuBeatsCpuOnLargeEditDistance) {
+  DiagnosticEngine Diags;
+  auto Compiled = CompiledRecurrence::compile(EditDistanceSource, Diags);
+  ASSERT_TRUE(Compiled.has_value()) << Diags.str();
+
+  bio::Sequence S = bio::randomSequence(bio::Alphabet::english(), 300, 1);
+  bio::Sequence T = bio::randomSequence(bio::Alphabet::english(), 300, 2);
+  std::vector<ArgValue> Args = {ArgValue::ofSeq(&S), ArgValue(),
+                                ArgValue::ofSeq(&T), ArgValue()};
+
+  gpu::Device Dev = testDevice();
+  auto Cpu = Compiled->runCpu(Args, Dev.costModel(), Diags);
+  auto Gpu = Compiled->runGpu(Args, Dev, Diags);
+  ASSERT_TRUE(Cpu.has_value() && Gpu.has_value()) << Diags.str();
+  EXPECT_DOUBLE_EQ(Cpu->RootValue, Gpu->RootValue);
+
+  double CpuSeconds = Dev.costModel().cpuSeconds(Cpu->Cycles);
+  double GpuSeconds = Dev.costModel().gpuSeconds(Gpu->Cycles);
+  EXPECT_LT(GpuSeconds * 4, CpuSeconds)
+      << "one block alone should already be several times faster";
+}

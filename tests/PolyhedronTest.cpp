@@ -1,0 +1,175 @@
+//===- PolyhedronTest.cpp - Tests for affine expressions & polyhedra --------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/Polyhedron.h"
+
+#include <gtest/gtest.h>
+
+using namespace parrec::poly;
+
+TEST(AffineExprTest, Arithmetic) {
+  AffineExpr X = AffineExpr::dim(2, 0);
+  AffineExpr Y = AffineExpr::dim(2, 1);
+  AffineExpr E = X * 2 + Y - AffineExpr::constant(2, 3);
+  EXPECT_EQ(E.coefficient(0), 2);
+  EXPECT_EQ(E.coefficient(1), 1);
+  EXPECT_EQ(E.constantTerm(), -3);
+  EXPECT_EQ(E.evaluate({4, 5}), 2 * 4 + 5 - 3);
+  EXPECT_EQ((-E).evaluate({4, 5}), -(2 * 4 + 5 - 3));
+}
+
+TEST(AffineExprTest, Rendering) {
+  AffineExpr E({1, -2}, 5);
+  EXPECT_EQ(E.str({"x", "y"}), "x - 2*y + 5");
+  EXPECT_EQ(AffineExpr::constant(2, 0).str({"x", "y"}), "0");
+  EXPECT_EQ(AffineExpr({0, 0}, -7).str(), "-7");
+}
+
+TEST(AffineExprTest, InsertRemoveSubstitute) {
+  AffineExpr E({3, 4}, 1);
+  AffineExpr Inserted = E.insertDims(1, 1);
+  EXPECT_EQ(Inserted.numDims(), 3u);
+  EXPECT_EQ(Inserted.coefficient(0), 3);
+  EXPECT_EQ(Inserted.coefficient(1), 0);
+  EXPECT_EQ(Inserted.coefficient(2), 4);
+
+  AffineExpr Removed = Inserted.removeDim(1);
+  EXPECT_EQ(Removed, E);
+
+  // Substitute y := x + 2 into x + y.
+  AffineExpr Sum = AffineExpr::dim(2, 0) + AffineExpr::dim(2, 1);
+  AffineExpr Repl = AffineExpr::dim(2, 0) + AffineExpr::constant(2, 2);
+  AffineExpr Result = Sum.substitute(1, Repl);
+  EXPECT_EQ(Result.coefficient(0), 2);
+  EXPECT_EQ(Result.coefficient(1), 0);
+  EXPECT_EQ(Result.constantTerm(), 2);
+}
+
+TEST(AffineExprTest, DivisionHelpers) {
+  EXPECT_EQ(ceilDiv(7, 2), 4);
+  EXPECT_EQ(ceilDiv(-7, 2), -3);
+  EXPECT_EQ(ceilDiv(6, 3), 2);
+  EXPECT_EQ(floorDiv(7, 2), 3);
+  EXPECT_EQ(floorDiv(-7, 2), -4);
+  EXPECT_EQ(floorDiv(-6, 3), -2);
+  EXPECT_EQ(gcd64(12, -18), 6);
+  EXPECT_EQ(gcd64(0, 5), 5);
+}
+
+namespace {
+
+/// Brute-force reference: enumerate integer points of a box and keep the
+/// ones inside the polyhedron.
+std::vector<std::vector<int64_t>>
+enumeratePoints(const Polyhedron &P, const std::vector<int64_t> &Lo,
+                const std::vector<int64_t> &Hi) {
+  std::vector<std::vector<int64_t>> Points;
+  std::vector<int64_t> Current(Lo);
+  while (true) {
+    if (P.containsPoint(Current))
+      Points.push_back(Current);
+    unsigned D = 0;
+    for (; D != Current.size(); ++D) {
+      if (++Current[D] <= Hi[D])
+        break;
+      Current[D] = Lo[D];
+    }
+    if (D == Current.size())
+      return Points;
+  }
+}
+
+} // namespace
+
+TEST(PolyhedronTest, ContainsAndEmptiness) {
+  Polyhedron P({"x", "y"});
+  P.addBounds(0, 0, 3);
+  P.addBounds(1, 0, 3);
+  // x + y <= 4.
+  P.addConstraint(Constraint::ge(AffineExpr({-1, -1}, 4)));
+  EXPECT_TRUE(P.containsPoint({2, 2}));
+  EXPECT_FALSE(P.containsPoint({3, 3}));
+  EXPECT_FALSE(P.isEmpty());
+
+  // Add x + y >= 9: now empty.
+  P.addConstraint(Constraint::ge(AffineExpr({1, 1}, -9)));
+  EXPECT_TRUE(P.isEmpty());
+}
+
+TEST(PolyhedronTest, EqualityConstraints) {
+  Polyhedron P({"x", "y"});
+  P.addBounds(0, 0, 10);
+  P.addBounds(1, 0, 10);
+  // x - y == 3.
+  P.addConstraint(Constraint::eq(AffineExpr({1, -1}, -3)));
+  EXPECT_TRUE(P.containsPoint({5, 2}));
+  EXPECT_FALSE(P.containsPoint({5, 3}));
+  EXPECT_FALSE(P.isEmpty());
+}
+
+TEST(PolyhedronTest, EliminationMatchesProjection) {
+  // Triangle x >= 0, y >= 0, x + 2y <= 7. Project away y: x in [0, 7].
+  Polyhedron P({"x", "y"});
+  P.addConstraint(Constraint::ge(AffineExpr::dim(2, 0)));
+  P.addConstraint(Constraint::ge(AffineExpr::dim(2, 1)));
+  P.addConstraint(Constraint::ge(AffineExpr({-1, -2}, 7)));
+
+  Polyhedron Q = P.eliminateDim(1);
+  ASSERT_EQ(Q.numDims(), 1u);
+  EXPECT_EQ(Q.constantLowerBound(0).value(), 0);
+  EXPECT_EQ(Q.constantUpperBound(0).value(), 7);
+}
+
+TEST(PolyhedronTest, ConstantBounds) {
+  Polyhedron P({"x", "y"});
+  P.addBounds(0, -2, 9);
+  P.addBounds(1, 1, 4);
+  // x <= 2y  =>  x <= 8.
+  P.addConstraint(Constraint::ge(AffineExpr({-1, 2}, 0)));
+  EXPECT_EQ(P.constantLowerBound(0).value(), -2);
+  EXPECT_EQ(P.constantUpperBound(0).value(), 8);
+  EXPECT_EQ(P.constantLowerBound(1).value(), 1);
+  EXPECT_EQ(P.constantUpperBound(1).value(), 4);
+}
+
+TEST(PolyhedronTest, NormalisationTightensIntegerBounds) {
+  // 2x - 1 >= 0 over the integers means x >= 1.
+  Polyhedron P({"x"});
+  P.addConstraint(Constraint::ge(AffineExpr({2}, -1)));
+  EXPECT_EQ(P.constantLowerBound(0).value(), 1);
+}
+
+TEST(PolyhedronTest, EliminationPreservesIntegerPoints) {
+  // A skewed polyhedron; check projected membership by brute force.
+  Polyhedron P({"x", "y", "z"});
+  P.addBounds(0, 0, 5);
+  P.addBounds(1, 0, 5);
+  P.addBounds(2, 0, 5);
+  P.addConstraint(Constraint::ge(AffineExpr({1, 1, -2}, 1)));  // x+y+1>=2z
+  P.addConstraint(Constraint::ge(AffineExpr({-1, 2, 1}, 0)));  // 2y+z>=x
+
+  Polyhedron Q = P.eliminateDim(2);
+  auto Original = enumeratePoints(P, {0, 0, 0}, {5, 5, 5});
+  // Every (x, y) with a witness z must be in Q.
+  for (const auto &Point : Original)
+    EXPECT_TRUE(Q.containsPoint({Point[0], Point[1]}))
+        << "lost (" << Point[0] << ", " << Point[1] << ")";
+}
+
+TEST(PolyhedronTest, UnboundedDirection) {
+  Polyhedron P({"x"});
+  P.addConstraint(Constraint::ge(AffineExpr::dim(1, 0)));
+  EXPECT_EQ(P.constantLowerBound(0).value(), 0);
+  EXPECT_FALSE(P.constantUpperBound(0).has_value());
+}
+
+TEST(ConstraintTest, Rendering) {
+  Constraint C = Constraint::ge(AffineExpr({1, -1}, 2));
+  EXPECT_EQ(C.str({"i", "j"}), "i - j + 2 >= 0");
+  Constraint E = Constraint::eq(AffineExpr({1, 0}, 0));
+  EXPECT_EQ(E.str({"i", "j"}), "i == 0");
+}

@@ -1,0 +1,450 @@
+//===- ScheduleSynthesisTest.cpp - Tests for schedule synthesis --------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/ScheduleSynthesis.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace parrec;
+using namespace parrec::poly;
+using namespace parrec::solver;
+
+namespace {
+
+DescentFunction uniformDescent(std::vector<int64_t> Offsets) {
+  DescentFunction D;
+  unsigned N = static_cast<unsigned>(Offsets.size());
+  for (unsigned I = 0; I != N; ++I) {
+    AffineExpr C = AffineExpr::dim(N, I);
+    C.setConstantTerm(Offsets[I]);
+    D.Components.push_back(C);
+  }
+  return D;
+}
+
+/// The edit-distance recursion: calls (x-1, y), (x, y-1), (x-1, y-1).
+RecurrenceSpec editDistanceSpec() {
+  RecurrenceSpec Spec;
+  Spec.Name = "d";
+  Spec.DimNames = {"x", "y"};
+  Spec.Calls.push_back(uniformDescent({-1, 0}));
+  Spec.Calls.push_back(uniformDescent({0, -1}));
+  Spec.Calls.push_back(uniformDescent({-1, -1}));
+  return Spec;
+}
+
+/// f(x, y) = ... f(x-1, y-1) ... (the Section 4.7 example).
+RecurrenceSpec diagonalOnlySpec() {
+  RecurrenceSpec Spec;
+  Spec.Name = "f";
+  Spec.DimNames = {"x", "y"};
+  Spec.Calls.push_back(uniformDescent({-1, -1}));
+  return Spec;
+}
+
+/// The forward algorithm: forward(t.start, i-1) — state dim free.
+RecurrenceSpec forwardSpec() {
+  RecurrenceSpec Spec;
+  Spec.Name = "forward";
+  Spec.DimNames = {"s", "i"};
+  DescentFunction D = uniformDescent({0, -1});
+  D.FreeDims = {true, false};
+  Spec.Calls.push_back(D);
+  return Spec;
+}
+
+} // namespace
+
+TEST(CriteriaTest, UniformCriteria) {
+  DiagnosticEngine Diags;
+  auto Criteria = buildCriteria(editDistanceSpec(), std::nullopt, Diags);
+  ASSERT_TRUE(Criteria.has_value());
+  EXPECT_EQ(Criteria->Constraints.size(), 3u);
+
+  // S = x + y satisfies all; S = x fails (independent of y while the
+  // recursion steps in y); S = -x - y fails everywhere.
+  EXPECT_TRUE(Criteria->isSatisfiedBy(Schedule{{1, 1}}));
+  EXPECT_FALSE(Criteria->isSatisfiedBy(Schedule{{1, 0}}));
+  EXPECT_FALSE(Criteria->isSatisfiedBy(Schedule{{-1, -1}}));
+  EXPECT_TRUE(Criteria->isSatisfiedBy(Schedule{{2, 1}}));
+}
+
+TEST(CriteriaTest, FreeDimForcesZeroCoefficient) {
+  DiagnosticEngine Diags;
+  auto Criteria = buildCriteria(forwardSpec(), std::nullopt, Diags);
+  ASSERT_TRUE(Criteria.has_value());
+  // S = i is valid; S = s + i is not (the state dimension must be
+  // ignored, Section 5.2).
+  EXPECT_TRUE(Criteria->isSatisfiedBy(Schedule{{0, 1}}));
+  EXPECT_FALSE(Criteria->isSatisfiedBy(Schedule{{1, 1}}));
+  EXPECT_FALSE(Criteria->isSatisfiedBy(Schedule{{0, 0}}));
+}
+
+TEST(CriteriaTest, AffineDescentNeedsBox) {
+  RecurrenceSpec Spec;
+  Spec.Name = "g";
+  Spec.DimNames = {"x"};
+  DescentFunction D;
+  D.Components.push_back(AffineExpr({-1}, 0) +
+                         AffineExpr::constant(1, 4)); // x' = 4 - x.
+  Spec.Calls.push_back(D);
+
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(buildCriteria(Spec, std::nullopt, Diags).has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(CriteriaTest, AffineDescentWithBox) {
+  // g(x) calls g(x/2-ish): x' = 0*x + c is not expressible; use the
+  // halving-style descent x' = x - x = 0 ... instead take x' = 2x - 6
+  // over x in [0, 2]: delta = x - (2x - 6) = 6 - x >= 4 > 0, so any
+  // a >= 1 works.
+  RecurrenceSpec Spec;
+  Spec.Name = "g";
+  Spec.DimNames = {"x"};
+  DescentFunction D;
+  D.Components.push_back(AffineExpr({2}, -6));
+  Spec.Calls.push_back(D);
+
+  DomainBox Box = DomainBox::fromExtents({3});
+  DiagnosticEngine Diags;
+  auto Criteria = buildCriteria(Spec, Box, Diags);
+  ASSERT_TRUE(Criteria.has_value());
+  EXPECT_TRUE(Criteria->isSatisfiedBy(Schedule{{1}}));
+  EXPECT_FALSE(Criteria->isSatisfiedBy(Schedule{{-1}}));
+}
+
+TEST(ScheduleVerifyTest, AcceptsAndRejects) {
+  DiagnosticEngine Diags;
+  RecurrenceSpec Spec = editDistanceSpec();
+  DomainBox Box = DomainBox::fromExtents({4, 4});
+  EXPECT_TRUE(verifySchedule(Spec, Schedule{{1, 1}}, Box, Diags));
+  EXPECT_FALSE(verifySchedule(Spec, Schedule{{0, 1}}, Box, Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+
+  DiagnosticEngine Diags2;
+  EXPECT_FALSE(verifySchedule(Spec, Schedule{{1}}, Box, Diags2))
+      << "dimension mismatch must be rejected";
+}
+
+TEST(ScheduleSearchTest, EditDistanceDiagonal) {
+  // Figure 3: the 3x3 edit-distance problem scheduled diagonally in five
+  // partitions.
+  DiagnosticEngine Diags;
+  DomainBox Box = DomainBox::fromExtents({3, 3});
+  auto S = findMinimalSchedule(editDistanceSpec(), Box, Diags);
+  ASSERT_TRUE(S.has_value()) << Diags.str();
+  EXPECT_EQ(S->Coefficients, (std::vector<int64_t>{1, 1}));
+  EXPECT_EQ(S->partitionCount(Box), 5);
+}
+
+TEST(ScheduleSearchTest, RectangularDomainPrefersShortAxis) {
+  // With only the diagonal call f(x-1, y-1), Sf = x is minimal when the
+  // x extent is smaller, Sf = y when the y extent is smaller
+  // (Section 4.7's motivating example).
+  DiagnosticEngine Diags;
+  RecurrenceSpec Spec = diagonalOnlySpec();
+
+  auto Wide = findMinimalSchedule(Spec, DomainBox::fromExtents({3, 10}),
+                                  Diags);
+  ASSERT_TRUE(Wide.has_value());
+  EXPECT_EQ(Wide->Coefficients, (std::vector<int64_t>{1, 0}));
+
+  auto Tall = findMinimalSchedule(Spec, DomainBox::fromExtents({10, 3}),
+                                  Diags);
+  ASSERT_TRUE(Tall.has_value());
+  EXPECT_EQ(Tall->Coefficients, (std::vector<int64_t>{0, 1}));
+}
+
+TEST(ScheduleSearchTest, ForwardAlgorithmSchedule) {
+  // Section 5.2: the only schedule is S(s, i) = i.
+  DiagnosticEngine Diags;
+  DomainBox Box = DomainBox::fromExtents({8, 100});
+  auto S = findMinimalSchedule(forwardSpec(), Box, Diags);
+  ASSERT_TRUE(S.has_value());
+  EXPECT_EQ(S->Coefficients, (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(S->partitionCount(Box), 100);
+}
+
+TEST(ScheduleSearchTest, FibonacciIsSerial) {
+  // fib(x) = fib(x-1) + fib(x-2): the minimal schedule is S = x with one
+  // element per partition — no parallelism, exactly Figure 2's analysis.
+  RecurrenceSpec Spec;
+  Spec.Name = "fib";
+  Spec.DimNames = {"x"};
+  Spec.Calls.push_back(uniformDescent({-1}));
+  Spec.Calls.push_back(uniformDescent({-2}));
+
+  DiagnosticEngine Diags;
+  DomainBox Box = DomainBox::fromExtents({20});
+  auto S = findMinimalSchedule(Spec, Box, Diags);
+  ASSERT_TRUE(S.has_value());
+  EXPECT_EQ(S->Coefficients, (std::vector<int64_t>{1}));
+  EXPECT_EQ(S->partitionCount(Box), 20);
+}
+
+TEST(ScheduleSearchTest, CyclicDependencyFails) {
+  // f(x) calls f(x): no valid schedule exists.
+  RecurrenceSpec Spec;
+  Spec.Name = "f";
+  Spec.DimNames = {"x"};
+  Spec.Calls.push_back(uniformDescent({0}));
+
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(
+      findMinimalSchedule(Spec, DomainBox::fromExtents({5}), Diags)
+          .has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(ScheduleSearchTest, NoCallsSinglePartition) {
+  RecurrenceSpec Spec;
+  Spec.Name = "f";
+  Spec.DimNames = {"x", "y"};
+  DiagnosticEngine Diags;
+  auto S = findMinimalSchedule(Spec, DomainBox::fromExtents({9, 9}),
+                               Diags);
+  ASSERT_TRUE(S.has_value());
+  EXPECT_EQ(S->partitionCount(DomainBox::fromExtents({9, 9})), 1);
+}
+
+TEST(ConditionalScheduleTest, DiagonalRecursionTwoCandidates) {
+  // Section 4.7: the minimal schedules of f(x-1, y-1) are (1, 0) and
+  // (0, 1); the derivation must find both and only both.
+  DiagnosticEngine Diags;
+  auto Candidates = findConditionalSchedules(diagonalOnlySpec(), Diags);
+  ASSERT_TRUE(Candidates.has_value()) << Diags.str();
+  ASSERT_EQ(Candidates->size(), 2u);
+  std::vector<std::vector<int64_t>> Found;
+  for (const ConditionalSchedule &C : *Candidates)
+    Found.push_back(C.S.Coefficients);
+  EXPECT_NE(std::find(Found.begin(), Found.end(),
+                      std::vector<int64_t>{1, 0}),
+            Found.end());
+  EXPECT_NE(std::find(Found.begin(), Found.end(),
+                      std::vector<int64_t>{0, 1}),
+            Found.end());
+
+  // Runtime selection: nx < ny picks S = x, otherwise S = y.
+  const ConditionalSchedule &Wide =
+      selectSchedule(*Candidates, DomainBox::fromExtents({3, 10}));
+  EXPECT_EQ(Wide.S.Coefficients, (std::vector<int64_t>{1, 0}));
+  const ConditionalSchedule &Tall =
+      selectSchedule(*Candidates, DomainBox::fromExtents({10, 3}));
+  EXPECT_EQ(Tall.S.Coefficients, (std::vector<int64_t>{0, 1}));
+}
+
+TEST(ConditionalScheduleTest, EditDistanceSingleCandidate) {
+  // Edit distance constrains both dimensions, so the diagonal x + y is
+  // the only minimal candidate ("in practice the majority of problems
+  // have a single schedule").
+  DiagnosticEngine Diags;
+  auto Candidates = findConditionalSchedules(editDistanceSpec(), Diags);
+  ASSERT_TRUE(Candidates.has_value());
+  ASSERT_EQ(Candidates->size(), 1u);
+  EXPECT_EQ((*Candidates)[0].S.Coefficients,
+            (std::vector<int64_t>{1, 1}));
+}
+
+TEST(SlidingWindowTest, Depths) {
+  // Edit distance under x + y: the deepest dependency is one partition
+  // back for (x-1, y) and (x, y-1), two for (x-1, y-1).
+  auto Depth =
+      slidingWindowDepth(editDistanceSpec(), Schedule{{1, 1}});
+  ASSERT_TRUE(Depth.has_value());
+  EXPECT_EQ(*Depth, 2);
+
+  // Fibonacci under S = x: depth 2 as well (fib(x-2)).
+  RecurrenceSpec Fib;
+  Fib.Name = "fib";
+  Fib.DimNames = {"x"};
+  Fib.Calls.push_back(uniformDescent({-1}));
+  Fib.Calls.push_back(uniformDescent({-2}));
+  EXPECT_EQ(slidingWindowDepth(Fib, Schedule{{1}}).value(), 2);
+
+  // Affine descents disable the window.
+  RecurrenceSpec Affine;
+  Affine.Name = "g";
+  Affine.DimNames = {"x"};
+  DescentFunction D;
+  D.Components.push_back(AffineExpr({2}, -6));
+  Affine.Calls.push_back(D);
+  EXPECT_FALSE(slidingWindowDepth(Affine, Schedule{{1}}).has_value());
+}
+
+TEST(SlidingWindowTest, ForwardWindowIsOne) {
+  auto Depth = slidingWindowDepth(forwardSpec(), Schedule{{0, 1}});
+  ASSERT_TRUE(Depth.has_value());
+  EXPECT_EQ(*Depth, 1);
+}
+
+/// Soundness property: for random uniform recursions, the derived
+/// minimal schedule strictly orders every dependency — for every point x
+/// in the box and every call with target x' inside the box,
+/// S(x') < S(x). This is the partition ordering condition (1) checked by
+/// brute force.
+struct RandomRecurrenceCase {
+  unsigned Dims;
+  unsigned Calls;
+  uint64_t Seed;
+
+  friend std::ostream &operator<<(std::ostream &Os,
+                                  const RandomRecurrenceCase &C) {
+    return Os << C.Dims << "d_" << C.Calls << "calls_seed" << C.Seed;
+  }
+};
+
+class ScheduleSoundnessTest
+    : public ::testing::TestWithParam<RandomRecurrenceCase> {};
+
+TEST_P(ScheduleSoundnessTest, MinimalScheduleOrdersAllDependencies) {
+  RandomRecurrenceCase Case = GetParam();
+  SplitMix64 Rng(Case.Seed);
+
+  RecurrenceSpec Spec;
+  Spec.Name = "r";
+  for (unsigned D = 0; D != Case.Dims; ++D)
+    Spec.DimNames.push_back("x" + std::to_string(D));
+  for (unsigned C = 0; C != Case.Calls; ++C) {
+    // Offsets in [-2, 1], at least one negative somewhere so a valid
+    // schedule can exist (self-calls are legitimately rejected).
+    std::vector<int64_t> Offsets;
+    bool HasNegative = false;
+    for (unsigned D = 0; D != Case.Dims; ++D) {
+      int64_t O = Rng.nextInRange(-2, 1);
+      HasNegative |= O < 0;
+      Offsets.push_back(O);
+    }
+    if (!HasNegative)
+      Offsets[Rng.nextBelow(Case.Dims)] = -1;
+    Spec.Calls.push_back(uniformDescent(Offsets));
+  }
+
+  std::vector<int64_t> Extents;
+  for (unsigned D = 0; D != Case.Dims; ++D)
+    Extents.push_back(Rng.nextInRange(2, 5));
+  DomainBox Box = DomainBox::fromExtents(Extents);
+
+  DiagnosticEngine Diags;
+  auto S = findMinimalSchedule(Spec, Box, Diags);
+  if (!S)
+    return; // Cyclic dependencies: correctly rejected.
+
+  // Brute-force check of condition (1) over every point and call.
+  std::vector<int64_t> Point(Case.Dims, 0);
+  while (true) {
+    for (const DescentFunction &Call : Spec.Calls) {
+      std::vector<int64_t> Target;
+      bool Inside = true;
+      for (unsigned D = 0; D != Case.Dims; ++D) {
+        int64_t T = Call.Components[D].evaluate(Point);
+        Target.push_back(T);
+        Inside &= T >= Box.Lower[D] && T <= Box.Upper[D];
+      }
+      if (Inside) {
+        EXPECT_LT(S->apply(Target), S->apply(Point))
+            << "dependency not ordered by " << S->str(Spec.DimNames);
+      }
+    }
+    unsigned D = 0;
+    for (; D != Case.Dims; ++D) {
+      if (++Point[D] <= Box.Upper[D])
+        break;
+      Point[D] = Box.Lower[D];
+    }
+    if (D == Case.Dims)
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomRecurrences, ScheduleSoundnessTest,
+    ::testing::Values(
+        RandomRecurrenceCase{1, 1, 101}, RandomRecurrenceCase{1, 3, 102},
+        RandomRecurrenceCase{2, 1, 201}, RandomRecurrenceCase{2, 2, 202},
+        RandomRecurrenceCase{2, 4, 203}, RandomRecurrenceCase{2, 4, 204},
+        RandomRecurrenceCase{3, 2, 301}, RandomRecurrenceCase{3, 3, 302},
+        RandomRecurrenceCase{3, 5, 303}, RandomRecurrenceCase{3, 5, 304},
+        RandomRecurrenceCase{4, 3, 401},
+        RandomRecurrenceCase{4, 6, 402}));
+
+/// The same soundness property for conditional schedules: every
+/// candidate must order every dependency on every box (they are valid
+/// everywhere, merely minimal somewhere).
+TEST(ConditionalScheduleTest, CandidatesAreValidOnAllBoxes) {
+  SplitMix64 Rng(777);
+  for (int Round = 0; Round != 8; ++Round) {
+    RecurrenceSpec Spec;
+    Spec.Name = "r";
+    Spec.DimNames = {"x", "y"};
+    unsigned NumCalls = 1 + static_cast<unsigned>(Rng.nextBelow(3));
+    for (unsigned C = 0; C != NumCalls; ++C) {
+      std::vector<int64_t> Offsets = {Rng.nextInRange(-2, 0),
+                                      Rng.nextInRange(-2, 0)};
+      if (Offsets[0] == 0 && Offsets[1] == 0)
+        Offsets[0] = -1;
+      Spec.Calls.push_back(uniformDescent(Offsets));
+    }
+    DiagnosticEngine Diags;
+    auto Candidates = findConditionalSchedules(Spec, Diags);
+    ASSERT_TRUE(Candidates.has_value()) << Diags.str();
+    for (const ConditionalSchedule &C : *Candidates)
+      for (int64_t W : {2, 7})
+        for (int64_t H : {3, 9}) {
+          DiagnosticEngine Local;
+          EXPECT_TRUE(verifySchedule(Spec, C.S,
+                                     DomainBox::fromExtents({W, H}),
+                                     Local))
+              << C.S.str(Spec.DimNames) << " on " << W << "x" << H;
+        }
+  }
+}
+
+TEST(RecurrenceTest, DescentRendering) {
+  DescentFunction D = uniformDescent({-1, 0});
+  EXPECT_EQ(D.str({"x", "y"}), "(x - 1, y)");
+  EXPECT_TRUE(D.isUniform());
+  EXPECT_FALSE(D.hasFreeDims());
+  D.FreeDims = {true, false};
+  EXPECT_TRUE(D.hasFreeDims());
+  EXPECT_TRUE(D.isFreeDim(0));
+  EXPECT_FALSE(D.isFreeDim(1));
+}
+
+TEST(RecurrenceTest, DomainBoxGeometry) {
+  DomainBox Box = DomainBox::fromExtents({4, 3, 2});
+  EXPECT_EQ(Box.numDims(), 3u);
+  EXPECT_EQ(Box.extent(0), 4);
+  EXPECT_EQ(Box.totalPoints(), 24u);
+  EXPECT_EQ(Box.Lower, (std::vector<int64_t>{0, 0, 0}));
+  EXPECT_EQ(Box.Upper, (std::vector<int64_t>{3, 2, 1}));
+}
+
+TEST(RecurrenceTest, AllUniformDetection) {
+  RecurrenceSpec Spec = editDistanceSpec();
+  EXPECT_TRUE(Spec.allUniform());
+  DescentFunction Affine;
+  Affine.Components.push_back(AffineExpr({2, 0}, -6));
+  Affine.Components.push_back(AffineExpr::dim(2, 1));
+  Spec.Calls.push_back(Affine);
+  EXPECT_FALSE(Spec.allUniform());
+}
+
+TEST(ScheduleTest, PartitionCounting) {
+  Schedule S{{1, 1}};
+  DomainBox Box = DomainBox::fromExtents({4, 6});
+  EXPECT_EQ(S.minOver(Box), 0);
+  EXPECT_EQ(S.maxOver(Box), 3 + 5);
+  EXPECT_EQ(S.partitionCount(Box), 9);
+
+  Schedule Neg{{-1, 2}};
+  EXPECT_EQ(Neg.minOver(Box), -3);
+  EXPECT_EQ(Neg.maxOver(Box), 10);
+  EXPECT_EQ(Neg.str({"x", "y"}), "-x + 2*y");
+}

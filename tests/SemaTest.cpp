@@ -1,0 +1,263 @@
+//===- SemaTest.cpp - Tests for semantic analysis ------------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace parrec;
+using namespace parrec::lang;
+
+namespace {
+
+const char *EditDistanceSource =
+    "int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =\n"
+    "  if i == 0 then j\n"
+    "  else if j == 0 then i\n"
+    "  else if s[i-1] == t[j-1] then d(i-1, j-1)\n"
+    "  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1\n";
+
+const char *ForwardSource =
+    "prob forward(hmm h, state[h] s, seq[dna] x, index[x] i) =\n"
+    "  if i == 0 then\n"
+    "    if s.isstart then 1.0 else 0.0\n"
+    "  else\n"
+    "    (if s.isend then 1.0 else s.emission[x[i-1]]) *\n"
+    "    sum(t in s.transitionsto : t.prob * forward(t.start, i - 1))\n";
+
+struct AnalysisResult {
+  std::unique_ptr<FunctionDecl> Decl;
+  std::optional<FunctionInfo> Info;
+  DiagnosticEngine Diags;
+};
+
+AnalysisResult analyze(std::string_view Source) {
+  AnalysisResult R;
+  Parser P(Source, R.Diags);
+  R.Decl = P.parseFunctionOnly();
+  if (!R.Decl)
+    return R;
+  Sema S(R.Diags, {"dna", "rna", "protein", "en"});
+  R.Info = S.analyze(*R.Decl);
+  return R;
+}
+
+} // namespace
+
+TEST(SemaTest, EditDistanceAnalysis) {
+  AnalysisResult R = analyze(EditDistanceSource);
+  ASSERT_TRUE(R.Info.has_value()) << R.Diags.str();
+
+  // Recursive parameters: the two indices.
+  EXPECT_EQ(R.Info->RecursiveParams, (std::vector<unsigned>{1, 3}));
+  ASSERT_EQ(R.Info->Dims.size(), 2u);
+  EXPECT_EQ(R.Info->Dims[0].Kind, DimKind::IndexDim);
+  EXPECT_EQ(R.Info->Dims[0].Name, "i");
+  EXPECT_EQ(R.Info->Dims[0].RefParamIndex, 0);
+  EXPECT_EQ(R.Info->Dims[1].RefParamIndex, 2);
+
+  // Three recursive calls with the expected uniform descents.
+  ASSERT_EQ(R.Info->Recurrence.Calls.size(), 4u)
+      << "d(i-1,j-1) appears twice in the source";
+  for (const auto &Call : R.Info->Recurrence.Calls)
+    EXPECT_TRUE(Call.isUniform());
+}
+
+TEST(SemaTest, ForwardAnalysis) {
+  AnalysisResult R = analyze(ForwardSource);
+  ASSERT_TRUE(R.Info.has_value()) << R.Diags.str();
+  ASSERT_EQ(R.Info->Dims.size(), 2u);
+  EXPECT_EQ(R.Info->Dims[0].Kind, DimKind::StateDim);
+  EXPECT_EQ(R.Info->Dims[1].Kind, DimKind::IndexDim);
+
+  // The call forward(t.start, i-1): state dimension free, index uniform
+  // with offset -1 (the Section 5.2 analysis).
+  ASSERT_EQ(R.Info->Recurrence.Calls.size(), 1u);
+  const auto &Call = R.Info->Recurrence.Calls[0];
+  EXPECT_TRUE(Call.isFreeDim(0));
+  EXPECT_FALSE(Call.isFreeDim(1));
+  EXPECT_TRUE(Call.isUniform());
+  EXPECT_EQ(Call.uniformOffsets(), (std::vector<int64_t>{0, -1}));
+}
+
+TEST(SemaTest, TypeAnnotations) {
+  AnalysisResult R = analyze(EditDistanceSource);
+  ASSERT_TRUE(R.Info.has_value());
+  EXPECT_EQ(R.Decl->Body->ExprType.Kind, TypeKind::Int);
+}
+
+TEST(SemaTest, RejectsMutualRecursion) {
+  AnalysisResult R = analyze(
+      "int f(int x) = if x == 0 then 0 else g(x - 1)\n");
+  EXPECT_FALSE(R.Info.has_value());
+  EXPECT_NE(R.Diags.str().find("mutual"), std::string::npos)
+      << R.Diags.str();
+}
+
+TEST(SemaTest, RejectsNonAffineDescent) {
+  AnalysisResult R = analyze(
+      "int f(int x) = if x == 0 then 0 else f(x * x)\n");
+  EXPECT_FALSE(R.Info.has_value());
+  EXPECT_NE(R.Diags.str().find("affine"), std::string::npos)
+      << R.Diags.str();
+}
+
+TEST(SemaTest, AcceptsAffineNonUniformDescent) {
+  AnalysisResult R = analyze(
+      "int f(int x) = if x <= 1 then 1 else f(2 * x - 6)\n");
+  ASSERT_TRUE(R.Info.has_value()) << R.Diags.str();
+  ASSERT_EQ(R.Info->Recurrence.Calls.size(), 1u);
+  EXPECT_FALSE(R.Info->Recurrence.Calls[0].isUniform());
+}
+
+TEST(SemaTest, RejectsUnknownVariable) {
+  AnalysisResult R = analyze("int f(int x) = y + 1\n");
+  EXPECT_FALSE(R.Info.has_value());
+  EXPECT_NE(R.Diags.str().find("unknown variable"), std::string::npos);
+}
+
+TEST(SemaTest, RejectsUnknownAlphabet) {
+  AnalysisResult R = analyze(
+      "int f(seq[klingon] s, index[s] i) = if i == 0 then 0 else f(i-1)\n");
+  EXPECT_FALSE(R.Info.has_value());
+  EXPECT_NE(R.Diags.str().find("unknown alphabet"), std::string::npos);
+}
+
+TEST(SemaTest, RejectsIndexWithoutSequence) {
+  AnalysisResult R = analyze(
+      "int f(index[s] i) = if i == 0 then 0 else f(i-1)\n");
+  EXPECT_FALSE(R.Info.has_value());
+}
+
+TEST(SemaTest, RejectsNoRecursiveParams) {
+  AnalysisResult R = analyze("int f(seq[en] s) = 0\n");
+  EXPECT_FALSE(R.Info.has_value());
+  EXPECT_NE(R.Diags.str().find("no recursive parameters"),
+            std::string::npos);
+}
+
+TEST(SemaTest, RejectsWrongArity) {
+  AnalysisResult R = analyze(
+      "int f(int x, int y) = if x == 0 then 0 else f(x - 1)\n");
+  EXPECT_FALSE(R.Info.has_value());
+}
+
+TEST(SemaTest, RejectsBadConditionType) {
+  AnalysisResult R =
+      analyze("int f(int x) = if x then 0 else f(x - 1)\n");
+  EXPECT_FALSE(R.Info.has_value());
+  EXPECT_NE(R.Diags.str().find("bool"), std::string::npos);
+}
+
+TEST(SemaTest, RejectsDuplicateParams) {
+  AnalysisResult R = analyze(
+      "int f(int x, int x) = if x == 0 then 0 else f(x - 1, x - 1)\n");
+  EXPECT_FALSE(R.Info.has_value());
+  EXPECT_NE(R.Diags.str().find("duplicate"), std::string::npos);
+}
+
+TEST(SemaTest, JoinsNumericTypes) {
+  AnalysisResult R = analyze(
+      "float f(int x) = if x == 0 then 1.5 else f(x - 1) + 1\n");
+  ASSERT_TRUE(R.Info.has_value()) << R.Diags.str();
+  EXPECT_EQ(R.Decl->Body->ExprType.Kind, TypeKind::Float);
+}
+
+TEST(SemaTest, MatrixParameterUse) {
+  AnalysisResult R = analyze(
+      "int sw(matrix[protein] m, seq[protein] a, index[a] i,\n"
+      "       seq[protein] b, index[b] j) =\n"
+      "  if i == 0 then 0\n"
+      "  else if j == 0 then 0\n"
+      "  else 0 max (sw(i-1, j-1) + m[a[i-1], b[j-1]])\n");
+  ASSERT_TRUE(R.Info.has_value()) << R.Diags.str();
+  EXPECT_EQ(R.Info->Dims.size(), 2u);
+}
+
+TEST(SemaTest, SmithWatermanAnalysis) {
+  AnalysisResult R = analyze(
+      "int sw(matrix[protein] m, seq[protein] a, index[a] i,\n"
+      "       seq[protein] b, index[b] j) =\n"
+      "  if i == 0 then 0\n"
+      "  else if j == 0 then 0\n"
+      "  else 0 max (sw(i-1, j-1) + m[a[i-1], b[j-1]])\n"
+      "       max (sw(i-1, j) - 4) max (sw(i, j-1) - 4)\n");
+  ASSERT_TRUE(R.Info.has_value()) << R.Diags.str();
+  ASSERT_EQ(R.Info->Recurrence.Calls.size(), 3u);
+  EXPECT_EQ(R.Info->Recurrence.Calls[0].uniformOffsets(),
+            (std::vector<int64_t>{-1, -1}));
+  EXPECT_EQ(R.Info->Recurrence.Calls[1].uniformOffsets(),
+            (std::vector<int64_t>{-1, 0}));
+  EXPECT_EQ(R.Info->Recurrence.Calls[2].uniformOffsets(),
+            (std::vector<int64_t>{0, -1}));
+}
+
+TEST(SemaTest, DescentWithScaledDimension) {
+  // 2*i - 3 is affine (not uniform) and must be extracted exactly.
+  AnalysisResult R = analyze(
+      "int f(int i) = if i <= 2 then i else f(2 * i - 6)\n");
+  ASSERT_TRUE(R.Info.has_value()) << R.Diags.str();
+  const auto &Call = R.Info->Recurrence.Calls[0];
+  EXPECT_FALSE(Call.isUniform());
+  EXPECT_EQ(Call.Components[0].coefficient(0), 2);
+  EXPECT_EQ(Call.Components[0].constantTerm(), -6);
+}
+
+TEST(SemaTest, RejectsReductionVarInDescent) {
+  // t.prob is not an affine function of the recursion dimensions, and a
+  // raw reduction variable cannot appear in an index argument.
+  AnalysisResult R = analyze(
+      "prob f(hmm h, state[h] s, seq[dna] x, index[x] i) =\n"
+      "  if i == 0 then 1.0\n"
+      "  else sum(t in s.transitionsto : f(t.start, t))\n");
+  EXPECT_FALSE(R.Info.has_value());
+}
+
+TEST(SemaTest, NestedMemberChains) {
+  // t.end.isend: member access on a member result.
+  AnalysisResult R = analyze(
+      "prob f(hmm h, state[h] s, int n) =\n"
+      "  if n == 0 then 1.0\n"
+      "  else sum(t in s.transitionsfrom :\n"
+      "           (if t.end.isend then 1.0 else 0.5) * f(t.end, n-1))\n");
+  ASSERT_TRUE(R.Info.has_value()) << R.Diags.str();
+  EXPECT_TRUE(R.Info->Recurrence.Calls[0].isFreeDim(0));
+}
+
+TEST(SemaTest, RejectsMemberOnWrongType) {
+  AnalysisResult R = analyze(
+      "prob f(hmm h, state[h] s, int n) =\n"
+      "  if n == 0 then 1.0 else s.prob * f(s, n - 1)\n");
+  EXPECT_FALSE(R.Info.has_value());
+  EXPECT_NE(R.Diags.str().find("requires a transition"),
+            std::string::npos)
+      << R.Diags.str();
+}
+
+TEST(SemaTest, RejectsIndexingNonSequence) {
+  AnalysisResult R = analyze("int f(int n) = n[0] + f(n - 1)\n");
+  EXPECT_FALSE(R.Info.has_value());
+  EXPECT_NE(R.Diags.str().find("not a sequence"), std::string::npos);
+}
+
+TEST(SemaTest, RejectsMatrixLookupOnNonChars) {
+  AnalysisResult R = analyze(
+      "int f(matrix[protein] m, int n) =\n"
+      "  if n == 0 then 0 else m[n, n] + f(n - 1)\n");
+  EXPECT_FALSE(R.Info.has_value());
+  EXPECT_NE(R.Diags.str().find("characters"), std::string::npos);
+}
+
+TEST(SemaTest, ReductionVariableScoping) {
+  // The reduction variable must not escape its body.
+  AnalysisResult R = analyze(
+      "prob f(hmm h, state[h] s, int i) =\n"
+      "  if i == 0 then 1.0\n"
+      "  else sum(t in s.transitionsto : t.prob) * t.prob\n");
+  EXPECT_FALSE(R.Info.has_value());
+}

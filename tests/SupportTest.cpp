@@ -1,0 +1,92 @@
+//===- SupportTest.cpp - Tests for the support library ----------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/Random.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace parrec;
+
+TEST(SourceLocationTest, Rendering) {
+  EXPECT_EQ(SourceLocation(3, 7).str(), "3:7");
+  EXPECT_EQ(SourceLocation().str(), "<unknown>");
+  EXPECT_TRUE(SourceLocation(1, 1).isValid());
+  EXPECT_FALSE(SourceLocation().isValid());
+}
+
+TEST(DiagnosticsTest, CountsAndRendering) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.warning({1, 2}, "something odd");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error({2, 5}, "something wrong");
+  Diags.note({}, "context");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  std::string Text = Diags.str();
+  EXPECT_NE(Text.find("1:2: warning: something odd"), std::string::npos);
+  EXPECT_NE(Text.find("2:5: error: something wrong"), std::string::npos);
+  EXPECT_NE(Text.find("note: context"), std::string::npos);
+  Diags.clear();
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Diags.diagnostics().empty());
+}
+
+TEST(StringUtilsTest, Split) {
+  auto Pieces = splitString("a,b,,c", ',');
+  ASSERT_EQ(Pieces.size(), 4u);
+  EXPECT_EQ(Pieces[0], "a");
+  EXPECT_EQ(Pieces[2], "");
+  EXPECT_EQ(Pieces[3], "c");
+  EXPECT_EQ(splitString("", ',').size(), 1u);
+}
+
+TEST(StringUtilsTest, Trim) {
+  EXPECT_EQ(trimString("  hi \t"), "hi");
+  EXPECT_EQ(trimString(""), "");
+  EXPECT_EQ(trimString(" \n "), "");
+}
+
+TEST(StringUtilsTest, Join) {
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(joinStrings({}, ", "), "");
+}
+
+TEST(StringUtilsTest, AffineTerms) {
+  std::string Out;
+  bool First = true;
+  appendAffineTerm(Out, 1, "x", First);
+  appendAffineTerm(Out, -2, "y", First);
+  appendAffineTerm(Out, 0, "z", First);
+  EXPECT_EQ(Out, "x - 2*y");
+
+  Out.clear();
+  First = true;
+  appendAffineTerm(Out, -1, "x", First);
+  EXPECT_EQ(Out, "-x");
+}
+
+TEST(RandomTest, Deterministic) {
+  SplitMix64 A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RandomTest, RangesRespected) {
+  SplitMix64 Rng(7);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = Rng.nextInRange(-5, 9);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 9);
+    double D = Rng.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+    EXPECT_LT(Rng.nextBelow(17), 17u);
+  }
+}

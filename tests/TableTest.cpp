@@ -1,0 +1,140 @@
+//===- TableTest.cpp - Tests for DP-table storage -----------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Table.h"
+
+#include "poly/LoopGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace parrec;
+using namespace parrec::runtime;
+using solver::DomainBox;
+using solver::Schedule;
+
+TEST(FullTableTest, StoreAndLoad) {
+  DomainBox Box = DomainBox::fromExtents({4, 5});
+  FullTable Table(Box);
+  EXPECT_EQ(Table.bytes(), 4u * 5u * sizeof(double));
+  for (int64_t X = 0; X != 4; ++X)
+    for (int64_t Y = 0; Y != 5; ++Y) {
+      int64_t P[2] = {X, Y};
+      Table.set(P, static_cast<double>(10 * X + Y));
+    }
+  for (int64_t X = 0; X != 4; ++X)
+    for (int64_t Y = 0; Y != 5; ++Y) {
+      int64_t P[2] = {X, Y};
+      EXPECT_DOUBLE_EQ(Table.get(P), static_cast<double>(10 * X + Y));
+    }
+}
+
+TEST(FullTableTest, NonZeroLowerBounds) {
+  DomainBox Box;
+  Box.Lower = {2, -1};
+  Box.Upper = {5, 3};
+  FullTable Table(Box);
+  int64_t P[2] = {3, -1};
+  Table.set(P, 7.0);
+  EXPECT_DOUBLE_EQ(Table.get(P), 7.0);
+}
+
+TEST(SlidingWindowTableTest, HoldsWindowOfDiagonals) {
+  // Edit-distance shape: S = x + y, window 2 -> three live diagonals.
+  DomainBox Box = DomainBox::fromExtents({6, 6});
+  Schedule S{{1, 1}};
+  SlidingWindowTable Table(Box, S, /*Window=*/2, /*DropDim=*/0);
+
+  // Fill in partition order, reading back the dependencies each cell of
+  // the edit-distance recursion would need.
+  for (int64_t P = 0; P <= 10; ++P) {
+    for (int64_t X = 0; X != 6; ++X) {
+      int64_t Y = P - X;
+      if (Y < 0 || Y > 5)
+        continue;
+      int64_t Point[2] = {X, Y};
+      double Value = static_cast<double>(100 * X + Y);
+      Table.set(Point, Value);
+      EXPECT_DOUBLE_EQ(Table.get(Point), Value);
+      if (X > 0 && Y > 0) {
+        int64_t Diag[2] = {X - 1, Y - 1};
+        EXPECT_DOUBLE_EQ(Table.get(Diag),
+                         static_cast<double>(100 * (X - 1) + Y - 1));
+        int64_t Up[2] = {X - 1, Y};
+        EXPECT_DOUBLE_EQ(Table.get(Up),
+                         static_cast<double>(100 * (X - 1) + Y));
+      }
+    }
+  }
+  // Footprint: 3 planes of 6 cells, far below the 36-cell full table.
+  EXPECT_EQ(Table.bytes(), 3u * 6u * sizeof(double));
+}
+
+TEST(SlidingWindowTableTest, NegativeUnitCoefficient) {
+  DomainBox Box = DomainBox::fromExtents({4, 4});
+  Schedule S{{-1, 2}}; // Valid drop dim: 0 (coefficient -1).
+  SlidingWindowTable Table(Box, S, /*Window=*/3, /*DropDim=*/0);
+  // Partitions range over [-3, 6]; write one partition, read it back.
+  for (int64_t X = 0; X != 4; ++X)
+    for (int64_t Y = 0; Y != 4; ++Y) {
+      int64_t P[2] = {X, Y};
+      Table.set(P, static_cast<double>(X - Y));
+      EXPECT_DOUBLE_EQ(Table.get(P), static_cast<double>(X - Y));
+    }
+}
+
+TEST(WindowDropDimTest, PrefersLargestUnitExtent) {
+  DomainBox Box = DomainBox::fromExtents({10, 50, 20});
+  EXPECT_EQ(pickWindowDropDim(Schedule{{1, 1, 1}}, Box), 1);
+  EXPECT_EQ(pickWindowDropDim(Schedule{{1, 2, 1}}, Box), 2);
+  EXPECT_EQ(pickWindowDropDim(Schedule{{2, 2, 2}}, Box), -1)
+      << "no unit coefficient: the window is unavailable";
+  EXPECT_EQ(pickWindowDropDim(Schedule{{0, 1, 0}}, Box), 1);
+}
+
+/// Property: replaying any valid schedule's partition order, the window
+/// table returns exactly what a full table returns for every dependency
+/// within the window depth.
+TEST(SlidingWindowTableTest, AgreesWithFullTableUnderScheduleOrder) {
+  DomainBox Box = DomainBox::fromExtents({7, 5});
+  for (Schedule S : {Schedule{{1, 1}}, Schedule{{1, 2}},
+                     Schedule{{0, 1}}, Schedule{{1, 0}}}) {
+    int Drop = pickWindowDropDim(S, Box);
+    ASSERT_GE(Drop, 0);
+    int64_t Window = 3;
+    SlidingWindowTable WTable(Box, S, Window,
+                              static_cast<unsigned>(Drop));
+    FullTable FTable(Box);
+
+    poly::Polyhedron Domain({"x", "y"});
+    Domain.addBounds(0, 0, Box.Upper[0]);
+    Domain.addBounds(1, 0, Box.Upper[1]);
+    poly::LoopNest Nest =
+        poly::generateLoops(Domain, 0, S.toAffineExpr(0));
+    auto Range = Nest.timeRange({});
+    ASSERT_TRUE(Range.has_value());
+
+    double Counter = 0.0;
+    for (int64_t P = Range->first; P <= Range->second; ++P) {
+      Nest.forEachPoint({}, P, [&](const int64_t *Point) {
+        WTable.set(Point, Counter);
+        FTable.set(Point, Counter);
+        Counter += 1.0;
+      });
+      // After each partition, every cell within the window must agree.
+      Nest.forEachPoint({}, P, [&](const int64_t *Point) {
+        EXPECT_DOUBLE_EQ(WTable.get(Point), FTable.get(Point));
+      });
+      for (int64_t Back = 1; Back <= Window; ++Back) {
+        if (P - Back < Range->first)
+          continue;
+        Nest.forEachPoint({}, P - Back, [&](const int64_t *Point) {
+          EXPECT_DOUBLE_EQ(WTable.get(Point), FTable.get(Point));
+        });
+      }
+    }
+  }
+}
