@@ -1,0 +1,98 @@
+//===- ExecutionBackend.cpp - Pluggable plan executors ----------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ExecutionBackend.h"
+
+#include <cstring>
+#include <limits>
+
+using namespace parrec;
+using namespace parrec::exec;
+
+namespace {
+
+/// The partition-by-partition scan shared by both backends (Figure 8's
+/// template). \p IsGpu selects lockstep GPU cycle accounting (with the
+/// table's shared-vs-global residency) over serial CPU accounting.
+RunResult scanPlan(const ExecutablePlan &Plan, codegen::Evaluator &Eval,
+                   const gpu::CostModel &Model, bool IsGpu,
+                   unsigned Threads, bool KeepTable) {
+  std::shared_ptr<DpTable> Table = Plan.makeTable();
+  bool TableInShared = IsGpu && Table->bytes() <= Model.SharedMemBytes;
+  unsigned N = Plan.Box.numDims();
+
+  gpu::BlockTimer Timer(Threads);
+  RunResult Result;
+  Result.UsedSchedule = Plan.Sched;
+  Result.TableMax = -std::numeric_limits<double>::infinity();
+  const std::vector<int64_t> &Root = Plan.Box.Upper;
+
+  gpu::CostCounter Cost;
+  for (int64_t P = Plan.FirstPartition; P <= Plan.LastPartition; ++P) {
+    // A sliding window eventually overwrites the root cell's plane, so
+    // capture it in flight — but only within its own partition. With a
+    // full table the root survives and is read once after the scan.
+    bool CheckRoot = Plan.UseWindow && P == Plan.RootPartition;
+    for (unsigned T = 0; T != Threads; ++T) {
+      Plan.Nest.forEachPointForThread(
+          {}, P, T, Threads, [&](const int64_t *Point) {
+            gpu::CostCounter Before = Cost;
+            double Value = Eval.evalCell(Point, *Table, Cost);
+            Table->set(Point, Value);
+            gpu::CostCounter Delta = Cost - Before;
+            Timer.addThreadCycles(
+                T, IsGpu ? Model.gpuCellCycles(Delta, TableInShared)
+                         : Model.cpuCycles(Delta));
+            ++Result.Cells;
+            if (Value > Result.TableMax)
+              Result.TableMax = Value;
+            if (CheckRoot && std::memcmp(Point, Root.data(),
+                                         N * sizeof(int64_t)) == 0)
+              Result.RootValue = Value;
+          });
+    }
+    Timer.closePartition(IsGpu ? Model.SyncCycles : 0);
+  }
+  if (!Plan.UseWindow)
+    Result.RootValue = Table->get(Root.data());
+
+  Result.Partitions = Plan.numPartitions();
+  Result.Cost = Cost;
+  Result.Cycles = Timer.totalCycles();
+  if (IsGpu) {
+    Result.Metrics.Cycles = Result.Cycles;
+    Result.Metrics.Partitions = static_cast<uint64_t>(Result.Partitions);
+    Result.Metrics.CellsComputed = Result.Cells;
+    Result.Metrics.TableBytes = Table->bytes();
+    if (TableInShared)
+      Result.Metrics.SharedAccesses = Cost.tableAccesses();
+    else
+      Result.Metrics.GlobalAccesses = Cost.tableAccesses();
+    Result.Metrics.SharedAccesses += Cost.ModelReads;
+  }
+  if (KeepTable)
+    Result.Table = Table;
+  return Result;
+}
+
+} // namespace
+
+RunResult SerialCpuBackend::execute(const ExecutablePlan &Plan,
+                                    codegen::Evaluator &Eval,
+                                    const RunOptions &Options) const {
+  return scanPlan(Plan, Eval, Model, /*IsGpu=*/false, /*Threads=*/1,
+                  Options.KeepTable);
+}
+
+RunResult SimulatedGpuBackend::execute(const ExecutablePlan &Plan,
+                                       codegen::Evaluator &Eval,
+                                       const RunOptions &Options) const {
+  unsigned Threads =
+      Options.Threads ? Options.Threads : Model.CoresPerMultiprocessor;
+  return scanPlan(Plan, Eval, Model, /*IsGpu=*/true, Threads,
+                  Options.KeepTable);
+}

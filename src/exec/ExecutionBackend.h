@@ -1,0 +1,137 @@
+//===- ExecutionBackend.h - Pluggable plan executors --------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution stage of the pipeline: backends consume an immutable
+/// ExecutablePlan plus a bound Evaluator and produce a RunResult. The
+/// serial CPU reference and the simulated GPU (lockstep block, barrier
+/// between partitions, shared-vs-global table residency) are the two
+/// built-in backends; new targets plug in behind the same interface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_EXEC_EXECUTIONBACKEND_H
+#define PARREC_EXEC_EXECUTIONBACKEND_H
+
+#include "codegen/Evaluator.h"
+#include "exec/Plan.h"
+#include "gpu/Device.h"
+
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace parrec {
+namespace exec {
+
+/// Options controlling one execution.
+struct RunOptions {
+  /// Use the Section 4.8 sliding-window table when the schedule permits.
+  bool UseSlidingWindow = true;
+  /// Threads per block; 0 means "one per multiprocessor core".
+  unsigned Threads = 0;
+  /// Host worker threads simulating independent multiprocessors in a
+  /// batch; 0 means "one per hardware thread". Results are bit-identical
+  /// regardless of the worker count — problems are independent by
+  /// construction.
+  unsigned BatchWorkers = 0;
+  /// Override the automatically derived schedule (must be valid).
+  std::optional<solver::Schedule> ForcedSchedule;
+  /// Keep the full DP table alive in RunResult::Table so arbitrary
+  /// cells can be read afterwards (forces full tabulation — useful for
+  /// recursions whose interesting value is not at the root corner, e.g.
+  /// the backward algorithm's B(start, 0)).
+  bool KeepTable = false;
+};
+
+/// The outcome of running one problem.
+struct RunResult {
+  /// Value at the root point (every recursion dimension at its maximum) —
+  /// the paper's d(x, y) / forward(end, n) convention. Log-space for prob
+  /// functions.
+  double RootValue = 0.0;
+  /// Maximum over all table cells (the Smith-Waterman result).
+  double TableMax = 0.0;
+  uint64_t Cells = 0;
+  int64_t Partitions = 0;
+  gpu::CostCounter Cost;
+  /// Lockstep block cycles for GPU runs; serial cycles for CPU runs.
+  uint64_t Cycles = 0;
+  solver::Schedule UsedSchedule;
+  /// Populated for GPU runs.
+  gpu::GpuRunMetrics Metrics;
+  /// The full DP table, when RunOptions::KeepTable was set.
+  std::shared_ptr<codegen::TableView> Table;
+
+  /// Reads a cell from the kept table (requires KeepTable).
+  double cellValue(const std::vector<int64_t> &Point) const {
+    assert(Table && "run without KeepTable");
+    return Table->get(Point.data());
+  }
+};
+
+/// Results of a multi-problem batch (the map primitive): per-problem
+/// outcomes plus the device-level makespan.
+struct BatchResult {
+  std::vector<RunResult> Problems;
+  uint64_t TotalCycles = 0;
+  double Seconds = 0.0;
+};
+
+/// Executes planned problems. Implementations are stateless beyond their
+/// cost model and thread-safe: one backend instance may execute many
+/// plans concurrently (each call gets its own Evaluator and table).
+class ExecutionBackend {
+public:
+  virtual ~ExecutionBackend() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Runs one problem. \p Eval must already be bound to the problem's
+  /// calling arguments. Cannot fail: every failure mode (bad schedule,
+  /// empty domain, unbound argument) is caught at planning time.
+  virtual RunResult execute(const ExecutablePlan &Plan,
+                            codegen::Evaluator &Eval,
+                            const RunOptions &Options) const = 0;
+};
+
+/// The serial CPU reference: one thread, CPU cycle accounting, no
+/// barrier costs.
+class SerialCpuBackend final : public ExecutionBackend {
+public:
+  explicit SerialCpuBackend(const gpu::CostModel &Model) : Model(Model) {}
+
+  std::string_view name() const override { return "serial-cpu"; }
+  RunResult execute(const ExecutablePlan &Plan, codegen::Evaluator &Eval,
+                    const RunOptions &Options) const override;
+
+private:
+  const gpu::CostModel &Model;
+};
+
+/// The simulated GPU: one block on one multiprocessor, threads striped
+/// over the partition loop (Figure 10), lockstep timing with a barrier
+/// per partition, and shared-memory residency when the table fits.
+class SimulatedGpuBackend final : public ExecutionBackend {
+public:
+  explicit SimulatedGpuBackend(const gpu::CostModel &Model)
+      : Model(Model) {}
+
+  std::string_view name() const override { return "simulated-gpu"; }
+  RunResult execute(const ExecutablePlan &Plan, codegen::Evaluator &Eval,
+                    const RunOptions &Options) const override;
+
+private:
+  const gpu::CostModel &Model;
+};
+
+} // namespace exec
+} // namespace parrec
+
+#endif // PARREC_EXEC_EXECUTIONBACKEND_H

@@ -1,0 +1,59 @@
+//===- ParallelFor.cpp - Deterministic host-side fan-out --------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ParallelFor.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace parrec;
+
+unsigned exec::resolveWorkerCount(unsigned Requested, size_t Jobs) {
+  unsigned Workers =
+      Requested ? Requested : std::thread::hardware_concurrency();
+  if (!Workers)
+    Workers = 1;
+  if (Jobs < Workers)
+    Workers = static_cast<unsigned>(Jobs ? Jobs : 1);
+  return Workers;
+}
+
+void exec::parallelFor(unsigned Workers, size_t Jobs,
+                       const std::function<void(size_t)> &Body) {
+  Workers = resolveWorkerCount(Workers ? Workers : 1, Jobs);
+  if (Workers <= 1) {
+    for (size_t I = 0; I != Jobs; ++I)
+      Body(I);
+    return;
+  }
+
+  std::mutex ErrorMutex;
+  std::exception_ptr FirstError;
+  auto Run = [&](unsigned Worker) {
+    try {
+      for (size_t I = Worker; I < Jobs; I += Workers)
+        Body(I);
+    } catch (...) {
+      std::lock_guard<std::mutex> Lock(ErrorMutex);
+      if (!FirstError)
+        FirstError = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> Pool;
+  Pool.reserve(Workers - 1);
+  for (unsigned W = 1; W != Workers; ++W)
+    Pool.emplace_back(Run, W);
+  Run(0);
+  for (std::thread &T : Pool)
+    T.join();
+  if (FirstError)
+    std::rethrow_exception(FirstError);
+}

@@ -1,0 +1,40 @@
+//===- ParallelFor.h - Deterministic host-side fan-out ------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny std::thread fan-out for work that is independent by
+/// construction (one simulated multiprocessor per problem). Indices are
+/// striped statically across workers and each index writes its own
+/// output slot, so results are deterministic and identical for any
+/// worker count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_EXEC_PARALLELFOR_H
+#define PARREC_EXEC_PARALLELFOR_H
+
+#include <cstddef>
+#include <functional>
+
+namespace parrec {
+namespace exec {
+
+/// Resolves a requested worker count: 0 means one per hardware thread,
+/// and the result never exceeds \p Jobs (nor drops below 1).
+unsigned resolveWorkerCount(unsigned Requested, size_t Jobs);
+
+/// Invokes Body(I) for every I in [0, Jobs), striped across \p Workers
+/// host threads (worker W handles W, W + Workers, ...). Runs inline when
+/// Workers <= 1. The first exception thrown by any Body is rethrown on
+/// the calling thread after all workers join.
+void parallelFor(unsigned Workers, size_t Jobs,
+                 const std::function<void(size_t)> &Body);
+
+} // namespace exec
+} // namespace parrec
+
+#endif // PARREC_EXEC_PARALLELFOR_H

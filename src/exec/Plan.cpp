@@ -1,0 +1,101 @@
+//===- Plan.cpp - Immutable executable plans ----------------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Plan.h"
+
+#include "solver/ScheduleSynthesis.h"
+
+using namespace parrec;
+using namespace parrec::exec;
+using solver::Schedule;
+
+static uint64_t fnvMix(uint64_t Hash, uint64_t Value) {
+  Hash ^= Value;
+  return Hash * 0x100000001b3ull;
+}
+
+uint64_t PlanKey::hash() const {
+  uint64_t Hash = 0xcbf29ce484222325ull;
+  for (int64_t V : Lower)
+    Hash = fnvMix(Hash, static_cast<uint64_t>(V));
+  for (int64_t V : Upper)
+    Hash = fnvMix(Hash, static_cast<uint64_t>(V));
+  Hash = fnvMix(Hash, Schedule{RequestedSchedule}.fingerprint());
+  Hash = fnvMix(Hash, (UseSlidingWindow ? 2u : 0u) | (KeepTable ? 1u : 0u));
+  return Hash;
+}
+
+PlanKey PlanKey::make(const solver::DomainBox &Box, bool UseSlidingWindow,
+                      bool KeepTable, const Schedule *Requested) {
+  PlanKey Key;
+  Key.Lower = Box.Lower;
+  Key.Upper = Box.Upper;
+  if (Requested)
+    Key.RequestedSchedule = Requested->Coefficients;
+  Key.UseSlidingWindow = UseSlidingWindow;
+  Key.KeepTable = KeepTable;
+  return Key;
+}
+
+std::shared_ptr<DpTable> ExecutablePlan::makeTable() const {
+  if (UseWindow)
+    return std::make_shared<SlidingWindowTable>(Box, Sched, WindowDepth,
+                                                WindowDropDim);
+  return std::make_shared<FullTable>(Box);
+}
+
+std::optional<ExecutablePlan>
+exec::buildPlan(const solver::RecurrenceSpec &Rec,
+                const std::vector<std::string> &DimNames,
+                const solver::DomainBox &Box, const PlanRequest &Req,
+                DiagnosticEngine &Diags) {
+  ExecutablePlan Plan;
+  Plan.Box = Box;
+
+  // 1. The schedule: forced, preselected (batch), or freshly minimised.
+  if (Req.ForcedSchedule) {
+    if (!solver::verifySchedule(Rec, *Req.ForcedSchedule, Box, Diags))
+      return std::nullopt;
+    Plan.Sched = *Req.ForcedSchedule;
+  } else if (Req.PreselectedSchedule) {
+    Plan.Sched = *Req.PreselectedSchedule;
+  } else {
+    std::optional<Schedule> Minimal =
+        solver::findMinimalSchedule(Rec, Box, Diags);
+    if (!Minimal)
+      return std::nullopt;
+    Plan.Sched = std::move(*Minimal);
+  }
+
+  // 2. The table shape: sliding window (Section 4.8) when enabled and
+  // legal. Keeping the full table for later reads forbids the window.
+  std::optional<int64_t> Window =
+      solver::slidingWindowDepth(Rec, Plan.Sched);
+  int DropDim = Window ? pickWindowDropDim(Plan.Sched, Box) : -1;
+  if (Req.UseSlidingWindow && !Req.KeepTable && Window && DropDim >= 0) {
+    Plan.UseWindow = true;
+    Plan.WindowDepth = *Window;
+    Plan.WindowDropDim = static_cast<unsigned>(DropDim);
+  }
+
+  // 3. The loop nest (Section 4.3): scan the box under the schedule.
+  poly::Polyhedron Domain(DimNames);
+  for (unsigned D = 0; D != Box.numDims(); ++D)
+    Domain.addBounds(D, Box.Lower[D], Box.Upper[D]);
+  Plan.Nest = poly::generateLoops(Domain, /*NumParams=*/0,
+                                  Plan.Sched.toAffineExpr(0));
+
+  auto TimeRange = Plan.Nest.timeRange({});
+  if (!TimeRange) {
+    Diags.error({}, "empty domain for '" + Rec.Name + "'");
+    return std::nullopt;
+  }
+  Plan.FirstPartition = TimeRange->first;
+  Plan.LastPartition = TimeRange->second;
+  Plan.RootPartition = Plan.Sched.apply(Box.Upper);
+  return Plan;
+}

@@ -1,0 +1,114 @@
+//===- Plan.h - Immutable executable plans ------------------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The planning stage of the execution pipeline: everything derived from
+/// a recursion and a concrete domain box *before* any cell is evaluated —
+/// the schedule (Section 4.5–4.7), the sliding-window decision (Section
+/// 4.8) and the CLooG-style loop nest (Section 4.3) — captured in an
+/// immutable ExecutablePlan. Plans are keyed by PlanKey and memoised in a
+/// PlanCache so repeated runs over same-shaped problems skip schedule
+/// synthesis and loop generation entirely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_EXEC_PLAN_H
+#define PARREC_EXEC_PLAN_H
+
+#include "exec/Table.h"
+#include "poly/LoopGen.h"
+#include "solver/Recurrence.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parrec {
+namespace exec {
+
+/// Identity of a plan: the domain box plus everything in the run request
+/// that influences planning. Thread counts and cost models deliberately do
+/// not appear — they only affect execution, never the plan.
+struct PlanKey {
+  std::vector<int64_t> Lower;
+  std::vector<int64_t> Upper;
+  /// Coefficients of an explicitly requested schedule (forced or
+  /// preselected by conditional parallelisation); empty means "synthesise
+  /// the minimal schedule for the box".
+  std::vector<int64_t> RequestedSchedule;
+  bool UseSlidingWindow = true;
+  bool KeepTable = false;
+
+  friend bool operator==(const PlanKey &A, const PlanKey &B) = default;
+
+  /// Stable FNV-1a style hash over all fields.
+  uint64_t hash() const;
+
+  static PlanKey make(const solver::DomainBox &Box, bool UseSlidingWindow,
+                      bool KeepTable, const solver::Schedule *Requested);
+};
+
+struct PlanKeyHash {
+  size_t operator()(const PlanKey &K) const {
+    return static_cast<size_t>(K.hash());
+  }
+};
+
+/// What the planner is asked for. The two schedule pointers (either may be
+/// null) distinguish a user-forced schedule — which must be re-verified
+/// against the dependency criteria — from one preselected by the Section
+/// 4.7 conditional-schedule machinery, which is valid by construction.
+struct PlanRequest {
+  bool UseSlidingWindow = true;
+  bool KeepTable = false;
+  const solver::Schedule *ForcedSchedule = nullptr;
+  const solver::Schedule *PreselectedSchedule = nullptr;
+};
+
+/// The immutable product of planning: consumed by ExecutionBackends, safe
+/// to share across threads and cache entries.
+class ExecutablePlan {
+public:
+  solver::DomainBox Box;
+  solver::Schedule Sched;
+  poly::LoopNest Nest;
+  /// Inclusive partition (time-step) range of the scan.
+  int64_t FirstPartition = 0;
+  int64_t LastPartition = 0;
+  /// Sliding-window decision: when UseWindow is set the table keeps only
+  /// WindowDepth+1 partition planes and drops dimension WindowDropDim
+  /// from plane addressing.
+  bool UseWindow = false;
+  int64_t WindowDepth = 0;
+  unsigned WindowDropDim = 0;
+  /// The partition containing the root point (every dimension at its
+  /// upper bound); lets backends confine root-value capture to one
+  /// partition instead of checking every cell.
+  int64_t RootPartition = 0;
+
+  int64_t numPartitions() const { return LastPartition - FirstPartition + 1; }
+
+  /// Allocates the DP table this plan calls for.
+  std::shared_ptr<DpTable> makeTable() const;
+};
+
+/// Builds a plan for \p Box: resolves the schedule per \p Req, decides the
+/// sliding window, and generates the loop nest. Reports diagnostics and
+/// returns nullopt on failure (invalid forced schedule, no valid schedule,
+/// empty domain).
+std::optional<ExecutablePlan>
+buildPlan(const solver::RecurrenceSpec &Rec,
+          const std::vector<std::string> &DimNames,
+          const solver::DomainBox &Box, const PlanRequest &Req,
+          DiagnosticEngine &Diags);
+
+} // namespace exec
+} // namespace parrec
+
+#endif // PARREC_EXEC_PLAN_H

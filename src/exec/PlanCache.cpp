@@ -1,0 +1,58 @@
+//===- PlanCache.cpp - Bounded LRU cache of executable plans ----------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/PlanCache.h"
+
+using namespace parrec::exec;
+
+std::shared_ptr<const ExecutablePlan>
+PlanCache::lookup(const PlanKey &Key) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Index.find(Key);
+  if (It == Index.end()) {
+    ++Counters.Misses;
+    return nullptr;
+  }
+  ++Counters.Hits;
+  Lru.splice(Lru.begin(), Lru, It->second);
+  return It->second->second;
+}
+
+void PlanCache::insert(const PlanKey &Key,
+                       std::shared_ptr<const ExecutablePlan> Plan) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Index.find(Key);
+  if (It != Index.end()) {
+    It->second->second = std::move(Plan);
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return;
+  }
+  if (Lru.size() >= Capacity) {
+    Index.erase(Lru.back().first);
+    Lru.pop_back();
+    ++Counters.Evictions;
+  }
+  Lru.emplace_front(Key, std::move(Plan));
+  Index.emplace(Key, Lru.begin());
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Lru.size();
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Lru.clear();
+  Index.clear();
+  Counters = Stats();
+}

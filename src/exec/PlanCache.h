@@ -1,0 +1,72 @@
+//===- PlanCache.h - Bounded LRU cache of executable plans --------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded, internally synchronised LRU cache from PlanKey to shared
+/// immutable ExecutablePlans. Every bench loop and every batch runs the
+/// same recursion over a handful of problem shapes; hitting this cache
+/// skips schedule synthesis (a CSP search) and CLooG-style loop
+/// generation on all but the first run per shape.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_EXEC_PLANCACHE_H
+#define PARREC_EXEC_PLANCACHE_H
+
+#include "exec/Plan.h"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace parrec {
+namespace exec {
+
+class PlanCache {
+public:
+  struct Stats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Evictions = 0;
+  };
+
+  explicit PlanCache(size_t Capacity = DefaultCapacity)
+      : Capacity(Capacity ? Capacity : 1) {}
+
+  /// Returns the cached plan for \p Key and marks it most recently used,
+  /// or null on a miss. Counts a hit or a miss.
+  std::shared_ptr<const ExecutablePlan> lookup(const PlanKey &Key);
+
+  /// Inserts \p Plan under \p Key (replacing any existing entry),
+  /// evicting the least recently used entry when full.
+  void insert(const PlanKey &Key,
+              std::shared_ptr<const ExecutablePlan> Plan);
+
+  Stats stats() const;
+  size_t size() const;
+  size_t capacity() const { return Capacity; }
+  void clear();
+
+  static constexpr size_t DefaultCapacity = 64;
+
+private:
+  using Entry = std::pair<PlanKey, std::shared_ptr<const ExecutablePlan>>;
+
+  const size_t Capacity;
+  mutable std::mutex Mutex;
+  std::list<Entry> Lru; // Front = most recently used.
+  std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash>
+      Index;
+  Stats Counters;
+};
+
+} // namespace exec
+} // namespace parrec
+
+#endif // PARREC_EXEC_PLANCACHE_H

@@ -13,8 +13,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef PARREC_RUNTIME_TABLE_H
-#define PARREC_RUNTIME_TABLE_H
+#ifndef PARREC_EXEC_TABLE_H
+#define PARREC_EXEC_TABLE_H
 
 #include "codegen/Evaluator.h"
 #include "solver/Recurrence.h"
@@ -25,7 +25,7 @@
 #include <vector>
 
 namespace parrec {
-namespace runtime {
+namespace exec {
 
 /// Writable extension of the evaluator's read view.
 class DpTable : public codegen::TableView {
@@ -158,7 +158,7 @@ inline int pickWindowDropDim(const solver::Schedule &S,
   return Best;
 }
 
-} // namespace runtime
+} // namespace exec
 } // namespace parrec
 
-#endif // PARREC_RUNTIME_TABLE_H
+#endif // PARREC_EXEC_TABLE_H

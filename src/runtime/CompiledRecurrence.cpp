@@ -7,12 +7,10 @@
 
 #include "runtime/CompiledRecurrence.h"
 
+#include "exec/ParallelFor.h"
 #include "lang/Parser.h"
-#include "poly/LoopGen.h"
-#include "runtime/Table.h"
 
 #include <algorithm>
-#include <cstring>
 
 using namespace parrec;
 using namespace parrec::runtime;
@@ -55,6 +53,7 @@ CompiledRecurrence::fromDecl(std::unique_ptr<lang::FunctionDecl> Decl,
   C.Decl = std::move(Decl);
   C.Info = std::move(*Info);
   C.Info.Decl = C.Decl.get();
+  C.Plans = std::make_unique<exec::PlanCache>();
   return C;
 }
 
@@ -141,118 +140,55 @@ CompiledRecurrence::conditionalSchedules(DiagnosticEngine &Diags) const {
   return *ConditionalCache;
 }
 
-std::optional<RunResult> CompiledRecurrence::runInternal(
-    const std::vector<ArgValue> &Args, const gpu::CostModel &Model,
-    bool IsGpu, DiagnosticEngine &Diags, const RunOptions &Options,
-    std::optional<Schedule> PreselectedSchedule) const {
-  std::optional<DomainBox> Box = domainFor(Args, Diags);
-  if (!Box)
-    return std::nullopt;
-  unsigned N = Box->numDims();
+std::shared_ptr<const exec::ExecutablePlan>
+CompiledRecurrence::planFor(const DomainBox &Box,
+                            const RunOptions &Options,
+                            const Schedule *Preselected,
+                            DiagnosticEngine &Diags) const {
+  // A forced schedule takes precedence over a preselected one, matching
+  // the batch path's selection logic.
+  const Schedule *Requested =
+      Options.ForcedSchedule ? &*Options.ForcedSchedule : Preselected;
+  exec::PlanKey Key = exec::PlanKey::make(Box, Options.UseSlidingWindow,
+                                          Options.KeepTable, Requested);
+  if (std::shared_ptr<const exec::ExecutablePlan> Cached =
+          Plans->lookup(Key))
+    return Cached;
 
-  // 1. The schedule: forced, preselected (batch), or freshly minimised.
-  Schedule Sched;
-  if (Options.ForcedSchedule) {
-    if (!solver::verifySchedule(Info.Recurrence, *Options.ForcedSchedule,
-                                *Box, Diags))
-      return std::nullopt;
-    Sched = *Options.ForcedSchedule;
-  } else if (PreselectedSchedule) {
-    Sched = std::move(*PreselectedSchedule);
-  } else {
-    std::optional<Schedule> Minimal = scheduleFor(*Box, Diags);
-    if (!Minimal)
-      return std::nullopt;
-    Sched = std::move(*Minimal);
-  }
-
-  // 2. The table: sliding window (Section 4.8) when enabled and legal.
-  std::optional<int64_t> Window =
-      solver::slidingWindowDepth(Info.Recurrence, Sched);
-  int DropDim = Window ? pickWindowDropDim(Sched, *Box) : -1;
-  bool UseWindow = Options.UseSlidingWindow && !Options.KeepTable &&
-                   Window && DropDim >= 0;
-
-  std::shared_ptr<DpTable> Table;
-  if (UseWindow)
-    Table = std::make_shared<SlidingWindowTable>(
-        *Box, Sched, *Window, static_cast<unsigned>(DropDim));
-  else
-    Table = std::make_shared<FullTable>(*Box);
-  bool TableInShared = IsGpu && Table->bytes() <= Model.SharedMemBytes;
-
-  // 3. The loop nest (Section 4.3): scan the box under the schedule.
   std::vector<std::string> DimNames;
   for (const lang::DimInfo &Dim : Info.Dims)
     DimNames.push_back(Dim.Name);
-  poly::Polyhedron Domain(DimNames);
-  for (unsigned D = 0; D != N; ++D)
-    Domain.addBounds(D, Box->Lower[D], Box->Upper[D]);
-  poly::LoopNest Nest =
-      poly::generateLoops(Domain, /*NumParams=*/0, Sched.toAffineExpr(0));
+  exec::PlanRequest Req;
+  Req.UseSlidingWindow = Options.UseSlidingWindow;
+  Req.KeepTable = Options.KeepTable;
+  Req.ForcedSchedule =
+      Options.ForcedSchedule ? &*Options.ForcedSchedule : nullptr;
+  Req.PreselectedSchedule = Preselected;
+  std::optional<exec::ExecutablePlan> Plan =
+      exec::buildPlan(Info.Recurrence, DimNames, Box, Req, Diags);
+  if (!Plan)
+    return nullptr;
+  auto Shared =
+      std::make_shared<const exec::ExecutablePlan>(std::move(*Plan));
+  Plans->insert(Key, Shared);
+  return Shared;
+}
 
-  auto TimeRange = Nest.timeRange({});
-  if (!TimeRange) {
-    Diags.error({}, "empty domain for '" + Decl->Name + "'");
+std::optional<RunResult>
+CompiledRecurrence::runSingle(const std::vector<ArgValue> &Args,
+                              const exec::ExecutionBackend &Backend,
+                              DiagnosticEngine &Diags,
+                              const RunOptions &Options) const {
+  std::optional<DomainBox> Box = domainFor(Args, Diags);
+  if (!Box)
     return std::nullopt;
-  }
-
-  // 4. Execute partition by partition (Figure 8's template).
+  std::shared_ptr<const exec::ExecutablePlan> Plan =
+      planFor(*Box, Options, /*Preselected=*/nullptr, Diags);
+  if (!Plan)
+    return std::nullopt;
   Evaluator Eval(*Decl, Info);
   Eval.bind(Args);
-
-  unsigned Threads =
-      IsGpu ? (Options.Threads ? Options.Threads
-                               : Model.CoresPerMultiprocessor)
-            : 1;
-  gpu::BlockTimer Timer(Threads);
-
-  RunResult Result;
-  Result.UsedSchedule = Sched;
-  Result.TableMax = -std::numeric_limits<double>::infinity();
-  const std::vector<int64_t> &Root = Box->Upper;
-
-  gpu::CostCounter Cost;
-  for (int64_t P = TimeRange->first; P <= TimeRange->second; ++P) {
-    for (unsigned T = 0; T != Threads; ++T) {
-      Nest.forEachPointForThread(
-          {}, P, T, Threads, [&](const int64_t *Point) {
-            gpu::CostCounter Before = Cost;
-            double Value = Eval.evalCell(Point, *Table, Cost);
-            Table->set(Point, Value);
-            gpu::CostCounter Delta = Cost - Before;
-            Timer.addThreadCycles(
-                T, IsGpu ? Model.gpuCellCycles(Delta, TableInShared)
-                         : Model.cpuCycles(Delta));
-            ++Result.Cells;
-            if (Value > Result.TableMax)
-              Result.TableMax = Value;
-            if (std::memcmp(Point, Root.data(),
-                            N * sizeof(int64_t)) == 0)
-              Result.RootValue = Value;
-          });
-    }
-    Timer.closePartition(IsGpu ? Model.SyncCycles : 0);
-  }
-
-  Result.Partitions = TimeRange->second - TimeRange->first + 1;
-  Result.Cost = Cost;
-  Result.Cycles = Timer.totalCycles();
-  if (IsGpu) {
-    Result.Metrics.Cycles = Result.Cycles;
-    Result.Metrics.Partitions =
-        static_cast<uint64_t>(Result.Partitions);
-    Result.Metrics.CellsComputed = Result.Cells;
-    Result.Metrics.TableBytes = Table->bytes();
-    if (TableInShared)
-      Result.Metrics.SharedAccesses = Cost.tableAccesses();
-    else
-      Result.Metrics.GlobalAccesses = Cost.tableAccesses();
-    Result.Metrics.SharedAccesses += Cost.ModelReads;
-  }
-  if (Options.KeepTable)
-    Result.Table = Table;
-  return Result;
+  return Backend.execute(*Plan, Eval, Options);
 }
 
 std::optional<RunResult>
@@ -260,8 +196,7 @@ CompiledRecurrence::runCpu(const std::vector<ArgValue> &Args,
                            const gpu::CostModel &Model,
                            DiagnosticEngine &Diags,
                            const RunOptions &Options) const {
-  return runInternal(Args, Model, /*IsGpu=*/false, Diags, Options,
-                     std::nullopt);
+  return runSingle(Args, exec::SerialCpuBackend(Model), Diags, Options);
 }
 
 std::optional<RunResult>
@@ -269,17 +204,14 @@ CompiledRecurrence::runGpu(const std::vector<ArgValue> &Args,
                            const gpu::Device &Device,
                            DiagnosticEngine &Diags,
                            const RunOptions &Options) const {
-  return runInternal(Args, Device.costModel(), /*IsGpu=*/true, Diags,
-                     Options, std::nullopt);
+  return runSingle(Args, exec::SimulatedGpuBackend(Device.costModel()),
+                   Diags, Options);
 }
 
 std::optional<BatchResult> CompiledRecurrence::runGpuBatch(
     const std::vector<std::vector<ArgValue>> &Problems,
     const gpu::Device &Device, DiagnosticEngine &Diags,
     const RunOptions &Options) const {
-  BatchResult Batch;
-  Batch.Problems.reserve(Problems.size());
-
   // Conditional parallelisation (Section 4.7): derive the candidate
   // schedule set once, then pick the minimal candidate per problem. When
   // the descents are not uniform this fails and we fall back to
@@ -288,24 +220,43 @@ std::optional<BatchResult> CompiledRecurrence::runGpuBatch(
   DiagnosticEngine Scratch;
   const auto &Candidates = conditionalSchedules(Scratch);
 
-  std::vector<uint64_t> ProblemCycles;
-  ProblemCycles.reserve(Problems.size());
+  // Plan every problem up front on this thread: the domain box is
+  // computed exactly once per problem, diagnostics stay single-threaded,
+  // and same-shaped problems share one cached plan.
+  std::vector<std::shared_ptr<const exec::ExecutablePlan>> Plans;
+  Plans.reserve(Problems.size());
   for (const std::vector<ArgValue> &Args : Problems) {
-    std::optional<Schedule> Preselected;
-    if (!Options.ForcedSchedule && Candidates) {
-      std::optional<DomainBox> Box = domainFor(Args, Diags);
-      if (!Box)
-        return std::nullopt;
-      Preselected = solver::selectSchedule(*Candidates, *Box).S;
-    }
-    std::optional<RunResult> R =
-        runInternal(Args, Device.costModel(), /*IsGpu=*/true, Diags,
-                    Options, std::move(Preselected));
-    if (!R)
+    std::optional<DomainBox> Box = domainFor(Args, Diags);
+    if (!Box)
       return std::nullopt;
-    ProblemCycles.push_back(R->Cycles);
-    Batch.Problems.push_back(std::move(*R));
+    const Schedule *Preselected = nullptr;
+    if (!Options.ForcedSchedule && Candidates)
+      Preselected = &solver::selectSchedule(*Candidates, *Box).S;
+    std::shared_ptr<const exec::ExecutablePlan> Plan =
+        planFor(*Box, Options, Preselected, Diags);
+    if (!Plan)
+      return std::nullopt;
+    Plans.push_back(std::move(Plan));
   }
+
+  // Execute: each problem is one simulated multiprocessor, independent
+  // by construction, so the simulations fan out across host workers.
+  // Index-addressed result slots keep ordering deterministic.
+  BatchResult Batch;
+  Batch.Problems.resize(Problems.size());
+  exec::SimulatedGpuBackend Backend(Device.costModel());
+  exec::parallelFor(
+      exec::resolveWorkerCount(Options.BatchWorkers, Problems.size()),
+      Problems.size(), [&](size_t I) {
+        Evaluator Eval(*Decl, Info);
+        Eval.bind(Problems[I]);
+        Batch.Problems[I] = Backend.execute(*Plans[I], Eval, Options);
+      });
+
+  std::vector<uint64_t> ProblemCycles;
+  ProblemCycles.reserve(Batch.Problems.size());
+  for (const RunResult &R : Batch.Problems)
+    ProblemCycles.push_back(R.Cycles);
   Batch.TotalCycles = Device.dispatchProblems(ProblemCycles);
   Batch.Seconds = Device.costModel().gpuSeconds(Batch.TotalCycles);
   return Batch;

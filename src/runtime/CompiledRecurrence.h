@@ -6,10 +6,13 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The library's main entry point: compile a DSL recursion, derive its
-/// schedule(s), and execute problems either serially (the CPU reference)
-/// or on the simulated GPU with the synthesized partition loop nest,
-/// thread striping and optional sliding-window table (Sections 4.3-4.8).
+/// The library's main entry point: compile a DSL recursion, then run
+/// problems through the staged execution pipeline — planning (schedule +
+/// sliding window + loop nest, memoised in a per-function PlanCache) and
+/// execution (a pluggable ExecutionBackend: the serial CPU reference or
+/// the simulated GPU with thread striping, Sections 4.3-4.8). Batches
+/// simulate the device's independent multiprocessors across host worker
+/// threads with bit-identical, order-deterministic results.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,6 +20,8 @@
 #define PARREC_RUNTIME_COMPILEDRECURRENCE_H
 
 #include "codegen/Evaluator.h"
+#include "exec/ExecutionBackend.h"
+#include "exec/PlanCache.h"
 #include "gpu/Device.h"
 #include "lang/Sema.h"
 #include "solver/ScheduleSynthesis.h"
@@ -29,54 +34,11 @@
 namespace parrec {
 namespace runtime {
 
-/// Options controlling one execution.
-struct RunOptions {
-  /// Use the Section 4.8 sliding-window table when the schedule permits.
-  bool UseSlidingWindow = true;
-  /// Threads per block; 0 means "one per multiprocessor core".
-  unsigned Threads = 0;
-  /// Override the automatically derived schedule (must be valid).
-  std::optional<solver::Schedule> ForcedSchedule;
-  /// Keep the full DP table alive in RunResult::Table so arbitrary
-  /// cells can be read afterwards (forces full tabulation — useful for
-  /// recursions whose interesting value is not at the root corner, e.g.
-  /// the backward algorithm's B(start, 0)).
-  bool KeepTable = false;
-};
-
-/// The outcome of running one problem.
-struct RunResult {
-  /// Value at the root point (every recursion dimension at its maximum) —
-  /// the paper's d(x, y) / forward(end, n) convention. Log-space for prob
-  /// functions.
-  double RootValue = 0.0;
-  /// Maximum over all table cells (the Smith-Waterman result).
-  double TableMax = 0.0;
-  uint64_t Cells = 0;
-  int64_t Partitions = 0;
-  gpu::CostCounter Cost;
-  /// Lockstep block cycles for GPU runs; serial cycles for CPU runs.
-  uint64_t Cycles = 0;
-  solver::Schedule UsedSchedule;
-  /// Populated for GPU runs.
-  gpu::GpuRunMetrics Metrics;
-  /// The full DP table, when RunOptions::KeepTable was set.
-  std::shared_ptr<codegen::TableView> Table;
-
-  /// Reads a cell from the kept table (requires KeepTable).
-  double cellValue(const std::vector<int64_t> &Point) const {
-    assert(Table && "run without KeepTable");
-    return Table->get(Point.data());
-  }
-};
-
-/// Results of a multi-problem batch (the map primitive): per-problem
-/// outcomes plus the device-level makespan.
-struct BatchResult {
-  std::vector<RunResult> Problems;
-  uint64_t TotalCycles = 0;
-  double Seconds = 0.0;
-};
+// The run request/result types live in the exec layer with the backends;
+// they are re-exported here for the library's public API.
+using exec::BatchResult;
+using exec::RunOptions;
+using exec::RunResult;
 
 /// A compiled recursive function, ready to run against bindings.
 class CompiledRecurrence {
@@ -115,6 +77,24 @@ public:
   const std::optional<std::vector<solver::ConditionalSchedule>> &
   conditionalSchedules(DiagnosticEngine &Diags) const;
 
+  /// The executable plan for \p Box under \p Options: schedule, sliding
+  /// window decision, loop nest and partition range. Served from the
+  /// function's plan cache when a same-shaped problem already ran;
+  /// synthesised, generated and cached otherwise. \p Preselected (may be
+  /// null) is a schedule chosen by conditional parallelisation. Returns
+  /// null after reporting diagnostics on failure.
+  std::shared_ptr<const exec::ExecutablePlan>
+  planFor(const solver::DomainBox &Box, const RunOptions &Options,
+          const solver::Schedule *Preselected,
+          DiagnosticEngine &Diags) const;
+
+  /// Hit/miss/eviction counters of the plan cache (e.g. to assert that a
+  /// repeated run skipped synthesis).
+  exec::PlanCache::Stats planCacheStats() const { return Plans->stats(); }
+
+  /// Drops all cached plans and resets the counters.
+  void clearPlanCache() const { Plans->clear(); }
+
   /// Runs one problem serially on the (modelled) CPU.
   std::optional<RunResult> runCpu(const std::vector<codegen::ArgValue> &Args,
                                   const gpu::CostModel &Model,
@@ -130,6 +110,9 @@ public:
 
   /// Runs many problems on the simulated GPU, dispatching one problem per
   /// multiprocessor with per-problem conditional schedules (Section 4.7).
+  /// Problems are simulated concurrently across host worker threads
+  /// (RunOptions::BatchWorkers); results are bit-identical for any
+  /// worker count.
   std::optional<BatchResult>
   runGpuBatch(const std::vector<std::vector<codegen::ArgValue>> &Problems,
               const gpu::Device &Device, DiagnosticEngine &Diags,
@@ -138,16 +121,19 @@ public:
 private:
   CompiledRecurrence() = default;
 
+  /// Shared single-problem path: plan (cached), bind, execute.
+  std::optional<RunResult>
+  runSingle(const std::vector<codegen::ArgValue> &Args,
+            const exec::ExecutionBackend &Backend, DiagnosticEngine &Diags,
+            const RunOptions &Options) const;
+
   std::unique_ptr<lang::FunctionDecl> Decl;
   lang::FunctionInfo Info;
   mutable std::optional<std::optional<std::vector<solver::ConditionalSchedule>>>
       ConditionalCache;
-
-  std::optional<RunResult>
-  runInternal(const std::vector<codegen::ArgValue> &Args,
-              const gpu::CostModel &Model, bool IsGpu,
-              DiagnosticEngine &Diags, const RunOptions &Options,
-              std::optional<solver::Schedule> PreselectedSchedule) const;
+  /// Plans keyed by domain box + options fingerprint; behind a
+  /// unique_ptr so the (mutex-holding) cache survives moves.
+  mutable std::unique_ptr<exec::PlanCache> Plans;
 };
 
 } // namespace runtime

@@ -267,8 +267,9 @@ bool Interpreter::executePrint(const Stmt &S) {
     return false;
 
   std::optional<RunResult> R =
-      Opts.UseGpu ? Fn.runGpu(*Args, Opts.Device, Diags)
-                  : Fn.runCpu(*Args, Opts.Device.costModel(), Diags);
+      Opts.UseGpu
+          ? Fn.runGpu(*Args, Opts.Device, Diags, Opts.Run)
+          : Fn.runCpu(*Args, Opts.Device.costModel(), Diags, Opts.Run);
   if (!R)
     return false;
   bool IsProb = Fn.decl().ReturnType.Kind == TypeKind::Prob;
@@ -310,7 +311,7 @@ bool Interpreter::executeMap(const Stmt &S) {
 
   bool IsProb = Fn.decl().ReturnType.Kind == TypeKind::Prob;
   if (Opts.UseGpu) {
-    auto Batch = Fn.runGpuBatch(Problems, Opts.Device, Diags);
+    auto Batch = Fn.runGpuBatch(Problems, Opts.Device, Diags, Opts.Run);
     if (!Batch)
       return false;
     for (size_t I = 0; I != Batch->Problems.size(); ++I) {
@@ -329,7 +330,8 @@ bool Interpreter::executeMap(const Stmt &S) {
 
   uint64_t TotalCycles = 0;
   for (size_t I = 0; I != Problems.size(); ++I) {
-    auto R = Fn.runCpu(Problems[I], Opts.Device.costModel(), Diags);
+    auto R = Fn.runCpu(Problems[I], Opts.Device.costModel(), Diags,
+                       Opts.Run);
     if (!R)
       return false;
     TotalCycles += R->Cycles;

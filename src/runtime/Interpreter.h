@@ -40,6 +40,9 @@ public:
     /// Directory prefix applied to load paths.
     std::string BasePath;
     gpu::Device Device;
+    /// Applied to every print/map execution (sliding window, thread
+    /// counts, batch workers).
+    RunOptions Run;
   };
 
   explicit Interpreter(DiagnosticEngine &Diags);

@@ -94,6 +94,15 @@ int64_t Schedule::partitionCount(const DomainBox &Box) const {
   return maxOver(Box) - minOver(Box) + 1;
 }
 
+uint64_t Schedule::fingerprint() const {
+  uint64_t Hash = 0xcbf29ce484222325ull;
+  for (int64_t C : Coefficients) {
+    Hash ^= static_cast<uint64_t>(C);
+    Hash *= 0x100000001b3ull;
+  }
+  return Hash;
+}
+
 poly::AffineExpr Schedule::toAffineExpr(unsigned NumParams) const {
   poly::AffineExpr E(NumParams + numDims());
   for (unsigned I = 0, N = numDims(); I != N; ++I)

@@ -126,6 +126,11 @@ struct Schedule {
   /// with \p NumParams leading parameter dimensions (for loop generation).
   poly::AffineExpr toAffineExpr(unsigned NumParams) const;
 
+  /// Stable FNV-1a fingerprint of the coefficient vector. Execution
+  /// layers use it to key caches of per-schedule work (plans, loop
+  /// nests) without owning a coefficient copy per key component.
+  uint64_t fingerprint() const;
+
   std::string str(const std::vector<std::string> &DimNames) const;
 
   friend bool operator==(const Schedule &A, const Schedule &B) {

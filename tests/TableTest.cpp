@@ -5,14 +5,14 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "runtime/Table.h"
+#include "exec/Table.h"
 
 #include "poly/LoopGen.h"
 
 #include <gtest/gtest.h>
 
 using namespace parrec;
-using namespace parrec::runtime;
+using namespace parrec::exec;
 using solver::DomainBox;
 using solver::Schedule;
 
