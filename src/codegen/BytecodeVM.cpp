@@ -1,0 +1,84 @@
+//===- BytecodeVM.cpp - Register VM for compiled cell bodies ----------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/BytecodeVM.h"
+
+using namespace parrec;
+using namespace parrec::codegen;
+
+void BytecodeVM::bind(const Evaluator &Eval) {
+  const std::vector<ArgValue> &Args = Eval.boundArgs();
+  const std::vector<HmmLogCache> &Caches = Eval.hmmCaches();
+  assert(Args.size() == Prog->ParamClasses.size() &&
+         "binding does not match the compiled function");
+
+  size_t N = Args.size();
+  Seqs.assign(N, {});
+  Matrices.assign(N, nullptr);
+  Hmms.clear();
+  Hmms.resize(N);
+  IntArgs.assign(N, 0);
+  RealArgs.assign(N, 0.0);
+
+  for (size_t P = 0; P != N; ++P) {
+    switch (Prog->ParamClasses[P]) {
+    case ParamClass::Seq:
+      if (const bio::Sequence *S = Args[P].Seq) {
+        Seqs[P].Data = S->data().data();
+        Seqs[P].Len = S->length();
+      }
+      break;
+    case ParamClass::Matrix:
+      Matrices[P] = Args[P].Matrix;
+      break;
+    case ParamClass::Hmm: {
+      const bio::Hmm *H = Args[P].Hmm;
+      if (!H)
+        break;
+      BoundHmm &BH = Hmms[P];
+      BH.H = H;
+      // Borrow the Evaluator's log caches: same values, same bits.
+      const HmmLogCache &Cache = Caches[P];
+      BH.LogTrans = Cache.LogTransitionProbs.data();
+
+      unsigned NumStates = H->numStates();
+      unsigned Alpha = H->alphabet().size();
+      BH.Stride = Alpha + 1;
+      // Silent states keep all-zero rows (log 1 for any character);
+      // emitting states get their cached log emissions plus -inf in the
+      // trailing out-of-alphabet column.
+      BH.Emissions.assign(static_cast<size_t>(NumStates) * BH.Stride,
+                          0.0);
+      for (unsigned S = 0; S != NumStates; ++S) {
+        const std::vector<double> &Row = Cache.LogEmissions[S];
+        if (Row.empty())
+          continue;
+        double *Dst = BH.Emissions.data() +
+                      static_cast<size_t>(S) * BH.Stride;
+        for (unsigned C = 0; C != Alpha; ++C)
+          Dst[C] = Row[C];
+        Dst[Alpha] = NegInfinity;
+      }
+      for (unsigned C = 0; C != 256; ++C) {
+        int Index = H->alphabet().indexOf(static_cast<char>(C));
+        BH.CharCol[C] =
+            Index >= 0 ? static_cast<uint16_t>(Index)
+                       : static_cast<uint16_t>(Alpha);
+      }
+      break;
+    }
+    case ParamClass::Int:
+      IntArgs[P] = Args[P].Int;
+      break;
+    case ParamClass::Real:
+      RealArgs[P] = Args[P].Real;
+      break;
+    case ParamClass::Unused:
+      break;
+    }
+  }
+}

@@ -7,33 +7,14 @@
 
 #include "codegen/Evaluator.h"
 
+#include "codegen/LogSpace.h"
+
 #include <cmath>
 #include <limits>
 
 using namespace parrec;
 using namespace parrec::codegen;
 using namespace parrec::lang;
-
-namespace {
-
-constexpr double NegInfinity = -std::numeric_limits<double>::infinity();
-
-double toLog(double Linear) {
-  return Linear <= 0.0 ? NegInfinity : std::log(Linear);
-}
-
-/// log(exp(A) + exp(B)) without overflow; the log-space '+'.
-double logAddExp(double A, double B) {
-  if (A == NegInfinity)
-    return B;
-  if (B == NegInfinity)
-    return A;
-  double Hi = A > B ? A : B;
-  double Lo = A > B ? B : A;
-  return Hi + std::log1p(std::exp(Lo - Hi));
-}
-
-} // namespace
 
 void HmmLogCache::build(const bio::Hmm &Hmm) {
   Model = &Hmm;

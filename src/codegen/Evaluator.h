@@ -113,6 +113,10 @@ public:
   const lang::FunctionInfo &info() const { return Info; }
   const std::vector<ArgValue> &boundArgs() const { return Args; }
 
+  /// The per-parameter log-space model caches built by bind(). The
+  /// bytecode VM borrows these so both evaluators read identical bits.
+  const std::vector<HmmLogCache> &hmmCaches() const { return HmmCaches; }
+
   /// True when the function's results are log-space probabilities.
   bool isProbFunction() const {
     return Decl.ReturnType.Kind == lang::TypeKind::Prob;

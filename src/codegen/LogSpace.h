@@ -1,0 +1,47 @@
+//===- LogSpace.h - Log-space probability arithmetic --------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The log-space primitives shared by every cell evaluator (the AST
+/// tree-walker and the bytecode VM). Keeping a single definition is what
+/// guarantees the two backends produce bit-identical probabilities: both
+/// compile to the very same floating-point operation sequence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_CODEGEN_LOGSPACE_H
+#define PARREC_CODEGEN_LOGSPACE_H
+
+#include <cmath>
+#include <limits>
+
+namespace parrec {
+namespace codegen {
+
+inline constexpr double NegInfinity =
+    -std::numeric_limits<double>::infinity();
+
+/// Linear -> log conversion; log 0 is -inf.
+inline double toLog(double Linear) {
+  return Linear <= 0.0 ? NegInfinity : std::log(Linear);
+}
+
+/// log(exp(A) + exp(B)) without overflow; the log-space '+'.
+inline double logAddExp(double A, double B) {
+  if (A == NegInfinity)
+    return B;
+  if (B == NegInfinity)
+    return A;
+  double Hi = A > B ? A : B;
+  double Lo = A > B ? B : A;
+  return Hi + std::log1p(std::exp(Lo - Hi));
+}
+
+} // namespace codegen
+} // namespace parrec
+
+#endif // PARREC_CODEGEN_LOGSPACE_H

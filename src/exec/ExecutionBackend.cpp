@@ -7,6 +7,9 @@
 
 #include "exec/ExecutionBackend.h"
 
+#include "codegen/BytecodeVM.h"
+
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 
@@ -15,23 +18,28 @@ using namespace parrec::exec;
 
 namespace {
 
-/// The partition-by-partition scan shared by both backends (Figure 8's
-/// template). \p IsGpu selects lockstep GPU cycle accounting (with the
-/// table's shared-vs-global residency) over serial CPU accounting.
-RunResult scanPlan(const ExecutablePlan &Plan, codegen::Evaluator &Eval,
-                   const gpu::CostModel &Model, bool IsGpu,
-                   unsigned Threads, bool KeepTable) {
-  std::shared_ptr<DpTable> Table = Plan.makeTable();
-  bool TableInShared = IsGpu && Table->bytes() <= Model.SharedMemBytes;
-  unsigned N = Plan.Box.numDims();
+/// The ParRec_EVAL_AST escape hatch: force every execution onto the AST
+/// tree-walker (e.g. to bisect a suspected VM miscompile). Checked once.
+bool envForcesAstEvaluator() {
+  static const bool Forced = std::getenv("ParRec_EVAL_AST") != nullptr ||
+                             std::getenv("PARREC_EVAL_AST") != nullptr;
+  return Forced;
+}
 
-  gpu::BlockTimer Timer(Threads);
-  RunResult Result;
-  Result.UsedSchedule = Plan.Sched;
-  Result.TableMax = -std::numeric_limits<double>::infinity();
+/// The partition-by-partition scan core (Figure 8's template),
+/// monomorphised over the concrete table class and the cell evaluator so
+/// the per-cell path has no virtual calls and no type-erased callback.
+/// \p EvalCell is invoked as (Point, Table, Delta) with \p Delta already
+/// reset and must return the value to store.
+template <typename TableT, typename EvalCellT>
+void scanLoop(const ExecutablePlan &Plan, TableT &Table,
+              const gpu::CostModel &Model, bool IsGpu, bool TableInShared,
+              unsigned Threads, gpu::BlockTimer &Timer, RunResult &Result,
+              const EvalCellT &EvalCell) {
+  unsigned N = Plan.Box.numDims();
   const std::vector<int64_t> &Root = Plan.Box.Upper;
 
-  gpu::CostCounter Cost;
+  gpu::CostCounter Delta;
   for (int64_t P = Plan.FirstPartition; P <= Plan.LastPartition; ++P) {
     // A sliding window eventually overwrites the root cell's plane, so
     // capture it in flight — but only within its own partition. With a
@@ -40,10 +48,10 @@ RunResult scanPlan(const ExecutablePlan &Plan, codegen::Evaluator &Eval,
     for (unsigned T = 0; T != Threads; ++T) {
       Plan.Nest.forEachPointForThread(
           {}, P, T, Threads, [&](const int64_t *Point) {
-            gpu::CostCounter Before = Cost;
-            double Value = Eval.evalCell(Point, *Table, Cost);
-            Table->set(Point, Value);
-            gpu::CostCounter Delta = Cost - Before;
+            Delta.reset();
+            double Value = EvalCell(Point, Table, Delta);
+            Table.set(Point, Value);
+            Result.Cost += Delta;
             Timer.addThreadCycles(
                 T, IsGpu ? Model.gpuCellCycles(Delta, TableInShared)
                          : Model.cpuCycles(Delta));
@@ -57,11 +65,55 @@ RunResult scanPlan(const ExecutablePlan &Plan, codegen::Evaluator &Eval,
     }
     Timer.closePartition(IsGpu ? Model.SyncCycles : 0);
   }
+}
+
+/// Dispatches the scan over {bytecode VM, AST walker} x {sliding window,
+/// full table} and fills in the result summary. The VM runs whenever the
+/// plan carries a compiled program and nothing opts out.
+RunResult scanPlan(const ExecutablePlan &Plan, codegen::Evaluator &Eval,
+                   const gpu::CostModel &Model, bool IsGpu,
+                   unsigned Threads, const RunOptions &Options) {
+  std::shared_ptr<DpTable> Table = Plan.makeTable();
+  bool TableInShared = IsGpu && Table->bytes() <= Model.SharedMemBytes;
+
+  gpu::BlockTimer Timer(Threads);
+  RunResult Result;
+  Result.UsedSchedule = Plan.Sched;
+  Result.TableMax = -std::numeric_limits<double>::infinity();
+
+  bool UseVm = Plan.Program != nullptr && !Options.UseAstEvaluator &&
+               !envForcesAstEvaluator();
+
+  auto RunOn = [&](auto &ConcreteTable) {
+    if (UseVm) {
+      codegen::BytecodeVM Vm(Plan.Program);
+      Vm.bind(Eval);
+      scanLoop(Plan, ConcreteTable, Model, IsGpu, TableInShared, Threads,
+               Timer, Result,
+               [&Vm](const int64_t *Point, auto &T,
+                     gpu::CostCounter &Delta) {
+                 return Vm.evalCell(Point, T, Delta);
+               });
+    } else {
+      scanLoop(Plan, ConcreteTable, Model, IsGpu, TableInShared, Threads,
+               Timer, Result,
+               [&Eval](const int64_t *Point, auto &T,
+                       gpu::CostCounter &Delta) {
+                 return Eval.evalCell(Point, T, Delta);
+               });
+    }
+  };
+  // Monomorphise on the concrete table class (both are final) so every
+  // get/set in the hot loop devirtualises.
+  if (Plan.UseWindow)
+    RunOn(static_cast<SlidingWindowTable &>(*Table));
+  else
+    RunOn(static_cast<FullTable &>(*Table));
+
   if (!Plan.UseWindow)
-    Result.RootValue = Table->get(Root.data());
+    Result.RootValue = Table->get(Plan.Box.Upper.data());
 
   Result.Partitions = Plan.numPartitions();
-  Result.Cost = Cost;
   Result.Cycles = Timer.totalCycles();
   if (IsGpu) {
     Result.Metrics.Cycles = Result.Cycles;
@@ -69,12 +121,12 @@ RunResult scanPlan(const ExecutablePlan &Plan, codegen::Evaluator &Eval,
     Result.Metrics.CellsComputed = Result.Cells;
     Result.Metrics.TableBytes = Table->bytes();
     if (TableInShared)
-      Result.Metrics.SharedAccesses = Cost.tableAccesses();
+      Result.Metrics.SharedAccesses = Result.Cost.tableAccesses();
     else
-      Result.Metrics.GlobalAccesses = Cost.tableAccesses();
-    Result.Metrics.SharedAccesses += Cost.ModelReads;
+      Result.Metrics.GlobalAccesses = Result.Cost.tableAccesses();
+    Result.Metrics.SharedAccesses += Result.Cost.ModelReads;
   }
-  if (KeepTable)
+  if (Options.KeepTable)
     Result.Table = Table;
   return Result;
 }
@@ -85,7 +137,7 @@ RunResult SerialCpuBackend::execute(const ExecutablePlan &Plan,
                                     codegen::Evaluator &Eval,
                                     const RunOptions &Options) const {
   return scanPlan(Plan, Eval, Model, /*IsGpu=*/false, /*Threads=*/1,
-                  Options.KeepTable);
+                  Options);
 }
 
 RunResult SimulatedGpuBackend::execute(const ExecutablePlan &Plan,
@@ -93,6 +145,5 @@ RunResult SimulatedGpuBackend::execute(const ExecutablePlan &Plan,
                                        const RunOptions &Options) const {
   unsigned Threads =
       Options.Threads ? Options.Threads : Model.CoresPerMultiprocessor;
-  return scanPlan(Plan, Eval, Model, /*IsGpu=*/true, Threads,
-                  Options.KeepTable);
+  return scanPlan(Plan, Eval, Model, /*IsGpu=*/true, Threads, Options);
 }

@@ -48,6 +48,10 @@ struct RunOptions {
   /// recursions whose interesting value is not at the root corner, e.g.
   /// the backward algorithm's B(start, 0)).
   bool KeepTable = false;
+  /// Evaluate cells with the AST tree-walker even when the plan carries a
+  /// compiled bytecode program — the differential-testing oracle. The
+  /// ParRec_EVAL_AST environment variable forces this globally.
+  bool UseAstEvaluator = false;
 };
 
 /// The outcome of running one problem.

@@ -55,6 +55,7 @@ exec::buildPlan(const solver::RecurrenceSpec &Rec,
                 DiagnosticEngine &Diags) {
   ExecutablePlan Plan;
   Plan.Box = Box;
+  Plan.Program = Req.Program;
 
   // 1. The schedule: forced, preselected (batch), or freshly minimised.
   if (Req.ForcedSchedule) {

@@ -30,6 +30,10 @@
 #include <vector>
 
 namespace parrec {
+namespace codegen {
+struct BytecodeProgram;
+} // namespace codegen
+
 namespace exec {
 
 /// Identity of a plan: the domain box plus everything in the run request
@@ -69,6 +73,10 @@ struct PlanRequest {
   bool KeepTable = false;
   const solver::Schedule *ForcedSchedule = nullptr;
   const solver::Schedule *PreselectedSchedule = nullptr;
+  /// The function's compiled cell body (may be null when the body is not
+  /// bytecode-compilable). Compiled once per function, handed to every
+  /// plan — planning never re-runs the bytecode compiler.
+  std::shared_ptr<const codegen::BytecodeProgram> Program;
 };
 
 /// The immutable product of planning: consumed by ExecutionBackends, safe
@@ -91,6 +99,10 @@ public:
   /// upper bound); lets backends confine root-value capture to one
   /// partition instead of checking every cell.
   int64_t RootPartition = 0;
+  /// The compiled cell body executed by the bytecode VM; null means the
+  /// backend falls back to the AST evaluator. Shared across plans (and
+  /// PlanCache hits), so cache hits skip compilation too.
+  std::shared_ptr<const codegen::BytecodeProgram> Program;
 
   int64_t numPartitions() const { return LastPartition - FirstPartition + 1; }
 

@@ -35,7 +35,7 @@ public:
 };
 
 /// Dense row-major storage over the whole domain box.
-class FullTable : public DpTable {
+class FullTable final : public DpTable {
 public:
   explicit FullTable(const solver::DomainBox &Box) : Box(Box) {
     Strides.resize(Box.numDims());
@@ -80,7 +80,7 @@ private:
 /// plane addressing: within a partition, a point is uniquely identified
 /// by its remaining coordinates (two points differing only in the dropped
 /// dimension lie in different partitions, since the coefficient is ±1).
-class SlidingWindowTable : public DpTable {
+class SlidingWindowTable final : public DpTable {
 public:
   /// \p DropDim must satisfy |Schedule.Coefficients[DropDim]| == 1.
   SlidingWindowTable(const solver::DomainBox &Box,
@@ -92,15 +92,29 @@ public:
             S.Coefficients[DropDim] == -1) &&
            "dropped dimension must have a unit schedule coefficient");
     MinPartition = S.minOver(Box);
-    Strides.assign(Box.numDims(), 0);
+    // Fuse per-dimension addressing state into one contiguous array so
+    // slot() walks a single cache line instead of chasing three vectors.
+    Addr.resize(Box.numDims());
     uint64_t Stride = 1;
     for (unsigned D = Box.numDims(); D-- > 0;) {
-      if (D == DropDim)
+      Addr[D].Coeff = S.Coefficients[D];
+      if (D == DropDim) {
+        Addr[D].Stride = 0;
         continue;
-      Strides[D] = Stride;
+      }
+      Addr[D].Stride = Stride;
+      BaseIndex += static_cast<uint64_t>(Box.Lower[D]) * Stride;
       Stride *= static_cast<uint64_t>(Box.extent(D));
     }
     PlaneSize = Stride;
+    // The partition offset fits 32 bits for any table that fits in
+    // memory, so the ring lookup can use an exact multiply-based modulus
+    // (Lemire's fastmod) instead of a hardware divide on every access.
+    assert(S.maxOver(Box) - MinPartition >= 0 &&
+           static_cast<uint64_t>(S.maxOver(Box) - MinPartition) <=
+               std::numeric_limits<uint32_t>::max() &&
+           "partition range exceeds 32 bits");
+    ModMagic = std::numeric_limits<uint64_t>::max() / NumPlanes + 1;
     Data.assign(NumPlanes * PlaneSize, 0.0);
   }
 
@@ -113,28 +127,38 @@ public:
   uint64_t bytes() const override { return Data.size() * sizeof(double); }
 
 private:
+  struct DimAddr {
+    int64_t Coeff = 0;   // Schedule coefficient (partition term).
+    uint64_t Stride = 0; // Plane stride; 0 for the dropped dimension.
+  };
+
   solver::DomainBox Box;
   solver::Schedule Sched;
   uint64_t NumPlanes;
   unsigned DropDim;
   int64_t MinPartition = 0;
   uint64_t PlaneSize = 0;
-  std::vector<uint64_t> Strides;
+  uint64_t BaseIndex = 0;
+  uint64_t ModMagic = 0;
+  std::vector<DimAddr> Addr;
   std::vector<double> Data;
 
   uint64_t slot(const int64_t *Point) const {
+    const DimAddr *A = Addr.data();
+    unsigned N = static_cast<unsigned>(Addr.size());
     int64_t Partition = 0;
-    for (unsigned D = 0; D != Box.numDims(); ++D)
-      Partition += Sched.Coefficients[D] * Point[D];
-    uint64_t Plane = static_cast<uint64_t>(Partition - MinPartition) %
-                     NumPlanes;
     uint64_t Index = 0;
-    for (unsigned D = 0; D != Box.numDims(); ++D) {
-      if (D == DropDim)
-        continue;
-      Index += static_cast<uint64_t>(Point[D] - Box.Lower[D]) * Strides[D];
+    for (unsigned D = 0; D != N; ++D) {
+      Partition += A[D].Coeff * Point[D];
+      Index += A[D].Stride * static_cast<uint64_t>(Point[D]);
     }
-    return Plane * PlaneSize + Index;
+    // Exact X % NumPlanes for 32-bit X via the precomputed reciprocal.
+    uint64_t X = static_cast<uint64_t>(Partition - MinPartition);
+    assert(X <= std::numeric_limits<uint32_t>::max() &&
+           "partition offset exceeds 32 bits");
+    uint64_t Plane = static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(ModMagic * X) * NumPlanes) >> 64);
+    return Plane * PlaneSize + (Index - BaseIndex);
   }
 };
 

@@ -54,6 +54,12 @@ struct CostCounter {
             ModelReads - Other.ModelReads,
             Transcendentals - Other.Transcendentals};
   }
+  bool operator==(const CostCounter &Other) const = default;
+
+  /// Zeroes all lanes. The hot loops accumulate per-cell deltas into a
+  /// reset counter instead of copying whole counters around.
+  void reset() { *this = CostCounter(); }
+
   uint64_t tableAccesses() const { return TableReads + TableWrites; }
 };
 

@@ -17,34 +17,6 @@ std::optional<unsigned> LoopNest::threadedLevel() const {
   return std::nullopt;
 }
 
-namespace {
-
-/// Evaluates the max of the ceil-divided lower bounds at \p Env; nullopt
-/// when there is no lower bound (unbounded).
-std::optional<int64_t> evalLower(const LoopLevel &Level,
-                                 const std::vector<int64_t> &Env) {
-  std::optional<int64_t> Best;
-  for (const LoopBound &B : Level.Lower) {
-    int64_t V = ceilDiv(B.Numerator.evaluate(Env), B.Divisor);
-    if (!Best || V > *Best)
-      Best = V;
-  }
-  return Best;
-}
-
-std::optional<int64_t> evalUpper(const LoopLevel &Level,
-                                 const std::vector<int64_t> &Env) {
-  std::optional<int64_t> Best;
-  for (const LoopBound &B : Level.Upper) {
-    int64_t V = floorDiv(B.Numerator.evaluate(Env), B.Divisor);
-    if (!Best || V < *Best)
-      Best = V;
-  }
-  return Best;
-}
-
-} // namespace
-
 std::optional<std::pair<int64_t, int64_t>>
 LoopNest::timeRange(const std::vector<int64_t> &ParamValues) const {
   assert(ParamValues.size() == NumParams && "wrong parameter count");
@@ -67,39 +39,6 @@ LoopNest::timeRange(const std::vector<int64_t> &ParamValues) const {
   return std::make_pair(*Lo, *Hi);
 }
 
-void LoopNest::walk(std::vector<int64_t> &Env, unsigned Level,
-                    std::optional<unsigned> StripedLevel, unsigned ThreadId,
-                    unsigned NumThreads,
-                    const std::function<void(const int64_t *)> &Body) const {
-  if (Level == Levels.size()) {
-    Body(Env.data() + NumParams + 1); // x values follow params and t.
-    return;
-  }
-  const LoopLevel &L = Levels[Level];
-  unsigned EnvIndex = NumParams + Level;
-  if (L.isFixed()) {
-    int64_t Num = L.FixedNumerator->evaluate(Env);
-    if (Num % L.FixedDivisor != 0)
-      return; // Divisibility guard: no integer point here.
-    Env[EnvIndex] = Num / L.FixedDivisor;
-    walk(Env, Level + 1, StripedLevel, ThreadId, NumThreads, Body);
-    return;
-  }
-  std::optional<int64_t> Lo = evalLower(L, Env);
-  std::optional<int64_t> Hi = evalUpper(L, Env);
-  assert(Lo && Hi && "generated loops must be bounded");
-  int64_t Start = *Lo;
-  int64_t Step = 1;
-  if (StripedLevel && Level == *StripedLevel) {
-    Start += ThreadId;
-    Step = NumThreads;
-  }
-  for (int64_t V = Start; V <= *Hi; V += Step) {
-    Env[EnvIndex] = V;
-    walk(Env, Level + 1, StripedLevel, ThreadId, NumThreads, Body);
-  }
-}
-
 void LoopNest::forEachPoint(
     const std::vector<int64_t> &ParamValues, int64_t TimeStep,
     const std::function<void(const int64_t *)> &Body) const {
@@ -110,25 +49,8 @@ void LoopNest::forEachPointForThread(
     const std::vector<int64_t> &ParamValues, int64_t TimeStep,
     unsigned ThreadId, unsigned NumThreads,
     const std::function<void(const int64_t *)> &Body) const {
-  assert(NumThreads > 0 && ThreadId < NumThreads && "bad thread mapping");
-  std::vector<int64_t> Env(NestDimNames.size(), 0);
-  for (unsigned I = 0; I != NumParams; ++I)
-    Env[I] = ParamValues[I];
-
-  // Confirm TimeStep lies within the partition range; Figure 8's template
-  // iterates the range, so out-of-range steps simply contain no work.
-  auto Range = timeRange(ParamValues);
-  if (!Range || TimeStep < Range->first || TimeStep > Range->second)
-    return;
-  Env[NumParams] = TimeStep;
-
-  std::optional<unsigned> Striped;
-  if (NumThreads > 1)
-    Striped = threadedLevel();
-  if (NumThreads > 1 && !Striped && ThreadId != 0)
-    return; // No space loop: all the work belongs to thread 0.
-
-  walk(Env, 1, Striped, ThreadId, NumThreads, Body);
+  forEachPointForThread<std::function<void(const int64_t *)>>(
+      ParamValues, TimeStep, ThreadId, NumThreads, Body);
 }
 
 uint64_t LoopNest::countPoints(const std::vector<int64_t> &ParamValues,

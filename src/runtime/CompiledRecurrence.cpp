@@ -53,6 +53,9 @@ CompiledRecurrence::fromDecl(std::unique_ptr<lang::FunctionDecl> Decl,
   C.Decl = std::move(Decl);
   C.Info = std::move(*Info);
   C.Info.Decl = C.Decl.get();
+  // Compile the cell body to bytecode once per function; a null result
+  // (unsupported construct) keeps the AST evaluator as the executor.
+  C.Bytecode = codegen::compileToBytecode(*C.Decl, C.Info);
   C.Plans = std::make_unique<exec::PlanCache>();
   return C;
 }
@@ -164,6 +167,7 @@ CompiledRecurrence::planFor(const DomainBox &Box,
   Req.ForcedSchedule =
       Options.ForcedSchedule ? &*Options.ForcedSchedule : nullptr;
   Req.PreselectedSchedule = Preselected;
+  Req.Program = Bytecode;
   std::optional<exec::ExecutablePlan> Plan =
       exec::buildPlan(Info.Recurrence, DimNames, Box, Req, Diags);
   if (!Plan)

@@ -19,6 +19,7 @@
 #ifndef PARREC_RUNTIME_COMPILEDRECURRENCE_H
 #define PARREC_RUNTIME_COMPILEDRECURRENCE_H
 
+#include "codegen/Bytecode.h"
 #include "codegen/Evaluator.h"
 #include "exec/ExecutionBackend.h"
 #include "exec/PlanCache.h"
@@ -61,6 +62,13 @@ public:
 
   const lang::FunctionDecl &decl() const { return *Decl; }
   const lang::FunctionInfo &info() const { return Info; }
+
+  /// The cell body compiled to bytecode (built once at compile time and
+  /// attached to every plan), or null when the body falls back to the
+  /// AST evaluator.
+  const std::shared_ptr<const codegen::BytecodeProgram> &bytecode() const {
+    return Bytecode;
+  }
 
   /// Derives the domain box for a set of calling arguments (sequence
   /// lengths, state counts, integer initial values).
@@ -129,6 +137,7 @@ private:
 
   std::unique_ptr<lang::FunctionDecl> Decl;
   lang::FunctionInfo Info;
+  std::shared_ptr<const codegen::BytecodeProgram> Bytecode;
   mutable std::optional<std::optional<std::vector<solver::ConditionalSchedule>>>
       ConditionalCache;
   /// Plans keyed by domain box + options fingerprint; behind a

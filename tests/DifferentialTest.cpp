@@ -1,0 +1,319 @@
+//===- DifferentialTest.cpp - Bytecode VM vs AST evaluator ------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bytecode VM's correctness contract: for every recursion it
+/// compiles, results AND cost accounting are bit-identical to the AST
+/// tree-walker on both backends, with and without the sliding window.
+/// Covers the shipped example scripts, the case-study recursions and
+/// randomized (seeded) HMMs, sequences and substitution scores.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bio/HmmZoo.h"
+#include "runtime/CompiledRecurrence.h"
+#include "runtime/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace parrec;
+using namespace parrec::runtime;
+using codegen::ArgValue;
+
+#ifndef PARREC_SCRIPTS_DIR
+#error "build must define PARREC_SCRIPTS_DIR"
+#endif
+
+namespace {
+
+std::string scriptsPath(const std::string &Relative) {
+  return std::string(PARREC_SCRIPTS_DIR) + "/" + Relative;
+}
+
+std::string readFileOrDie(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+// The case-study recursions, matching examples/scripts/*.rdsl and the
+// pipeline tests verbatim.
+const char *SmithWatermanSource =
+    "int sw(matrix[dna] m, seq[dna] a, index[a] i, seq[dna] b, index[b] j) =\n"
+    "  if i == 0 then 0\n"
+    "  else if j == 0 then 0\n"
+    "  else 0 max (sw(i-1, j-1) + m[a[i-1], b[j-1]])\n"
+    "       max (sw(i-1, j) - 2) max (sw(i, j-1) - 2)\n";
+
+const char *EditDistanceSource =
+    "int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =\n"
+    "  if i == 0 then j\n"
+    "  else if j == 0 then i\n"
+    "  else if s[i-1] == t[j-1] then d(i-1, j-1)\n"
+    "  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1\n";
+
+const char *CasinoForwardSource =
+    "prob forward(hmm h, state[h] s, seq[dice] x, index[x] i) =\n"
+    "  if i == 0 then\n"
+    "    if s.isstart then 1.0 else 0.0\n"
+    "  else\n"
+    "    (if s.isend then 1.0 else s.emission[x[i-1]]) *\n"
+    "    sum(t in s.transitionsto : t.prob * forward(t.start, i - 1))\n";
+
+const char *DnaForwardSource =
+    "prob forward(hmm h, state[h] s, seq[dna] x, index[x] i) =\n"
+    "  if i == 0 then\n"
+    "    if s.isstart then 1.0 else 0.0\n"
+    "  else\n"
+    "    (if s.isend then 1.0 else s.emission[x[i-1]]) *\n"
+    "    sum(t in s.transitionsto : t.prob * forward(t.start, i - 1))\n";
+
+const char *DnaViterbiSource =
+    "prob viterbi(hmm h, state[h] s, seq[dna] x, index[x] i) =\n"
+    "  if i == 0 then\n"
+    "    if s.isstart then 1.0 else 0.0\n"
+    "  else\n"
+    "    (if s.isend then 1.0 else s.emission[x[i-1]]) *\n"
+    "    max(t in s.transitionsto : t.prob * viterbi(t.start, i - 1))\n";
+
+CompiledRecurrence compileOrDie(const char *Source,
+                                std::vector<std::string> Extra = {}) {
+  DiagnosticEngine Diags;
+  auto Compiled =
+      CompiledRecurrence::compile(Source, Diags, std::move(Extra));
+  EXPECT_TRUE(Compiled.has_value()) << Diags.str();
+  return std::move(*Compiled);
+}
+
+/// Runs \p Args through the bytecode VM and the AST tree-walker on both
+/// backends, with the sliding window on and off, and asserts every
+/// observable — values, cell counts, cost events, simulated cycles — is
+/// bit-identical.
+void expectEvaluatorsAgree(const CompiledRecurrence &Fn,
+                           const std::vector<ArgValue> &Args) {
+  // The whole point is to exercise the VM: the recursion must compile.
+  ASSERT_NE(Fn.bytecode(), nullptr)
+      << "recursion unexpectedly fell back to the AST evaluator";
+
+  gpu::Device Dev;
+  gpu::CostModel Model;
+  DiagnosticEngine Diags;
+  for (bool Window : {true, false}) {
+    for (bool Gpu : {true, false}) {
+      RunOptions VmOpts;
+      VmOpts.UseSlidingWindow = Window;
+      RunOptions AstOpts = VmOpts;
+      AstOpts.UseAstEvaluator = true;
+
+      auto RunWith = [&](const RunOptions &Opts) {
+        return Gpu ? Fn.runGpu(Args, Dev, Diags, Opts)
+                   : Fn.runCpu(Args, Model, Diags, Opts);
+      };
+      auto Vm = RunWith(VmOpts);
+      auto Ast = RunWith(AstOpts);
+      ASSERT_TRUE(Vm.has_value()) << Diags.str();
+      ASSERT_TRUE(Ast.has_value()) << Diags.str();
+
+      std::string Where = std::string(" (window=") +
+                          (Window ? "on" : "off") +
+                          ", backend=" + (Gpu ? "gpu" : "cpu") + ")";
+      EXPECT_EQ(Vm->RootValue, Ast->RootValue) << Where;
+      EXPECT_EQ(Vm->TableMax, Ast->TableMax) << Where;
+      EXPECT_EQ(Vm->Cells, Ast->Cells) << Where;
+      EXPECT_EQ(Vm->Partitions, Ast->Partitions) << Where;
+      EXPECT_TRUE(Vm->Cost == Ast->Cost)
+          << "cost counters diverged" << Where << ": VM {"
+          << Vm->Cost.Ops << ", " << Vm->Cost.TableReads << ", "
+          << Vm->Cost.TableWrites << ", " << Vm->Cost.ModelReads << ", "
+          << Vm->Cost.Transcendentals << "} vs AST {" << Ast->Cost.Ops
+          << ", " << Ast->Cost.TableReads << ", " << Ast->Cost.TableWrites
+          << ", " << Ast->Cost.ModelReads << ", "
+          << Ast->Cost.Transcendentals << "}";
+      EXPECT_EQ(Vm->Cycles, Ast->Cycles) << Where;
+    }
+  }
+}
+
+/// Deterministic pseudo-random string over \p Letters.
+std::string randomString(const std::string &Letters, size_t Length,
+                         uint64_t Seed) {
+  std::string S;
+  S.reserve(Length);
+  uint64_t X = Seed * 6364136223846793005ull + 1442695040888963407ull;
+  for (size_t I = 0; I != Length; ++I) {
+    X = X * 6364136223846793005ull + 1442695040888963407ull;
+    S.push_back(Letters[(X >> 33) % Letters.size()]);
+  }
+  return S;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Case-study recursions
+//===----------------------------------------------------------------------===//
+
+TEST(DifferentialTest, SmithWaterman) {
+  CompiledRecurrence Fn = compileOrDie(SmithWatermanSource);
+  const bio::SubstitutionMatrix M =
+      bio::SubstitutionMatrix::matchMismatch(bio::Alphabet::dna(), 2, 1);
+  bio::Sequence A("a", "acgtacgtggtacacgt");
+  bio::Sequence B("b", "tacgtaccgtgacgt");
+  expectEvaluatorsAgree(Fn, {ArgValue::ofMatrix(&M), ArgValue::ofSeq(&A),
+                             ArgValue(), ArgValue::ofSeq(&B), ArgValue()});
+}
+
+TEST(DifferentialTest, EditDistance) {
+  CompiledRecurrence Fn = compileOrDie(EditDistanceSource);
+  bio::Sequence S("s", "kitten");
+  bio::Sequence T("t", "sitting");
+  expectEvaluatorsAgree(Fn, {ArgValue::ofSeq(&S), ArgValue(),
+                             ArgValue::ofSeq(&T), ArgValue()});
+}
+
+TEST(DifferentialTest, CasinoForward) {
+  CompiledRecurrence Fn = compileOrDie(CasinoForwardSource, {"dice"});
+  bio::Hmm Casino = bio::makeCasinoModel();
+  std::string Rolls = Casino.sample(/*Seed=*/7);
+  ASSERT_FALSE(Rolls.empty());
+  bio::Sequence X("x", Rolls);
+  expectEvaluatorsAgree(Fn, {ArgValue::ofHmm(&Casino), ArgValue(),
+                             ArgValue::ofSeq(&X), ArgValue()});
+}
+
+TEST(DifferentialTest, GeneFinderViterbi) {
+  CompiledRecurrence Fn = compileOrDie(DnaViterbiSource);
+  bio::Hmm Genes = bio::makeGeneFinderModel();
+  std::string Observed = Genes.sample(/*Seed=*/21);
+  ASSERT_FALSE(Observed.empty());
+  bio::Sequence X("x", Observed);
+  expectEvaluatorsAgree(Fn, {ArgValue::ofHmm(&Genes), ArgValue(),
+                             ArgValue::ofSeq(&X), ArgValue()});
+}
+
+TEST(DifferentialTest, CpgIslandViterbi) {
+  CompiledRecurrence Fn = compileOrDie(DnaViterbiSource);
+  bio::Hmm Cpg = bio::makeCpgIslandModel();
+  std::string Observed = Cpg.sample(/*Seed=*/77);
+  ASSERT_FALSE(Observed.empty());
+  bio::Sequence X("x", Observed);
+  expectEvaluatorsAgree(Fn, {ArgValue::ofHmm(&Cpg), ArgValue(),
+                             ArgValue::ofSeq(&X), ArgValue()});
+}
+
+TEST(DifferentialTest, ProfileHmmForward) {
+  CompiledRecurrence Fn = compileOrDie(DnaForwardSource);
+  DiagnosticEngine Diags;
+  bio::Hmm Raw =
+      bio::makeProfileHmm(/*MatchPositions=*/5, bio::Alphabet::dna(),
+                          /*Seed=*/11);
+  auto Profile = bio::eliminateSilentStates(Raw, Diags);
+  ASSERT_TRUE(Profile.has_value()) << Diags.str();
+  std::string Observed = Profile->sample(/*Seed=*/3);
+  ASSERT_FALSE(Observed.empty());
+  bio::Sequence X("x", Observed);
+  expectEvaluatorsAgree(Fn, {ArgValue::ofHmm(&*Profile), ArgValue(),
+                             ArgValue::ofSeq(&X), ArgValue()});
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized inputs (seeded, deterministic)
+//===----------------------------------------------------------------------===//
+
+TEST(DifferentialTest, RandomSmithWatermanPairs) {
+  CompiledRecurrence Fn = compileOrDie(SmithWatermanSource);
+  const bio::SubstitutionMatrix M =
+      bio::SubstitutionMatrix::matchMismatch(bio::Alphabet::dna(), 3, 2);
+  const std::string &Letters = bio::Alphabet::dna().letters();
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    bio::Sequence A("a", randomString(Letters, 5 + Seed * 4, Seed));
+    bio::Sequence B("b", randomString(Letters, 3 + Seed * 5, Seed + 100));
+    expectEvaluatorsAgree(Fn,
+                          {ArgValue::ofMatrix(&M), ArgValue::ofSeq(&A),
+                           ArgValue(), ArgValue::ofSeq(&B), ArgValue()});
+  }
+}
+
+TEST(DifferentialTest, RandomEditDistancePairs) {
+  CompiledRecurrence Fn = compileOrDie(EditDistanceSource);
+  const std::string &Letters = bio::Alphabet::english().letters();
+  for (uint64_t Seed = 1; Seed <= 4; ++Seed) {
+    bio::Sequence S("s", randomString(Letters, 4 + Seed * 3, Seed * 13));
+    bio::Sequence T("t", randomString(Letters, 2 + Seed * 6, Seed * 17));
+    expectEvaluatorsAgree(Fn, {ArgValue::ofSeq(&S), ArgValue(),
+                               ArgValue::ofSeq(&T), ArgValue()});
+  }
+}
+
+TEST(DifferentialTest, RandomProfileHmms) {
+  CompiledRecurrence Forward = compileOrDie(DnaForwardSource);
+  CompiledRecurrence Viterbi = compileOrDie(DnaViterbiSource);
+  for (uint64_t Seed = 1; Seed <= 3; ++Seed) {
+    DiagnosticEngine Diags;
+    bio::Hmm Raw = bio::makeProfileHmm(
+        /*MatchPositions=*/static_cast<unsigned>(2 + Seed),
+        bio::Alphabet::dna(), Seed * 31);
+    auto Profile = bio::eliminateSilentStates(Raw, Diags);
+    ASSERT_TRUE(Profile.has_value()) << Diags.str();
+    std::string Observed = Profile->sample(Seed * 7);
+    ASSERT_FALSE(Observed.empty());
+    bio::Sequence X("x", Observed);
+    std::vector<ArgValue> Args = {ArgValue::ofHmm(&*Profile), ArgValue(),
+                                  ArgValue::ofSeq(&X), ArgValue()};
+    expectEvaluatorsAgree(Forward, Args);
+    expectEvaluatorsAgree(Viterbi, Args);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Plumbing: plans carry the program; shipped scripts agree end to end
+//===----------------------------------------------------------------------===//
+
+TEST(DifferentialTest, PlansCarryTheCompiledProgram) {
+  CompiledRecurrence Fn = compileOrDie(EditDistanceSource);
+  ASSERT_NE(Fn.bytecode(), nullptr);
+  bio::Sequence S("s", "abc"), T("t", "abd");
+  std::vector<ArgValue> Args = {ArgValue::ofSeq(&S), ArgValue(),
+                                ArgValue::ofSeq(&T), ArgValue()};
+  DiagnosticEngine Diags;
+  auto Box = Fn.domainFor(Args, Diags);
+  ASSERT_TRUE(Box.has_value()) << Diags.str();
+  auto Plan = Fn.planFor(*Box, RunOptions(), nullptr, Diags);
+  ASSERT_NE(Plan, nullptr) << Diags.str();
+  // The plan shares the function's program — including on cache hits.
+  EXPECT_EQ(Plan->Program.get(), Fn.bytecode().get());
+  auto Again = Fn.planFor(*Box, RunOptions(), nullptr, Diags);
+  EXPECT_EQ(Again.get(), Plan.get());
+  EXPECT_EQ(Again->Program.get(), Fn.bytecode().get());
+}
+
+TEST(DifferentialTest, ShippedScriptsProduceIdenticalOutput) {
+  for (const char *Script :
+       {"smith_waterman.rdsl", "edit_distance.rdsl", "casino.rdsl"}) {
+    std::string Source = readFileOrDie(scriptsPath(Script));
+    auto RunScript = [&](bool UseAst) {
+      DiagnosticEngine Diags;
+      Interpreter::Options Opts;
+      Opts.BasePath = PARREC_SCRIPTS_DIR;
+      Opts.Run.UseAstEvaluator = UseAst;
+      Interpreter Interp(Diags, std::move(Opts));
+      auto Output = Interp.run(Source);
+      EXPECT_TRUE(Output.has_value())
+          << Script << " failed: " << Diags.str();
+      return Output.value_or("");
+    };
+    std::string VmOut = RunScript(/*UseAst=*/false);
+    std::string AstOut = RunScript(/*UseAst=*/true);
+    EXPECT_FALSE(VmOut.empty()) << Script;
+    EXPECT_EQ(VmOut, AstOut) << Script;
+  }
+}
