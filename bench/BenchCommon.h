@@ -20,11 +20,14 @@
 #include "baselines/SmithWaterman.h"
 #include "bio/Fasta.h"
 #include "bio/HmmZoo.h"
+#include "obs/Metrics.h"
 #include "runtime/CompiledRecurrence.h"
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 
@@ -105,14 +108,38 @@ private:
 };
 
 /// Runs registered benchmarks, then prints the figure tables. Every bench
-/// binary uses this main.
+/// binary uses this main. `--metrics-out=<file>` (stripped before
+/// google-benchmark sees the arguments) dumps the parrec metrics
+/// registry as JSON after the run.
 inline int benchMain(int Argc, char **Argv) {
+  std::string MetricsOut;
+  {
+    int Out = 1;
+    for (int In = 1; In < Argc; ++In) {
+      constexpr const char *Flag = "--metrics-out=";
+      if (std::strncmp(Argv[In], Flag, std::strlen(Flag)) == 0)
+        MetricsOut = Argv[In] + std::strlen(Flag);
+      else
+        Argv[Out++] = Argv[In];
+    }
+    Argc = Out;
+  }
   ::benchmark::Initialize(&Argc, Argv);
   if (::benchmark::ReportUnrecognizedArguments(Argc, Argv))
     return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
   FigureTable::instance().printAll();
+  if (!MetricsOut.empty()) {
+    std::ofstream Out(MetricsOut, std::ios::binary | std::ios::trunc);
+    Out << parrec::obs::MetricsRegistry::global().snapshot().json()
+        << '\n';
+    if (!Out) {
+      std::fprintf(stderr, "bench: cannot write metrics to '%s'\n",
+                   MetricsOut.c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 

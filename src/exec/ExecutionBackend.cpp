@@ -8,6 +8,8 @@
 #include "exec/ExecutionBackend.h"
 
 #include "codegen/BytecodeVM.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <cstdlib>
 #include <cstring>
@@ -45,6 +47,7 @@ void scanLoop(const ExecutablePlan &Plan, TableT &Table,
     // capture it in flight — but only within its own partition. With a
     // full table the root survives and is read once after the scan.
     bool CheckRoot = Plan.UseWindow && P == Plan.RootPartition;
+    uint64_t CellsBefore = Result.Cells;
     for (unsigned T = 0; T != Threads; ++T) {
       Plan.Nest.forEachPointForThread(
           {}, P, T, Threads, [&](const int64_t *Point) {
@@ -63,7 +66,8 @@ void scanLoop(const ExecutablePlan &Plan, TableT &Table,
               Result.RootValue = Value;
           });
     }
-    Timer.closePartition(IsGpu ? Model.SyncCycles : 0);
+    Timer.closePartition(IsGpu ? Model.SyncCycles : 0, P,
+                         Result.Cells - CellsBefore);
   }
 }
 
@@ -73,10 +77,21 @@ void scanLoop(const ExecutablePlan &Plan, TableT &Table,
 RunResult scanPlan(const ExecutablePlan &Plan, codegen::Evaluator &Eval,
                    const gpu::CostModel &Model, bool IsGpu,
                    unsigned Threads, const RunOptions &Options) {
-  std::shared_ptr<DpTable> Table = Plan.makeTable();
+  bool Trace = Options.Trace || obs::Tracer::enabled();
+
+  std::shared_ptr<DpTable> Table;
+  {
+    obs::Span AllocSpan("exec.alloc_table", "exec");
+    Table = Plan.makeTable();
+    if (AllocSpan.active()) {
+      AllocSpan.arg("bytes", Table->bytes());
+      AllocSpan.arg("window", Plan.UseWindow);
+    }
+  }
   bool TableInShared = IsGpu && Table->bytes() <= Model.SharedMemBytes;
 
-  gpu::BlockTimer Timer(Threads);
+  obs::Span RunSpan("exec.scan", "exec");
+  gpu::BlockTimer Timer(Threads, /*RecordTimeline=*/Trace);
   RunResult Result;
   Result.UsedSchedule = Plan.Sched;
   Result.TableMax = -std::numeric_limits<double>::infinity();
@@ -125,9 +140,41 @@ RunResult scanPlan(const ExecutablePlan &Plan, codegen::Evaluator &Eval,
     else
       Result.Metrics.GlobalAccesses = Result.Cost.tableAccesses();
     Result.Metrics.SharedAccesses += Result.Cost.ModelReads;
+    Result.Metrics.BarrierCycles = Timer.barrierCycles();
+    Result.Metrics.ThreadCycles = Timer.threadCycleSum();
+    Result.Metrics.CriticalCycles = Timer.criticalCycles();
+    Result.Metrics.Threads = Threads;
   }
+  if (Trace)
+    Result.Timeline =
+        std::make_shared<const std::vector<gpu::PartitionSample>>(
+            Timer.takeTimeline());
   if (Options.KeepTable)
     Result.Table = Table;
+
+  if (RunSpan.active()) {
+    RunSpan.arg("backend", IsGpu ? "simulated-gpu" : "serial-cpu");
+    RunSpan.arg("vm", UseVm);
+    RunSpan.arg("cells", Result.Cells);
+    RunSpan.arg("partitions", static_cast<uint64_t>(Result.Partitions));
+    RunSpan.arg("cycles", Result.Cycles);
+    RunSpan.arg("threads", Threads);
+    if (IsGpu)
+      RunSpan.arg("occupancy", Result.Metrics.occupancy());
+  }
+
+  // Per-run (never per-cell) registry updates.
+  obs::MetricsRegistry &M = obs::MetricsRegistry::global();
+  M.add("exec.runs");
+  M.add("exec.cells_computed", Result.Cells);
+  M.add("exec.cycles", Result.Cycles);
+  M.add("exec.partitions", static_cast<uint64_t>(Result.Partitions));
+  if (IsGpu) {
+    M.add("exec.shared_accesses", Result.Metrics.SharedAccesses);
+    M.add("exec.global_accesses", Result.Metrics.GlobalAccesses);
+    M.add("exec.barrier_cycles", Result.Metrics.BarrierCycles);
+    M.record("exec.occupancy", Result.Metrics.occupancy());
+  }
   return Result;
 }
 

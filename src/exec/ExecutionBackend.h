@@ -52,6 +52,11 @@ struct RunOptions {
   /// compiled bytecode program — the differential-testing oracle. The
   /// ParRec_EVAL_AST environment variable forces this globally.
   bool UseAstEvaluator = false;
+  /// Collect the per-partition timeline into RunResult::Timeline (and,
+  /// when the global tracer is on, emit device-lane trace slices).
+  /// Implied by an enabled obs::Tracer; never changes results, only
+  /// records how they were reached.
+  bool Trace = false;
 };
 
 /// The outcome of running one problem.
@@ -70,6 +75,10 @@ struct RunResult {
   solver::Schedule UsedSchedule;
   /// Populated for GPU runs.
   gpu::GpuRunMetrics Metrics;
+  /// Per-partition lockstep timeline, when RunOptions::Trace (or the
+  /// global tracer) was on: one sample per executed partition, in scan
+  /// order. Sum of (MaxThreadCycles + BarrierCycles) equals Cycles.
+  std::shared_ptr<const std::vector<gpu::PartitionSample>> Timeline;
   /// The full DP table, when RunOptions::KeepTable was set.
   std::shared_ptr<codegen::TableView> Table;
 

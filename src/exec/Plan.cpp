@@ -7,6 +7,7 @@
 
 #include "exec/Plan.h"
 
+#include "obs/Trace.h"
 #include "solver/ScheduleSynthesis.h"
 
 using namespace parrec;
@@ -53,6 +54,11 @@ exec::buildPlan(const solver::RecurrenceSpec &Rec,
                 const std::vector<std::string> &DimNames,
                 const solver::DomainBox &Box, const PlanRequest &Req,
                 DiagnosticEngine &Diags) {
+  obs::Span PlanSpan("exec.build_plan", "exec");
+  if (PlanSpan.active()) {
+    PlanSpan.arg("function", Rec.Name);
+    PlanSpan.arg("dims", static_cast<uint64_t>(Box.numDims()));
+  }
   ExecutablePlan Plan;
   Plan.Box = Box;
   Plan.Program = Req.Program;

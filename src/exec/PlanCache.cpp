@@ -7,6 +7,8 @@
 
 #include "exec/PlanCache.h"
 
+#include "obs/Metrics.h"
+
 using namespace parrec::exec;
 
 std::shared_ptr<const ExecutablePlan>
@@ -15,9 +17,11 @@ PlanCache::lookup(const PlanKey &Key) {
   auto It = Index.find(Key);
   if (It == Index.end()) {
     ++Counters.Misses;
+    parrec::obs::MetricsRegistry::global().add("plan_cache.misses");
     return nullptr;
   }
   ++Counters.Hits;
+  parrec::obs::MetricsRegistry::global().add("plan_cache.hits");
   Lru.splice(Lru.begin(), Lru, It->second);
   return It->second->second;
 }
@@ -35,6 +39,7 @@ void PlanCache::insert(const PlanKey &Key,
     Index.erase(Lru.back().first);
     Lru.pop_back();
     ++Counters.Evictions;
+    parrec::obs::MetricsRegistry::global().add("plan_cache.evictions");
   }
   Lru.emplace_front(Key, std::move(Plan));
   Index.emplace(Key, Lru.begin());

@@ -7,7 +7,10 @@
 
 #include "gpu/Device.h"
 
+#include "obs/Trace.h"
+
 #include <algorithm>
+#include <cstdio>
 #include <queue>
 
 using namespace parrec;
@@ -20,6 +23,10 @@ GpuRunMetrics &GpuRunMetrics::operator+=(const GpuRunMetrics &Other) {
   SharedAccesses += Other.SharedAccesses;
   GlobalAccesses += Other.GlobalAccesses;
   TableBytes = std::max(TableBytes, Other.TableBytes);
+  BarrierCycles += Other.BarrierCycles;
+  ThreadCycles += Other.ThreadCycles;
+  CriticalCycles += Other.CriticalCycles;
+  Threads = std::max(Threads, Other.Threads);
   return *this;
 }
 
@@ -31,19 +38,79 @@ std::string GpuRunMetrics::str(const CostModel &Model) const {
   Out += " shared=" + std::to_string(SharedAccesses);
   Out += " global=" + std::to_string(GlobalAccesses);
   Out += " table_bytes=" + std::to_string(TableBytes);
+  Out += " barrier_cycles=" + std::to_string(BarrierCycles);
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.4f", occupancy());
+  Out += " occupancy=";
+  Out += Buf;
   Out += " seconds=" + std::to_string(seconds(Model));
   return Out;
 }
 
-uint64_t BlockTimer::closePartition(uint64_t SyncCycles) {
+uint64_t BlockTimer::closePartition(uint64_t SyncCycles,
+                                    int64_t Partition, uint64_t Cells) {
   uint64_t Longest = 0;
+  uint64_t Sum = 0;
+  unsigned Active = 0;
   for (uint64_t &C : ThreadCycles) {
     Longest = std::max(Longest, C);
+    Sum += C;
+    Active += C != 0;
     C = 0;
   }
   uint64_t Advance = Longest + SyncCycles;
   Total += Advance;
+  Barrier += SyncCycles;
+  WorkSum += Sum;
+  if (Recording) {
+    PartitionSample S;
+    S.Partition = Partition;
+    S.Cells = Cells;
+    S.MaxThreadCycles = Longest;
+    S.SumThreadCycles = Sum;
+    S.BarrierCycles = SyncCycles;
+    S.ActiveThreads = Active;
+    S.Threads = numThreads();
+    Timeline.push_back(S);
+  }
   return Advance;
+}
+
+void gpu::emitBlockTimeline(unsigned Block,
+                            const std::vector<PartitionSample> &Timeline) {
+  if (!obs::Tracer::enabled())
+    return;
+  obs::Tracer &T = obs::Tracer::instance();
+  uint64_t Cursor = 0;
+  for (const PartitionSample &S : Timeline) {
+    obs::DeviceSlice Slice;
+    Slice.Block = Block;
+    Slice.Name = "partition " + std::to_string(S.Partition);
+    Slice.StartCycles = Cursor;
+    Slice.DurCycles = S.MaxThreadCycles;
+    Slice.Args = {
+        {"partition", std::to_string(S.Partition)},
+        {"cells", std::to_string(S.Cells)},
+        {"max_thread_cycles", std::to_string(S.MaxThreadCycles)},
+        {"sum_thread_cycles", std::to_string(S.SumThreadCycles)},
+        {"active_threads", std::to_string(S.ActiveThreads)},
+        {"threads", std::to_string(S.Threads)},
+    };
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.4f", S.occupancy());
+    Slice.Args.push_back({"occupancy", Buf});
+    T.recordDevice(std::move(Slice));
+    Cursor += S.MaxThreadCycles;
+    if (S.BarrierCycles) {
+      obs::DeviceSlice BarrierSlice;
+      BarrierSlice.Block = Block;
+      BarrierSlice.Name = "barrier";
+      BarrierSlice.StartCycles = Cursor;
+      BarrierSlice.DurCycles = S.BarrierCycles;
+      T.recordDevice(std::move(BarrierSlice));
+      Cursor += S.BarrierCycles;
+    }
+  }
 }
 
 uint64_t

@@ -7,6 +7,8 @@
 
 #include "lang/Parser.h"
 
+#include "obs/Trace.h"
+
 using namespace parrec;
 using namespace parrec::lang;
 
@@ -73,6 +75,7 @@ void Parser::skipToStatementStart() {
 //===----------------------------------------------------------------------===//
 
 Script Parser::parseScript() {
+  obs::Span PhaseSpan("compile.parse", "compiler");
   Script Result;
   while (current().isNot(TokenKind::EndOfFile)) {
     if (consumeIf(TokenKind::Semicolon))
@@ -471,6 +474,7 @@ ExprPtr Parser::parseExpressionOnly() {
 }
 
 std::unique_ptr<FunctionDecl> Parser::parseFunctionOnly() {
+  obs::Span PhaseSpan("compile.parse", "compiler");
   std::optional<Stmt> S = parseDeclarationOrFunction();
   if (!S || S->Kind != StmtKind::Function) {
     if (S)

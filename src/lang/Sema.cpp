@@ -7,6 +7,8 @@
 
 #include "lang/Sema.h"
 
+#include "obs/Trace.h"
+
 #include <algorithm>
 #include <map>
 
@@ -529,6 +531,9 @@ Sema::extractDescent(const Expr *E, const FunctionInfo &Info,
 }
 
 std::optional<FunctionInfo> Sema::analyze(FunctionDecl &F) {
+  obs::Span PhaseSpan("compile.sema", "compiler");
+  if (PhaseSpan.active())
+    PhaseSpan.arg("function", F.Name);
   FunctionInfo Info;
   Info.Decl = &F;
 
@@ -566,6 +571,9 @@ std::optional<FunctionInfo> Sema::analyze(FunctionDecl &F) {
   for (const DimInfo &Dim : Info.Dims)
     Info.Recurrence.DimNames.push_back(Dim.Name);
 
+  // Dependence analysis: every call site's descent function feeds the
+  // schedule criteria (Section 4.4).
+  obs::Span DepSpan("compile.dependence", "compiler");
   bool DescentsOk = true;
   std::vector<const CallExpr *> Calls;
   // Walk the body collecting calls.
@@ -636,6 +644,9 @@ std::optional<FunctionInfo> Sema::analyze(FunctionDecl &F) {
   }
   if (!DescentsOk)
     return std::nullopt;
+  if (DepSpan.active())
+    DepSpan.arg("recursive_calls",
+                static_cast<uint64_t>(Info.Recurrence.Calls.size()));
 
   F.RecursiveParams = Info.RecursiveParams;
   return Info;

@@ -1,0 +1,137 @@
+//===- Json.cpp - Minimal JSON writer -----------------------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace parrec;
+using namespace parrec::obs;
+
+std::string obs::jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonWriter::comma() {
+  if (NeedComma)
+    Out += ',';
+  NeedComma = false;
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  comma();
+  Out += '{';
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  Out += '}';
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  comma();
+  Out += '[';
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  Out += ']';
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::key(std::string_view Key) {
+  comma();
+  Out += '"';
+  Out += jsonEscape(Key);
+  Out += "\":";
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(std::string_view S) {
+  comma();
+  Out += '"';
+  Out += jsonEscape(S);
+  Out += '"';
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(int64_t V) {
+  comma();
+  Out += std::to_string(V);
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(uint64_t V) {
+  comma();
+  Out += std::to_string(V);
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(double V) {
+  comma();
+  // JSON has no NaN/Infinity; clamp to null like Chrome's own tracer.
+  if (!std::isfinite(V)) {
+    Out += "null";
+  } else {
+    char Buf[40];
+    std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+    Out += Buf;
+  }
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(bool V) {
+  comma();
+  Out += V ? "true" : "false";
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::rawValue(std::string_view Json) {
+  comma();
+  Out += Json;
+  NeedComma = true;
+  return *this;
+}

@@ -1,0 +1,67 @@
+//===- Json.h - Minimal JSON writer -------------------------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny streaming JSON writer shared by the observability exporters
+/// (Chrome trace events, metrics snapshots) and the bench result files.
+/// Handles commas, nesting and string escaping; nothing else. Output is
+/// deterministic: values appear exactly in the order they were written.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_OBS_JSON_H
+#define PARREC_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace parrec {
+namespace obs {
+
+/// Escapes \p S for inclusion inside a JSON string literal (no quotes).
+std::string jsonEscape(std::string_view S);
+
+/// Builds a JSON document into an internal string. Scopes (objects and
+/// arrays) must be closed in LIFO order; inside an object every value
+/// needs a preceding key().
+class JsonWriter {
+public:
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray();
+  JsonWriter &endArray();
+
+  /// Emits the key of the next object member.
+  JsonWriter &key(std::string_view Key);
+
+  JsonWriter &value(std::string_view S);
+  JsonWriter &value(const char *S) { return value(std::string_view(S)); }
+  JsonWriter &value(int64_t V);
+  JsonWriter &value(uint64_t V);
+  JsonWriter &value(int V) { return value(static_cast<int64_t>(V)); }
+  JsonWriter &value(unsigned V) { return value(static_cast<uint64_t>(V)); }
+  JsonWriter &value(double V);
+  JsonWriter &value(bool V);
+
+  /// Splices a pre-rendered JSON fragment in as the next value.
+  JsonWriter &rawValue(std::string_view Json);
+
+  const std::string &str() const { return Out; }
+  std::string take() { return std::move(Out); }
+
+private:
+  void comma();
+
+  std::string Out;
+  bool NeedComma = false;
+};
+
+} // namespace obs
+} // namespace parrec
+
+#endif // PARREC_OBS_JSON_H

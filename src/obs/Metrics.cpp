@@ -1,0 +1,99 @@
+//===- Metrics.cpp - Named counters and distributions -------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "obs/Json.h"
+
+#include <cstdio>
+
+using namespace parrec;
+using namespace parrec::obs;
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry R;
+  return R;
+}
+
+void MetricsRegistry::add(std::string_view Name, uint64_t Delta) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    Counters.emplace(std::string(Name), Delta);
+  else
+    It->second += Delta;
+}
+
+void MetricsRegistry::record(std::string_view Name, double Value) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Distributions.find(Name);
+  if (It == Distributions.end()) {
+    Distributions.emplace(std::string(Name),
+                          Distribution{1, Value, Value, Value});
+    return;
+  }
+  Distribution &D = It->second;
+  ++D.Count;
+  D.Sum += Value;
+  if (Value < D.Min)
+    D.Min = Value;
+  if (Value > D.Max)
+    D.Max = Value;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  MetricsSnapshot S;
+  S.Counters.insert(Counters.begin(), Counters.end());
+  S.Distributions.insert(Distributions.begin(), Distributions.end());
+  return S;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Counters.clear();
+  Distributions.clear();
+}
+
+std::string MetricsSnapshot::json() const {
+  JsonWriter W;
+  W.beginObject();
+  W.key("counters").beginObject();
+  for (const auto &[Name, Value] : Counters) {
+    W.key(Name);
+    W.value(Value);
+  }
+  W.endObject();
+  W.key("distributions").beginObject();
+  for (const auto &[Name, D] : Distributions) {
+    W.key(Name).beginObject();
+    W.key("count").value(D.Count);
+    W.key("sum").value(D.Sum);
+    W.key("min").value(D.Min);
+    W.key("max").value(D.Max);
+    W.key("mean").value(D.mean());
+    W.endObject();
+  }
+  W.endObject();
+  W.endObject();
+  return W.take();
+}
+
+std::string MetricsSnapshot::str() const {
+  std::string Out;
+  for (const auto &[Name, Value] : Counters)
+    Out += Name + " = " + std::to_string(Value) + "\n";
+  for (const auto &[Name, D] : Distributions) {
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s = {count %llu, mean %.6g, min %.6g, max %.6g}\n",
+                  Name.c_str(), static_cast<unsigned long long>(D.Count),
+                  D.mean(), D.Min, D.Max);
+    Out += Buf;
+  }
+  return Out;
+}

@@ -1,0 +1,87 @@
+//===- Metrics.h - Named counters and distributions ---------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-global registry of named monotonic counters and value
+/// distributions, fed at coarse (per-run / per-plan) granularity by the
+/// execution pipeline: plan-cache hits and misses, bytecode programs
+/// compiled, cells computed, shared/global accesses, cycles, occupancy.
+/// Snapshots are deterministic (names sorted) and serialisable to JSON
+/// for `parrec --stats=json` and the bench metrics files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_OBS_METRICS_H
+#define PARREC_OBS_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace parrec {
+namespace obs {
+
+/// Summary of a recorded value distribution.
+struct Distribution {
+  uint64_t Count = 0;
+  double Sum = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+
+  double mean() const { return Count ? Sum / static_cast<double>(Count) : 0.0; }
+};
+
+/// A point-in-time copy of the registry, detached from its locks.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, Distribution> Distributions;
+
+  /// Deterministic JSON: {"counters":{...},"distributions":{name:
+  /// {"count":..,"sum":..,"min":..,"max":..,"mean":..}}}, names sorted.
+  std::string json() const;
+
+  /// Human-readable one-metric-per-line rendering, names sorted.
+  std::string str() const;
+
+  uint64_t counter(std::string_view Name) const {
+    auto It = Counters.find(std::string(Name));
+    return It == Counters.end() ? 0 : It->second;
+  }
+};
+
+/// Thread-safe registry. Updates take one mutex; they happen at per-run,
+/// per-plan and per-compile granularity, never per cell, so the registry
+/// is always on.
+class MetricsRegistry {
+public:
+  static MetricsRegistry &global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+  /// Adds \p Delta to the monotonic counter \p Name (created at 0).
+  void add(std::string_view Name, uint64_t Delta = 1);
+
+  /// Records one sample of the distribution \p Name.
+  void record(std::string_view Name, double Value);
+
+  MetricsSnapshot snapshot() const;
+  void reset();
+
+private:
+  mutable std::mutex Mutex;
+  std::map<std::string, uint64_t, std::less<>> Counters;
+  std::map<std::string, Distribution, std::less<>> Distributions;
+};
+
+} // namespace obs
+} // namespace parrec
+
+#endif // PARREC_OBS_METRICS_H

@@ -1,0 +1,162 @@
+//===- Trace.h - Pipeline tracing facility ------------------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight spans for the compile and execution pipeline plus
+/// cycle-domain slices for the simulated device, collected by a global
+/// Tracer and exported as Chrome trace-event JSON (loadable in Perfetto /
+/// chrome://tracing) or a human-readable span tree.
+///
+/// Tracing is off by default and costs one relaxed atomic load per span
+/// when disabled. Enable it programmatically (Tracer::instance().enable()),
+/// via the `parrec --trace-out=<file>` flag, or with the ParRec_TRACE
+/// environment variable (a file path to auto-export at process exit, or
+/// "1" to print the span tree to stderr at exit).
+///
+/// Two clock domains share one trace:
+///   - host lanes (pid 1): wall-clock spans, one lane per host thread —
+///     compiler phases and execution stages;
+///   - device lanes (pid 2): modelled-cycle slices, one lane per
+///     simulated multiprocessor/block, one slice per partition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_OBS_TRACE_H
+#define PARREC_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace parrec {
+namespace obs {
+
+/// One key/value annotation on a span or slice. The value is stored as a
+/// pre-rendered JSON fragment (quoted string, number or bool) so export
+/// is a plain concatenation.
+struct TraceArg {
+  std::string Key;
+  std::string Json;
+};
+
+/// A completed host span (wall-clock domain).
+struct TraceEvent {
+  std::string Name;
+  std::string Category;
+  uint64_t StartNs = 0;
+  uint64_t DurNs = 0;
+  uint32_t Lane = 0; ///< Host lane (one per recording thread).
+  uint64_t Seq = 0;  ///< Recording order; tie-breaker for sorting.
+  std::vector<TraceArg> Args;
+
+  uint64_t endNs() const { return StartNs + DurNs; }
+};
+
+/// A slice on a simulated-device lane (modelled-cycle domain).
+struct DeviceSlice {
+  uint32_t Block = 0; ///< Simulated multiprocessor/block lane.
+  std::string Name;
+  uint64_t StartCycles = 0;
+  uint64_t DurCycles = 0;
+  std::vector<TraceArg> Args;
+};
+
+/// The process-global trace collector. Thread-safe; recording threads are
+/// assigned stable host lanes in first-recording order.
+class Tracer {
+public:
+  static Tracer &instance();
+
+  /// The single disabled-path branch: a relaxed atomic load.
+  static bool enabled() {
+    return EnabledFlag.load(std::memory_order_relaxed);
+  }
+
+  void enable() { EnabledFlag.store(true, std::memory_order_relaxed); }
+  void disable() { EnabledFlag.store(false, std::memory_order_relaxed); }
+
+  void record(TraceEvent Event);
+  void recordDevice(DeviceSlice Slice);
+
+  /// Drops all recorded events and lane assignments (tests).
+  void reset();
+
+  /// Snapshots, sorted for display: host events by (lane, start, longest
+  /// first), device slices by (block, start).
+  std::vector<TraceEvent> hostEvents() const;
+  std::vector<DeviceSlice> deviceSlices() const;
+
+  /// Renders the whole trace as Chrome trace-event JSON.
+  std::string chromeTraceJson() const;
+
+  /// Writes chromeTraceJson() to \p Path; false on I/O failure.
+  bool writeChromeTrace(const std::string &Path) const;
+
+  /// Renders host spans as an indented tree (one block per lane) and
+  /// appends a per-block summary of device slices.
+  std::string spanTree() const;
+
+  /// Nanoseconds since the tracer's epoch (first use in the process).
+  static uint64_t nowNs();
+
+private:
+  Tracer() = default;
+
+  static std::atomic<bool> EnabledFlag;
+
+  mutable std::mutex Mutex;
+  std::vector<TraceEvent> Events;
+  std::vector<DeviceSlice> Slices;
+  std::map<std::thread::id, uint32_t> Lanes;
+  uint64_t NextSeq = 0;
+
+  uint32_t laneForCurrentThreadLocked();
+};
+
+/// RAII span: constructed at a phase/stage entry, recorded at scope exit.
+/// When tracing is disabled construction is a single branch and args are
+/// no-ops.
+class Span {
+public:
+  explicit Span(std::string_view Name,
+                std::string_view Category = "host");
+  ~Span();
+
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+  bool active() const { return Active; }
+
+  void arg(std::string_view Key, std::string_view Value);
+  void arg(std::string_view Key, const char *Value) {
+    arg(Key, std::string_view(Value));
+  }
+  void arg(std::string_view Key, int64_t Value);
+  void arg(std::string_view Key, uint64_t Value);
+  void arg(std::string_view Key, int Value) {
+    arg(Key, static_cast<int64_t>(Value));
+  }
+  void arg(std::string_view Key, unsigned Value) {
+    arg(Key, static_cast<uint64_t>(Value));
+  }
+  void arg(std::string_view Key, double Value);
+  void arg(std::string_view Key, bool Value);
+
+private:
+  bool Active;
+  TraceEvent Event;
+};
+
+} // namespace obs
+} // namespace parrec
+
+#endif // PARREC_OBS_TRACE_H

@@ -7,6 +7,8 @@
 
 #include "poly/LoopGen.h"
 
+#include "obs/Trace.h"
+
 using namespace parrec;
 using namespace parrec::poly;
 
@@ -64,6 +66,7 @@ LoopNest parrec::poly::generateLoops(const Polyhedron &Domain,
                                      unsigned NumParams,
                                      const AffineExpr &Schedule,
                                      const std::string &TimeName) {
+  obs::Span PhaseSpan("compile.loopgen", "compiler");
   unsigned DomDims = Domain.numDims();
   assert(NumParams < DomDims && "domain must have recursion dimensions");
   assert(Schedule.numDims() == DomDims && "schedule dimension mismatch");

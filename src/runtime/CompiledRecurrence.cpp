@@ -9,6 +9,7 @@
 
 #include "exec/ParallelFor.h"
 #include "lang/Parser.h"
+#include "obs/Trace.h"
 
 #include <algorithm>
 
@@ -43,6 +44,9 @@ std::optional<CompiledRecurrence>
 CompiledRecurrence::fromDecl(std::unique_ptr<lang::FunctionDecl> Decl,
                              DiagnosticEngine &Diags,
                              std::vector<std::string> ExtraAlphabets) {
+  obs::Span CompileSpan("compile.function", "compiler");
+  if (CompileSpan.active())
+    CompileSpan.arg("function", Decl->Name);
   lang::Sema S(Diags, allAlphabets(std::move(ExtraAlphabets)));
   std::optional<lang::FunctionInfo> Info = S.analyze(*Decl);
   if (!Info)
@@ -152,11 +156,19 @@ CompiledRecurrence::planFor(const DomainBox &Box,
   // the batch path's selection logic.
   const Schedule *Requested =
       Options.ForcedSchedule ? &*Options.ForcedSchedule : Preselected;
+  obs::Span PlanSpan("exec.plan_lookup", "exec");
+  if (PlanSpan.active())
+    PlanSpan.arg("function", Decl->Name);
   exec::PlanKey Key = exec::PlanKey::make(Box, Options.UseSlidingWindow,
                                           Options.KeepTable, Requested);
   if (std::shared_ptr<const exec::ExecutablePlan> Cached =
-          Plans->lookup(Key))
+          Plans->lookup(Key)) {
+    if (PlanSpan.active())
+      PlanSpan.arg("cache", "hit");
     return Cached;
+  }
+  if (PlanSpan.active())
+    PlanSpan.arg("cache", "miss");
 
   std::vector<std::string> DimNames;
   for (const lang::DimInfo &Dim : Info.Dims)
@@ -192,7 +204,11 @@ CompiledRecurrence::runSingle(const std::vector<ArgValue> &Args,
     return std::nullopt;
   Evaluator Eval(*Decl, Info);
   Eval.bind(Args);
-  return Backend.execute(*Plan, Eval, Options);
+  RunResult Result = Backend.execute(*Plan, Eval, Options);
+  // A single problem occupies one block: device lane 0 of the trace.
+  if (obs::Tracer::enabled() && Result.Timeline)
+    gpu::emitBlockTimeline(0, *Result.Timeline);
+  return Result;
 }
 
 std::optional<RunResult>
@@ -216,6 +232,11 @@ std::optional<BatchResult> CompiledRecurrence::runGpuBatch(
     const std::vector<std::vector<ArgValue>> &Problems,
     const gpu::Device &Device, DiagnosticEngine &Diags,
     const RunOptions &Options) const {
+  obs::Span BatchSpan("exec.batch", "exec");
+  if (BatchSpan.active()) {
+    BatchSpan.arg("function", Decl->Name);
+    BatchSpan.arg("problems", static_cast<uint64_t>(Problems.size()));
+  }
   // Conditional parallelisation (Section 4.7): derive the candidate
   // schedule set once, then pick the minimal candidate per problem. When
   // the descents are not uniform this fails and we fall back to
@@ -255,13 +276,30 @@ std::optional<BatchResult> CompiledRecurrence::runGpuBatch(
         Evaluator Eval(*Decl, Info);
         Eval.bind(Problems[I]);
         Batch.Problems[I] = Backend.execute(*Plans[I], Eval, Options);
+        // One device lane per problem: each simulates its own block on
+        // its own multiprocessor.
+        if (obs::Tracer::enabled() && Batch.Problems[I].Timeline)
+          gpu::emitBlockTimeline(static_cast<unsigned>(I),
+                                 *Batch.Problems[I].Timeline);
       });
 
   std::vector<uint64_t> ProblemCycles;
   ProblemCycles.reserve(Batch.Problems.size());
   for (const RunResult &R : Batch.Problems)
     ProblemCycles.push_back(R.Cycles);
-  Batch.TotalCycles = Device.dispatchProblems(ProblemCycles);
+  {
+    obs::Span DispatchSpan("exec.dispatch", "exec");
+    Batch.TotalCycles = Device.dispatchProblems(ProblemCycles);
+    if (DispatchSpan.active()) {
+      DispatchSpan.arg("problems",
+                       static_cast<uint64_t>(ProblemCycles.size()));
+      DispatchSpan.arg("makespan_cycles", Batch.TotalCycles);
+    }
+  }
   Batch.Seconds = Device.costModel().gpuSeconds(Batch.TotalCycles);
+  if (BatchSpan.active()) {
+    BatchSpan.arg("total_cycles", Batch.TotalCycles);
+    BatchSpan.arg("modelled_seconds", Batch.Seconds);
+  }
   return Batch;
 }

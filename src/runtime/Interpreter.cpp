@@ -8,6 +8,7 @@
 #include "runtime/Interpreter.h"
 
 #include "lang/Parser.h"
+#include "obs/Trace.h"
 
 #include <cctype>
 #include <cmath>
@@ -69,6 +70,7 @@ void Interpreter::printValue(const std::string &Label, double Value,
 }
 
 std::optional<std::string> Interpreter::run(const std::string &Source) {
+  obs::Span ScriptSpan("run.script", "runtime");
   lang::Parser P(Source, Diags);
   lang::Script Script = P.parseScript();
   if (Diags.hasErrors())
@@ -253,6 +255,9 @@ std::optional<std::vector<ArgValue>> Interpreter::bindArguments(
 }
 
 bool Interpreter::executePrint(const Stmt &S) {
+  obs::Span StmtSpan("run.print", "runtime");
+  if (StmtSpan.active())
+    StmtSpan.arg("callee", S.CalleeName);
   auto It = Functions.find(S.CalleeName);
   if (It == Functions.end()) {
     Diags.error(S.Loc, "unknown function '" + S.CalleeName + "'");
@@ -284,6 +289,9 @@ bool Interpreter::executePrint(const Stmt &S) {
 }
 
 bool Interpreter::executeMap(const Stmt &S) {
+  obs::Span StmtSpan("run.map", "runtime");
+  if (StmtSpan.active())
+    StmtSpan.arg("callee", S.CalleeName);
   auto It = Functions.find(S.CalleeName);
   if (It == Functions.end()) {
     Diags.error(S.Loc, "unknown function '" + S.CalleeName + "'");

@@ -7,6 +7,7 @@
 
 #include "solver/ScheduleSynthesis.h"
 
+#include "obs/Trace.h"
 #include "solver/CspSolver.h"
 
 #include <algorithm>
@@ -137,6 +138,11 @@ bool parrec::solver::verifySchedule(const RecurrenceSpec &Spec,
 std::optional<Schedule> parrec::solver::findMinimalSchedule(
     const RecurrenceSpec &Spec, const DomainBox &Box,
     DiagnosticEngine &Diags, const ScheduleSearchOptions &Options) {
+  obs::Span PhaseSpan("compile.schedule_synthesis", "compiler");
+  if (PhaseSpan.active()) {
+    PhaseSpan.arg("function", Spec.Name);
+    PhaseSpan.arg("dims", static_cast<uint64_t>(Spec.numDims()));
+  }
   unsigned N = Spec.numDims();
   if (Spec.Calls.empty()) {
     // No recursion: everything is independent and one partition suffices.
@@ -224,6 +230,9 @@ std::optional<std::vector<ConditionalSchedule>>
 parrec::solver::findConditionalSchedules(
     const RecurrenceSpec &Spec, DiagnosticEngine &Diags,
     const ScheduleSearchOptions &Options) {
+  obs::Span PhaseSpan("compile.conditional_schedules", "compiler");
+  if (PhaseSpan.active())
+    PhaseSpan.arg("function", Spec.Name);
   if (!Spec.allUniform()) {
     Diags.error({}, "conditional parallelisation requires uniform descent "
                     "functions (Section 4.7); '" +

@@ -14,6 +14,13 @@
 ///   parrec emit <fn.rdsl> [n1 n2..]  print the synthesized CUDA source
 ///   parrec loops <fn.rdsl> n1 n2     print the Figure 9/10 loop nests
 ///
+/// `run` observability flags:
+///   --trace-out=<file>   trace the pipeline and write Chrome trace-event
+///                        JSON (open in Perfetto / chrome://tracing)
+///   --trace-tree         print the span tree to stderr after the run
+///   --stats[=json]       print the metrics registry to stderr
+///   --stats-out=<file>   write the metrics registry snapshot JSON
+///
 /// `emit` and `loops` accept `--schedule a1,a2,...` to use a
 /// user-provided scheduling function instead of the derived one; it is
 /// verified against the dependency criteria first (Section 4.5).
@@ -22,6 +29,8 @@
 
 #include "codegen/CudaEmitter.h"
 #include "lang/Parser.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "poly/CPrinter.h"
 #include "runtime/Interpreter.h"
 #include "support/StringUtils.h"
@@ -39,7 +48,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: parrec <command> [options] <file> [extents...]\n"
                "commands:\n"
-               "  run [--cpu] <script>   execute a script\n"
+               "  run [--cpu] [--trace-out=<f>] [--trace-tree]\n"
+               "      [--stats[=json]] [--stats-out=<f>] <script>\n"
+               "                         execute a script\n"
                "  check <function>       analyse a single function\n"
                "  schedule <fn> <n...>   derive the minimal schedule\n"
                "  emit <fn>              print synthesized CUDA source\n"
@@ -115,15 +126,44 @@ std::optional<solver::DomainBox> boxFromArgs(int Argc, char **Argv,
   return solver::DomainBox::fromExtents(Extents);
 }
 
+/// Returns the value of a `--name=value` option, or null when \p Arg is
+/// not that option.
+const char *optionValue(const char *Arg, const char *Name) {
+  size_t Len = std::strlen(Name);
+  if (std::strncmp(Arg, Name, Len) != 0 || Arg[Len] != '=')
+    return nullptr;
+  return Arg + Len + 1;
+}
+
 int cmdRun(int Argc, char **Argv) {
   bool UseCpu = false;
+  bool StatsHuman = false, StatsJson = false, TraceTree = false;
+  std::string TraceOut, StatsOut;
   int FileIndex = 2;
-  if (FileIndex < Argc && std::strcmp(Argv[FileIndex], "--cpu") == 0) {
-    UseCpu = true;
-    ++FileIndex;
+  for (; FileIndex < Argc && Argv[FileIndex][0] == '-'; ++FileIndex) {
+    const char *Arg = Argv[FileIndex];
+    const char *Value;
+    if (std::strcmp(Arg, "--cpu") == 0)
+      UseCpu = true;
+    else if ((Value = optionValue(Arg, "--trace-out")))
+      TraceOut = Value;
+    else if (std::strcmp(Arg, "--trace-tree") == 0)
+      TraceTree = true;
+    else if (std::strcmp(Arg, "--stats") == 0)
+      StatsHuman = true;
+    else if (std::strcmp(Arg, "--stats=json") == 0)
+      StatsJson = true;
+    else if ((Value = optionValue(Arg, "--stats-out")))
+      StatsOut = Value;
+    else {
+      std::fprintf(stderr, "error: unknown run option '%s'\n", Arg);
+      return usage();
+    }
   }
   if (FileIndex >= Argc)
     return usage();
+  if (!TraceOut.empty() || TraceTree)
+    obs::Tracer::instance().enable();
   std::optional<std::string> Source = readFile(Argv[FileIndex]);
   if (!Source) {
     std::fprintf(stderr, "error: cannot open '%s'\n", Argv[FileIndex]);
@@ -139,9 +179,35 @@ int cmdRun(int Argc, char **Argv) {
   runtime::Interpreter::Options Opts;
   Opts.UseGpu = !UseCpu;
   Opts.BasePath = Dir;
+  Opts.Run.Trace = obs::Tracer::enabled();
   runtime::Interpreter Interp(Diags, std::move(Opts));
   std::optional<std::string> Output = Interp.run(*Source);
   std::fputs(Diags.str().c_str(), stderr);
+
+  if (!TraceOut.empty() &&
+      !obs::Tracer::instance().writeChromeTrace(TraceOut)) {
+    std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                 TraceOut.c_str());
+    return 1;
+  }
+  if (TraceTree)
+    std::fputs(obs::Tracer::instance().spanTree().c_str(), stderr);
+  if (StatsHuman || StatsJson || !StatsOut.empty()) {
+    obs::MetricsSnapshot Snap = obs::MetricsRegistry::global().snapshot();
+    if (StatsJson)
+      std::fprintf(stderr, "%s\n", Snap.json().c_str());
+    else if (StatsHuman)
+      std::fputs(Snap.str().c_str(), stderr);
+    if (!StatsOut.empty()) {
+      std::ofstream StatsFile(StatsOut, std::ios::binary | std::ios::trunc);
+      StatsFile << Snap.json() << '\n';
+      if (!StatsFile) {
+        std::fprintf(stderr, "error: cannot write stats to '%s'\n",
+                     StatsOut.c_str());
+        return 1;
+      }
+    }
+  }
   if (!Output)
     return 1;
   std::fputs(Output->c_str(), stdout);

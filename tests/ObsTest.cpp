@@ -1,0 +1,467 @@
+//===- ObsTest.cpp - Tests for the observability layer ------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Covers the tracing facility (span nesting/ordering, Chrome trace-event
+/// JSON well-formedness), the metrics registry (snapshot determinism,
+/// plan-cache registration), and the simulator profiling depth: the
+/// per-partition timeline must sum exactly to the run's modelled cycle
+/// and cell totals, and tracing must never change results.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bio/Fasta.h"
+#include "exec/PlanCache.h"
+#include "gpu/Device.h"
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "runtime/CompiledRecurrence.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace parrec;
+using namespace parrec::obs;
+using codegen::ArgValue;
+using runtime::CompiledRecurrence;
+
+namespace {
+
+/// RAII guard: resets the global tracer and restores the disabled state,
+/// so tests cannot leak trace state into each other.
+struct TracerSandbox {
+  TracerSandbox() {
+    Tracer::instance().disable();
+    Tracer::instance().reset();
+  }
+  ~TracerSandbox() {
+    Tracer::instance().disable();
+    Tracer::instance().reset();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// A minimal JSON parser, used to check the exported trace parses back.
+//===----------------------------------------------------------------------===//
+
+class JsonValidator {
+public:
+  explicit JsonValidator(const std::string &Text) : Text(Text) {}
+
+  /// True iff the whole text is exactly one valid JSON value.
+  bool valid() {
+    Pos = 0;
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    return Pos == Text.size();
+  }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+
+  bool eof() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  void skipWs() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r'))
+      ++Pos;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = std::strlen(Word);
+    if (Text.compare(Pos, Len, Word) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  bool string() {
+    if (eof() || peek() != '"')
+      return false;
+    ++Pos;
+    while (!eof() && peek() != '"') {
+      if (peek() == '\\') {
+        ++Pos;
+        if (eof())
+          return false;
+        char Escape = peek();
+        if (Escape == 'u') {
+          for (int I = 0; I < 4; ++I) {
+            ++Pos;
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(peek())))
+              return false;
+          }
+        } else if (!std::strchr("\"\\/bfnrt", Escape)) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(peek()) < 0x20) {
+        return false; // Control characters must be escaped.
+      }
+      ++Pos;
+    }
+    if (eof())
+      return false;
+    ++Pos; // Closing quote.
+    return true;
+  }
+
+  bool number() {
+    size_t Start = Pos;
+    if (!eof() && peek() == '-')
+      ++Pos;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+      ++Pos;
+    if (Pos == Start || (Text[Start] == '-' && Pos == Start + 1))
+      return false;
+    if (!eof() && peek() == '.') {
+      ++Pos;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++Pos;
+      if (!eof() && (peek() == '+' || peek() == '-'))
+        ++Pos;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    return true;
+  }
+
+  bool object() {
+    ++Pos; // '{'
+    skipWs();
+    if (!eof() && peek() == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (!string())
+        return false;
+      skipWs();
+      if (eof() || peek() != ':')
+        return false;
+      ++Pos;
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+      if (eof())
+        return false;
+      if (peek() == '}') {
+        ++Pos;
+        return true;
+      }
+      if (peek() != ',')
+        return false;
+      ++Pos;
+    }
+  }
+
+  bool array() {
+    ++Pos; // '['
+    skipWs();
+    if (!eof() && peek() == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+      if (eof())
+        return false;
+      if (peek() == ']') {
+        ++Pos;
+        return true;
+      }
+      if (peek() != ',')
+        return false;
+      ++Pos;
+    }
+  }
+
+  bool value() {
+    if (eof())
+      return false;
+    switch (peek()) {
+    case '{':
+      return object();
+    case '[':
+      return array();
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+};
+
+const char *EditDistanceSource =
+    "int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =\n"
+    "  if i == 0 then j\n"
+    "  else if j == 0 then i\n"
+    "  else if s[i-1] == t[j-1] then d(i-1, j-1)\n"
+    "  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1\n";
+
+CompiledRecurrence compileOrDie(const char *Source) {
+  DiagnosticEngine Diags;
+  auto Compiled = CompiledRecurrence::compile(Source, Diags);
+  EXPECT_TRUE(Compiled.has_value()) << Diags.str();
+  return std::move(*Compiled);
+}
+
+std::vector<ArgValue> editDistanceArgs(const bio::Sequence &S,
+                                       const bio::Sequence &T) {
+  return {ArgValue::ofSeq(&S), ArgValue(), ArgValue::ofSeq(&T), ArgValue()};
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Spans
+//===----------------------------------------------------------------------===//
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  TracerSandbox Sandbox;
+  {
+    Span S("should.not.appear");
+    S.arg("key", int64_t(1));
+    EXPECT_FALSE(S.active());
+  }
+  EXPECT_TRUE(Tracer::instance().hostEvents().empty());
+}
+
+TEST(TraceTest, SpanNestingAndOrdering) {
+  TracerSandbox Sandbox;
+  Tracer::instance().enable();
+  {
+    Span Outer("outer");
+    Outer.arg("phase", "test");
+    {
+      Span First("inner.first");
+      (void)First;
+    }
+    {
+      Span Second("inner.second");
+      Second.arg("n", int64_t(42));
+    }
+  }
+  Tracer::instance().disable();
+
+  std::vector<TraceEvent> Events = Tracer::instance().hostEvents();
+  ASSERT_EQ(Events.size(), 3u);
+  // Sorted for display: the enclosing span precedes its children even
+  // though it was recorded last (it closes last).
+  EXPECT_EQ(Events[0].Name, "outer");
+  EXPECT_EQ(Events[1].Name, "inner.first");
+  EXPECT_EQ(Events[2].Name, "inner.second");
+  // Children nest inside the parent's interval, in start order.
+  EXPECT_GE(Events[1].StartNs, Events[0].StartNs);
+  EXPECT_LE(Events[1].endNs(), Events[0].endNs());
+  EXPECT_GE(Events[2].StartNs, Events[1].endNs());
+  EXPECT_LE(Events[2].endNs(), Events[0].endNs());
+  ASSERT_EQ(Events[0].Args.size(), 1u);
+  EXPECT_EQ(Events[0].Args[0].Key, "phase");
+  EXPECT_EQ(Events[0].Args[0].Json, "\"test\"");
+
+  std::string Tree = Tracer::instance().spanTree();
+  EXPECT_NE(Tree.find("outer"), std::string::npos);
+  EXPECT_NE(Tree.find("    inner.first"), std::string::npos)
+      << "children must be indented under the parent:\n"
+      << Tree;
+}
+
+TEST(TraceTest, ChromeTraceJsonParsesBack) {
+  TracerSandbox Sandbox;
+  Tracer::instance().enable();
+  {
+    Span S("phase with \"quotes\" and \\ backslash");
+    S.arg("text", "line\nbreak");
+    S.arg("count", uint64_t(7));
+    S.arg("ratio", 0.25);
+    S.arg("flag", true);
+  }
+  Tracer::instance().recordDevice(
+      {/*Block=*/0, "partition 0", /*StartCycles=*/0, /*DurCycles=*/10,
+       {{"cells", "5"}}});
+  Tracer::instance().recordDevice(
+      {/*Block=*/1, "partition 0", /*StartCycles=*/0, /*DurCycles=*/4, {}});
+  Tracer::instance().disable();
+
+  std::string Json = Tracer::instance().chromeTraceJson();
+  EXPECT_TRUE(JsonValidator(Json).valid()) << Json;
+  // The two clock domains are present as separate processes.
+  EXPECT_NE(Json.find("\"parrec host (wall clock)\""), std::string::npos);
+  EXPECT_NE(Json.find("\"simulated device (ts = modelled cycles)\""),
+            std::string::npos);
+  // One lane per simulated block.
+  EXPECT_NE(Json.find("\"block 0\""), std::string::npos);
+  EXPECT_NE(Json.find("\"block 1\""), std::string::npos);
+}
+
+TEST(TraceTest, JsonWriterEscapesControlCharacters) {
+  EXPECT_EQ(jsonEscape("a\"b\\c\nd\te\x01"
+                       "f"),
+            "a\\\"b\\\\c\\nd\\te\\u0001f");
+  JsonWriter W;
+  W.beginObject().key("k\n").value("v\x02").endObject();
+  EXPECT_TRUE(JsonValidator(W.str()).valid()) << W.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics registry
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsTest, SnapshotIsDeterministicAndSorted) {
+  MetricsRegistry Registry;
+  Registry.add("zeta", 3);
+  Registry.add("alpha");
+  Registry.add("alpha");
+  Registry.record("latency", 2.0);
+  Registry.record("latency", 4.0);
+  Registry.record("latency", 6.0);
+
+  MetricsSnapshot A = Registry.snapshot();
+  MetricsSnapshot B = Registry.snapshot();
+  EXPECT_EQ(A.json(), B.json());
+  EXPECT_EQ(A.str(), B.str());
+  EXPECT_TRUE(JsonValidator(A.json()).valid()) << A.json();
+
+  EXPECT_EQ(A.counter("alpha"), 2u);
+  EXPECT_EQ(A.counter("zeta"), 3u);
+  EXPECT_EQ(A.counter("missing"), 0u);
+  ASSERT_EQ(A.Distributions.count("latency"), 1u);
+  const Distribution &D = A.Distributions.at("latency");
+  EXPECT_EQ(D.Count, 3u);
+  EXPECT_DOUBLE_EQ(D.Sum, 12.0);
+  EXPECT_DOUBLE_EQ(D.Min, 2.0);
+  EXPECT_DOUBLE_EQ(D.Max, 6.0);
+  EXPECT_DOUBLE_EQ(D.mean(), 4.0);
+
+  // Sorted by name in both renderings.
+  std::string Json = A.json();
+  EXPECT_LT(Json.find("\"alpha\""), Json.find("\"zeta\""));
+
+  Registry.reset();
+  EXPECT_TRUE(Registry.snapshot().Counters.empty());
+}
+
+TEST(MetricsTest, PlanCacheFeedsGlobalRegistry) {
+  MetricsSnapshot Before = MetricsRegistry::global().snapshot();
+
+  exec::PlanCache Cache(/*Capacity=*/1);
+  exec::PlanKey KeyA, KeyB;
+  KeyA.Upper = {4, 4};
+  KeyB.Upper = {8, 8};
+  auto Plan = std::make_shared<const exec::ExecutablePlan>();
+  EXPECT_EQ(Cache.lookup(KeyA), nullptr); // Miss.
+  Cache.insert(KeyA, Plan);
+  EXPECT_NE(Cache.lookup(KeyA), nullptr); // Hit.
+  Cache.insert(KeyB, Plan);               // Evicts KeyA.
+
+  MetricsSnapshot After = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(After.counter("plan_cache.misses"),
+            Before.counter("plan_cache.misses") + 1);
+  EXPECT_EQ(After.counter("plan_cache.hits"),
+            Before.counter("plan_cache.hits") + 1);
+  EXPECT_EQ(After.counter("plan_cache.evictions"),
+            Before.counter("plan_cache.evictions") + 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Simulator profiling depth
+//===----------------------------------------------------------------------===//
+
+TEST(ProfilingTest, TimelineSumsToRunTotals) {
+  TracerSandbox Sandbox;
+  CompiledRecurrence Fn = compileOrDie(EditDistanceSource);
+  bio::Sequence S("s", "kitten"), T("t", "sitting");
+  gpu::Device Dev;
+  DiagnosticEngine Diags;
+  exec::RunOptions Options;
+  Options.Trace = true;
+  auto Result = Fn.runGpu(editDistanceArgs(S, T), Dev, Diags, Options);
+  ASSERT_TRUE(Result.has_value()) << Diags.str();
+  ASSERT_NE(Result->Timeline, nullptr);
+  ASSERT_FALSE(Result->Timeline->empty());
+
+  uint64_t Cycles = 0, Cells = 0, ThreadCycles = 0;
+  for (const gpu::PartitionSample &Sample : *Result->Timeline) {
+    // The lockstep model: each partition contributes its slowest
+    // thread plus the closing barrier.
+    Cycles += Sample.MaxThreadCycles + Sample.BarrierCycles;
+    Cells += Sample.Cells;
+    ThreadCycles += Sample.SumThreadCycles;
+    EXPECT_LE(Sample.SumThreadCycles,
+              uint64_t(Sample.Threads) * Sample.MaxThreadCycles);
+    double Occupancy = Sample.occupancy();
+    EXPECT_GE(Occupancy, 0.0);
+    EXPECT_LE(Occupancy, 1.0);
+  }
+  EXPECT_EQ(Cycles, Result->Metrics.Cycles);
+  EXPECT_EQ(Cells, Result->Cells);
+  EXPECT_EQ(ThreadCycles, Result->Metrics.ThreadCycles);
+  EXPECT_GT(Result->Metrics.occupancy(), 0.0);
+  EXPECT_LE(Result->Metrics.occupancy(), 1.0);
+}
+
+TEST(ProfilingTest, TracingDoesNotChangeResults) {
+  TracerSandbox Sandbox;
+  CompiledRecurrence Fn = compileOrDie(EditDistanceSource);
+  bio::Sequence S("s", "kitten"), T("t", "sitting");
+  gpu::Device Dev;
+  DiagnosticEngine Diags;
+
+  exec::RunOptions Plain;
+  auto Baseline = Fn.runGpu(editDistanceArgs(S, T), Dev, Diags, Plain);
+  ASSERT_TRUE(Baseline.has_value()) << Diags.str();
+  EXPECT_EQ(Baseline->Timeline, nullptr);
+
+  Tracer::instance().enable();
+  auto Traced = Fn.runGpu(editDistanceArgs(S, T), Dev, Diags, Plain);
+  Tracer::instance().disable();
+  ASSERT_TRUE(Traced.has_value()) << Diags.str();
+
+  EXPECT_EQ(Baseline->RootValue, Traced->RootValue);
+  EXPECT_EQ(Baseline->Cells, Traced->Cells);
+  EXPECT_EQ(Baseline->Metrics.Cycles, Traced->Metrics.Cycles);
+  EXPECT_EQ(Baseline->Metrics.SharedAccesses,
+            Traced->Metrics.SharedAccesses);
+  EXPECT_EQ(Baseline->Metrics.GlobalAccesses,
+            Traced->Metrics.GlobalAccesses);
+
+  // The traced run collected both host spans and device slices, and the
+  // whole trace exports as valid JSON.
+  EXPECT_FALSE(Tracer::instance().hostEvents().empty());
+  EXPECT_FALSE(Tracer::instance().deviceSlices().empty());
+  std::string Json = Tracer::instance().chromeTraceJson();
+  EXPECT_TRUE(JsonValidator(Json).valid());
+  EXPECT_NE(Json.find("\"exec.scan\""), std::string::npos);
+}
