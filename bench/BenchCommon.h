@@ -26,6 +26,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -107,18 +108,33 @@ private:
       Data;
 };
 
+/// Scan-worker count the bench run helpers pass to every batch
+/// (RunOptions::ScanWorkers): 0 shares the host budget with the batch
+/// stripe, 1 forces serial scans. Set by benchMain from --scan-workers=.
+inline unsigned &benchScanWorkers() {
+  static unsigned Workers = 0;
+  return Workers;
+}
+
 /// Runs registered benchmarks, then prints the figure tables. Every bench
 /// binary uses this main. `--metrics-out=<file>` (stripped before
 /// google-benchmark sees the arguments) dumps the parrec metrics
-/// registry as JSON after the run.
+/// registry as JSON after the run; `--scan-workers=<n>` (also stripped)
+/// sets the wavefront scan-worker count used by the run helpers.
 inline int benchMain(int Argc, char **Argv) {
   std::string MetricsOut;
   {
     int Out = 1;
     for (int In = 1; In < Argc; ++In) {
-      constexpr const char *Flag = "--metrics-out=";
-      if (std::strncmp(Argv[In], Flag, std::strlen(Flag)) == 0)
-        MetricsOut = Argv[In] + std::strlen(Flag);
+      constexpr const char *MetricsFlag = "--metrics-out=";
+      constexpr const char *ScanFlag = "--scan-workers=";
+      if (std::strncmp(Argv[In], MetricsFlag, std::strlen(MetricsFlag)) ==
+          0)
+        MetricsOut = Argv[In] + std::strlen(MetricsFlag);
+      else if (std::strncmp(Argv[In], ScanFlag, std::strlen(ScanFlag)) ==
+               0)
+        benchScanWorkers() = static_cast<unsigned>(
+            std::atoi(Argv[In] + std::strlen(ScanFlag)));
       else
         Argv[Out++] = Argv[In];
     }
@@ -227,7 +243,9 @@ inline double parrecSwSearch(const parrec::bio::Sequence &Query,
                         parrec::codegen::ArgValue::ofSeq(&Subject),
                         parrec::codegen::ArgValue()});
   parrec::DiagnosticEngine Diags;
-  auto Batch = Fn.runGpuBatch(Problems, Device, Diags);
+  parrec::runtime::RunOptions Options;
+  Options.ScanWorkers = benchScanWorkers();
+  auto Batch = Fn.runGpuBatch(Problems, Device, Diags, Options);
   if (!Batch) {
     std::fprintf(stderr, "bench run failure:\n%s", Diags.str().c_str());
     std::abort();
@@ -256,7 +274,9 @@ parrecForwardSearch(const parrec::bio::Hmm &Model,
                         parrec::codegen::ArgValue::ofSeq(&Seq),
                         parrec::codegen::ArgValue()});
   parrec::DiagnosticEngine Diags;
-  auto Batch = Fn.runGpuBatch(Problems, Device, Diags);
+  parrec::runtime::RunOptions Options;
+  Options.ScanWorkers = benchScanWorkers();
+  auto Batch = Fn.runGpuBatch(Problems, Device, Diags, Options);
   if (!Batch) {
     std::fprintf(stderr, "bench run failure:\n%s", Diags.str().c_str());
     std::abort();

@@ -52,6 +52,9 @@ void runBatch(benchmark::State &State, unsigned Workers) {
   gpu::Device Device;
   runtime::RunOptions Options;
   Options.BatchWorkers = Workers;
+  // Keep each per-problem scan serial so the measurement isolates the
+  // batch axis from the wavefront scan-worker axis (A5).
+  Options.ScanWorkers = 1;
 
   DiagnosticEngine Diags;
   double BestWallSeconds = 0.0;

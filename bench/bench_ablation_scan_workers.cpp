@@ -1,0 +1,249 @@
+//===- bench_ablation_scan_workers.cpp - Wavefront host parallelism ----------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation A5: the wavefront-parallel host scan. One simulated block's
+/// threads run on real worker threads (RunOptions::ScanWorkers), with
+/// results, cost counters and modelled cycles bit-identical to serial by
+/// construction. What changes — and what this bench measures — is *host*
+/// wall-clock for a single large Smith-Waterman problem at 1, 2, 4 and 8
+/// scan workers.
+///
+/// Usage: bench_ablation_scan_workers [--smoke] [--out=PATH]
+///                                    [--metrics-out=PATH]
+///   --smoke            small problem + fewer repetitions (CI gate)
+///   --out=PATH         JSON output path (default BENCH_scan_workers.json)
+///   --metrics-out=PATH dump the metrics registry as JSON after the run
+///
+/// Always exits non-zero if any parallel run diverges from the serial
+/// one in any observable. In full mode, additionally fails if the
+/// 4-worker speedup is below 2x — but only when the host actually has
+/// at least 4 hardware threads; the recorded "hardware_concurrency"
+/// field says which regime produced the file.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bio/Fasta.h"
+#include "obs/Metrics.h"
+#include "runtime/CompiledRecurrence.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace parrec;
+using runtime::CompiledRecurrence;
+using runtime::RunOptions;
+using runtime::RunResult;
+using codegen::ArgValue;
+
+namespace {
+
+const char *SmithWatermanSource =
+    "int sw(matrix[protein] m, seq[protein] a, index[a] i,\n"
+    "       seq[protein] b, index[b] j) =\n"
+    "  if i == 0 then 0\n"
+    "  else if j == 0 then 0\n"
+    "  else 0 max (sw(i-1, j-1) + m[a[i-1], b[j-1]])\n"
+    "       max (sw(i-1, j) - 4) max (sw(i, j-1) - 4)\n";
+
+struct WorkerResult {
+  unsigned Workers = 0;
+  double Seconds = 0.0;
+  double CellsPerSec = 0.0;
+  double Speedup = 0.0;
+  bool ResultsMatch = false;
+};
+
+CompiledRecurrence compileOrDie(const char *Source) {
+  DiagnosticEngine Diags;
+  auto Compiled = CompiledRecurrence::compile(Source, Diags);
+  if (!Compiled) {
+    std::fprintf(stderr, "bench compile failure:\n%s", Diags.str().c_str());
+    std::exit(2);
+  }
+  return std::move(*Compiled);
+}
+
+/// Best-of-N wall clock for one worker count; Out receives the last run.
+double timeScan(const CompiledRecurrence &Fn,
+                const std::vector<ArgValue> &Args, unsigned Workers,
+                unsigned Reps, RunResult &Out) {
+  gpu::Device Dev;
+  DiagnosticEngine Diags;
+  RunOptions Options;
+  Options.ScanWorkers = Workers;
+  double Best = 1e300;
+  for (unsigned I = 0; I != Reps; ++I) {
+    auto T0 = std::chrono::steady_clock::now();
+    std::optional<RunResult> R = Fn.runGpu(Args, Dev, Diags, Options);
+    auto T1 = std::chrono::steady_clock::now();
+    if (!R) {
+      std::fprintf(stderr, "bench run failure:\n%s", Diags.str().c_str());
+      std::exit(2);
+    }
+    Out = *R;
+    double S = std::chrono::duration<double>(T1 - T0).count();
+    if (S < Best)
+      Best = S;
+  }
+  return Best;
+}
+
+/// Every observable must match bit-for-bit; divergence is a correctness
+/// bug, never noise.
+bool identical(const RunResult &A, const RunResult &B) {
+  return A.RootValue == B.RootValue && A.TableMax == B.TableMax &&
+         A.Cells == B.Cells && A.Partitions == B.Partitions &&
+         A.Cost == B.Cost && A.Cycles == B.Cycles && A.Metrics == B.Metrics;
+}
+
+void writeJson(const std::string &Path, bool Smoke, unsigned HostThreads,
+               int64_t Length, uint64_t Cells,
+               const std::vector<WorkerResult> &Results) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(F, "{\n  \"benchmark\": \"scan_workers_ablation\",\n");
+  std::fprintf(F, "  \"mode\": \"%s\",\n", Smoke ? "smoke" : "full");
+  std::fprintf(F, "  \"hardware_concurrency\": %u,\n", HostThreads);
+  std::fprintf(F, "  \"sequence_length\": %lld,\n",
+               static_cast<long long>(Length));
+  std::fprintf(F, "  \"cells\": %llu,\n",
+               static_cast<unsigned long long>(Cells));
+  std::fprintf(F, "  \"workers\": [\n");
+  for (size_t I = 0; I != Results.size(); ++I) {
+    const WorkerResult &R = Results[I];
+    std::fprintf(F,
+                 "    {\"workers\": %u, \"seconds\": %.9f, "
+                 "\"cells_per_sec\": %.1f, \"speedup\": %.3f, "
+                 "\"results_match\": %s}%s\n",
+                 R.Workers, R.Seconds, R.CellsPerSec, R.Speedup,
+                 R.ResultsMatch ? "true" : "false",
+                 I + 1 == Results.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Smoke = false;
+  std::string OutPath = "BENCH_scan_workers.json";
+  std::string MetricsOut;
+  for (int I = 1; I != Argc; ++I) {
+    if (std::strcmp(Argv[I], "--smoke") == 0)
+      Smoke = true;
+    else if (std::strncmp(Argv[I], "--out=", 6) == 0)
+      OutPath = Argv[I] + 6;
+    else if (std::strncmp(Argv[I], "--metrics-out=", 14) == 0)
+      MetricsOut = Argv[I] + 14;
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--out=PATH] [--metrics-out=PATH]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+
+  const unsigned Reps = Smoke ? 3 : 5;
+  const int64_t Length = Smoke ? 200 : 1500;
+  const unsigned HostThreads = std::thread::hardware_concurrency();
+
+  CompiledRecurrence Fn = compileOrDie(SmithWatermanSource);
+  const bio::SubstitutionMatrix &M = bio::SubstitutionMatrix::blosum62();
+  bio::Sequence A =
+      bio::randomSequence(bio::Alphabet::protein(), Length, 0xA5, "a");
+  bio::Sequence B =
+      bio::randomSequence(bio::Alphabet::protein(), Length, 0xB5, "b");
+  std::vector<ArgValue> Args = {ArgValue::ofMatrix(&M), ArgValue::ofSeq(&A),
+                                ArgValue(), ArgValue::ofSeq(&B),
+                                ArgValue()};
+
+  // Warm the plan cache so no configuration pays schedule synthesis.
+  {
+    gpu::Device Dev;
+    DiagnosticEngine Diags;
+    RunOptions Warm;
+    (void)Fn.runGpu(Args, Dev, Diags, Warm);
+  }
+
+  RunResult Serial;
+  double SerialSeconds = timeScan(Fn, Args, 1, Reps, Serial);
+
+  std::vector<WorkerResult> Results;
+  {
+    WorkerResult R;
+    R.Workers = 1;
+    R.Seconds = SerialSeconds;
+    R.CellsPerSec = SerialSeconds > 0.0
+                        ? static_cast<double>(Serial.Cells) / SerialSeconds
+                        : 0.0;
+    R.Speedup = 1.0;
+    R.ResultsMatch = true;
+    Results.push_back(R);
+  }
+
+  bool Diverged = false;
+  for (unsigned Workers : {2u, 4u, 8u}) {
+    RunResult Out;
+    WorkerResult R;
+    R.Workers = Workers;
+    R.Seconds = timeScan(Fn, Args, Workers, Reps, Out);
+    R.CellsPerSec =
+        R.Seconds > 0.0 ? static_cast<double>(Out.Cells) / R.Seconds : 0.0;
+    R.Speedup = R.Seconds > 0.0 ? SerialSeconds / R.Seconds : 0.0;
+    R.ResultsMatch = identical(Serial, Out);
+    Diverged |= !R.ResultsMatch;
+    Results.push_back(R);
+  }
+
+  writeJson(OutPath, Smoke, HostThreads, Length, Serial.Cells, Results);
+  if (!MetricsOut.empty()) {
+    std::ofstream Out(MetricsOut, std::ios::binary | std::ios::trunc);
+    Out << obs::MetricsRegistry::global().snapshot().json() << '\n';
+    if (!Out) {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   MetricsOut.c_str());
+      return 2;
+    }
+  }
+
+  for (const WorkerResult &R : Results)
+    std::printf("scan_workers=%u  %.6fs  %.0f cells/s  speedup %.2fx  %s\n",
+                R.Workers, R.Seconds, R.CellsPerSec, R.Speedup,
+                R.ResultsMatch ? "identical" : "DIVERGED");
+
+  if (Diverged) {
+    std::fprintf(stderr,
+                 "FAIL: parallel scan diverged from the serial result\n");
+    return 1;
+  }
+  // The speedup gate only binds where the hardware can express it: a
+  // 1-core container runs everything serially interleaved.
+  if (!Smoke && HostThreads >= 4) {
+    double FourWorker = 0.0;
+    for (const WorkerResult &R : Results)
+      if (R.Workers == 4)
+        FourWorker = R.Speedup;
+    if (FourWorker < 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: 4-worker speedup %.2fx below the 2x gate "
+                   "(%u hardware threads)\n",
+                   FourWorker, HostThreads);
+      return 1;
+    }
+  }
+  return 0;
+}

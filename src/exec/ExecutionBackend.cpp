@@ -4,16 +4,31 @@
 // from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Besides the serial reference scan this file hosts the wavefront-
+/// parallel scan: the affine schedule already proves every cell of a
+/// partition independent (Sections 4.2–4.3), so contiguous ranges of
+/// simulated-thread IDs are farmed out to real host workers and merged
+/// back in fixed simulated-thread order after each partition. The merge
+/// order plus the disjointness of table writes within a partition make
+/// every observable — results, cost counters, modelled cycles, metrics,
+/// timelines — bit-identical to the serial run for any worker count.
+///
+//===----------------------------------------------------------------------===//
 
 #include "exec/ExecutionBackend.h"
 
 #include "codegen/BytecodeVM.h"
+#include "exec/ParallelFor.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <mutex>
 
 using namespace parrec;
 using namespace parrec::exec;
@@ -28,52 +43,283 @@ bool envForcesAstEvaluator() {
   return Forced;
 }
 
-/// The partition-by-partition scan core (Figure 8's template),
+/// How one scan was fanned out, for the run span and the registry.
+struct ScanStats {
+  unsigned Workers = 1;
+  /// Partitions scanned by the full worker set (one fork/join each).
+  uint64_t ForkJoins = 0;
+  /// Partitions that fell back to worker 0 (below the grain threshold).
+  uint64_t SerialPartitions = 0;
+};
+
+/// Accumulation state owned by one host worker. Everything the serial
+/// scan accumulated per cell lands here first and is merged in worker
+/// order (= simulated-thread order) after each partition. Cache-line
+/// aligned so neighbouring workers never share a line.
+struct alignas(64) WorkerSlot {
+  gpu::CostCounter Cost;
+  uint64_t Cells = 0;
+  double TableMax = -std::numeric_limits<double>::infinity();
+  double RootValue = 0.0;
+  bool HasRoot = false;
+
+  void reset() {
+    Cost.reset();
+    Cells = 0;
+    TableMax = -std::numeric_limits<double>::infinity();
+    HasRoot = false;
+  }
+};
+
+/// Per-worker cell evaluator over the bytecode VM. The VM has mutable
+/// registers, so each worker owns one instance; all instances bind to
+/// the same Evaluator (a read-only operation) and therefore share its
+/// log-space caches bit-for-bit.
+struct VmEval {
+  codegen::BytecodeVM Vm;
+
+  template <typename TableT>
+  double operator()(const int64_t *Point, const TableT &Table,
+                    gpu::CostCounter &Delta) {
+    return Vm.evalCell(Point, Table, Delta);
+  }
+};
+
+/// Cell evaluator over the AST tree-walker. A bound Evaluator is
+/// read-only during evalCell, so one instance serves every worker.
+struct AstEval {
+  const codegen::Evaluator *Eval;
+
+  template <typename TableT>
+  double operator()(const int64_t *Point, const TableT &Table,
+                    gpu::CostCounter &Delta) {
+    return Eval->evalCell(Point, Table, Delta);
+  }
+};
+
+/// Scans the cells of partition \p P owned by simulated threads
+/// [ThreadBegin, ThreadEnd), accumulating results into \p Slot and
+/// per-thread cycles into \p Timer.
+///
+/// Thread safety when called from concurrent host workers: each
+/// simulated thread T belongs to exactly one worker, so the
+/// Timer.addThreadCycles(T, ...) targets are disjoint; and the affine
+/// schedule guarantees no cell of partition P depends on another cell of
+/// P, so Table.set targets are disjoint from every other worker's reads
+/// and writes (see the DpTable invariant notes in Table.h).
+template <bool CheckRoot, typename TableT, typename EvalT>
+void scanThreadRange(const ExecutablePlan &Plan, poly::ScanContext &Ctx,
+                     TableT &Table, const gpu::CostModel &Model,
+                     bool IsGpu, bool TableInShared, unsigned Threads,
+                     unsigned ThreadBegin, unsigned ThreadEnd, int64_t P,
+                     gpu::BlockTimer &Timer, WorkerSlot &Slot,
+                     EvalT &Eval) {
+  unsigned N = Plan.Box.numDims();
+  const int64_t *Root = Plan.Box.Upper.data();
+  gpu::CostCounter Delta;
+  for (unsigned T = ThreadBegin; T != ThreadEnd; ++T) {
+    uint64_t ThreadCycles = 0;
+    Plan.Nest.forEachPointForThread(
+        Ctx, P, T, Threads, [&](const int64_t *Point) {
+          Delta.reset();
+          double Value = Eval(Point, Table, Delta);
+          Table.set(Point, Value);
+          Slot.Cost += Delta;
+          ThreadCycles += IsGpu
+                              ? Model.gpuCellCycles(Delta, TableInShared)
+                              : Model.cpuCycles(Delta);
+          ++Slot.Cells;
+          if (Value > Slot.TableMax)
+            Slot.TableMax = Value;
+          if (CheckRoot && std::memcmp(Point, Root,
+                                       N * sizeof(int64_t)) == 0) {
+            Slot.RootValue = Value;
+            Slot.HasRoot = true;
+          }
+        });
+    if (ThreadCycles)
+      Timer.addThreadCycles(T, ThreadCycles);
+  }
+}
+
+/// Merges one worker's partition results into the run totals. Callers
+/// iterate slots in worker order, which equals simulated-thread order
+/// (workers own contiguous thread ranges), which equals the serial
+/// encounter order — so the first-among-equals semantics of the `>` max
+/// matches the serial scan exactly.
+void mergeSlot(const WorkerSlot &Slot, RunResult &Result,
+               double &TableMax, uint64_t &PartitionCells) {
+  Result.Cost += Slot.Cost;
+  PartitionCells += Slot.Cells;
+  if (Slot.TableMax > TableMax)
+    TableMax = Slot.TableMax;
+  if (Slot.HasRoot)
+    Result.RootValue = Slot.RootValue;
+}
+
+/// The serial partition-by-partition scan core (Figure 8's template),
 /// monomorphised over the concrete table class and the cell evaluator so
 /// the per-cell path has no virtual calls and no type-erased callback.
-/// \p EvalCell is invoked as (Point, Table, Delta) with \p Delta already
-/// reset and must return the value to store.
-template <typename TableT, typename EvalCellT>
-void scanLoop(const ExecutablePlan &Plan, TableT &Table,
-              const gpu::CostModel &Model, bool IsGpu, bool TableInShared,
-              unsigned Threads, gpu::BlockTimer &Timer, RunResult &Result,
-              const EvalCellT &EvalCell) {
-  unsigned N = Plan.Box.numDims();
-  const std::vector<int64_t> &Root = Plan.Box.Upper;
-
-  gpu::CostCounter Delta;
+template <typename TableT, typename EvalT>
+void scanSerial(const ExecutablePlan &Plan, TableT &Table,
+                const gpu::CostModel &Model, bool IsGpu,
+                bool TableInShared, unsigned Threads,
+                gpu::BlockTimer &Timer, RunResult &Result, EvalT &Eval) {
+  poly::ScanContext Ctx = Plan.Nest.makeScanContext({});
+  WorkerSlot Slot;
+  double TableMax = -std::numeric_limits<double>::infinity();
   for (int64_t P = Plan.FirstPartition; P <= Plan.LastPartition; ++P) {
     // A sliding window eventually overwrites the root cell's plane, so
     // capture it in flight — but only within its own partition. With a
     // full table the root survives and is read once after the scan.
-    bool CheckRoot = Plan.UseWindow && P == Plan.RootPartition;
-    uint64_t CellsBefore = Result.Cells;
-    for (unsigned T = 0; T != Threads; ++T) {
-      Plan.Nest.forEachPointForThread(
-          {}, P, T, Threads, [&](const int64_t *Point) {
-            Delta.reset();
-            double Value = EvalCell(Point, Table, Delta);
-            Table.set(Point, Value);
-            Result.Cost += Delta;
-            Timer.addThreadCycles(
-                T, IsGpu ? Model.gpuCellCycles(Delta, TableInShared)
-                         : Model.cpuCycles(Delta));
-            ++Result.Cells;
-            if (Value > Result.TableMax)
-              Result.TableMax = Value;
-            if (CheckRoot && std::memcmp(Point, Root.data(),
-                                         N * sizeof(int64_t)) == 0)
-              Result.RootValue = Value;
-          });
-    }
+    uint64_t PartitionCells = 0;
+    Slot.reset();
+    if (Plan.UseWindow && P == Plan.RootPartition)
+      scanThreadRange<true>(Plan, Ctx, Table, Model, IsGpu,
+                            TableInShared, Threads, 0, Threads, P, Timer,
+                            Slot, Eval);
+    else
+      scanThreadRange<false>(Plan, Ctx, Table, Model, IsGpu,
+                             TableInShared, Threads, 0, Threads, P,
+                             Timer, Slot, Eval);
+    mergeSlot(Slot, Result, TableMax, PartitionCells);
+    Result.Cells += PartitionCells;
     Timer.closePartition(IsGpu ? Model.SyncCycles : 0, P,
-                         Result.Cells - CellsBefore);
+                         PartitionCells);
   }
+  Result.TableMax = TableMax;
+}
+
+/// The wavefront-parallel scan: the pool forks once for the whole run,
+/// then every partition runs two barrier phases — scan (workers cover
+/// contiguous simulated-thread ranges) and merge (worker 0 folds the
+/// slots in worker order, closes the partition's lockstep timing, and
+/// decides whether the next partition is worth fanning out). Short
+/// partitions run entirely on worker 0 between the same barriers.
+///
+/// \p MakeEval constructs one cell evaluator per worker, on that
+/// worker's thread.
+template <typename TableT, typename MakeEvalT>
+void scanParallel(const ExecutablePlan &Plan, TableT &Table,
+                  const gpu::CostModel &Model, bool IsGpu,
+                  bool TableInShared, unsigned Threads, unsigned Workers,
+                  uint64_t GrainCells, gpu::BlockTimer &Timer,
+                  RunResult &Result, ScanStats &Stats,
+                  const MakeEvalT &MakeEval) {
+  std::vector<WorkerSlot> Slots(Workers);
+  SpinBarrier Barrier(Workers);
+
+  // Scan-wide state. Only worker 0 writes, and only between the two
+  // barriers of a partition; everyone else reads after the second
+  // barrier, so no field needs to be atomic.
+  struct {
+    bool FanOut = false; // First partition seeds the estimate serially.
+    double TableMax = -std::numeric_limits<double>::infinity();
+    uint64_t ForkJoins = 0;
+    uint64_t SerialPartitions = 0;
+  } Shared;
+
+  // A cell evaluation must not fail (every failure mode is caught at
+  // planning time), but if one ever throws, the worker records the
+  // error and keeps arriving at the barriers so nobody deadlocks; the
+  // error is rethrown after the join.
+  std::mutex ErrorMutex;
+  std::exception_ptr FirstError;
+
+  WorkerPool Pool(Workers);
+  Pool.run([&](unsigned W) {
+    WorkerSlot &Slot = Slots[W];
+    auto Eval = MakeEval();
+    poly::ScanContext Ctx = Plan.Nest.makeScanContext({});
+    for (int64_t P = Plan.FirstPartition; P <= Plan.LastPartition; ++P) {
+      bool FanOut = Shared.FanOut;
+      // Contiguous simulated-thread ranges keep the merge order equal
+      // to the serial encounter order and give each worker whole cache
+      // lines of BlockTimer's per-thread accumulators.
+      unsigned Begin = 0, End = 0;
+      if (FanOut) {
+        Begin = static_cast<unsigned>(
+            static_cast<uint64_t>(W) * Threads / Workers);
+        End = static_cast<unsigned>(
+            static_cast<uint64_t>(W + 1) * Threads / Workers);
+      } else if (W == 0) {
+        End = Threads;
+      }
+      Slot.reset();
+      if (Begin != End) {
+        try {
+          if (Plan.UseWindow && P == Plan.RootPartition)
+            scanThreadRange<true>(Plan, Ctx, Table, Model, IsGpu,
+                                  TableInShared, Threads, Begin, End, P,
+                                  Timer, Slot, Eval);
+          else
+            scanThreadRange<false>(Plan, Ctx, Table, Model, IsGpu,
+                                   TableInShared, Threads, Begin, End, P,
+                                   Timer, Slot, Eval);
+        } catch (...) {
+          std::lock_guard<std::mutex> Lock(ErrorMutex);
+          if (!FirstError)
+            FirstError = std::current_exception();
+        }
+      }
+      // Phase 1: every cell of partition P is written.
+      Barrier.arriveAndWait();
+      if (W == 0) {
+        uint64_t PartitionCells = 0;
+        for (const WorkerSlot &S : Slots)
+          mergeSlot(S, Result, Shared.TableMax, PartitionCells);
+        Result.Cells += PartitionCells;
+        // closePartition reads and resets every thread's cycle
+        // accumulator, hence the second barrier below before any worker
+        // may charge cycles to the next partition.
+        Timer.closePartition(IsGpu ? Model.SyncCycles : 0, P,
+                             PartitionCells);
+        ++(FanOut ? Shared.ForkJoins : Shared.SerialPartitions);
+        // The previous partition's size is a cheap, deterministic
+        // estimate of the next one's (diagonal lengths change by at
+        // most a step): fan out only when the fork/join overhead is
+        // worth paying.
+        Shared.FanOut = PartitionCells >= GrainCells;
+      }
+      // Phase 2: the merge and timer reset are visible to everyone.
+      Barrier.arriveAndWait();
+    }
+  });
+
+  Result.TableMax = Shared.TableMax;
+  Stats.ForkJoins = Shared.ForkJoins;
+  Stats.SerialPartitions = Shared.SerialPartitions;
+  if (FirstError)
+    std::rethrow_exception(FirstError);
+}
+
+/// Resolves how many host workers this scan should use. 0 means the
+/// whole host budget (pre-divided by runGpuBatch when nested under a
+/// batch). A worker must own at least one simulated thread, and domains
+/// too small to amortise thread start-up stay serial.
+unsigned resolveScanWorkers(const ExecutablePlan &Plan,
+                            const RunOptions &Options, unsigned Threads) {
+  unsigned Workers =
+      Options.ScanWorkers ? Options.ScanWorkers : hostWorkerBudget();
+  Workers = std::min(Workers, Threads);
+  if (Workers <= 1)
+    return 1;
+  uint64_t Volume = 1;
+  for (unsigned D = 0; D != Plan.Box.numDims(); ++D) {
+    uint64_t Extent = static_cast<uint64_t>(Plan.Box.extent(D));
+    if (Extent && Volume > std::numeric_limits<uint64_t>::max() / Extent)
+      return Workers; // Saturated: certainly large enough.
+    Volume *= Extent;
+  }
+  if (Volume < 4 * std::max<uint64_t>(Options.ScanGrainCells, 1))
+    return 1;
+  return Workers;
 }
 
 /// Dispatches the scan over {bytecode VM, AST walker} x {sliding window,
-/// full table} and fills in the result summary. The VM runs whenever the
-/// plan carries a compiled program and nothing opts out.
+/// full table} x {serial, wavefront-parallel} and fills in the result
+/// summary. The VM runs whenever the plan carries a compiled program and
+/// nothing opts out.
 RunResult scanPlan(const ExecutablePlan &Plan, codegen::Evaluator &Eval,
                    const gpu::CostModel &Model, bool IsGpu,
                    unsigned Threads, const RunOptions &Options) {
@@ -98,24 +344,42 @@ RunResult scanPlan(const ExecutablePlan &Plan, codegen::Evaluator &Eval,
 
   bool UseVm = Plan.Program != nullptr && !Options.UseAstEvaluator &&
                !envForcesAstEvaluator();
+  ScanStats Stats;
+  Stats.Workers = resolveScanWorkers(Plan, Options, Threads);
+  uint64_t Grain = std::max<uint64_t>(Options.ScanGrainCells, 1);
 
   auto RunOn = [&](auto &ConcreteTable) {
+    if (Stats.Workers <= 1) {
+      if (UseVm) {
+        VmEval E{codegen::BytecodeVM(Plan.Program)};
+        E.Vm.bind(Eval);
+        scanSerial(Plan, ConcreteTable, Model, IsGpu, TableInShared,
+                   Threads, Timer, Result, E);
+      } else {
+        AstEval E{&Eval};
+        scanSerial(Plan, ConcreteTable, Model, IsGpu, TableInShared,
+                   Threads, Timer, Result, E);
+      }
+      return;
+    }
+    obs::Span ForkSpan("exec.scan_fork", "exec");
     if (UseVm) {
-      codegen::BytecodeVM Vm(Plan.Program);
-      Vm.bind(Eval);
-      scanLoop(Plan, ConcreteTable, Model, IsGpu, TableInShared, Threads,
-               Timer, Result,
-               [&Vm](const int64_t *Point, auto &T,
-                     gpu::CostCounter &Delta) {
-                 return Vm.evalCell(Point, T, Delta);
-               });
+      scanParallel(Plan, ConcreteTable, Model, IsGpu, TableInShared,
+                   Threads, Stats.Workers, Grain, Timer, Result, Stats,
+                   [&] {
+                     VmEval E{codegen::BytecodeVM(Plan.Program)};
+                     E.Vm.bind(Eval);
+                     return E;
+                   });
     } else {
-      scanLoop(Plan, ConcreteTable, Model, IsGpu, TableInShared, Threads,
-               Timer, Result,
-               [&Eval](const int64_t *Point, auto &T,
-                       gpu::CostCounter &Delta) {
-                 return Eval.evalCell(Point, T, Delta);
-               });
+      scanParallel(Plan, ConcreteTable, Model, IsGpu, TableInShared,
+                   Threads, Stats.Workers, Grain, Timer, Result, Stats,
+                   [&] { return AstEval{&Eval}; });
+    }
+    if (ForkSpan.active()) {
+      ForkSpan.arg("workers", Stats.Workers);
+      ForkSpan.arg("fork_joins", Stats.ForkJoins);
+      ForkSpan.arg("serial_partitions", Stats.SerialPartitions);
     }
   };
   // Monomorphise on the concrete table class (both are final) so every
@@ -159,6 +423,7 @@ RunResult scanPlan(const ExecutablePlan &Plan, codegen::Evaluator &Eval,
     RunSpan.arg("partitions", static_cast<uint64_t>(Result.Partitions));
     RunSpan.arg("cycles", Result.Cycles);
     RunSpan.arg("threads", Threads);
+    RunSpan.arg("scan_workers", Stats.Workers);
     if (IsGpu)
       RunSpan.arg("occupancy", Result.Metrics.occupancy());
   }
@@ -169,6 +434,11 @@ RunResult scanPlan(const ExecutablePlan &Plan, codegen::Evaluator &Eval,
   M.add("exec.cells_computed", Result.Cells);
   M.add("exec.cycles", Result.Cycles);
   M.add("exec.partitions", static_cast<uint64_t>(Result.Partitions));
+  M.record("exec.scan_workers", Stats.Workers);
+  if (Stats.Workers > 1) {
+    M.add("exec.scan_fork_joins", Stats.ForkJoins);
+    M.add("exec.scan_serial_partitions", Stats.SerialPartitions);
+  }
   if (IsGpu) {
     M.add("exec.shared_accesses", Result.Metrics.SharedAccesses);
     M.add("exec.global_accesses", Result.Metrics.GlobalAccesses);
@@ -183,6 +453,8 @@ RunResult scanPlan(const ExecutablePlan &Plan, codegen::Evaluator &Eval,
 RunResult SerialCpuBackend::execute(const ExecutablePlan &Plan,
                                     codegen::Evaluator &Eval,
                                     const RunOptions &Options) const {
+  // Threads == 1 clamps the scan-worker resolution to 1: the CPU
+  // reference is serial by definition.
   return scanPlan(Plan, Eval, Model, /*IsGpu=*/false, /*Threads=*/1,
                   Options);
 }

@@ -41,6 +41,21 @@ struct RunOptions {
   /// regardless of the worker count — problems are independent by
   /// construction.
   unsigned BatchWorkers = 0;
+  /// Host worker threads for one problem's partition scan: contiguous
+  /// ranges of simulated-thread IDs run on real threads (the wavefront
+  /// is independent within a partition, Sections 4.2–4.3), with a
+  /// deterministic per-partition merge. 0 means "share the host worker
+  /// budget" (runGpuBatch divides it by the resolved batch worker count
+  /// so batch x scan nesting never oversubscribes); 1 is the serial
+  /// path. Results, modelled cycles, metrics, and timelines are
+  /// bit-identical for every worker count.
+  unsigned ScanWorkers = 0;
+  /// Minimum merged cell count of the previous partition for the next
+  /// one to be fanned out; smaller partitions (short diagonals) run on
+  /// worker 0 alone, skipping two barrier crossings. Runs whose whole
+  /// domain is below 4x this threshold stay entirely serial. Affects
+  /// scheduling only, never results.
+  uint64_t ScanGrainCells = 256;
   /// Override the automatically derived schedule (must be valid).
   std::optional<solver::Schedule> ForcedSchedule;
   /// Keep the full DP table alive in RunResult::Table so arbitrary

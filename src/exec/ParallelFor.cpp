@@ -7,23 +7,147 @@
 
 #include "exec/ParallelFor.h"
 
-#include <algorithm>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <cassert>
 
 using namespace parrec;
+using namespace parrec::exec;
+
+unsigned exec::hostWorkerBudget() {
+  unsigned Budget = std::thread::hardware_concurrency();
+  return Budget ? Budget : 1;
+}
 
 unsigned exec::resolveWorkerCount(unsigned Requested, size_t Jobs) {
-  unsigned Workers =
-      Requested ? Requested : std::thread::hardware_concurrency();
-  if (!Workers)
-    Workers = 1;
+  unsigned Workers = Requested ? Requested : hostWorkerBudget();
   if (Jobs < Workers)
     Workers = static_cast<unsigned>(Jobs ? Jobs : 1);
   return Workers;
 }
+
+//===----------------------------------------------------------------------===//
+// WorkerPool
+//===----------------------------------------------------------------------===//
+
+WorkerPool::WorkerPool(unsigned Workers)
+    : NumWorkers(Workers ? Workers : 1) {
+  Threads.reserve(NumWorkers - 1);
+  for (unsigned W = 1; W != NumWorkers; ++W)
+    Threads.emplace_back(&WorkerPool::workerMain, this, W);
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WakeCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void WorkerPool::workerMain(unsigned Worker) {
+  uint64_t SeenEpoch = 0;
+  for (;;) {
+    const std::function<void(unsigned)> *MyTask;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WakeCv.wait(Lock,
+                  [&] { return Stopping || Epoch != SeenEpoch; });
+      if (Stopping)
+        return;
+      SeenEpoch = Epoch;
+      MyTask = Task;
+    }
+    try {
+      (*MyTask)(Worker);
+    } catch (...) {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (!FirstError)
+        FirstError = std::current_exception();
+    }
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (--Unfinished == 0)
+      DoneCv.notify_one();
+  }
+}
+
+void WorkerPool::run(const std::function<void(unsigned)> &Task) {
+  if (NumWorkers == 1) {
+    Task(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    assert(Unfinished == 0 && "WorkerPool::run is not reentrant");
+    this->Task = &Task;
+    Unfinished = NumWorkers - 1;
+    ++Epoch;
+  }
+  WakeCv.notify_all();
+  try {
+    Task(0);
+  } catch (...) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (!FirstError)
+      FirstError = std::current_exception();
+  }
+  std::exception_ptr Error;
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    DoneCv.wait(Lock, [&] { return Unfinished == 0; });
+    this->Task = nullptr;
+    Error = FirstError;
+    FirstError = nullptr;
+  }
+  if (Error)
+    std::rethrow_exception(Error);
+}
+
+//===----------------------------------------------------------------------===//
+// SpinBarrier
+//===----------------------------------------------------------------------===//
+
+void SpinBarrier::arriveAndWait() {
+  uint64_t MyPhase = Phase.load(std::memory_order_acquire);
+  if (Arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == Count) {
+    // Last arrival: open the next phase. Publishing under the mutex
+    // serialises against waiters registering on the sleep path, so a
+    // waiter either sees the new phase before sleeping or is woken.
+    Arrived.store(0, std::memory_order_relaxed);
+    bool Notify;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Phase.store(MyPhase + 1, std::memory_order_release);
+      Notify = Sleepers != 0;
+    }
+    if (Notify)
+      SleepCv.notify_all();
+    return;
+  }
+  // Tight spin first: partitions are typically microseconds apart, so
+  // the release usually lands within a few hundred loads.
+  for (int I = 0; I != 1024; ++I)
+    if (Phase.load(std::memory_order_acquire) != MyPhase)
+      return;
+  // Yield next: on an oversubscribed host the releasing worker needs
+  // this core to make progress at all.
+  for (int I = 0; I != 64; ++I) {
+    std::this_thread::yield();
+    if (Phase.load(std::memory_order_acquire) != MyPhase)
+      return;
+  }
+  // Still waiting: sleep until the phase opens.
+  std::unique_lock<std::mutex> Lock(Mutex);
+  ++Sleepers;
+  SleepCv.wait(Lock, [&] {
+    return Phase.load(std::memory_order_acquire) != MyPhase;
+  });
+  --Sleepers;
+}
+
+//===----------------------------------------------------------------------===//
+// parallelFor
+//===----------------------------------------------------------------------===//
 
 void exec::parallelFor(unsigned Workers, size_t Jobs,
                        const std::function<void(size_t)> &Body) {
@@ -33,27 +157,9 @@ void exec::parallelFor(unsigned Workers, size_t Jobs,
       Body(I);
     return;
   }
-
-  std::mutex ErrorMutex;
-  std::exception_ptr FirstError;
-  auto Run = [&](unsigned Worker) {
-    try {
-      for (size_t I = Worker; I < Jobs; I += Workers)
-        Body(I);
-    } catch (...) {
-      std::lock_guard<std::mutex> Lock(ErrorMutex);
-      if (!FirstError)
-        FirstError = std::current_exception();
-    }
-  };
-
-  std::vector<std::thread> Pool;
-  Pool.reserve(Workers - 1);
-  for (unsigned W = 1; W != Workers; ++W)
-    Pool.emplace_back(Run, W);
-  Run(0);
-  for (std::thread &T : Pool)
-    T.join();
-  if (FirstError)
-    std::rethrow_exception(FirstError);
+  WorkerPool Pool(Workers);
+  Pool.run([&](unsigned Worker) {
+    for (size_t I = Worker; I < Jobs; I += Workers)
+      Body(I);
+  });
 }

@@ -6,26 +6,111 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A tiny std::thread fan-out for work that is independent by
-/// construction (one simulated multiprocessor per problem). Indices are
-/// striped statically across workers and each index writes its own
-/// output slot, so results are deterministic and identical for any
-/// worker count.
+/// Host-side threading primitives for work that is independent by
+/// construction: a persistent WorkerPool whose threads park between
+/// tasks, a SpinBarrier for the per-partition rendezvous of the
+/// wavefront scan, and the parallelFor fan-out used by batch execution.
+/// Indices are striped statically and each index writes its own output
+/// slot, so results are deterministic and identical for any worker
+/// count.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PARREC_EXEC_PARALLELFOR_H
 #define PARREC_EXEC_PARALLELFOR_H
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace parrec {
 namespace exec {
 
-/// Resolves a requested worker count: 0 means one per hardware thread,
+/// The host's total worker budget: one worker per hardware thread, at
+/// least 1. Both fan-out axes (problems in a batch, simulated threads in
+/// a scan) resolve their "auto" worker counts against this single number
+/// so their composition never oversubscribes the machine.
+unsigned hostWorkerBudget();
+
+/// Resolves a requested worker count: 0 means the host worker budget,
 /// and the result never exceeds \p Jobs (nor drops below 1).
 unsigned resolveWorkerCount(unsigned Requested, size_t Jobs);
+
+/// A persistent group of worker threads that run one task functor at a
+/// time. Construction parks Workers-1 threads on a condition variable;
+/// run() publishes the task, executes slice 0 on the calling thread, and
+/// returns once every worker has finished. A pool is reused across many
+/// run() calls (the scan loop forks once per execution, not once per
+/// partition), so thread creation is paid once.
+///
+/// Not reentrant: run() must not be called from inside a task, and only
+/// one thread may call run() at a time. Each nested fan-out level owns
+/// its own pool.
+class WorkerPool {
+public:
+  /// Spawns \p Workers - 1 parked threads (a 1-worker pool spawns none
+  /// and run() degenerates to a plain call).
+  explicit WorkerPool(unsigned Workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  unsigned workers() const { return NumWorkers; }
+
+  /// Invokes Task(W) for every worker index W in [0, workers()); W == 0
+  /// runs on the calling thread. Returns after all workers finish; the
+  /// first exception thrown by any task is rethrown here.
+  void run(const std::function<void(unsigned)> &Task);
+
+private:
+  void workerMain(unsigned Worker);
+
+  unsigned NumWorkers;
+  std::mutex Mutex;
+  std::condition_variable WakeCv; // Parked workers wait here.
+  std::condition_variable DoneCv; // run() waits here.
+  const std::function<void(unsigned)> *Task = nullptr;
+  uint64_t Epoch = 0;      // Bumped once per run() to publish a task.
+  unsigned Unfinished = 0; // Helper threads still inside the task.
+  bool Stopping = false;
+  std::exception_ptr FirstError;
+  std::vector<std::thread> Threads;
+};
+
+/// A reusable rendezvous for a fixed set of participants. arriveAndWait
+/// blocks until all \p Count participants arrive, then releases them and
+/// resets for the next phase. Late arrivals spin briefly (the scan's
+/// partitions are microseconds apart), then yield, then sleep on a
+/// condition variable — so an oversubscribed or single-core host
+/// degrades to scheduler-paced progress instead of burning cycles.
+///
+/// The barrier is a full memory fence between phases: every write made
+/// before an arriveAndWait is visible to every participant after the
+/// matching release.
+class SpinBarrier {
+public:
+  explicit SpinBarrier(unsigned Count) : Count(Count) {}
+
+  SpinBarrier(const SpinBarrier &) = delete;
+  SpinBarrier &operator=(const SpinBarrier &) = delete;
+
+  void arriveAndWait();
+
+private:
+  const unsigned Count;
+  std::atomic<unsigned> Arrived{0};
+  std::atomic<uint64_t> Phase{0};
+  std::mutex Mutex;             // Guards the sleep path only.
+  std::condition_variable SleepCv;
+  unsigned Sleepers = 0;        // Guarded by Mutex.
+};
 
 /// Invokes Body(I) for every I in [0, Jobs), striped across \p Workers
 /// host threads (worker W handles W, W + Workers, ...). Runs inline when

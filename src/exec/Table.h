@@ -28,6 +28,19 @@ namespace parrec {
 namespace exec {
 
 /// Writable extension of the evaluator's read view.
+///
+/// Disjoint-write invariant (what makes the wavefront-parallel scan
+/// lock-free): within one partition of an affine schedule, every cell is
+/// written exactly once and no cell of the partition is read — cells of
+/// one partition are independent by the schedule's legality (Sections
+/// 4.2–4.3). A full table maps distinct points to distinct slots
+/// trivially (and asserts each slot is written once). A sliding window
+/// reuses slots, but never *within* a partition: two points sharing a
+/// slot differ only in the dropped dimension, whose schedule coefficient
+/// is ±1, so their partitions differ — and cross-partition reuse is
+/// separated by the barrier that closes each partition. Concurrent
+/// workers scanning one partition therefore touch disjoint table
+/// addresses, and reads only ever target planes no writer touches.
 class DpTable : public codegen::TableView {
 public:
   virtual void set(const int64_t *Point, double Value) = 0;
@@ -54,7 +67,10 @@ public:
     return V;
   }
   void set(const int64_t *Point, double Value) override {
-    Data[flatten(Point)] = Value;
+    double &Slot = Data[flatten(Point)];
+    assert(std::isnan(Slot) && "cell written twice: the schedule placed "
+                               "two scan points on one table slot");
+    Slot = Value;
   }
   uint64_t bytes() const override { return Data.size() * sizeof(double); }
 

@@ -57,6 +57,9 @@ struct PartitionSample {
            (static_cast<double>(Threads) *
             static_cast<double>(MaxThreadCycles));
   }
+
+  friend bool operator==(const PartitionSample &,
+                         const PartitionSample &) = default;
 };
 
 /// Metrics of one simulated GPU execution.
@@ -92,6 +95,8 @@ struct GpuRunMetrics {
   }
 
   GpuRunMetrics &operator+=(const GpuRunMetrics &Other);
+  friend bool operator==(const GpuRunMetrics &,
+                         const GpuRunMetrics &) = default;
   std::string str(const CostModel &Model) const;
 };
 

@@ -41,6 +41,18 @@ LoopNest::timeRange(const std::vector<int64_t> &ParamValues) const {
   return std::make_pair(*Lo, *Hi);
 }
 
+ScanContext LoopNest::makeScanContext(
+    const std::vector<int64_t> &ParamValues) const {
+  assert(ParamValues.size() == NumParams && "wrong parameter count");
+  ScanContext Ctx;
+  Ctx.Env.assign(NestDimNames.size(), 0);
+  for (unsigned I = 0; I != NumParams; ++I)
+    Ctx.Env[I] = ParamValues[I];
+  Ctx.Range = timeRange(ParamValues);
+  Ctx.StripedLevel = threadedLevel();
+  return Ctx;
+}
+
 void LoopNest::forEachPoint(
     const std::vector<int64_t> &ParamValues, int64_t TimeStep,
     const std::function<void(const int64_t *)> &Body) const {

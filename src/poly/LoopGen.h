@@ -28,6 +28,19 @@
 namespace parrec {
 namespace poly {
 
+/// Precomputed per-scan state for LoopNest::forEachPointForThread: the
+/// reusable Env scratch vector plus the time range and striped level,
+/// which depend only on the nest and the parameter values — not on the
+/// partition or thread — and were historically re-derived (and the Env
+/// heap-allocated) for every (partition x thread) pair of a scan. Build
+/// one with LoopNest::makeScanContext and reuse it across the whole
+/// scan; each host worker of a parallel scan owns its own context.
+struct ScanContext {
+  std::vector<int64_t> Env;
+  std::optional<std::pair<int64_t, int64_t>> Range;
+  std::optional<unsigned> StripedLevel;
+};
+
 /// One affine bound "value (>=|<=) ceil|floor(Numerator / Divisor)" where
 /// Numerator only mentions parameters and outer loop variables.
 struct LoopBound {
@@ -80,39 +93,51 @@ public:
   void forEachPoint(const std::vector<int64_t> &ParamValues, int64_t TimeStep,
                     const std::function<void(const int64_t *)> &Body) const;
 
+  /// Builds the reusable scan state for \p ParamValues: sized Env
+  /// scratch, memoised time range and striped level. One context serves
+  /// any number of forEachPointForThread calls over the same parameters.
+  ScanContext makeScanContext(const std::vector<int64_t> &ParamValues) const;
+
   /// Like forEachPoint but enumerates only the slice assigned to
   /// \p ThreadId when the outermost space loop is striped across
   /// \p NumThreads threads (the conversion of Figure 10). When the nest
   /// has no space loop, thread 0 receives every point.
   ///
-  /// The template is the real implementation: hot paths pass a concrete
-  /// callable and pay no type-erased call per point. The std::function
-  /// overload below (preferred by overload resolution for std::function
-  /// lvalues) delegates to it.
+  /// The ScanContext template is the real implementation: hot paths
+  /// reuse a precomputed context and a concrete callable, paying neither
+  /// a heap allocation nor a bounds re-derivation nor a type-erased call
+  /// per (partition x thread). \p Ctx must come from makeScanContext on
+  /// this nest; its Env is scratch, mutated during the walk.
+  template <typename BodyT>
+  void forEachPointForThread(ScanContext &Ctx, int64_t TimeStep,
+                             unsigned ThreadId, unsigned NumThreads,
+                             const BodyT &Body) const {
+    assert(NumThreads > 0 && ThreadId < NumThreads && "bad thread mapping");
+    assert(Ctx.Env.size() == NestDimNames.size() && "foreign scan context");
+    // Confirm TimeStep lies within the partition range; Figure 8's
+    // template iterates the range, so out-of-range steps simply contain
+    // no work.
+    if (!Ctx.Range || TimeStep < Ctx.Range->first ||
+        TimeStep > Ctx.Range->second)
+      return;
+    Ctx.Env[NumParams] = TimeStep;
+
+    std::optional<unsigned> Striped;
+    if (NumThreads > 1) {
+      Striped = Ctx.StripedLevel;
+      if (!Striped && ThreadId != 0)
+        return; // No space loop: all the work belongs to thread 0.
+    }
+    walk(Ctx.Env, 1, Striped, ThreadId, NumThreads, Body);
+  }
+
+  /// Convenience overload building a throwaway context per call.
   template <typename BodyT>
   void forEachPointForThread(const std::vector<int64_t> &ParamValues,
                              int64_t TimeStep, unsigned ThreadId,
                              unsigned NumThreads, const BodyT &Body) const {
-    assert(NumThreads > 0 && ThreadId < NumThreads && "bad thread mapping");
-    std::vector<int64_t> Env(NestDimNames.size(), 0);
-    for (unsigned I = 0; I != NumParams; ++I)
-      Env[I] = ParamValues[I];
-
-    // Confirm TimeStep lies within the partition range; Figure 8's
-    // template iterates the range, so out-of-range steps simply contain
-    // no work.
-    auto Range = timeRange(ParamValues);
-    if (!Range || TimeStep < Range->first || TimeStep > Range->second)
-      return;
-    Env[NumParams] = TimeStep;
-
-    std::optional<unsigned> Striped;
-    if (NumThreads > 1)
-      Striped = threadedLevel();
-    if (NumThreads > 1 && !Striped && ThreadId != 0)
-      return; // No space loop: all the work belongs to thread 0.
-
-    walk(Env, 1, Striped, ThreadId, NumThreads, Body);
+    ScanContext Ctx = makeScanContext(ParamValues);
+    forEachPointForThread(Ctx, TimeStep, ThreadId, NumThreads, Body);
   }
 
   void forEachPointForThread(

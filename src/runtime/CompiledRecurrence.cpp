@@ -270,12 +270,21 @@ std::optional<BatchResult> CompiledRecurrence::runGpuBatch(
   BatchResult Batch;
   Batch.Problems.resize(Problems.size());
   exec::SimulatedGpuBackend Backend(Device.costModel());
+  unsigned BatchWorkers =
+      exec::resolveWorkerCount(Options.BatchWorkers, Problems.size());
+  // The two fan-out axes share one host budget: an auto (0) scan-worker
+  // request resolves to the budget left after the batch stripe, so
+  // batch x scan nesting never oversubscribes. An explicit request is
+  // obeyed verbatim — results are identical either way.
+  RunOptions PerProblem = Options;
+  if (!PerProblem.ScanWorkers)
+    PerProblem.ScanWorkers =
+        std::max(1u, exec::hostWorkerBudget() / BatchWorkers);
   exec::parallelFor(
-      exec::resolveWorkerCount(Options.BatchWorkers, Problems.size()),
-      Problems.size(), [&](size_t I) {
+      BatchWorkers, Problems.size(), [&](size_t I) {
         Evaluator Eval(*Decl, Info);
         Eval.bind(Problems[I]);
-        Batch.Problems[I] = Backend.execute(*Plans[I], Eval, Options);
+        Batch.Problems[I] = Backend.execute(*Plans[I], Eval, PerProblem);
         // One device lane per problem: each simulates its own block on
         // its own multiprocessor.
         if (obs::Tracer::enabled() && Batch.Problems[I].Timeline)

@@ -48,9 +48,12 @@ int usage() {
   std::fprintf(stderr,
                "usage: parrec <command> [options] <file> [extents...]\n"
                "commands:\n"
-               "  run [--cpu] [--trace-out=<f>] [--trace-tree]\n"
-               "      [--stats[=json]] [--stats-out=<f>] <script>\n"
-               "                         execute a script\n"
+               "  run [--cpu] [--scan-workers=<n>] [--trace-out=<f>]\n"
+               "      [--trace-tree] [--stats[=json]] [--stats-out=<f>]\n"
+               "      <script>           execute a script\n"
+               "                         (--scan-workers: host threads per\n"
+               "                         partition scan; 0 auto, 1 serial —\n"
+               "                         results are identical either way)\n"
                "  check <function>       analyse a single function\n"
                "  schedule <fn> <n...>   derive the minimal schedule\n"
                "  emit <fn>              print synthesized CUDA source\n"
@@ -138,6 +141,7 @@ const char *optionValue(const char *Arg, const char *Name) {
 int cmdRun(int Argc, char **Argv) {
   bool UseCpu = false;
   bool StatsHuman = false, StatsJson = false, TraceTree = false;
+  unsigned ScanWorkers = 0;
   std::string TraceOut, StatsOut;
   int FileIndex = 2;
   for (; FileIndex < Argc && Argv[FileIndex][0] == '-'; ++FileIndex) {
@@ -145,6 +149,8 @@ int cmdRun(int Argc, char **Argv) {
     const char *Value;
     if (std::strcmp(Arg, "--cpu") == 0)
       UseCpu = true;
+    else if ((Value = optionValue(Arg, "--scan-workers")))
+      ScanWorkers = static_cast<unsigned>(std::atoi(Value));
     else if ((Value = optionValue(Arg, "--trace-out")))
       TraceOut = Value;
     else if (std::strcmp(Arg, "--trace-tree") == 0)
@@ -180,6 +186,7 @@ int cmdRun(int Argc, char **Argv) {
   Opts.UseGpu = !UseCpu;
   Opts.BasePath = Dir;
   Opts.Run.Trace = obs::Tracer::enabled();
+  Opts.Run.ScanWorkers = ScanWorkers;
   runtime::Interpreter Interp(Diags, std::move(Opts));
   std::optional<std::string> Output = Interp.run(*Source);
   std::fputs(Diags.str().c_str(), stderr);

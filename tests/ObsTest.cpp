@@ -465,3 +465,56 @@ TEST(ProfilingTest, TracingDoesNotChangeResults) {
   EXPECT_TRUE(JsonValidator(Json).valid());
   EXPECT_NE(Json.find("\"exec.scan\""), std::string::npos);
 }
+
+TEST(MetricsTest, ParallelScanFeedsGlobalRegistry) {
+  TracerSandbox Sandbox;
+  CompiledRecurrence Fn = compileOrDie(EditDistanceSource);
+  bio::Sequence S("s", "observability"), T("t", "obstreperously");
+  gpu::Device Dev;
+  DiagnosticEngine Diags;
+
+  // A forked run: every worker count is recorded as a distribution
+  // sample, and the fork-join / serial-fallback counters advance (the
+  // first partition of a scan is always serial).
+  MetricsSnapshot Before = MetricsRegistry::global().snapshot();
+  exec::RunOptions Forked;
+  Forked.ScanWorkers = 3;
+  Forked.ScanGrainCells = 1;
+  auto Result = Fn.runGpu(editDistanceArgs(S, T), Dev, Diags, Forked);
+  ASSERT_TRUE(Result.has_value()) << Diags.str();
+  MetricsSnapshot After = MetricsRegistry::global().snapshot();
+
+  auto It = After.Distributions.find("exec.scan_workers");
+  ASSERT_NE(It, After.Distributions.end());
+  EXPECT_GE(It->second.Max, 3.0);
+  uint64_t SamplesBefore = 0;
+  if (auto B = Before.Distributions.find("exec.scan_workers");
+      B != Before.Distributions.end())
+    SamplesBefore = B->second.Count;
+  EXPECT_EQ(It->second.Count, SamplesBefore + 1);
+  EXPECT_GT(After.counter("exec.scan_fork_joins"),
+            Before.counter("exec.scan_fork_joins"));
+  EXPECT_GT(After.counter("exec.scan_serial_partitions"),
+            Before.counter("exec.scan_serial_partitions"));
+
+  // A serial run must leave the fork-join counter untouched.
+  MetricsSnapshot SerialBefore = MetricsRegistry::global().snapshot();
+  exec::RunOptions Serial;
+  Serial.ScanWorkers = 1;
+  ASSERT_TRUE(
+      Fn.runGpu(editDistanceArgs(S, T), Dev, Diags, Serial).has_value())
+      << Diags.str();
+  MetricsSnapshot SerialAfter = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(SerialAfter.counter("exec.scan_fork_joins"),
+            SerialBefore.counter("exec.scan_fork_joins"));
+
+  // The traced parallel run exported its fork span.
+  Tracer::instance().enable();
+  ASSERT_TRUE(
+      Fn.runGpu(editDistanceArgs(S, T), Dev, Diags, Forked).has_value())
+      << Diags.str();
+  Tracer::instance().disable();
+  std::string Json = Tracer::instance().chromeTraceJson();
+  EXPECT_TRUE(JsonValidator(Json).valid());
+  EXPECT_NE(Json.find("\"exec.scan_fork\""), std::string::npos);
+}
