@@ -25,6 +25,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -116,11 +117,31 @@ inline unsigned &benchScanWorkers() {
   return Workers;
 }
 
+/// Workload-seed override set by benchMain from --seed=. 0 (the default)
+/// keeps every builder's baked-in seed, so runs without the flag are
+/// bit-identical to historical ones.
+inline uint64_t &benchSeed() {
+  static uint64_t Seed = 0;
+  return Seed;
+}
+
+/// Mixes the --seed override into a builder's baked-in base seed.
+/// Identity when no override is set; otherwise a splitmix-style blend so
+/// distinct builders still draw decorrelated streams under one --seed.
+inline uint64_t benchMixSeed(uint64_t Base) {
+  uint64_t Override = benchSeed();
+  if (!Override)
+    return Base;
+  return Base ^ (Override * 0x9E3779B97F4A7C15ull);
+}
+
 /// Runs registered benchmarks, then prints the figure tables. Every bench
 /// binary uses this main. `--metrics-out=<file>` (stripped before
 /// google-benchmark sees the arguments) dumps the parrec metrics
 /// registry as JSON after the run; `--scan-workers=<n>` (also stripped)
-/// sets the wavefront scan-worker count used by the run helpers.
+/// sets the wavefront scan-worker count used by the run helpers;
+/// `--seed=<n>` (also stripped) re-seeds the synthetic workload builders
+/// so a figure can be replicated over independent draws.
 inline int benchMain(int Argc, char **Argv) {
   std::string MetricsOut;
   {
@@ -128,6 +149,7 @@ inline int benchMain(int Argc, char **Argv) {
     for (int In = 1; In < Argc; ++In) {
       constexpr const char *MetricsFlag = "--metrics-out=";
       constexpr const char *ScanFlag = "--scan-workers=";
+      constexpr const char *SeedFlag = "--seed=";
       if (std::strncmp(Argv[In], MetricsFlag, std::strlen(MetricsFlag)) ==
           0)
         MetricsOut = Argv[In] + std::strlen(MetricsFlag);
@@ -135,6 +157,10 @@ inline int benchMain(int Argc, char **Argv) {
                0)
         benchScanWorkers() = static_cast<unsigned>(
             std::atoi(Argv[In] + std::strlen(ScanFlag)));
+      else if (std::strncmp(Argv[In], SeedFlag, std::strlen(SeedFlag)) ==
+               0)
+        benchSeed() = std::strtoull(Argv[In] + std::strlen(SeedFlag),
+                                    nullptr, 10);
       else
         Argv[Out++] = Argv[In];
     }
@@ -171,7 +197,7 @@ proteinDatabase(unsigned Count, int64_t MinLength = 30,
                 int64_t MaxLength = 600) {
   return parrec::bio::randomDatabase(parrec::bio::Alphabet::protein(),
                                      Count, MinLength, MaxLength,
-                                     /*Seed=*/0xB105);
+                                     benchMixSeed(0xB105));
 }
 
 /// DNA sequences drawn from the gene-finder model itself (so likelihoods
@@ -181,7 +207,7 @@ geneDatabase(const parrec::bio::Hmm &Model, unsigned Count,
              int64_t Length) {
   parrec::bio::SequenceDatabase Db;
   Db.reserve(Count);
-  parrec::SplitMix64 Rng(0x6E43);
+  parrec::SplitMix64 Rng(benchMixSeed(0x6E43));
   for (unsigned I = 0; I != Count; ++I) {
     std::string S = Model.sample(Rng.next(),
                                  static_cast<size_t>(Length));
@@ -199,7 +225,7 @@ inline parrec::bio::SequenceDatabase proteinReads(unsigned Count,
                                                   int64_t Length) {
   return parrec::bio::randomDatabase(parrec::bio::Alphabet::protein(),
                                      Count, Length, Length,
-                                     /*Seed=*/0xF00D);
+                                     benchMixSeed(0xF00D));
 }
 
 //===----------------------------------------------------------------------===//

@@ -7,8 +7,10 @@
 
 #include "obs/Json.h"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 using namespace parrec;
 using namespace parrec::obs;
@@ -134,4 +136,331 @@ JsonWriter &JsonWriter::rawValue(std::string_view Json) {
   Out += Json;
   NeedComma = true;
   return *this;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+JsonValue JsonValue::makeBool(bool B) {
+  JsonValue V;
+  V.K = Kind::Bool;
+  V.Bool = B;
+  return V;
+}
+
+JsonValue JsonValue::makeNumber(double N) {
+  JsonValue V;
+  V.K = Kind::Number;
+  V.Num = N;
+  return V;
+}
+
+JsonValue JsonValue::makeString(std::string S) {
+  JsonValue V;
+  V.K = Kind::String;
+  V.Str = std::move(S);
+  return V;
+}
+
+JsonValue JsonValue::makeArray(std::vector<JsonValue> A) {
+  JsonValue V;
+  V.K = Kind::Array;
+  V.Arr = std::move(A);
+  return V;
+}
+
+JsonValue JsonValue::makeObject(std::map<std::string, JsonValue> O) {
+  JsonValue V;
+  V.K = Kind::Object;
+  V.Obj = std::move(O);
+  return V;
+}
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view Text, std::string *Error)
+      : Text(Text), Error(Error) {}
+
+  std::optional<JsonValue> parse() {
+    skipWs();
+    std::optional<JsonValue> V = value();
+    if (!V)
+      return std::nullopt;
+    skipWs();
+    if (Pos != Text.size()) {
+      fail("trailing characters after the document");
+      return std::nullopt;
+    }
+    return V;
+  }
+
+private:
+  std::string_view Text;
+  std::string *Error;
+  size_t Pos = 0;
+
+  bool eof() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  void fail(const std::string &Message) {
+    if (Error && Error->empty())
+      *Error = Message + " at byte " + std::to_string(Pos);
+  }
+
+  void skipWs() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r'))
+      ++Pos;
+  }
+
+  bool literal(std::string_view Word) {
+    if (Text.compare(Pos, Word.size(), Word) != 0)
+      return false;
+    Pos += Word.size();
+    return true;
+  }
+
+  std::optional<JsonValue> value() {
+    if (eof()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    switch (peek()) {
+    case '{':
+      return object();
+    case '[':
+      return array();
+    case '"': {
+      std::optional<std::string> S = string();
+      if (!S)
+        return std::nullopt;
+      return JsonValue::makeString(std::move(*S));
+    }
+    case 't':
+      if (literal("true"))
+        return JsonValue::makeBool(true);
+      break;
+    case 'f':
+      if (literal("false"))
+        return JsonValue::makeBool(false);
+      break;
+    case 'n':
+      if (literal("null"))
+        return JsonValue::makeNull();
+      break;
+    default:
+      return number();
+    }
+    fail("unexpected token");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> number() {
+    size_t Start = Pos;
+    if (!eof() && peek() == '-')
+      ++Pos;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+      ++Pos;
+    if (Pos == Start || (Text[Start] == '-' && Pos == Start + 1)) {
+      fail("invalid number");
+      return std::nullopt;
+    }
+    if (!eof() && peek() == '.') {
+      ++Pos;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("invalid number");
+        return std::nullopt;
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++Pos;
+      if (!eof() && (peek() == '+' || peek() == '-'))
+        ++Pos;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("invalid number");
+        return std::nullopt;
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    return JsonValue::makeNumber(
+        std::strtod(std::string(Text.substr(Start, Pos - Start)).c_str(),
+                    nullptr));
+  }
+
+  std::optional<std::string> string() {
+    // Caller checked the opening quote.
+    ++Pos;
+    std::string Out;
+    while (!eof() && peek() != '"') {
+      char C = peek();
+      if (static_cast<unsigned char>(C) < 0x20) {
+        fail("unescaped control character in string");
+        return std::nullopt;
+      }
+      if (C == '\\') {
+        ++Pos;
+        if (eof())
+          break;
+        switch (peek()) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'u': {
+          unsigned Code = 0;
+          for (int I = 0; I != 4; ++I) {
+            ++Pos;
+            if (eof() ||
+                !std::isxdigit(static_cast<unsigned char>(peek()))) {
+              fail("invalid \\u escape");
+              return std::nullopt;
+            }
+            char H = peek();
+            Code = Code * 16 +
+                   static_cast<unsigned>(
+                       H <= '9' ? H - '0' : (H | 0x20) - 'a' + 10);
+          }
+          // Configuration files are ASCII in practice; encode the BMP
+          // code point as UTF-8 without surrogate-pair handling.
+          if (Code < 0x80) {
+            Out += static_cast<char>(Code);
+          } else if (Code < 0x800) {
+            Out += static_cast<char>(0xC0 | (Code >> 6));
+            Out += static_cast<char>(0x80 | (Code & 0x3F));
+          } else {
+            Out += static_cast<char>(0xE0 | (Code >> 12));
+            Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+            Out += static_cast<char>(0x80 | (Code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("invalid escape sequence");
+          return std::nullopt;
+        }
+      } else {
+        Out += C;
+      }
+      ++Pos;
+    }
+    if (eof()) {
+      fail("unterminated string");
+      return std::nullopt;
+    }
+    ++Pos; // Closing quote.
+    return Out;
+  }
+
+  std::optional<JsonValue> array() {
+    ++Pos; // '['
+    std::vector<JsonValue> Items;
+    skipWs();
+    if (!eof() && peek() == ']') {
+      ++Pos;
+      return JsonValue::makeArray(std::move(Items));
+    }
+    while (true) {
+      skipWs();
+      std::optional<JsonValue> V = value();
+      if (!V)
+        return std::nullopt;
+      Items.push_back(std::move(*V));
+      skipWs();
+      if (eof()) {
+        fail("unterminated array");
+        return std::nullopt;
+      }
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == ']') {
+        ++Pos;
+        return JsonValue::makeArray(std::move(Items));
+      }
+      fail("expected ',' or ']' in array");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> object() {
+    ++Pos; // '{'
+    std::map<std::string, JsonValue> Members;
+    skipWs();
+    if (!eof() && peek() == '}') {
+      ++Pos;
+      return JsonValue::makeObject(std::move(Members));
+    }
+    while (true) {
+      skipWs();
+      if (eof() || peek() != '"') {
+        fail("expected object key");
+        return std::nullopt;
+      }
+      std::optional<std::string> Key = string();
+      if (!Key)
+        return std::nullopt;
+      skipWs();
+      if (eof() || peek() != ':') {
+        fail("expected ':' after object key");
+        return std::nullopt;
+      }
+      ++Pos;
+      skipWs();
+      std::optional<JsonValue> V = value();
+      if (!V)
+        return std::nullopt;
+      Members.insert_or_assign(std::move(*Key), std::move(*V));
+      skipWs();
+      if (eof()) {
+        fail("unterminated object");
+        return std::nullopt;
+      }
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == '}') {
+        ++Pos;
+        return JsonValue::makeObject(std::move(Members));
+      }
+      fail("expected ',' or '}' in object");
+      return std::nullopt;
+    }
+  }
+};
+
+} // namespace
+
+std::optional<JsonValue> obs::parseJson(std::string_view Text,
+                                        std::string *Error) {
+  if (Error)
+    Error->clear();
+  return Parser(Text, Error).parse();
 }

@@ -7,9 +7,12 @@
 ///
 /// \file
 /// A tiny streaming JSON writer shared by the observability exporters
-/// (Chrome trace events, metrics snapshots) and the bench result files.
-/// Handles commas, nesting and string escaping; nothing else. Output is
-/// deterministic: values appear exactly in the order they were written.
+/// (Chrome trace events, metrics snapshots) and the bench result files,
+/// plus a matching recursive-descent parser used to read configuration
+/// documents back in (the serving engine's workload replay files).
+/// Handles commas, nesting and string escaping; nothing else. Writer
+/// output is deterministic: values appear exactly in the order they were
+/// written.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,8 +20,12 @@
 #define PARREC_OBS_JSON_H
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace parrec {
 namespace obs {
@@ -60,6 +67,73 @@ private:
   std::string Out;
   bool NeedComma = false;
 };
+
+/// A parsed JSON value. Objects keep their members in a sorted map —
+/// replay files are configuration, not ordered streams — and numbers are
+/// stored as doubles (the replay format only needs integers well below
+/// 2^53).
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool boolean() const { return Bool; }
+  double number() const { return Num; }
+  int64_t integer() const { return static_cast<int64_t>(Num); }
+  const std::string &string() const { return Str; }
+  const std::vector<JsonValue> &array() const { return Arr; }
+  const std::map<std::string, JsonValue> &object() const { return Obj; }
+
+  /// Member lookup on an object; null for missing keys or non-objects.
+  const JsonValue *member(std::string_view Key) const {
+    if (K != Kind::Object)
+      return nullptr;
+    auto It = Obj.find(std::string(Key));
+    return It == Obj.end() ? nullptr : &It->second;
+  }
+
+  /// Typed member accessors with defaults, for configuration reads.
+  double numberOr(std::string_view Key, double Default) const {
+    const JsonValue *V = member(Key);
+    return V && V->isNumber() ? V->Num : Default;
+  }
+  int64_t integerOr(std::string_view Key, int64_t Default) const {
+    const JsonValue *V = member(Key);
+    return V && V->isNumber() ? V->integer() : Default;
+  }
+  std::string stringOr(std::string_view Key, std::string Default) const {
+    const JsonValue *V = member(Key);
+    return V && V->isString() ? V->Str : Default;
+  }
+
+  static JsonValue makeNull() { return JsonValue(); }
+  static JsonValue makeBool(bool B);
+  static JsonValue makeNumber(double N);
+  static JsonValue makeString(std::string S);
+  static JsonValue makeArray(std::vector<JsonValue> A);
+  static JsonValue makeObject(std::map<std::string, JsonValue> O);
+
+private:
+  Kind K = Kind::Null;
+  bool Bool = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::map<std::string, JsonValue> Obj;
+};
+
+/// Parses \p Text as exactly one JSON document. On failure returns
+/// nullopt and, when \p Error is non-null, stores a one-line message
+/// with the byte offset of the problem.
+std::optional<JsonValue> parseJson(std::string_view Text,
+                                   std::string *Error = nullptr);
 
 } // namespace obs
 } // namespace parrec

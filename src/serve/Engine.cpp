@@ -1,0 +1,575 @@
+//===- Engine.cpp - Multi-tenant serving engine -----------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Engine.h"
+
+#include "exec/ParallelFor.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "runtime/CompiledRecurrence.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace parrec;
+using namespace parrec::serve;
+
+std::string_view serve::statusName(Status S) {
+  switch (S) {
+  case Status::Ok:
+    return "ok";
+  case Status::QueueFull:
+    return "queue_full";
+  case Status::Deadline:
+    return "deadline";
+  case Status::Aborted:
+    return "aborted";
+  case Status::Failed:
+    return "failed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+using Wall = std::chrono::steady_clock;
+
+double secondsSince(Wall::time_point From, Wall::time_point To) {
+  return std::chrono::duration<double>(To - From).count();
+}
+
+/// Resolves a future: publish the response, wake waiters, run the
+/// callback on this thread. Never called with engine locks held, so a
+/// callback may re-enter the engine (e.g. submit a follow-up request).
+void resolve(detail::FutureState &State, Response &&Resp) {
+  std::function<void(const Response &)> Callback;
+  {
+    std::lock_guard<std::mutex> Lock(State.Mutex);
+    State.Resp = std::move(Resp);
+    State.Ready = true;
+    Callback = State.Callback;
+  }
+  State.Cv.notify_all();
+  if (Callback)
+    Callback(State.Resp);
+}
+
+} // namespace
+
+/// A request admitted to the submission queue, with everything the
+/// coalescer needs precomputed on the submitting thread: the domain box
+/// and the plan key whose equality defines batch compatibility.
+struct Engine::Pending {
+  Request Req;
+  std::shared_ptr<detail::FutureState> State;
+  exec::PlanKey Key;
+  solver::DomainBox Box;
+  uint64_t SubmitTick = 0;
+  uint64_t Seq = 0;
+  Wall::time_point SubmitWall;
+};
+
+/// A closed batch: one plan, many compatible requests, one device.
+struct Engine::Batch {
+  uint64_t Id = 0;
+  const runtime::CompiledRecurrence *Fn = nullptr;
+  exec::PlanKey Key;
+  uint64_t OpenTick = 0;
+  std::shared_ptr<const exec::ExecutablePlan> Plan;
+  std::vector<Pending> Members;
+};
+
+/// One simulated device plus its dispatch queue.
+struct Engine::DeviceLane {
+  unsigned Index = 0;
+  gpu::Device Device;
+  std::mutex Mutex;
+  std::condition_variable Cv;
+  std::deque<Batch> Batches; // Guarded by Mutex.
+  bool Closed = false;       // Guarded by Mutex; no more batches coming.
+};
+
+Engine::Engine(Options Options) : Opts(std::move(Options)) {
+  Opts.Devices = std::max(1u, Opts.Devices);
+  Opts.QueueCapacity = std::max<size_t>(1, Opts.QueueCapacity);
+  Opts.MaxBatch = std::max<size_t>(1, Opts.MaxBatch);
+  Paused = Opts.StartPaused;
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    Counters.DeviceBatches.assign(Opts.Devices, 0);
+    Counters.DeviceRequests.assign(Opts.Devices, 0);
+    Counters.DeviceCycles.assign(Opts.Devices, 0);
+  }
+  Lanes.reserve(Opts.Devices);
+  for (unsigned I = 0; I != Opts.Devices; ++I) {
+    auto Lane = std::make_unique<DeviceLane>();
+    Lane->Index = I;
+    Lane->Device = gpu::Device(Opts.Model);
+    Lanes.push_back(std::move(Lane));
+  }
+  Coalescer = std::thread([this] { coalescerMain(); });
+  DeviceThreads.reserve(Opts.Devices);
+  for (unsigned I = 0; I != Opts.Devices; ++I)
+    DeviceThreads.emplace_back([this, I] { deviceMain(I); });
+}
+
+Engine::~Engine() { shutdown(ShutdownMode::Drain); }
+
+void Engine::advanceTo(uint64_t Tick) {
+  uint64_t Current = Clock.load(std::memory_order_relaxed);
+  while (Tick > Current &&
+         !Clock.compare_exchange_weak(Current, Tick,
+                                      std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+  }
+  QueueCv.notify_all();
+}
+
+void Engine::pause() {
+  std::lock_guard<std::mutex> Lock(QueueMutex);
+  Paused = true;
+}
+
+void Engine::resume() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Paused = false;
+  }
+  QueueCv.notify_all();
+}
+
+size_t Engine::queueDepth() const {
+  std::lock_guard<std::mutex> Lock(QueueMutex);
+  return Queue.size();
+}
+
+Engine::Stats Engine::stats() const {
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  return Counters;
+}
+
+void Engine::complete(Pending &P, Status St, std::string Error) {
+  uint64_t Now = now();
+  Wall::time_point NowWall = Wall::now();
+  obs::MetricsRegistry &M = obs::MetricsRegistry::global();
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    switch (St) {
+    case Status::QueueFull:
+      ++Counters.Rejected;
+      break;
+    case Status::Deadline:
+      ++Counters.DeadlineShed;
+      break;
+    case Status::Aborted:
+      ++Counters.Aborted;
+      break;
+    case Status::Failed:
+      ++Counters.Failed;
+      break;
+    case Status::Ok:
+      break; // Ok responses are built in executeBatch.
+    }
+  }
+  switch (St) {
+  case Status::QueueFull:
+    M.add("serve.rejected");
+    break;
+  case Status::Deadline:
+    M.add("serve.deadline_shed");
+    break;
+  case Status::Aborted:
+    M.add("serve.aborted");
+    break;
+  case Status::Failed:
+    M.add("serve.failed");
+    break;
+  case Status::Ok:
+    break;
+  }
+  Response Resp;
+  Resp.St = St;
+  Resp.SubmitTick = P.SubmitTick;
+  Resp.CompleteTick = Now;
+  Resp.TotalSeconds = secondsSince(P.SubmitWall, NowWall);
+  Resp.CompletionSeq = CompletionSeq.fetch_add(1, std::memory_order_relaxed);
+  Resp.Error = std::move(Error);
+  resolve(*P.State, std::move(Resp));
+}
+
+Future Engine::submit(Request Req,
+                      std::function<void(const Response &)> Callback) {
+  auto State = std::make_shared<detail::FutureState>();
+  State->Callback = std::move(Callback);
+  Future F(State);
+
+  obs::Span Span("serve.enqueue", "serve");
+  Pending P;
+  P.Req = std::move(Req);
+  P.State = State;
+  P.SubmitTick = now();
+  P.SubmitWall = Wall::now();
+  if (Span.active() && P.Req.Fn)
+    Span.arg("function", P.Req.Fn->decl().Name);
+  if (Span.active() && !P.Req.Tenant.empty())
+    Span.arg("tenant", P.Req.Tenant);
+
+  // Validate and fingerprint on the submitting thread: the domain box
+  // plus the plan key define which batch this request can join.
+  DiagnosticEngine Diags;
+  std::optional<solver::DomainBox> Box;
+  if (P.Req.Fn)
+    Box = P.Req.Fn->domainFor(P.Req.Args, Diags);
+  else
+    Diags.error({}, "request has no compiled function");
+  if (!Box) {
+    if (Span.active())
+      Span.arg("status", statusName(Status::Failed));
+    complete(P, Status::Failed, Diags.str());
+    return F;
+  }
+  P.Box = std::move(*Box);
+  P.Key = exec::PlanKey::make(
+      P.Box, P.Req.Options.UseSlidingWindow, P.Req.Options.KeepTable,
+      P.Req.Options.ForcedSchedule ? &*P.Req.Options.ForcedSchedule
+                                   : nullptr);
+
+  size_t Depth = 0;
+  bool Admitted = false;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    if (!Stopping && Queue.size() < Opts.QueueCapacity) {
+      P.Seq = NextRequestSeq++;
+      Admitted = true;
+      Queue.push_back(std::move(P));
+      Depth = Queue.size();
+    }
+  }
+  obs::MetricsRegistry &M = obs::MetricsRegistry::global();
+  if (!Admitted) {
+    // Backpressure: resolve immediately instead of growing without
+    // bound. The producer decides whether to retry, slow down or drop.
+    if (Span.active())
+      Span.arg("status", statusName(Status::QueueFull));
+    complete(P, Status::QueueFull);
+    return F;
+  }
+  M.add("serve.requests");
+  M.record("serve.queue_depth", static_cast<double>(Depth));
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Counters.Submitted;
+    Counters.MaxQueueDepth =
+        std::max(Counters.MaxQueueDepth, static_cast<uint64_t>(Depth));
+  }
+  if (Span.active()) {
+    Span.arg("status", "queued");
+    Span.arg("queue_depth", static_cast<uint64_t>(Depth));
+  }
+  QueueCv.notify_all();
+  return F;
+}
+
+void Engine::coalescerMain() {
+  std::unique_lock<std::mutex> Lock(QueueMutex);
+  while (true) {
+    QueueCv.wait(Lock, [&] {
+      return Stopping || (!Paused && !Queue.empty());
+    });
+    if (Queue.empty()) {
+      if (Stopping)
+        break;
+      continue;
+    }
+    if (Paused && !Stopping)
+      continue;
+
+    // Requests shed while assembling; completed after the lock drops.
+    std::vector<Pending> Shed;
+    auto takeAt = [&](size_t Index) {
+      Pending P = std::move(Queue[Index]);
+      Queue.erase(Queue.begin() + static_cast<ptrdiff_t>(Index));
+      return P;
+    };
+    auto expired = [&](const Pending &P) {
+      return P.Req.DeadlineTick != 0 && now() > P.Req.DeadlineTick;
+    };
+
+    // Head selection: highest priority first, FIFO (queue order) within
+    // a priority level.
+    size_t HeadIndex = 0;
+    for (size_t I = 1; I < Queue.size(); ++I)
+      if (Queue[I].Req.Priority > Queue[HeadIndex].Req.Priority)
+        HeadIndex = I;
+    Pending Head = takeAt(HeadIndex);
+    if (expired(Head)) {
+      Lock.unlock();
+      complete(Head, Status::Deadline);
+      Lock.lock();
+      continue;
+    }
+
+    Batch B;
+    B.Id = NextBatchId++;
+    B.Fn = Head.Req.Fn;
+    B.Key = Head.Key;
+    B.OpenTick = now();
+    B.Members.push_back(std::move(Head));
+    const uint64_t CloseTick = B.OpenTick + Opts.LingerTicks;
+
+    // Absorb every compatible queued request, in submission order. The
+    // SubmitTick bound makes the linger window a property of virtual
+    // time alone: a request virtually submitted after the window closed
+    // never joins, however slowly this thread is scheduled.
+    auto absorb = [&] {
+      for (size_t I = 0;
+           I < Queue.size() && B.Members.size() < Opts.MaxBatch;) {
+        if (Queue[I].SubmitTick > CloseTick) {
+          ++I;
+          continue;
+        }
+        if (!(Queue[I].Req.Fn == B.Fn && Queue[I].Key == B.Key)) {
+          ++I;
+          continue;
+        }
+        Pending P = takeAt(I);
+        if (expired(P))
+          Shed.push_back(std::move(P));
+        else
+          B.Members.push_back(std::move(P));
+      }
+    };
+
+    if (Opts.Coalesce && Opts.MaxBatch > 1) {
+      absorb();
+      // Size-or-max-linger trigger: hold the batch open for compatible
+      // arrivals until the virtual clock passes the window (strictly,
+      // so boundary-tick arrivals always make it in) or it fills up.
+      while (B.Members.size() < Opts.MaxBatch && !Stopping &&
+             Opts.LingerTicks != 0 && now() <= CloseTick) {
+        QueueCv.wait(Lock);
+        absorb();
+      }
+    }
+
+    Lock.unlock();
+    for (Pending &P : Shed)
+      complete(P, Status::Deadline);
+
+    {
+      obs::Span Span("serve.coalesce", "serve");
+      if (Span.active()) {
+        Span.arg("batch", B.Id);
+        Span.arg("requests", static_cast<uint64_t>(B.Members.size()));
+        Span.arg("function", B.Fn->decl().Name);
+        Span.arg("fingerprint", B.Key.hash());
+      }
+      obs::MetricsRegistry &M = obs::MetricsRegistry::global();
+      M.add("serve.batches");
+      M.record("serve.coalesced_per_batch",
+               static_cast<double>(B.Members.size()));
+      {
+        std::lock_guard<std::mutex> SLock(StatsMutex);
+        ++Counters.Batches;
+      }
+
+      // One plan serves the whole batch: a PlanCache hit after the
+      // first same-shaped batch, so schedule synthesis and loop
+      // generation are paid once per shape, not once per request.
+      DiagnosticEngine Diags;
+      B.Plan = B.Fn->planFor(B.Members[0].Box, B.Members[0].Req.Options,
+                             /*Preselected=*/nullptr, Diags);
+      if (Span.active())
+        Span.arg("planned", B.Plan != nullptr);
+      if (!B.Plan) {
+        std::string Error = Diags.str();
+        for (Pending &P : B.Members)
+          complete(P, Status::Failed, Error);
+        Lock.lock();
+        continue;
+      }
+
+      DeviceLane &Lane = *Lanes[NextDevice++ % Opts.Devices];
+      if (Span.active())
+        Span.arg("device", Lane.Index);
+      {
+        std::lock_guard<std::mutex> LaneLock(Lane.Mutex);
+        Lane.Batches.push_back(std::move(B));
+      }
+      Lane.Cv.notify_all();
+    }
+    Lock.lock();
+  }
+  Lock.unlock();
+  // No more batches can arrive: release the device threads.
+  for (std::unique_ptr<DeviceLane> &Lane : Lanes) {
+    {
+      std::lock_guard<std::mutex> LaneLock(Lane->Mutex);
+      Lane->Closed = true;
+    }
+    Lane->Cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> QLock(QueueMutex);
+    CoalescerDone = true;
+  }
+}
+
+void Engine::deviceMain(unsigned DeviceIndex) {
+  DeviceLane &Lane = *Lanes[DeviceIndex];
+  while (true) {
+    Batch B;
+    {
+      std::unique_lock<std::mutex> Lock(Lane.Mutex);
+      Lane.Cv.wait(Lock,
+                   [&] { return Lane.Closed || !Lane.Batches.empty(); });
+      if (Lane.Batches.empty())
+        return;
+      B = std::move(Lane.Batches.front());
+      Lane.Batches.pop_front();
+    }
+    executeBatch(Lane, B);
+  }
+}
+
+void Engine::executeBatch(DeviceLane &Lane, Batch &B) {
+  // Deadlines are re-checked when the device dequeues the batch: work
+  // that expired while waiting in the lane is shed, not executed.
+  std::vector<Pending> Members;
+  Members.reserve(B.Members.size());
+  for (Pending &P : B.Members) {
+    if (P.Req.DeadlineTick != 0 && now() > P.Req.DeadlineTick)
+      complete(P, Status::Deadline);
+    else
+      Members.push_back(std::move(P));
+  }
+  if (Members.empty())
+    return;
+
+  obs::Span Span("serve.dispatch", "serve");
+  if (Span.active()) {
+    Span.arg("device", Lane.Index);
+    Span.arg("batch", B.Id);
+    Span.arg("requests", static_cast<uint64_t>(Members.size()));
+    Span.arg("function", B.Fn->decl().Name);
+  }
+  Wall::time_point ExecStart = Wall::now();
+
+  // The engine's host budget is divided per device, mirroring
+  // runGpuBatch's batch x scan split so N devices never oversubscribe
+  // the machine. Worker counts never change results.
+  exec::SimulatedGpuBackend Backend(Lane.Device.costModel());
+  unsigned Budget =
+      std::max(1u, exec::hostWorkerBudget() / Opts.Devices);
+  unsigned BatchWorkers = exec::resolveWorkerCount(
+      Opts.BatchWorkersPerDevice ? Opts.BatchWorkersPerDevice : Budget,
+      Members.size());
+  unsigned ScanWorkers = Opts.ScanWorkersPerDevice
+                             ? Opts.ScanWorkersPerDevice
+                             : std::max(1u, Budget / BatchWorkers);
+
+  std::vector<exec::RunResult> Results(Members.size());
+  exec::parallelFor(BatchWorkers, Members.size(), [&](size_t I) {
+    codegen::Evaluator Eval(B.Fn->decl(), B.Fn->info());
+    Eval.bind(Members[I].Req.Args);
+    exec::RunOptions Ro = Members[I].Req.Options;
+    Ro.ScanWorkers = ScanWorkers;
+    Results[I] = Backend.execute(*B.Plan, Eval, Ro);
+    if (obs::Tracer::enabled() && Results[I].Timeline)
+      gpu::emitBlockTimeline(static_cast<unsigned>(I),
+                             *Results[I].Timeline);
+  });
+
+  // The batch occupies the device's multiprocessors as one dispatch:
+  // one modelled kernel launch for the whole batch (the coalescing win)
+  // and an LPT makespan across the multiprocessors.
+  std::vector<uint64_t> ProblemCycles;
+  ProblemCycles.reserve(Results.size());
+  for (const exec::RunResult &R : Results)
+    ProblemCycles.push_back(R.Cycles);
+  uint64_t Makespan = Lane.Device.dispatchProblems(ProblemCycles);
+  Wall::time_point ExecEnd = Wall::now();
+  double ExecSeconds = secondsSince(ExecStart, ExecEnd);
+  if (Span.active()) {
+    Span.arg("makespan_cycles", Makespan);
+    Span.arg("batch_workers", BatchWorkers);
+    Span.arg("scan_workers", ScanWorkers);
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Counters.DeviceBatches[Lane.Index];
+    Counters.DeviceRequests[Lane.Index] += Members.size();
+    Counters.DeviceCycles[Lane.Index] += Makespan;
+    Counters.Completed += Members.size();
+  }
+
+  obs::MetricsRegistry &M = obs::MetricsRegistry::global();
+  uint64_t Now = now();
+  for (size_t I = 0; I != Members.size(); ++I) {
+    Pending &P = Members[I];
+    Response Resp;
+    Resp.St = Status::Ok;
+    Resp.Result = std::move(Results[I]);
+    Resp.SubmitTick = P.SubmitTick;
+    Resp.CompleteTick = Now;
+    Resp.QueueSeconds = secondsSince(P.SubmitWall, ExecStart);
+    Resp.ExecSeconds = ExecSeconds;
+    Resp.TotalSeconds = secondsSince(P.SubmitWall, ExecEnd);
+    Resp.Device = Lane.Index;
+    Resp.BatchId = B.Id;
+    Resp.BatchSize = Members.size();
+    Resp.CompletionSeq =
+        CompletionSeq.fetch_add(1, std::memory_order_relaxed);
+    M.record("serve.latency.queue_wait_seconds", Resp.QueueSeconds);
+    M.record("serve.latency.execute_seconds", Resp.ExecSeconds);
+    M.record("serve.latency.total_seconds", Resp.TotalSeconds);
+    resolve(*P.State, std::move(Resp));
+  }
+}
+
+void Engine::shutdown(ShutdownMode Mode) {
+  std::lock_guard<std::mutex> SLock(ShutdownMutex);
+  if (Joined)
+    return;
+  std::vector<Pending> ToAbort;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Stopping = true;
+    Paused = false;
+    Draining = Mode == ShutdownMode::Drain;
+    if (Mode == ShutdownMode::Abort) {
+      for (Pending &P : Queue)
+        ToAbort.push_back(std::move(P));
+      Queue.clear();
+    }
+  }
+  QueueCv.notify_all();
+  if (Mode == ShutdownMode::Abort) {
+    // Flush undispatched batches too; a batch already executing on a
+    // device cannot be interrupted and completes normally.
+    for (std::unique_ptr<DeviceLane> &Lane : Lanes) {
+      std::deque<Batch> Flushed;
+      {
+        std::lock_guard<std::mutex> Lock(Lane->Mutex);
+        Flushed.swap(Lane->Batches);
+      }
+      Lane->Cv.notify_all();
+      for (Batch &B : Flushed)
+        for (Pending &P : B.Members)
+          ToAbort.push_back(std::move(P));
+    }
+  }
+  for (Pending &P : ToAbort)
+    complete(P, Status::Aborted);
+  if (Coalescer.joinable())
+    Coalescer.join();
+  for (std::thread &T : DeviceThreads)
+    if (T.joinable())
+      T.join();
+  Joined = true;
+}

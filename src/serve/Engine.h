@@ -1,0 +1,186 @@
+//===- Engine.h - Multi-tenant serving engine ---------------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An always-on serving layer in front of the exec pipeline, shaped like
+/// an inference server: admission through a bounded submission queue
+/// (QueueFull backpressure instead of unbounded growth), a coalescer
+/// thread that groups compatible requests — same recursion, same
+/// ExecutablePlan key — into batches closed on a size-or-max-linger
+/// trigger, and a dispatcher that round-robins closed batches across N
+/// simulated gpu::Device instances, each with its own slice of the host
+/// worker budget. One plan (and one compiled bytecode program, via the
+/// function's PlanCache) serves a whole batch; one modelled kernel
+/// launch covers the batch instead of one per request.
+///
+/// Time is virtual: deadlines and the coalescer's linger window are
+/// measured on a caller-advanced tick clock (Engine::advanceTo), so
+/// replay and tests are independent of wall time. Expired requests are
+/// shed at dequeue with Status::Deadline rather than wasting device
+/// time. shutdown(Drain) finishes everything queued; shutdown(Abort)
+/// resolves queued work as Status::Aborted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_SERVE_ENGINE_H
+#define PARREC_SERVE_ENGINE_H
+
+#include "exec/Plan.h"
+#include "gpu/Device.h"
+#include "serve/Serve.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parrec {
+namespace serve {
+
+/// The serving engine. Thread-safe: any thread may submit; completion
+/// runs on the engine's device threads.
+class Engine {
+public:
+  struct Options {
+    /// Cost model shared by every simulated device.
+    gpu::CostModel Model;
+    /// Simulated gpu::Device instances fed round-robin.
+    unsigned Devices = 1;
+    /// Submission-queue bound; submissions beyond it resolve to
+    /// Status::QueueFull immediately.
+    size_t QueueCapacity = 256;
+    /// Coalescer closes a batch at this many requests.
+    size_t MaxBatch = 16;
+    /// Virtual ticks a batch stays open waiting for compatible arrivals
+    /// after its first request; 0 closes as soon as the queue holds no
+    /// compatible request.
+    uint64_t LingerTicks = 0;
+    /// When false every request dispatches as its own batch (the
+    /// ablation baseline).
+    bool Coalesce = true;
+    /// Host worker threads per device for the problems of one batch;
+    /// 0 divides exec::hostWorkerBudget() across the devices.
+    unsigned BatchWorkersPerDevice = 0;
+    /// Host worker threads per problem scan; 0 shares the per-device
+    /// budget left after batch striping.
+    unsigned ScanWorkersPerDevice = 0;
+    /// Start with the coalescer paused (deterministic tests: fill the
+    /// queue, then resume()).
+    bool StartPaused = false;
+  };
+
+  enum class ShutdownMode {
+    /// Finish everything already admitted, then stop.
+    Drain,
+    /// Resolve all queued (not yet executing) requests as Aborted.
+    Abort,
+  };
+
+  /// Aggregate counters, independent of the obs registry so concurrent
+  /// engines and tests see only their own traffic.
+  struct Stats {
+    uint64_t Submitted = 0;
+    uint64_t Completed = 0;
+    uint64_t Rejected = 0;
+    uint64_t DeadlineShed = 0;
+    uint64_t Aborted = 0;
+    uint64_t Failed = 0;
+    uint64_t Batches = 0;
+    uint64_t MaxQueueDepth = 0;
+    /// Per-device totals; devices run concurrently, so the modelled
+    /// makespan of the whole engine is the max entry of DeviceCycles.
+    std::vector<uint64_t> DeviceBatches;
+    std::vector<uint64_t> DeviceRequests;
+    std::vector<uint64_t> DeviceCycles;
+
+    uint64_t maxDeviceCycles() const {
+      uint64_t Max = 0;
+      for (uint64_t C : DeviceCycles)
+        Max = Max > C ? Max : C;
+      return Max;
+    }
+  };
+
+  explicit Engine(Options Opts);
+  /// Drains outstanding work (shutdown(Drain)) if still running.
+  ~Engine();
+
+  Engine(const Engine &) = delete;
+  Engine &operator=(const Engine &) = delete;
+
+  const Options &options() const { return Opts; }
+
+  /// Admits one request. Returns a Future that resolves when the
+  /// request completes (or immediately, for QueueFull / Failed
+  /// rejections). \p Callback, when set, runs on the completing thread
+  /// right after the future becomes ready.
+  Future submit(Request Req,
+                std::function<void(const Response &)> Callback = {});
+
+  /// The virtual clock (monotonic ticks; starts at 0).
+  uint64_t now() const { return Clock.load(std::memory_order_acquire); }
+
+  /// Advances the virtual clock to max(now(), Tick) and wakes the
+  /// coalescer so linger windows and deadlines are re-evaluated.
+  void advanceTo(uint64_t Tick);
+
+  /// Pauses/resumes the coalescer (submissions stay open).
+  void pause();
+  void resume();
+
+  /// Stops the engine and joins its threads. Idempotent; Drain finishes
+  /// admitted work, Abort resolves queued requests as Aborted (a batch
+  /// already executing on a device always completes).
+  void shutdown(ShutdownMode Mode);
+
+  Stats stats() const;
+  size_t queueDepth() const;
+
+private:
+  struct Pending;
+  struct Batch;
+  struct DeviceLane;
+
+  void complete(Pending &P, Status St, std::string Error = {});
+  void coalescerMain();
+  void deviceMain(unsigned DeviceIndex);
+  void executeBatch(DeviceLane &Lane, Batch &B);
+
+  Options Opts;
+  std::atomic<uint64_t> Clock{0};
+
+  mutable std::mutex QueueMutex;
+  std::condition_variable QueueCv; // Coalescer waits here.
+  std::deque<Pending> Queue;       // Guarded by QueueMutex.
+  bool Paused = false;             // Guarded by QueueMutex.
+  bool Stopping = false;           // Guarded by QueueMutex.
+  bool Draining = false;           // Guarded by QueueMutex.
+  uint64_t NextRequestSeq = 0;     // Guarded by QueueMutex.
+  uint64_t NextBatchId = 0;        // Coalescer thread only.
+  unsigned NextDevice = 0;         // Coalescer thread only.
+
+  std::vector<std::unique_ptr<DeviceLane>> Lanes;
+  bool CoalescerDone = false; // Guarded by QueueMutex.
+
+  mutable std::mutex StatsMutex;
+  Stats Counters; // Guarded by StatsMutex.
+  std::atomic<uint64_t> CompletionSeq{0};
+
+  std::thread Coalescer;
+  std::vector<std::thread> DeviceThreads;
+  bool Joined = false; // Guarded by ShutdownMutex.
+  std::mutex ShutdownMutex;
+};
+
+} // namespace serve
+} // namespace parrec
+
+#endif // PARREC_SERVE_ENGINE_H

@@ -1,0 +1,145 @@
+//===- Serve.h - Serving-engine request/response types ------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The vocabulary of the multi-tenant serving engine: a Request (a
+/// compiled recursion plus bound arguments, options, an optional
+/// virtual-clock deadline and a priority), the Response it resolves to,
+/// and the Future handed back by Engine::submit. Results routed through
+/// the engine are bit-identical to a direct CompiledRecurrence::run with
+/// the same request options — the engine only changes *when and where*
+/// work runs, never what it computes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_SERVE_SERVE_H
+#define PARREC_SERVE_SERVE_H
+
+#include "exec/ExecutionBackend.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parrec {
+namespace runtime {
+class CompiledRecurrence;
+} // namespace runtime
+
+namespace serve {
+
+/// Terminal state of a request.
+enum class Status {
+  /// Executed; Response::Result holds the run result.
+  Ok,
+  /// Rejected at submission: the bounded queue was at capacity (the
+  /// engine's backpressure signal) or the engine was shutting down.
+  QueueFull,
+  /// Shed at dequeue: the virtual clock had passed the request's
+  /// deadline before a device picked it up.
+  Deadline,
+  /// Dropped by Engine::shutdown(Abort) before execution.
+  Aborted,
+  /// The request itself was invalid (bad arguments, no valid schedule).
+  Failed,
+};
+
+std::string_view statusName(Status S);
+
+/// One unit of admission: everything needed to run one problem. The
+/// pointed-to recursion, sequences, models and matrices must stay alive
+/// until the request's future resolves.
+struct Request {
+  const runtime::CompiledRecurrence *Fn = nullptr;
+  std::vector<codegen::ArgValue> Args;
+  /// Plan-relevant knobs (sliding window, kept table, forced schedule,
+  /// AST-evaluator fallback) are honoured per request; worker counts are
+  /// overridden by the engine's per-device budget.
+  exec::RunOptions Options;
+  /// Virtual-clock deadline (Engine::now() domain); 0 means none. An
+  /// expired request is shed at dequeue with Status::Deadline instead of
+  /// occupying a device.
+  uint64_t DeadlineTick = 0;
+  /// Higher-priority requests are coalesced and dispatched first.
+  int Priority = 0;
+  /// Optional tenant label, for traces and diagnostics only.
+  std::string Tenant;
+};
+
+/// What a request resolved to.
+struct Response {
+  Status St = Status::Failed;
+  /// Valid only when St == Status::Ok; bit-identical to a direct run.
+  exec::RunResult Result;
+  /// Virtual-clock timestamps (Engine::now() domain).
+  uint64_t SubmitTick = 0;
+  uint64_t CompleteTick = 0;
+  /// Host wall-clock latency split: submission to batch dispatch, the
+  /// batch's execution window, and end to end.
+  double QueueSeconds = 0.0;
+  double ExecSeconds = 0.0;
+  double TotalSeconds = 0.0;
+  /// Where and with whom the request ran (Ok responses only).
+  unsigned Device = 0;
+  uint64_t BatchId = 0;
+  uint64_t BatchSize = 0;
+  /// Completion order stamp (monotonic across the engine); lets tests
+  /// observe dispatch ordering deterministically.
+  uint64_t CompletionSeq = 0;
+  /// Diagnostic text for Failed responses.
+  std::string Error;
+};
+
+namespace detail {
+/// Shared completion slot between the engine and a Future.
+struct FutureState {
+  std::mutex Mutex;
+  std::condition_variable Cv;
+  bool Ready = false;
+  Response Resp;
+  std::function<void(const Response &)> Callback;
+};
+} // namespace detail
+
+/// Completion handle for one submitted request. Copyable; all copies
+/// observe the same response. wait() blocks until the engine resolves
+/// the request (rejections resolve immediately inside submit()).
+class Future {
+public:
+  Future() = default;
+
+  bool valid() const { return State != nullptr; }
+
+  bool ready() const {
+    std::lock_guard<std::mutex> Lock(State->Mutex);
+    return State->Ready;
+  }
+
+  /// Blocks until the response is available and returns it.
+  const Response &wait() const {
+    std::unique_lock<std::mutex> Lock(State->Mutex);
+    State->Cv.wait(Lock, [&] { return State->Ready; });
+    return State->Resp;
+  }
+
+private:
+  friend class Engine;
+  explicit Future(std::shared_ptr<detail::FutureState> State)
+      : State(std::move(State)) {}
+
+  std::shared_ptr<detail::FutureState> State;
+};
+
+} // namespace serve
+} // namespace parrec
+
+#endif // PARREC_SERVE_SERVE_H

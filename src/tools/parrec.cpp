@@ -13,6 +13,9 @@
 ///   parrec schedule <fn.rdsl> n1 n2  print the minimal schedule for a box
 ///   parrec emit <fn.rdsl> [n1 n2..]  print the synthesized CUDA source
 ///   parrec loops <fn.rdsl> n1 n2     print the Figure 9/10 loop nests
+///   parrec serve --replay=<w.json>   replay a workload through the
+///                                    serving engine and print throughput
+///                                    and latency percentiles
 ///
 /// `run` observability flags:
 ///   --trace-out=<file>   trace the pipeline and write Chrome trace-event
@@ -33,9 +36,12 @@
 #include "obs/Trace.h"
 #include "poly/CPrinter.h"
 #include "runtime/Interpreter.h"
+#include "serve/Workload.h"
 #include "support/StringUtils.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -57,8 +63,48 @@ int usage() {
                "  check <function>       analyse a single function\n"
                "  schedule <fn> <n...>   derive the minimal schedule\n"
                "  emit <fn>              print synthesized CUDA source\n"
-               "  loops <fn> <n...>      print generated loop nests\n");
+               "  loops <fn> <n...>      print generated loop nests\n"
+               "  serve --replay=<w.json> [--devices=<n>]\n"
+               "      [--queue-cap=<n>] [--max-batch=<n>]\n"
+               "      [--linger=<ticks>] [--no-coalesce]\n"
+               "      [--batch-workers=<n>] [--scan-workers=<n>]\n"
+               "      [--strict] [--stats-out=<f>] [--trace-out=<f>]\n"
+               "                         replay a workload through the\n"
+               "                         serving engine (--strict: fail\n"
+               "                         on any non-ok response)\n");
   return 2;
+}
+
+/// Strictly parses an unsigned decimal flag value; one-line error and
+/// false on anything else (including trailing junk and overflow).
+bool parseCount(const char *Flag, const char *Value, uint64_t *Out) {
+  if (*Value == '\0') {
+    std::fprintf(stderr, "error: %s needs a number, got ''\n", Flag);
+    return false;
+  }
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long Parsed = std::strtoull(Value, &End, 10);
+  if (errno != 0 || *End != '\0' || Value[0] == '-') {
+    std::fprintf(stderr, "error: %s needs a number, got '%s'\n", Flag,
+                 Value);
+    return false;
+  }
+  *Out = Parsed;
+  return true;
+}
+
+bool parseCount(const char *Flag, const char *Value, unsigned *Out) {
+  uint64_t Wide = 0;
+  if (!parseCount(Flag, Value, &Wide))
+    return false;
+  if (Wide > 0xFFFFFFFFull) {
+    std::fprintf(stderr, "error: %s value '%s' is out of range\n", Flag,
+                 Value);
+    return false;
+  }
+  *Out = static_cast<unsigned>(Wide);
+  return true;
 }
 
 std::optional<std::string> readFile(const char *Path) {
@@ -149,9 +195,10 @@ int cmdRun(int Argc, char **Argv) {
     const char *Value;
     if (std::strcmp(Arg, "--cpu") == 0)
       UseCpu = true;
-    else if ((Value = optionValue(Arg, "--scan-workers")))
-      ScanWorkers = static_cast<unsigned>(std::atoi(Value));
-    else if ((Value = optionValue(Arg, "--trace-out")))
+    else if ((Value = optionValue(Arg, "--scan-workers"))) {
+      if (!parseCount("--scan-workers", Value, &ScanWorkers))
+        return 2;
+    } else if ((Value = optionValue(Arg, "--trace-out")))
       TraceOut = Value;
     else if (std::strcmp(Arg, "--trace-tree") == 0)
       TraceTree = true;
@@ -370,20 +417,169 @@ int cmdLoops(int Argc, char **Argv) {
   return 0;
 }
 
+int cmdServe(int Argc, char **Argv) {
+  serve::Engine::Options Opts;
+  bool Strict = false;
+  std::string Replay, StatsOut, TraceOut;
+  for (int Index = 2; Index < Argc; ++Index) {
+    const char *Arg = Argv[Index];
+    const char *Value;
+    if (Arg[0] != '-') {
+      // A bare path is the workload file.
+      if (!Replay.empty()) {
+        std::fprintf(stderr,
+                     "error: more than one workload file ('%s', '%s')\n",
+                     Replay.c_str(), Arg);
+        return 2;
+      }
+      Replay = Arg;
+    } else if ((Value = optionValue(Arg, "--replay"))) {
+      Replay = Value;
+    } else if ((Value = optionValue(Arg, "--devices"))) {
+      if (!parseCount("--devices", Value, &Opts.Devices))
+        return 2;
+      if (Opts.Devices == 0) {
+        std::fprintf(stderr, "error: --devices must be at least 1\n");
+        return 2;
+      }
+    } else if ((Value = optionValue(Arg, "--queue-cap"))) {
+      uint64_t Cap = 0;
+      if (!parseCount("--queue-cap", Value, &Cap))
+        return 2;
+      if (Cap == 0) {
+        std::fprintf(stderr, "error: --queue-cap must be at least 1\n");
+        return 2;
+      }
+      Opts.QueueCapacity = static_cast<size_t>(Cap);
+    } else if ((Value = optionValue(Arg, "--max-batch"))) {
+      uint64_t Max = 0;
+      if (!parseCount("--max-batch", Value, &Max))
+        return 2;
+      if (Max == 0) {
+        std::fprintf(stderr, "error: --max-batch must be at least 1\n");
+        return 2;
+      }
+      Opts.MaxBatch = static_cast<size_t>(Max);
+    } else if ((Value = optionValue(Arg, "--linger"))) {
+      if (!parseCount("--linger", Value, &Opts.LingerTicks))
+        return 2;
+    } else if (std::strcmp(Arg, "--no-coalesce") == 0) {
+      Opts.Coalesce = false;
+    } else if ((Value = optionValue(Arg, "--batch-workers"))) {
+      if (!parseCount("--batch-workers", Value,
+                      &Opts.BatchWorkersPerDevice))
+        return 2;
+    } else if ((Value = optionValue(Arg, "--scan-workers"))) {
+      if (!parseCount("--scan-workers", Value,
+                      &Opts.ScanWorkersPerDevice))
+        return 2;
+    } else if (std::strcmp(Arg, "--strict") == 0) {
+      Strict = true;
+    } else if ((Value = optionValue(Arg, "--stats-out"))) {
+      StatsOut = Value;
+    } else if ((Value = optionValue(Arg, "--trace-out"))) {
+      TraceOut = Value;
+    } else {
+      std::fprintf(stderr, "error: unknown serve option '%s'\n", Arg);
+      return 2;
+    }
+  }
+  if (Replay.empty()) {
+    std::fprintf(stderr,
+                 "error: serve needs a workload (--replay=<file>)\n");
+    return 2;
+  }
+  if (!TraceOut.empty())
+    obs::Tracer::instance().enable();
+
+  std::string SpecError;
+  std::optional<serve::WorkloadSpec> Spec =
+      serve::loadWorkloadSpec(Replay, &SpecError);
+  if (!Spec) {
+    std::fprintf(stderr, "error: %s\n", SpecError.c_str());
+    return 1;
+  }
+  DiagnosticEngine Diags;
+  std::optional<serve::Workload> Workload =
+      serve::Workload::build(*Spec, Diags);
+  if (!Workload) {
+    std::fputs(Diags.str().c_str(), stderr);
+    std::fprintf(stderr, "error: cannot build workload from '%s'\n",
+                 Replay.c_str());
+    return 1;
+  }
+
+  serve::Engine Engine(Opts);
+  serve::ReplayReport Report = serve::replay(Engine, *Workload);
+
+  std::printf("replayed %llu requests across %u device(s)\n",
+              static_cast<unsigned long long>(Report.Total),
+              Opts.Devices);
+  for (const auto &[Name, Count] : Report.ByStatus)
+    std::printf("  %-12s %llu\n", Name.c_str(),
+                static_cast<unsigned long long>(Count));
+  std::printf("batches: %llu (%.2f requests/batch)\n",
+              static_cast<unsigned long long>(Report.Stats.Batches),
+              Report.Stats.Batches
+                  ? static_cast<double>(Report.Stats.Completed) /
+                        static_cast<double>(Report.Stats.Batches)
+                  : 0.0);
+  std::printf("throughput: %.1f ok/s over %.3fs wall\n",
+              Report.Throughput, Report.WallSeconds);
+  std::printf("latency p50/p95/p99: %.6fs / %.6fs / %.6fs\n",
+              Report.P50Seconds, Report.P95Seconds, Report.P99Seconds);
+  std::printf("modelled busiest device: %llu cycles (%.6fs)\n",
+              static_cast<unsigned long long>(Report.ModelledCycles),
+              Report.ModelledSeconds);
+
+  if (!TraceOut.empty() &&
+      !obs::Tracer::instance().writeChromeTrace(TraceOut)) {
+    std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                 TraceOut.c_str());
+    return 1;
+  }
+  if (!StatsOut.empty()) {
+    std::ofstream StatsFile(StatsOut, std::ios::binary | std::ios::trunc);
+    StatsFile << Report.json() << '\n';
+    if (!StatsFile) {
+      std::fprintf(stderr, "error: cannot write stats to '%s'\n",
+                   StatsOut.c_str());
+      return 1;
+    }
+  }
+  if (Strict && Report.okCount() != Report.Total) {
+    std::fprintf(stderr,
+                 "error: %llu of %llu requests did not complete ok\n",
+                 static_cast<unsigned long long>(Report.Total -
+                                                 Report.okCount()),
+                 static_cast<unsigned long long>(Report.Total));
+    return 1;
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
-  if (Argc < 2)
+  try {
+    if (Argc < 2)
+      return usage();
+    if (std::strcmp(Argv[1], "run") == 0)
+      return cmdRun(Argc, Argv);
+    if (std::strcmp(Argv[1], "check") == 0)
+      return cmdCheck(Argc, Argv);
+    if (std::strcmp(Argv[1], "schedule") == 0)
+      return cmdSchedule(Argc, Argv);
+    if (std::strcmp(Argv[1], "emit") == 0)
+      return cmdEmit(Argc, Argv);
+    if (std::strcmp(Argv[1], "loops") == 0)
+      return cmdLoops(Argc, Argv);
+    if (std::strcmp(Argv[1], "serve") == 0)
+      return cmdServe(Argc, Argv);
+    std::fprintf(stderr, "error: unknown command '%s'\n", Argv[1]);
     return usage();
-  if (std::strcmp(Argv[1], "run") == 0)
-    return cmdRun(Argc, Argv);
-  if (std::strcmp(Argv[1], "check") == 0)
-    return cmdCheck(Argc, Argv);
-  if (std::strcmp(Argv[1], "schedule") == 0)
-    return cmdSchedule(Argc, Argv);
-  if (std::strcmp(Argv[1], "emit") == 0)
-    return cmdEmit(Argc, Argv);
-  if (std::strcmp(Argv[1], "loops") == 0)
-    return cmdLoops(Argc, Argv);
-  return usage();
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "parrec: internal error: %s\n", E.what());
+    return 1;
+  }
 }

@@ -155,6 +155,55 @@ TEST(PlanCacheTest, KeyDistinguishesOptionsAndSchedule) {
   EXPECT_TRUE(Minimal == exec::PlanKey::make(Box, true, false, nullptr));
 }
 
+TEST(PlanCacheTest, ConcurrentHammerKeepsCountersConsistent) {
+  // Many threads, few fingerprints, a capacity below the key count so
+  // eviction churns constantly. The cache is internally synchronised;
+  // under TSan this doubles as a data-race check, and the counters must
+  // balance exactly against what the threads observed.
+  exec::PlanCache Cache(/*Capacity=*/4);
+  auto Plan = std::make_shared<const exec::ExecutablePlan>();
+  constexpr unsigned Threads = 8;
+  constexpr unsigned Iterations = 2000;
+  constexpr unsigned Keys = 6;
+  auto keyFor = [](unsigned K) {
+    exec::PlanKey Key;
+    Key.Lower = {0, 0};
+    Key.Upper = {static_cast<int64_t>(K + 1),
+                 static_cast<int64_t>(2 * K + 1)};
+    return Key;
+  };
+
+  std::atomic<uint64_t> ObservedHits{0}, ObservedMisses{0};
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.emplace_back([&, T] {
+      uint64_t Hits = 0, Misses = 0;
+      for (unsigned I = 0; I != Iterations; ++I) {
+        unsigned K = (T * 7 + I * 13) % Keys;
+        if (Cache.lookup(keyFor(K))) {
+          ++Hits;
+        } else {
+          ++Misses;
+          Cache.insert(keyFor(K), Plan);
+        }
+      }
+      ObservedHits += Hits;
+      ObservedMisses += Misses;
+    });
+  for (std::thread &T : Pool)
+    T.join();
+
+  exec::PlanCache::Stats Stats = Cache.stats();
+  EXPECT_EQ(Stats.Hits, ObservedHits.load());
+  EXPECT_EQ(Stats.Misses, ObservedMisses.load());
+  EXPECT_EQ(Stats.Hits + Stats.Misses,
+            static_cast<uint64_t>(Threads) * Iterations);
+  // Inserts only follow misses, and only a full cache evicts.
+  EXPECT_LE(Stats.Evictions, Stats.Misses);
+  EXPECT_GT(Stats.Evictions, 0u);
+  EXPECT_LE(Cache.size(), Cache.capacity());
+}
+
 //===----------------------------------------------------------------------===//
 // Plan cache on the run path: second run does zero synthesis work
 //===----------------------------------------------------------------------===//

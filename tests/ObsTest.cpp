@@ -10,7 +10,9 @@
 /// JSON well-formedness), the metrics registry (snapshot determinism,
 /// plan-cache registration), and the simulator profiling depth: the
 /// per-partition timeline must sum exactly to the run's modelled cycle
-/// and cell totals, and tracing must never change results.
+/// and cell totals, and tracing must never change results. Also checks
+/// that the serving engine's serve.* counters, distributions and spans
+/// land in the global registry and trace.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,6 +23,7 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "runtime/CompiledRecurrence.h"
+#include "serve/Engine.h"
 
 #include <gtest/gtest.h>
 
@@ -517,4 +520,76 @@ TEST(MetricsTest, ParallelScanFeedsGlobalRegistry) {
   std::string Json = Tracer::instance().chromeTraceJson();
   EXPECT_TRUE(JsonValidator(Json).valid());
   EXPECT_NE(Json.find("\"exec.scan_fork\""), std::string::npos);
+}
+
+TEST(MetricsTest, ServingEngineFeedsGlobalRegistry) {
+  TracerSandbox Sandbox;
+  CompiledRecurrence Fn = compileOrDie(EditDistanceSource);
+  bio::Sequence S("s", "metric"), T("t", "metrics");
+  auto request = [&] {
+    serve::Request Req;
+    Req.Fn = &Fn;
+    Req.Args = editDistanceArgs(S, T);
+    return Req;
+  };
+
+  MetricsSnapshot Before = MetricsRegistry::global().snapshot();
+  Tracer::instance().enable();
+  {
+    serve::Engine::Options Opts;
+    Opts.QueueCapacity = 2;
+    Opts.StartPaused = true;
+    serve::Engine Engine(Opts);
+    // Two admitted, the third rejected, one of the admitted expired.
+    serve::Future A = Engine.submit(request());
+    serve::Request Expiring = request();
+    Expiring.DeadlineTick = 1;
+    serve::Future B = Engine.submit(std::move(Expiring));
+    serve::Future C = Engine.submit(request());
+    Engine.advanceTo(5);
+    Engine.shutdown(serve::Engine::ShutdownMode::Drain);
+    EXPECT_EQ(A.wait().St, serve::Status::Ok);
+    EXPECT_EQ(B.wait().St, serve::Status::Deadline);
+    EXPECT_EQ(C.wait().St, serve::Status::QueueFull);
+  }
+  Tracer::instance().disable();
+  MetricsSnapshot After = MetricsRegistry::global().snapshot();
+
+  EXPECT_EQ(After.counter("serve.requests"),
+            Before.counter("serve.requests") + 2);
+  EXPECT_EQ(After.counter("serve.rejected"),
+            Before.counter("serve.rejected") + 1);
+  EXPECT_EQ(After.counter("serve.deadline_shed"),
+            Before.counter("serve.deadline_shed") + 1);
+  EXPECT_GT(After.counter("serve.batches"),
+            Before.counter("serve.batches"));
+
+  // Queue depth, batch occupancy and the latency split all record as
+  // distributions.
+  for (const char *Name :
+       {"serve.queue_depth", "serve.coalesced_per_batch",
+        "serve.latency.queue_wait_seconds",
+        "serve.latency.execute_seconds",
+        "serve.latency.total_seconds"}) {
+    auto It = After.Distributions.find(Name);
+    ASSERT_NE(It, After.Distributions.end()) << Name;
+    uint64_t CountBefore = 0;
+    if (auto B = Before.Distributions.find(Name);
+        B != Before.Distributions.end())
+      CountBefore = B->second.Count;
+    EXPECT_GT(It->second.Count, CountBefore) << Name;
+  }
+
+  // The snapshot JSON (what `parrec serve --stats-out` writes) carries
+  // the serve section and parses back.
+  std::string Json = After.json();
+  EXPECT_TRUE(JsonValidator(Json).valid());
+  EXPECT_NE(Json.find("serve.queue_depth"), std::string::npos);
+
+  // The engine's pipeline spans made it into the trace.
+  std::string Trace = Tracer::instance().chromeTraceJson();
+  EXPECT_TRUE(JsonValidator(Trace).valid());
+  EXPECT_NE(Trace.find("\"serve.enqueue\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"serve.coalesce\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"serve.dispatch\""), std::string::npos);
 }

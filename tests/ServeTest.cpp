@@ -1,0 +1,523 @@
+//===- ServeTest.cpp - Tests for the serving engine --------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving engine's contract: results routed through submit/coalesce/
+/// dispatch are bit-identical to direct CompiledRecurrence runs across
+/// device counts and coalescing modes; backpressure, deadline shedding,
+/// Drain-vs-Abort shutdown and batch composition are deterministic on the
+/// virtual clock (StartPaused + shutdown make every schedule reproducible);
+/// and workload specs parse, materialise and replay deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bio/Fasta.h"
+#include "bio/HmmZoo.h"
+#include "bio/SubstitutionMatrix.h"
+#include "obs/Json.h"
+#include "runtime/CompiledRecurrence.h"
+#include "serve/Engine.h"
+#include "serve/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+#include <iterator>
+#include <map>
+
+using namespace parrec;
+using namespace parrec::runtime;
+using codegen::ArgValue;
+
+namespace {
+
+const char *SwSource =
+    "int sw(matrix[protein] m, seq[protein] a, index[a] i,\n"
+    "       seq[protein] b, index[b] j) =\n"
+    "  if i == 0 then 0\n"
+    "  else if j == 0 then 0\n"
+    "  else 0 max (sw(i-1, j-1) + m[a[i-1], b[j-1]])\n"
+    "       max (sw(i-1, j) - 4) max (sw(i, j-1) - 4)\n";
+
+const char *DnaForwardSource =
+    "prob forward(hmm h, state[h] s, seq[dna] x, index[x] i) =\n"
+    "  if i == 0 then\n"
+    "    if s.isstart then 1.0 else 0.0\n"
+    "  else\n"
+    "    (if s.isend then 1.0 else s.emission[x[i-1]]) *\n"
+    "    sum(t in s.transitionsto : t.prob * forward(t.start, i - 1))\n";
+
+CompiledRecurrence compileOrDie(const char *Source) {
+  DiagnosticEngine Diags;
+  auto Compiled = CompiledRecurrence::compile(Source, Diags);
+  EXPECT_TRUE(Compiled.has_value()) << Diags.str();
+  return std::move(*Compiled);
+}
+
+/// Every observable of a served result must match the direct run
+/// bit-for-bit; the engine changes when and where work runs, never what
+/// it computes.
+void expectIdentical(const RunResult &Direct, const RunResult &Served) {
+  EXPECT_EQ(Direct.RootValue, Served.RootValue);
+  EXPECT_EQ(Direct.TableMax, Served.TableMax);
+  EXPECT_EQ(Direct.Cells, Served.Cells);
+  EXPECT_EQ(Direct.Partitions, Served.Partitions);
+  EXPECT_TRUE(Direct.Cost == Served.Cost);
+  EXPECT_EQ(Direct.Cycles, Served.Cycles);
+  EXPECT_TRUE(Direct.Metrics == Served.Metrics);
+  EXPECT_EQ(Direct.UsedSchedule, Served.UsedSchedule);
+}
+
+/// A mixed Smith-Waterman / forward problem set with repeated shapes
+/// (repeats are what coalescing batches together). Sequences live in
+/// deques so ArgValue pointers stay valid for the fixture's lifetime.
+struct MixedProblems {
+  CompiledRecurrence Sw = compileOrDie(SwSource);
+  CompiledRecurrence Forward = compileOrDie(DnaForwardSource);
+  bio::Hmm Genes = bio::makeGeneFinderModel();
+  std::deque<bio::Sequence> Seqs;
+  std::vector<const CompiledRecurrence *> Fns;
+  std::vector<std::vector<ArgValue>> Args;
+
+  MixedProblems() {
+    const bio::SubstitutionMatrix &Blosum =
+        bio::SubstitutionMatrix::blosum62();
+    Seqs.push_back(bio::randomSequence(bio::Alphabet::protein(), 32,
+                                       /*Seed=*/0xA11CE, "query"));
+    const bio::Sequence *Query = &Seqs.back();
+    int64_t SubjectLengths[] = {20, 28, 20, 28, 28, 36};
+    for (size_t I = 0; I != std::size(SubjectLengths); ++I) {
+      Seqs.push_back(bio::randomSequence(bio::Alphabet::protein(),
+                                         SubjectLengths[I], 100 + I,
+                                         "s" + std::to_string(I)));
+      Fns.push_back(&Sw);
+      Args.push_back({ArgValue::ofMatrix(&Blosum), ArgValue::ofSeq(Query),
+                      ArgValue(), ArgValue::ofSeq(&Seqs.back()),
+                      ArgValue()});
+    }
+    int64_t ObservedLengths[] = {40, 40, 52};
+    for (size_t I = 0; I != std::size(ObservedLengths); ++I) {
+      std::string Observed = Genes.sample(
+          /*Seed=*/7 + I, static_cast<size_t>(ObservedLengths[I]));
+      Observed.resize(static_cast<size_t>(ObservedLengths[I]), 'a');
+      Seqs.emplace_back("x" + std::to_string(I), std::move(Observed));
+      Fns.push_back(&Forward);
+      Args.push_back({ArgValue::ofHmm(&Genes), ArgValue(),
+                      ArgValue::ofSeq(&Seqs.back()), ArgValue()});
+    }
+  }
+
+  size_t size() const { return Fns.size(); }
+};
+
+/// One trivial forward problem for the control-flow tests.
+struct TinyProblem {
+  CompiledRecurrence Forward = compileOrDie(DnaForwardSource);
+  bio::Hmm Genes = bio::makeGeneFinderModel();
+  bio::Sequence X{"x", "acgtacgtacgt"};
+
+  serve::Request request() const {
+    serve::Request Req;
+    Req.Fn = &Forward;
+    Req.Args = {ArgValue::ofHmm(&Genes), ArgValue(),
+                ArgValue::ofSeq(&X), ArgValue()};
+    return Req;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Differential: served results == direct results, on every topology
+//===----------------------------------------------------------------------===//
+
+TEST(ServeEngineTest, ResultsBitIdenticalToDirectRuns) {
+  MixedProblems P;
+
+  // Direct single-problem runs are the oracle.
+  gpu::Device Direct;
+  std::vector<RunResult> Expected;
+  for (size_t I = 0; I != P.size(); ++I) {
+    DiagnosticEngine Diags;
+    auto R = P.Fns[I]->runGpu(P.Args[I], Direct, Diags);
+    ASSERT_TRUE(R.has_value()) << Diags.str();
+    Expected.push_back(std::move(*R));
+  }
+
+  for (unsigned Devices : {1u, 3u}) {
+    for (bool Coalesce : {true, false}) {
+      serve::Engine::Options Opts;
+      Opts.Devices = Devices;
+      Opts.Coalesce = Coalesce;
+      Opts.MaxBatch = 4;
+      Opts.StartPaused = true;
+      serve::Engine Engine(Opts);
+      std::vector<serve::Future> Futures;
+      for (size_t I = 0; I != P.size(); ++I) {
+        serve::Request Req;
+        Req.Fn = P.Fns[I];
+        Req.Args = P.Args[I];
+        Futures.push_back(Engine.submit(std::move(Req)));
+      }
+      Engine.shutdown(serve::Engine::ShutdownMode::Drain);
+      for (size_t I = 0; I != Futures.size(); ++I) {
+        const serve::Response &Resp = Futures[I].wait();
+        ASSERT_EQ(Resp.St, serve::Status::Ok)
+            << "devices=" << Devices << " coalesce=" << Coalesce
+            << " problem=" << I << ": " << Resp.Error;
+        expectIdentical(Expected[I], Resp.Result);
+        EXPECT_LT(Resp.Device, Devices);
+      }
+      serve::Engine::Stats Stats = Engine.stats();
+      EXPECT_EQ(Stats.Submitted, P.size());
+      EXPECT_EQ(Stats.Completed, P.size());
+      EXPECT_EQ(Stats.Rejected, 0u);
+    }
+  }
+
+  // The engine plans through the same per-function PlanCache the direct
+  // runs use: every served shape was already planned above, so serving
+  // performed zero fresh synthesis.
+  EXPECT_GT(P.Sw.planCacheStats().Hits, 0u);
+  EXPECT_GT(P.Forward.planCacheStats().Hits, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Backpressure, deadlines, shutdown modes (virtual-clock deterministic)
+//===----------------------------------------------------------------------===//
+
+TEST(ServeEngineTest, QueueFullRejectsDeterministically) {
+  TinyProblem P;
+  serve::Engine::Options Opts;
+  Opts.QueueCapacity = 3;
+  Opts.StartPaused = true;
+  serve::Engine Engine(Opts);
+
+  std::vector<serve::Future> Admitted;
+  for (int I = 0; I != 3; ++I)
+    Admitted.push_back(Engine.submit(P.request()));
+  EXPECT_EQ(Engine.queueDepth(), 3u);
+
+  // The paused coalescer cannot drain, so the fourth submission must be
+  // rejected immediately — backpressure, not buffering.
+  serve::Future Rejected = Engine.submit(P.request());
+  ASSERT_TRUE(Rejected.valid());
+  EXPECT_TRUE(Rejected.ready());
+  EXPECT_EQ(Rejected.wait().St, serve::Status::QueueFull);
+
+  Engine.shutdown(serve::Engine::ShutdownMode::Drain);
+  for (serve::Future &F : Admitted)
+    EXPECT_EQ(F.wait().St, serve::Status::Ok);
+  serve::Engine::Stats Stats = Engine.stats();
+  EXPECT_EQ(Stats.Rejected, 1u);
+  EXPECT_EQ(Stats.Completed, 3u);
+  EXPECT_EQ(Stats.MaxQueueDepth, 3u);
+}
+
+TEST(ServeEngineTest, ExpiredDeadlinesAreShedAtDequeue) {
+  TinyProblem P;
+  serve::Engine::Options Opts;
+  Opts.StartPaused = true;
+  serve::Engine Engine(Opts);
+
+  serve::Request Expiring = P.request();
+  Expiring.DeadlineTick = 5;
+  serve::Future Late = Engine.submit(std::move(Expiring));
+
+  serve::Request Relaxed = P.request();
+  Relaxed.DeadlineTick = 1000;
+  serve::Future OnTime = Engine.submit(std::move(Relaxed));
+
+  // Both are queued; the clock passes one deadline before the coalescer
+  // ever sees the queue.
+  Engine.advanceTo(10);
+  Engine.shutdown(serve::Engine::ShutdownMode::Drain);
+
+  EXPECT_EQ(Late.wait().St, serve::Status::Deadline);
+  EXPECT_EQ(OnTime.wait().St, serve::Status::Ok);
+  serve::Engine::Stats Stats = Engine.stats();
+  EXPECT_EQ(Stats.DeadlineShed, 1u);
+  EXPECT_EQ(Stats.Completed, 1u);
+}
+
+TEST(ServeEngineTest, DrainFinishesWhatAbortDrops) {
+  TinyProblem P;
+
+  serve::Engine::Options Opts;
+  Opts.StartPaused = true;
+  {
+    serve::Engine Drained(Opts);
+    std::vector<serve::Future> Futures;
+    for (int I = 0; I != 3; ++I)
+      Futures.push_back(Drained.submit(P.request()));
+    Drained.shutdown(serve::Engine::ShutdownMode::Drain);
+    for (serve::Future &F : Futures)
+      EXPECT_EQ(F.wait().St, serve::Status::Ok);
+    EXPECT_EQ(Drained.stats().Completed, 3u);
+    EXPECT_EQ(Drained.stats().Aborted, 0u);
+  }
+  {
+    serve::Engine Aborted(Opts);
+    std::vector<serve::Future> Futures;
+    for (int I = 0; I != 3; ++I)
+      Futures.push_back(Aborted.submit(P.request()));
+    Aborted.shutdown(serve::Engine::ShutdownMode::Abort);
+    for (serve::Future &F : Futures)
+      EXPECT_EQ(F.wait().St, serve::Status::Aborted);
+    EXPECT_EQ(Aborted.stats().Completed, 0u);
+    EXPECT_EQ(Aborted.stats().Aborted, 3u);
+  }
+
+  // After shutdown the engine admits nothing new.
+  serve::Engine Closed(Opts);
+  Closed.shutdown(serve::Engine::ShutdownMode::Drain);
+  EXPECT_EQ(Closed.submit(P.request()).wait().St,
+            serve::Status::QueueFull);
+}
+
+TEST(ServeEngineTest, InvalidRequestFailsWithDiagnostics) {
+  TinyProblem P;
+  serve::Engine::Options Opts;
+  Opts.StartPaused = true;
+  serve::Engine Engine(Opts);
+
+  serve::Request Bad = P.request();
+  Bad.Args.pop_back();
+  Bad.Args.pop_back(); // Wrong arity: the domain cannot be derived.
+  const serve::Response &Resp = Engine.submit(std::move(Bad)).wait();
+  EXPECT_EQ(Resp.St, serve::Status::Failed);
+  EXPECT_FALSE(Resp.Error.empty());
+  Engine.shutdown(serve::Engine::ShutdownMode::Drain);
+  EXPECT_EQ(Engine.stats().Failed, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Coalescing and dispatch topology
+//===----------------------------------------------------------------------===//
+
+TEST(ServeEngineTest, CoalescesSameShapeUpToMaxBatch) {
+  TinyProblem P;
+  serve::Engine::Options Opts;
+  Opts.MaxBatch = 4;
+  Opts.StartPaused = true;
+  serve::Engine Engine(Opts);
+  std::vector<serve::Future> Futures;
+  for (int I = 0; I != 6; ++I)
+    Futures.push_back(Engine.submit(P.request()));
+  Engine.shutdown(serve::Engine::ShutdownMode::Drain);
+
+  std::map<uint64_t, uint64_t> BatchSizes;
+  for (serve::Future &F : Futures) {
+    const serve::Response &Resp = F.wait();
+    ASSERT_EQ(Resp.St, serve::Status::Ok) << Resp.Error;
+    BatchSizes[Resp.BatchId] = Resp.BatchSize;
+  }
+  // Six identical shapes against MaxBatch=4: one full batch, one rest.
+  ASSERT_EQ(BatchSizes.size(), 2u);
+  EXPECT_EQ(Engine.stats().Batches, 2u);
+  std::vector<uint64_t> Sizes;
+  for (const auto &[Id, Size] : BatchSizes)
+    Sizes.push_back(Size);
+  EXPECT_EQ(Sizes, (std::vector<uint64_t>{4, 2}));
+}
+
+TEST(ServeEngineTest, CoalescingOffDispatchesSingletons) {
+  TinyProblem P;
+  serve::Engine::Options Opts;
+  Opts.Coalesce = false;
+  Opts.StartPaused = true;
+  serve::Engine Engine(Opts);
+  std::vector<serve::Future> Futures;
+  for (int I = 0; I != 5; ++I)
+    Futures.push_back(Engine.submit(P.request()));
+  Engine.shutdown(serve::Engine::ShutdownMode::Drain);
+  for (serve::Future &F : Futures)
+    EXPECT_EQ(F.wait().BatchSize, 1u);
+  EXPECT_EQ(Engine.stats().Batches, 5u);
+}
+
+TEST(ServeEngineTest, RoundRobinsBatchesAcrossDevices) {
+  TinyProblem P;
+  serve::Engine::Options Opts;
+  Opts.Devices = 3;
+  Opts.Coalesce = false;
+  Opts.StartPaused = true;
+  serve::Engine Engine(Opts);
+  std::vector<serve::Future> Futures;
+  for (int I = 0; I != 6; ++I)
+    Futures.push_back(Engine.submit(P.request()));
+  Engine.shutdown(serve::Engine::ShutdownMode::Drain);
+  for (serve::Future &F : Futures)
+    EXPECT_EQ(F.wait().St, serve::Status::Ok);
+  serve::Engine::Stats Stats = Engine.stats();
+  ASSERT_EQ(Stats.DeviceBatches.size(), 3u);
+  for (uint64_t Batches : Stats.DeviceBatches)
+    EXPECT_EQ(Batches, 2u);
+}
+
+TEST(ServeEngineTest, HigherPriorityDispatchesFirst) {
+  MixedProblems P;
+  serve::Engine::Options Opts;
+  Opts.StartPaused = true;
+  serve::Engine Engine(Opts);
+
+  serve::Request Low;
+  Low.Fn = P.Fns[0];
+  Low.Args = P.Args[0];
+  Low.Priority = 0;
+  serve::Request High;
+  High.Fn = P.Fns.back();
+  High.Args = P.Args.back();
+  High.Priority = 5;
+
+  serve::Future LowF = Engine.submit(std::move(Low));
+  serve::Future HighF = Engine.submit(std::move(High));
+  Engine.shutdown(serve::Engine::ShutdownMode::Drain);
+  ASSERT_EQ(LowF.wait().St, serve::Status::Ok);
+  ASSERT_EQ(HighF.wait().St, serve::Status::Ok);
+  // Submitted second, dispatched (and thus completed) first.
+  EXPECT_LT(HighF.wait().CompletionSeq, LowF.wait().CompletionSeq);
+}
+
+TEST(ServeEngineTest, LingerWindowIsVirtualTime) {
+  TinyProblem P;
+  serve::Engine::Options Opts;
+  Opts.LingerTicks = 10;
+  Opts.MaxBatch = 16;
+  serve::Engine Engine(Opts);
+
+  // The batch opened at tick 0 stays open until the virtual clock passes
+  // tick 10, however long that takes in wall time; both requests land in
+  // the same batch regardless of thread scheduling.
+  serve::Future A = Engine.submit(P.request());
+  serve::Future B = Engine.submit(P.request());
+  Engine.advanceTo(11);
+  Engine.shutdown(serve::Engine::ShutdownMode::Drain);
+  ASSERT_EQ(A.wait().St, serve::Status::Ok);
+  ASSERT_EQ(B.wait().St, serve::Status::Ok);
+  EXPECT_EQ(A.wait().BatchId, B.wait().BatchId);
+  EXPECT_EQ(A.wait().BatchSize, 2u);
+  EXPECT_EQ(Engine.stats().Batches, 1u);
+}
+
+TEST(ServeEngineTest, CallbackRunsOnCompletion) {
+  TinyProblem P;
+  serve::Engine::Options Opts;
+  Opts.StartPaused = true;
+  serve::Engine Engine(Opts);
+  std::atomic<int> Calls{0};
+  serve::Status Seen = serve::Status::Failed;
+  serve::Future F = Engine.submit(P.request(),
+                                  [&](const serve::Response &Resp) {
+                                    Seen = Resp.St;
+                                    ++Calls;
+                                  });
+  Engine.shutdown(serve::Engine::ShutdownMode::Drain);
+  F.wait();
+  EXPECT_EQ(Calls.load(), 1);
+  EXPECT_EQ(Seen, serve::Status::Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// Workload specs and replay
+//===----------------------------------------------------------------------===//
+
+TEST(ServeWorkloadTest, ParsesSpecsAndRejectsBadOnes) {
+  std::string Error;
+  auto Doc = obs::parseJson(
+      "{\"tenants\": [{\"name\": \"t\", \"kind\": \"forward\","
+      " \"requests\": 3, \"min_length\": 16, \"max_length\": 16,"
+      " \"mean_gap_ticks\": 2, \"deadline_ticks\": 9,"
+      " \"priority\": 1, \"seed\": 42}]}",
+      &Error);
+  ASSERT_TRUE(Doc.has_value()) << Error;
+  auto Spec = serve::parseWorkloadSpec(*Doc, &Error);
+  ASSERT_TRUE(Spec.has_value()) << Error;
+  ASSERT_EQ(Spec->Tenants.size(), 1u);
+  EXPECT_EQ(Spec->Tenants[0].Name, "t");
+  EXPECT_EQ(Spec->Tenants[0].Kind, "forward");
+  EXPECT_EQ(Spec->Tenants[0].Requests, 3u);
+  EXPECT_EQ(Spec->Tenants[0].DeadlineTicks, 9u);
+
+  auto BadKind =
+      obs::parseJson("{\"tenants\": [{\"kind\": \"nussinov\"}]}");
+  ASSERT_TRUE(BadKind.has_value());
+  EXPECT_FALSE(serve::parseWorkloadSpec(*BadKind, &Error).has_value());
+  EXPECT_NE(Error.find("unknown kind"), std::string::npos);
+
+  auto NoTenants = obs::parseJson("{\"tenants\": []}");
+  ASSERT_TRUE(NoTenants.has_value());
+  EXPECT_FALSE(serve::parseWorkloadSpec(*NoTenants, &Error).has_value());
+}
+
+TEST(ServeWorkloadTest, MaterialisationIsDeterministic) {
+  serve::WorkloadSpec Spec;
+  serve::TenantSpec Tenant;
+  Tenant.Name = "t";
+  Tenant.Kind = "viterbi";
+  Tenant.Requests = 5;
+  Tenant.MinLength = 20;
+  Tenant.MaxLength = 30;
+  Tenant.MeanGapTicks = 3;
+  Tenant.Seed = 99;
+  Spec.Tenants.push_back(Tenant);
+
+  DiagnosticEngine Diags;
+  auto A = serve::Workload::build(Spec, Diags);
+  auto B = serve::Workload::build(Spec, Diags);
+  ASSERT_TRUE(A.has_value()) << Diags.str();
+  ASSERT_TRUE(B.has_value()) << Diags.str();
+  ASSERT_EQ(A->events().size(), 5u);
+  ASSERT_EQ(A->events().size(), B->events().size());
+  for (size_t I = 0; I != A->events().size(); ++I) {
+    EXPECT_EQ(A->events()[I].SubmitTick, B->events()[I].SubmitTick);
+    EXPECT_EQ(A->events()[I].Args.size(), B->events()[I].Args.size());
+  }
+  EXPECT_EQ(A->lastTick(), B->lastTick());
+}
+
+TEST(ServeWorkloadTest, ReplayCompletesEverythingAndReportsJson) {
+  serve::WorkloadSpec Spec;
+  for (const char *Kind : {"smith_waterman", "forward"}) {
+    serve::TenantSpec Tenant;
+    Tenant.Name = Kind;
+    Tenant.Kind = Kind;
+    Tenant.Requests = 4;
+    Tenant.MinLength = 24;
+    Tenant.MaxLength = 24;
+    Tenant.MeanGapTicks = 2;
+    Tenant.Seed = 7;
+    Spec.Tenants.push_back(Tenant);
+  }
+  DiagnosticEngine Diags;
+  auto Workload = serve::Workload::build(Spec, Diags);
+  ASSERT_TRUE(Workload.has_value()) << Diags.str();
+
+  serve::Engine::Options Opts;
+  Opts.Devices = 2;
+  Opts.MaxBatch = 4;
+  Opts.LingerTicks = 2;
+  serve::Engine Engine(Opts);
+  serve::ReplayReport Report = serve::replay(Engine, *Workload);
+
+  EXPECT_EQ(Report.Total, 8u);
+  EXPECT_EQ(Report.okCount(), 8u);
+  EXPECT_EQ(Report.Stats.Completed, 8u);
+  EXPECT_GT(Report.Stats.Batches, 0u);
+  EXPECT_GT(Report.ModelledCycles, 0u);
+
+  // The report must round-trip through the JSON parser (the CI smoke
+  // validates the same document with python's json.tool).
+  std::string Error;
+  auto Parsed = obs::parseJson(Report.json(), &Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error;
+  EXPECT_EQ(Parsed->integerOr("total", -1), 8);
+  const obs::JsonValue *Statuses = Parsed->member("by_status");
+  ASSERT_NE(Statuses, nullptr);
+  EXPECT_EQ(Statuses->integerOr("ok", -1), 8);
+}
