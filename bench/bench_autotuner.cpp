@@ -1,0 +1,298 @@
+//===- bench_autotuner.cpp - Schedule autotuner vs default planning ----------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation gate for the cost-model schedule autotuner: on the three
+/// case-study recursions (Smith-Waterman, gene-finder Viterbi, profile
+/// HMM forward) the autotuned plan's modelled busiest-device cycles must
+/// be less than or equal to the default plan's, with bit-identical
+/// results — the tuner may only ever change how the answer is reached,
+/// never the answer. Also asserts that a second same-shaped compile hits
+/// the plan cache and evaluates zero candidates (the
+/// compile.autotune.candidates metric stays flat). Writes
+/// BENCH_autotuner.json.
+///
+/// Usage: bench_autotuner [--smoke] [--out=PATH]
+///   --smoke     small problem sizes (CI gate)
+///   --out=PATH  JSON output path (default BENCH_autotuner.json)
+///
+/// Exits non-zero if the tuned plan is slower, diverges, or re-searches
+/// on a cache hit.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bio/Fasta.h"
+#include "bio/HmmZoo.h"
+#include "gpu/Device.h"
+#include "obs/Metrics.h"
+#include "runtime/CompiledRecurrence.h"
+#include "support/Random.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace parrec;
+using runtime::CompiledRecurrence;
+using runtime::RunOptions;
+using runtime::RunResult;
+using codegen::ArgValue;
+
+namespace {
+
+const char *SmithWatermanSource =
+    "int sw(matrix[protein] m, seq[protein] a, index[a] i,\n"
+    "       seq[protein] b, index[b] j) =\n"
+    "  if i == 0 then 0\n"
+    "  else if j == 0 then 0\n"
+    "  else 0 max (sw(i-1, j-1) + m[a[i-1], b[j-1]])\n"
+    "       max (sw(i-1, j) - 4) max (sw(i, j-1) - 4)\n";
+
+const char *ViterbiSource =
+    "prob viterbi(hmm h, state[h] s, seq[dna] x, index[x] i) =\n"
+    "  if i == 0 then\n"
+    "    if s.isstart then 1.0 else 0.0\n"
+    "  else\n"
+    "    (if s.isend then 1.0 else s.emission[x[i-1]]) *\n"
+    "    max(t in s.transitionsto : t.prob * viterbi(t.start, i - 1))\n";
+
+const char *ForwardSource =
+    "prob forward(hmm h, state[h] s, seq[protein] x, index[x] i) =\n"
+    "  if i == 0 then\n"
+    "    if s.isstart then 1.0 else 0.0\n"
+    "  else\n"
+    "    (if s.isend then 1.0 else s.emission[x[i-1]]) *\n"
+    "    sum(t in s.transitionsto : t.prob * forward(t.start, i - 1))\n";
+
+struct CaseResult {
+  std::string Name;
+  uint64_t Cells = 0;
+  uint64_t DefaultCycles = 0;
+  uint64_t TunedCycles = 0;
+  uint64_t CandidatesEvaluated = 0;
+  uint64_t CandidatesOnCacheHit = 0;
+  double Ratio = 0.0;
+  bool ResultsMatch = false;
+};
+
+CompiledRecurrence compileOrDie(const char *Source) {
+  DiagnosticEngine Diags;
+  auto Compiled = CompiledRecurrence::compile(Source, Diags);
+  if (!Compiled) {
+    std::fprintf(stderr, "bench compile failure:\n%s",
+                 Diags.str().c_str());
+    std::exit(2);
+  }
+  return std::move(*Compiled);
+}
+
+std::string padSample(const bio::Hmm &Model, uint64_t Seed,
+                      size_t Length) {
+  SplitMix64 Rng(Seed);
+  std::string S = Model.sample(Rng.next(), Length);
+  while (S.size() < Length)
+    S += Model.alphabet().charAt(
+        static_cast<unsigned>(Rng.nextBelow(Model.alphabet().size())));
+  S.resize(Length);
+  return S;
+}
+
+CaseResult runCase(const std::string &Name, const CompiledRecurrence &Fn,
+                   const std::vector<ArgValue> &Args) {
+  gpu::Device Dev;
+  DiagnosticEngine Diags;
+  RunOptions Default;
+  RunOptions Tuned;
+  Tuned.Autotune = true;
+
+  auto fail = [&](const char *What) {
+    std::fprintf(stderr, "%s: %s:\n%s", Name.c_str(), What,
+                 Diags.str().c_str());
+    std::exit(2);
+  };
+
+  std::optional<RunResult> Base = Fn.runGpu(Args, Dev, Diags, Default);
+  if (!Base)
+    fail("default run failed");
+
+  obs::MetricsSnapshot S0 = obs::MetricsRegistry::global().snapshot();
+  std::optional<RunResult> Tune = Fn.runGpu(Args, Dev, Diags, Tuned);
+  if (!Tune)
+    fail("autotuned run failed");
+  obs::MetricsSnapshot S1 = obs::MetricsRegistry::global().snapshot();
+
+  // Same shape again: the tuned plan is cached, the search must not
+  // re-run.
+  std::optional<RunResult> Again = Fn.runGpu(Args, Dev, Diags, Tuned);
+  if (!Again)
+    fail("cached autotuned run failed");
+  obs::MetricsSnapshot S2 = obs::MetricsRegistry::global().snapshot();
+
+  CaseResult C;
+  C.Name = Name;
+  C.Cells = Base->Cells;
+  C.DefaultCycles = Base->Cycles;
+  C.TunedCycles = Tune->Cycles;
+  C.CandidatesEvaluated = S1.counter("compile.autotune.candidates") -
+                          S0.counter("compile.autotune.candidates");
+  C.CandidatesOnCacheHit = S2.counter("compile.autotune.candidates") -
+                           S1.counter("compile.autotune.candidates");
+  C.Ratio = C.DefaultCycles
+                ? static_cast<double>(C.TunedCycles) /
+                      static_cast<double>(C.DefaultCycles)
+                : 0.0;
+  C.ResultsMatch = Base->RootValue == Tune->RootValue &&
+                   Base->TableMax == Tune->TableMax &&
+                   Base->Cells == Tune->Cells &&
+                   Tune->Cycles == Again->Cycles &&
+                   Tune->RootValue == Again->RootValue;
+  return C;
+}
+
+void writeJson(const std::string &Path,
+               const std::vector<CaseResult> &Cases, bool Smoke) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(F, "{\n  \"benchmark\": \"autotuner_ablation\",\n");
+  std::fprintf(F, "  \"mode\": \"%s\",\n", Smoke ? "smoke" : "full");
+  std::fprintf(F, "  \"cases\": [\n");
+  for (size_t I = 0; I != Cases.size(); ++I) {
+    const CaseResult &C = Cases[I];
+    std::fprintf(F,
+                 "    {\n"
+                 "      \"name\": \"%s\",\n"
+                 "      \"cells\": %llu,\n"
+                 "      \"default_cycles\": %llu,\n"
+                 "      \"tuned_cycles\": %llu,\n"
+                 "      \"tuned_over_default\": %.6f,\n"
+                 "      \"candidates_evaluated\": %llu,\n"
+                 "      \"candidates_on_cache_hit\": %llu,\n"
+                 "      \"results_match\": %s\n"
+                 "    }%s\n",
+                 C.Name.c_str(), static_cast<unsigned long long>(C.Cells),
+                 static_cast<unsigned long long>(C.DefaultCycles),
+                 static_cast<unsigned long long>(C.TunedCycles), C.Ratio,
+                 static_cast<unsigned long long>(C.CandidatesEvaluated),
+                 static_cast<unsigned long long>(C.CandidatesOnCacheHit),
+                 C.ResultsMatch ? "true" : "false",
+                 I + 1 == Cases.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Smoke = false;
+  std::string OutPath = "BENCH_autotuner.json";
+  for (int I = 1; I != Argc; ++I) {
+    if (std::strcmp(Argv[I], "--smoke") == 0)
+      Smoke = true;
+    else if (std::strncmp(Argv[I], "--out=", 6) == 0)
+      OutPath = Argv[I] + 6;
+    else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out=PATH]\n", Argv[0]);
+      return 2;
+    }
+  }
+
+  const int64_t SwLen = Smoke ? 150 : 700;
+  const size_t ViterbiLen = Smoke ? 400 : 4000;
+  const size_t ForwardLen = Smoke ? 120 : 500;
+  const unsigned ProfilePositions = Smoke ? 10 : 30;
+
+  std::vector<CaseResult> Cases;
+
+  // Case study 1 (Section 6.1): Smith-Waterman, protein x protein.
+  {
+    CompiledRecurrence Fn = compileOrDie(SmithWatermanSource);
+    const bio::SubstitutionMatrix &M = bio::SubstitutionMatrix::blosum62();
+    bio::Sequence A = bio::randomSequence(bio::Alphabet::protein(), SwLen,
+                                          /*Seed=*/31, "a");
+    bio::Sequence B = bio::randomSequence(bio::Alphabet::protein(), SwLen,
+                                          /*Seed=*/32, "b");
+    Cases.push_back(runCase("smith_waterman", Fn,
+                            {ArgValue::ofMatrix(&M), ArgValue::ofSeq(&A),
+                             ArgValue(), ArgValue::ofSeq(&B), ArgValue()}));
+  }
+
+  // Case study 2 (Section 6.2): Viterbi over the gene-finder model.
+  {
+    CompiledRecurrence Fn = compileOrDie(ViterbiSource);
+    bio::Hmm Genes = bio::makeGeneFinderModel();
+    bio::Sequence X("x", padSample(Genes, /*Seed=*/0x6E43, ViterbiLen));
+    Cases.push_back(runCase("viterbi_genefinder", Fn,
+                            {ArgValue::ofHmm(&Genes), ArgValue(),
+                             ArgValue::ofSeq(&X), ArgValue()}));
+  }
+
+  // Case study 3 (Section 6.3): forward over a profile HMM.
+  {
+    CompiledRecurrence Fn = compileOrDie(ForwardSource);
+    DiagnosticEngine Diags;
+    bio::Hmm Raw = bio::makeProfileHmm(ProfilePositions,
+                                       bio::Alphabet::protein(),
+                                       /*Seed=*/9);
+    auto Profile = bio::eliminateSilentStates(Raw, Diags);
+    if (!Profile) {
+      std::fprintf(stderr, "profile build failure:\n%s",
+                   Diags.str().c_str());
+      return 2;
+    }
+    bio::Sequence X = bio::randomSequence(bio::Alphabet::protein(),
+                                          static_cast<int64_t>(ForwardLen),
+                                          /*Seed=*/41, "x");
+    Cases.push_back(runCase("forward_profile", Fn,
+                            {ArgValue::ofHmm(&*Profile), ArgValue(),
+                             ArgValue::ofSeq(&X), ArgValue()}));
+  }
+
+  std::printf("== Autotuner ablation: tuned vs default plan (%s) ==\n",
+              Smoke ? "smoke" : "full");
+  std::printf("%20s %12s %14s %14s %8s %6s %6s\n", "case", "cells",
+              "default cyc", "tuned cyc", "ratio", "cand", "match");
+  bool Ok = true;
+  for (const CaseResult &C : Cases) {
+    std::printf("%20s %12llu %14llu %14llu %7.3fx %6llu %6s\n",
+                C.Name.c_str(), static_cast<unsigned long long>(C.Cells),
+                static_cast<unsigned long long>(C.DefaultCycles),
+                static_cast<unsigned long long>(C.TunedCycles), C.Ratio,
+                static_cast<unsigned long long>(C.CandidatesEvaluated),
+                C.ResultsMatch ? "yes" : "NO");
+    Ok &= C.ResultsMatch;
+    if (C.TunedCycles > C.DefaultCycles) {
+      std::fprintf(stderr,
+                   "FAIL: tuned plan slower than default on %s "
+                   "(%llu > %llu cycles)\n",
+                   C.Name.c_str(),
+                   static_cast<unsigned long long>(C.TunedCycles),
+                   static_cast<unsigned long long>(C.DefaultCycles));
+      Ok = false;
+    }
+    if (C.CandidatesEvaluated == 0) {
+      std::fprintf(stderr, "FAIL: autotuner evaluated no candidates on %s\n",
+                   C.Name.c_str());
+      Ok = false;
+    }
+    if (C.CandidatesOnCacheHit != 0) {
+      std::fprintf(stderr,
+                   "FAIL: plan-cache hit re-ran the search on %s "
+                   "(%llu candidates)\n",
+                   C.Name.c_str(),
+                   static_cast<unsigned long long>(C.CandidatesOnCacheHit));
+      Ok = false;
+    }
+  }
+  writeJson(OutPath, Cases, Smoke);
+  std::printf("wrote %s\n", OutPath.c_str());
+  return Ok ? 0 : 1;
+}

@@ -14,6 +14,12 @@
 ///
 /// Build and run:  ./build/examples/schedule_explorer
 ///
+/// To have the compiler *search* this space instead of exploring it by
+/// hand, run `parrec run --autotune <script>`: the schedule autotuner
+/// (DESIGN.md §9) scores candidate schedules, sliding-window choices
+/// and thread counts with the simulator's cost model and caches the
+/// winner on the plan.
+///
 //===----------------------------------------------------------------------===//
 
 #include "solver/ScheduleSynthesis.h"

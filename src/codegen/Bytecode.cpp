@@ -20,7 +20,6 @@
 
 #include "codegen/LogSpace.h"
 #include "obs/Metrics.h"
-#include "obs/Trace.h"
 
 #include <cstring>
 #include <limits>
@@ -961,23 +960,14 @@ private:
 std::shared_ptr<const BytecodeProgram>
 parrec::codegen::compileToBytecode(const FunctionDecl &F,
                                    const FunctionInfo &Info) {
-  obs::Span PhaseSpan("compile.bytecode", "compiler");
-  if (PhaseSpan.active())
-    PhaseSpan.arg("function", F.Name);
+  // Instrumented by the "bytecode" pass wrapper (compiler/).
   try {
     std::shared_ptr<const BytecodeProgram> Program =
         Compiler(F, Info).run();
     obs::MetricsRegistry::global().add("bytecode.programs_compiled");
-    if (PhaseSpan.active()) {
-      PhaseSpan.arg("compiled", true);
-      PhaseSpan.arg("instructions",
-                    static_cast<uint64_t>(Program->Code.size()));
-    }
     return Program;
   } catch (const Unsupported &) {
     obs::MetricsRegistry::global().add("bytecode.ast_fallbacks");
-    if (PhaseSpan.active())
-      PhaseSpan.arg("compiled", false);
     return nullptr;
   }
 }

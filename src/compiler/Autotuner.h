@@ -1,0 +1,64 @@
+//===- Autotuner.h - Cost-model schedule autotuning ---------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The schedule autotuner pass. The paper fixes one feasible schedule
+/// per recurrence; the simulator's deterministic cost model makes it
+/// cheap to *search* instead: enumerate candidate affine schedules
+/// (minimal, conditional, unit-coefficient), sliding-window choices and
+/// block thread counts, score every combination with the modelled-cycle
+/// cost of the simulated GPU on a (probe-clamped) domain, and store the
+/// winner on the ExecutablePlan. PlanCache keys include the autotune
+/// flag, so cache hits skip the search entirely and the second compile
+/// of a shape evaluates zero candidates.
+///
+/// The default configuration is always a candidate and wins ties, so an
+/// autotuned plan never scores worse than the untuned one under the
+/// model. Results are unaffected by construction — schedules, windows
+/// and thread counts change only how (and how fast) the table is
+/// filled, never its contents.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_COMPILER_AUTOTUNER_H
+#define PARREC_COMPILER_AUTOTUNER_H
+
+#include "compiler/Pipeline.h"
+
+namespace parrec {
+namespace compiler {
+
+/// The autotuner's pick for one planning request.
+struct AutotuneChoice {
+  solver::Schedule Sched;
+  bool UseWindow = false;
+  unsigned Threads = 0;
+  /// Modelled busiest-block cycles of the winning combination.
+  uint64_t ModelledCycles = 0;
+  /// Number of (schedule, window, threads) combinations scored.
+  uint64_t CandidatesEvaluated = 0;
+};
+
+/// Scores candidate (schedule, window, threads) combinations for the
+/// module's box and returns the winner. \p Default is the configuration
+/// the untuned pipeline would use; it is scored first and wins ties.
+AutotuneChoice tuneSchedule(const solver::RecurrenceSpec &Rec,
+                            const solver::DomainBox &Box,
+                            const exec::PlanRequest &Req,
+                            const solver::Schedule &Default);
+
+/// The autotune pass body: runs tuneSchedule against the already
+/// resolved default schedule, rewrites the module's schedule/window
+/// decision/thread count, and bumps the compile.autotune.* metrics
+/// (compile.autotune.candidates counts scored combinations — a PlanCache
+/// hit leaves it untouched).
+void autotunePlan(CompilationModule &M, obs::Span &S);
+
+} // namespace compiler
+} // namespace parrec
+
+#endif // PARREC_COMPILER_AUTOTUNER_H

@@ -462,7 +462,11 @@ RunResult SerialCpuBackend::execute(const ExecutablePlan &Plan,
 RunResult SimulatedGpuBackend::execute(const ExecutablePlan &Plan,
                                        codegen::Evaluator &Eval,
                                        const RunOptions &Options) const {
-  unsigned Threads =
-      Options.Threads ? Options.Threads : Model.CoresPerMultiprocessor;
+  // Precedence: an explicit request wins, then the autotuner's pick
+  // stored on the plan, then one thread per multiprocessor core.
+  unsigned Threads = Options.Threads
+                         ? Options.Threads
+                         : (Plan.TunedThreads ? Plan.TunedThreads
+                                              : Model.CoresPerMultiprocessor);
   return scanPlan(Plan, Eval, Model, /*IsGpu=*/true, Threads, Options);
 }

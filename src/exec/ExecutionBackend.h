@@ -67,6 +67,11 @@ struct RunOptions {
   /// compiled bytecode program — the differential-testing oracle. The
   /// ParRec_EVAL_AST environment variable forces this globally.
   bool UseAstEvaluator = false;
+  /// Run the cost-model schedule autotuner when planning: candidate
+  /// schedules / window choices / thread counts are scored with the
+  /// simulator's modelled cycles and the winner is cached on the plan.
+  /// Never changes results, only the modelled timing. Off until proven.
+  bool Autotune = false;
   /// Collect the per-partition timeline into RunResult::Timeline (and,
   /// when the global tracer is on, emit device-lane trace slices).
   /// Implied by an enabled obs::Tracer; never changes results, only

@@ -7,9 +7,6 @@
 
 #include "exec/Plan.h"
 
-#include "obs/Trace.h"
-#include "solver/ScheduleSynthesis.h"
-
 using namespace parrec;
 using namespace parrec::exec;
 using solver::Schedule;
@@ -26,12 +23,14 @@ uint64_t PlanKey::hash() const {
   for (int64_t V : Upper)
     Hash = fnvMix(Hash, static_cast<uint64_t>(V));
   Hash = fnvMix(Hash, Schedule{RequestedSchedule}.fingerprint());
-  Hash = fnvMix(Hash, (UseSlidingWindow ? 2u : 0u) | (KeepTable ? 1u : 0u));
+  Hash = fnvMix(Hash, (Autotune ? 4u : 0u) | (UseSlidingWindow ? 2u : 0u) |
+                          (KeepTable ? 1u : 0u));
   return Hash;
 }
 
 PlanKey PlanKey::make(const solver::DomainBox &Box, bool UseSlidingWindow,
-                      bool KeepTable, const Schedule *Requested) {
+                      bool KeepTable, const Schedule *Requested,
+                      bool Autotune) {
   PlanKey Key;
   Key.Lower = Box.Lower;
   Key.Upper = Box.Upper;
@@ -39,6 +38,7 @@ PlanKey PlanKey::make(const solver::DomainBox &Box, bool UseSlidingWindow,
     Key.RequestedSchedule = Requested->Coefficients;
   Key.UseSlidingWindow = UseSlidingWindow;
   Key.KeepTable = KeepTable;
+  Key.Autotune = Autotune;
   return Key;
 }
 
@@ -49,60 +49,5 @@ std::shared_ptr<DpTable> ExecutablePlan::makeTable() const {
   return std::make_shared<FullTable>(Box);
 }
 
-std::optional<ExecutablePlan>
-exec::buildPlan(const solver::RecurrenceSpec &Rec,
-                const std::vector<std::string> &DimNames,
-                const solver::DomainBox &Box, const PlanRequest &Req,
-                DiagnosticEngine &Diags) {
-  obs::Span PlanSpan("exec.build_plan", "exec");
-  if (PlanSpan.active()) {
-    PlanSpan.arg("function", Rec.Name);
-    PlanSpan.arg("dims", static_cast<uint64_t>(Box.numDims()));
-  }
-  ExecutablePlan Plan;
-  Plan.Box = Box;
-  Plan.Program = Req.Program;
-
-  // 1. The schedule: forced, preselected (batch), or freshly minimised.
-  if (Req.ForcedSchedule) {
-    if (!solver::verifySchedule(Rec, *Req.ForcedSchedule, Box, Diags))
-      return std::nullopt;
-    Plan.Sched = *Req.ForcedSchedule;
-  } else if (Req.PreselectedSchedule) {
-    Plan.Sched = *Req.PreselectedSchedule;
-  } else {
-    std::optional<Schedule> Minimal =
-        solver::findMinimalSchedule(Rec, Box, Diags);
-    if (!Minimal)
-      return std::nullopt;
-    Plan.Sched = std::move(*Minimal);
-  }
-
-  // 2. The table shape: sliding window (Section 4.8) when enabled and
-  // legal. Keeping the full table for later reads forbids the window.
-  std::optional<int64_t> Window =
-      solver::slidingWindowDepth(Rec, Plan.Sched);
-  int DropDim = Window ? pickWindowDropDim(Plan.Sched, Box) : -1;
-  if (Req.UseSlidingWindow && !Req.KeepTable && Window && DropDim >= 0) {
-    Plan.UseWindow = true;
-    Plan.WindowDepth = *Window;
-    Plan.WindowDropDim = static_cast<unsigned>(DropDim);
-  }
-
-  // 3. The loop nest (Section 4.3): scan the box under the schedule.
-  poly::Polyhedron Domain(DimNames);
-  for (unsigned D = 0; D != Box.numDims(); ++D)
-    Domain.addBounds(D, Box.Lower[D], Box.Upper[D]);
-  Plan.Nest = poly::generateLoops(Domain, /*NumParams=*/0,
-                                  Plan.Sched.toAffineExpr(0));
-
-  auto TimeRange = Plan.Nest.timeRange({});
-  if (!TimeRange) {
-    Diags.error({}, "empty domain for '" + Rec.Name + "'");
-    return std::nullopt;
-  }
-  Plan.FirstPartition = TimeRange->first;
-  Plan.LastPartition = TimeRange->second;
-  Plan.RootPartition = Plan.Sched.apply(Box.Upper);
-  return Plan;
-}
+// buildPlan lives in compiler/Pipeline.cpp: it is a thin wrapper over the
+// default planning pass pipeline.

@@ -33,12 +33,18 @@ namespace parrec {
 namespace codegen {
 struct BytecodeProgram;
 } // namespace codegen
+namespace gpu {
+struct CostModel;
+} // namespace gpu
 
 namespace exec {
 
 /// Identity of a plan: the domain box plus everything in the run request
 /// that influences planning. Thread counts and cost models deliberately do
-/// not appear — they only affect execution, never the plan.
+/// not appear — they only affect execution, never the plan. Autotune does:
+/// a tuned and an untuned plan for the same box may carry different
+/// schedules, and keying on the flag is what lets cache hits skip the
+/// candidate search entirely.
 struct PlanKey {
   std::vector<int64_t> Lower;
   std::vector<int64_t> Upper;
@@ -48,6 +54,7 @@ struct PlanKey {
   std::vector<int64_t> RequestedSchedule;
   bool UseSlidingWindow = true;
   bool KeepTable = false;
+  bool Autotune = false;
 
   friend bool operator==(const PlanKey &A, const PlanKey &B) = default;
 
@@ -55,7 +62,8 @@ struct PlanKey {
   uint64_t hash() const;
 
   static PlanKey make(const solver::DomainBox &Box, bool UseSlidingWindow,
-                      bool KeepTable, const solver::Schedule *Requested);
+                      bool KeepTable, const solver::Schedule *Requested,
+                      bool Autotune = false);
 };
 
 struct PlanKeyHash {
@@ -77,6 +85,12 @@ struct PlanRequest {
   /// bytecode-compilable). Compiled once per function, handed to every
   /// plan — planning never re-runs the bytecode compiler.
   std::shared_ptr<const codegen::BytecodeProgram> Program;
+  /// Run the cost-model schedule autotuner after schedule synthesis
+  /// (RunOptions::Autotune / `parrec run --autotune`).
+  bool Autotune = false;
+  /// Cost model the autotuner scores candidates with; null means the
+  /// default-constructed model. Never part of the PlanKey.
+  const gpu::CostModel *CostModel = nullptr;
 };
 
 /// The immutable product of planning: consumed by ExecutionBackends, safe
@@ -103,6 +117,10 @@ public:
   /// backend falls back to the AST evaluator. Shared across plans (and
   /// PlanCache hits), so cache hits skip compilation too.
   std::shared_ptr<const codegen::BytecodeProgram> Program;
+  /// Autotuner-selected block thread count; 0 means "not tuned" and the
+  /// simulated GPU backend falls back to the model's core count. An
+  /// explicit RunOptions::Threads still wins.
+  unsigned TunedThreads = 0;
 
   int64_t numPartitions() const { return LastPartition - FirstPartition + 1; }
 

@@ -474,7 +474,7 @@ ExprPtr Parser::parseExpressionOnly() {
 }
 
 std::unique_ptr<FunctionDecl> Parser::parseFunctionOnly() {
-  obs::Span PhaseSpan("compile.parse", "compiler");
+  // Instrumented by the "parse" pass wrapper (compiler/).
   std::optional<Stmt> S = parseDeclarationOrFunction();
   if (!S || S->Kind != StmtKind::Function) {
     if (S)

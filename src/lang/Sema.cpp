@@ -7,8 +7,6 @@
 
 #include "lang/Sema.h"
 
-#include "obs/Trace.h"
-
 #include <algorithm>
 #include <map>
 
@@ -531,9 +529,16 @@ Sema::extractDescent(const Expr *E, const FunctionInfo &Info,
 }
 
 std::optional<FunctionInfo> Sema::analyze(FunctionDecl &F) {
-  obs::Span PhaseSpan("compile.sema", "compiler");
-  if (PhaseSpan.active())
-    PhaseSpan.arg("function", F.Name);
+  std::optional<FunctionInfo> Info = analyzeTypes(F);
+  if (!Info)
+    return std::nullopt;
+  if (!analyzeDependence(F, *Info))
+    return std::nullopt;
+  return Info;
+}
+
+std::optional<FunctionInfo> Sema::analyzeTypes(FunctionDecl &F) {
+  // Instrumented by the "sema" pass wrapper (compiler/).
   FunctionInfo Info;
   Info.Decl = &F;
 
@@ -565,15 +570,22 @@ std::optional<FunctionInfo> Sema::analyze(FunctionDecl &F) {
       return std::nullopt;
   }
 
-  // Collect the descent functions of every recursive call (Section 4.4:
-  // no branch analysis — every call site contributes dependencies).
   Info.Recurrence.Name = F.Name;
   for (const DimInfo &Dim : Info.Dims)
     Info.Recurrence.DimNames.push_back(Dim.Name);
 
-  // Dependence analysis: every call site's descent function feeds the
-  // schedule criteria (Section 4.4).
-  obs::Span DepSpan("compile.dependence", "compiler");
+  F.RecursiveParams = Info.RecursiveParams;
+  return Info;
+}
+
+bool Sema::analyzeDependence(FunctionDecl &F, FunctionInfo &Info) {
+  // Instrumented by the "dependence" pass wrapper (compiler/). Collect
+  // the descent functions of every recursive call (Section 4.4: no
+  // branch analysis — every call site contributes dependencies).
+  Info.Recurrence.Calls.clear();
+  BodyContext Ctx;
+  Ctx.Function = &F;
+  Ctx.Info = &Info;
   bool DescentsOk = true;
   std::vector<const CallExpr *> Calls;
   // Walk the body collecting calls.
@@ -642,12 +654,5 @@ std::optional<FunctionInfo> Sema::analyze(FunctionDecl &F) {
     if (DescentsOk)
       Info.Recurrence.Calls.push_back(std::move(Descent));
   }
-  if (!DescentsOk)
-    return std::nullopt;
-  if (DepSpan.active())
-    DepSpan.arg("recursive_calls",
-                static_cast<uint64_t>(Info.Recurrence.Calls.size()));
-
-  F.RecursiveParams = Info.RecursiveParams;
-  return Info;
+  return DescentsOk;
 }

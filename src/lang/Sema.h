@@ -75,8 +75,20 @@ public:
   Sema(DiagnosticEngine &Diags, std::vector<std::string> KnownAlphabets);
 
   /// Analyses \p F, annotating expression types in place. Returns the
-  /// function summary, or nullopt after reporting errors.
+  /// function summary, or nullopt after reporting errors. Equivalent to
+  /// analyzeTypes followed by analyzeDependence — the compiler pipeline
+  /// runs the two halves as separate passes ("sema", "dependence").
   std::optional<FunctionInfo> analyze(FunctionDecl &F);
+
+  /// The type-checking half: parameter classification, body typing, and
+  /// the recursion's name/dimension summary. Leaves Recurrence.Calls
+  /// empty.
+  std::optional<FunctionInfo> analyzeTypes(FunctionDecl &F);
+
+  /// The dependence half (Section 4.4): collects every recursive call
+  /// site and extracts its affine descent function into
+  /// \p Info.Recurrence.Calls. Requires \p F to have passed analyzeTypes.
+  bool analyzeDependence(FunctionDecl &F, FunctionInfo &Info);
 
 private:
   DiagnosticEngine &Diags;

@@ -7,8 +7,6 @@
 
 #include "poly/LoopGen.h"
 
-#include "obs/Trace.h"
-
 using namespace parrec;
 using namespace parrec::poly;
 
@@ -78,7 +76,7 @@ LoopNest parrec::poly::generateLoops(const Polyhedron &Domain,
                                      unsigned NumParams,
                                      const AffineExpr &Schedule,
                                      const std::string &TimeName) {
-  obs::Span PhaseSpan("compile.loopgen", "compiler");
+  // Instrumented by the "loopgen" pass wrapper (compiler/).
   unsigned DomDims = Domain.numDims();
   assert(NumParams < DomDims && "domain must have recursion dimensions");
   assert(Schedule.numDims() == DomDims && "schedule dimension mismatch");

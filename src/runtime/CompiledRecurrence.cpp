@@ -7,8 +7,8 @@
 
 #include "runtime/CompiledRecurrence.h"
 
+#include "compiler/Pipeline.h"
 #include "exec/ParallelFor.h"
-#include "lang/Parser.h"
 #include "obs/Trace.h"
 
 #include <algorithm>
@@ -29,39 +29,45 @@ allAlphabets(std::vector<std::string> Extra) {
   return Names;
 }
 
+/// Both compilation entry points funnel through here: run the default
+/// frontend pass pipeline (parse -> sema -> dependence -> validate ->
+/// bytecode) over \p M and package the artifacts.
+std::optional<CompiledRecurrence>
+CompiledRecurrence::fromModule(compiler::CompilationModule &M) {
+  obs::Span CompileSpan("compile.function", "compiler");
+  if (!compiler::runFrontend(M) || !M.Info)
+    return std::nullopt;
+  if (CompileSpan.active())
+    CompileSpan.arg("function", M.Decl->Name);
+  CompiledRecurrence C;
+  C.Decl = std::move(M.Decl);
+  C.Info = std::move(*M.Info);
+  C.Info.Decl = C.Decl.get();
+  // The cell body compiled to bytecode once per function; null (an
+  // unsupported construct) keeps the AST evaluator as the executor.
+  C.Bytecode = std::move(M.Bytecode);
+  C.Plans = std::make_unique<exec::PlanCache>();
+  return C;
+}
+
 std::optional<CompiledRecurrence>
 CompiledRecurrence::compile(const std::string &Source,
                             DiagnosticEngine &Diags,
                             std::vector<std::string> ExtraAlphabets) {
-  lang::Parser P(Source, Diags);
-  std::unique_ptr<lang::FunctionDecl> Decl = P.parseFunctionOnly();
-  if (!Decl || Diags.hasErrors())
-    return std::nullopt;
-  return fromDecl(std::move(Decl), Diags, std::move(ExtraAlphabets));
+  compiler::CompilationModule M(Diags);
+  M.Source = &Source;
+  M.Alphabets = allAlphabets(std::move(ExtraAlphabets));
+  return fromModule(M);
 }
 
 std::optional<CompiledRecurrence>
 CompiledRecurrence::fromDecl(std::unique_ptr<lang::FunctionDecl> Decl,
                              DiagnosticEngine &Diags,
                              std::vector<std::string> ExtraAlphabets) {
-  obs::Span CompileSpan("compile.function", "compiler");
-  if (CompileSpan.active())
-    CompileSpan.arg("function", Decl->Name);
-  lang::Sema S(Diags, allAlphabets(std::move(ExtraAlphabets)));
-  std::optional<lang::FunctionInfo> Info = S.analyze(*Decl);
-  if (!Info)
-    return std::nullopt;
-  if (!codegen::validateForExecution(*Decl, Diags))
-    return std::nullopt;
-  CompiledRecurrence C;
-  C.Decl = std::move(Decl);
-  C.Info = std::move(*Info);
-  C.Info.Decl = C.Decl.get();
-  // Compile the cell body to bytecode once per function; a null result
-  // (unsupported construct) keeps the AST evaluator as the executor.
-  C.Bytecode = codegen::compileToBytecode(*C.Decl, C.Info);
-  C.Plans = std::make_unique<exec::PlanCache>();
-  return C;
+  compiler::CompilationModule M(Diags);
+  M.Decl = std::move(Decl);
+  M.Alphabets = allAlphabets(std::move(ExtraAlphabets));
+  return fromModule(M);
 }
 
 std::optional<DomainBox>
@@ -151,7 +157,8 @@ std::shared_ptr<const exec::ExecutablePlan>
 CompiledRecurrence::planFor(const DomainBox &Box,
                             const RunOptions &Options,
                             const Schedule *Preselected,
-                            DiagnosticEngine &Diags) const {
+                            DiagnosticEngine &Diags,
+                            const gpu::CostModel *CostModel) const {
   // A forced schedule takes precedence over a preselected one, matching
   // the batch path's selection logic.
   const Schedule *Requested =
@@ -159,8 +166,11 @@ CompiledRecurrence::planFor(const DomainBox &Box,
   obs::Span PlanSpan("exec.plan_lookup", "exec");
   if (PlanSpan.active())
     PlanSpan.arg("function", Decl->Name);
-  exec::PlanKey Key = exec::PlanKey::make(Box, Options.UseSlidingWindow,
-                                          Options.KeepTable, Requested);
+  // Autotune is part of the key: tuned and untuned plans for the same
+  // box may differ, and a hit on a tuned plan skips the whole search.
+  exec::PlanKey Key =
+      exec::PlanKey::make(Box, Options.UseSlidingWindow, Options.KeepTable,
+                          Requested, Options.Autotune);
   if (std::shared_ptr<const exec::ExecutablePlan> Cached =
           Plans->lookup(Key)) {
     if (PlanSpan.active())
@@ -180,6 +190,8 @@ CompiledRecurrence::planFor(const DomainBox &Box,
       Options.ForcedSchedule ? &*Options.ForcedSchedule : nullptr;
   Req.PreselectedSchedule = Preselected;
   Req.Program = Bytecode;
+  Req.Autotune = Options.Autotune;
+  Req.CostModel = CostModel;
   std::optional<exec::ExecutablePlan> Plan =
       exec::buildPlan(Info.Recurrence, DimNames, Box, Req, Diags);
   if (!Plan)
@@ -194,12 +206,13 @@ std::optional<RunResult>
 CompiledRecurrence::runSingle(const std::vector<ArgValue> &Args,
                               const exec::ExecutionBackend &Backend,
                               DiagnosticEngine &Diags,
-                              const RunOptions &Options) const {
+                              const RunOptions &Options,
+                              const gpu::CostModel *CostModel) const {
   std::optional<DomainBox> Box = domainFor(Args, Diags);
   if (!Box)
     return std::nullopt;
   std::shared_ptr<const exec::ExecutablePlan> Plan =
-      planFor(*Box, Options, /*Preselected=*/nullptr, Diags);
+      planFor(*Box, Options, /*Preselected=*/nullptr, Diags, CostModel);
   if (!Plan)
     return std::nullopt;
   Evaluator Eval(*Decl, Info);
@@ -216,7 +229,8 @@ CompiledRecurrence::runCpu(const std::vector<ArgValue> &Args,
                            const gpu::CostModel &Model,
                            DiagnosticEngine &Diags,
                            const RunOptions &Options) const {
-  return runSingle(Args, exec::SerialCpuBackend(Model), Diags, Options);
+  return runSingle(Args, exec::SerialCpuBackend(Model), Diags, Options,
+                   &Model);
 }
 
 std::optional<RunResult>
@@ -225,7 +239,7 @@ CompiledRecurrence::runGpu(const std::vector<ArgValue> &Args,
                            DiagnosticEngine &Diags,
                            const RunOptions &Options) const {
   return runSingle(Args, exec::SimulatedGpuBackend(Device.costModel()),
-                   Diags, Options);
+                   Diags, Options, &Device.costModel());
 }
 
 std::optional<BatchResult> CompiledRecurrence::runGpuBatch(
@@ -258,7 +272,7 @@ std::optional<BatchResult> CompiledRecurrence::runGpuBatch(
     if (!Options.ForcedSchedule && Candidates)
       Preselected = &solver::selectSchedule(*Candidates, *Box).S;
     std::shared_ptr<const exec::ExecutablePlan> Plan =
-        planFor(*Box, Options, Preselected, Diags);
+        planFor(*Box, Options, Preselected, Diags, &Device.costModel());
     if (!Plan)
       return std::nullopt;
     Plans.push_back(std::move(Plan));

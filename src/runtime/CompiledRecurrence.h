@@ -33,6 +33,9 @@
 #include <vector>
 
 namespace parrec {
+namespace compiler {
+struct CompilationModule;
+} // namespace compiler
 namespace runtime {
 
 // The run request/result types live in the exec layer with the backends;
@@ -89,12 +92,14 @@ public:
   /// window decision, loop nest and partition range. Served from the
   /// function's plan cache when a same-shaped problem already ran;
   /// synthesised, generated and cached otherwise. \p Preselected (may be
-  /// null) is a schedule chosen by conditional parallelisation. Returns
-  /// null after reporting diagnostics on failure.
+  /// null) is a schedule chosen by conditional parallelisation.
+  /// \p CostModel (may be null) is the model the autotuner scores
+  /// candidates with when RunOptions::Autotune is set. Returns null
+  /// after reporting diagnostics on failure.
   std::shared_ptr<const exec::ExecutablePlan>
   planFor(const solver::DomainBox &Box, const RunOptions &Options,
-          const solver::Schedule *Preselected,
-          DiagnosticEngine &Diags) const;
+          const solver::Schedule *Preselected, DiagnosticEngine &Diags,
+          const gpu::CostModel *CostModel = nullptr) const;
 
   /// Hit/miss/eviction counters of the plan cache (e.g. to assert that a
   /// repeated run skipped synthesis).
@@ -129,11 +134,17 @@ public:
 private:
   CompiledRecurrence() = default;
 
+  /// Runs the default frontend pass pipeline over \p M and packages the
+  /// resulting artifacts; shared by compile() and fromDecl().
+  static std::optional<CompiledRecurrence>
+  fromModule(compiler::CompilationModule &M);
+
   /// Shared single-problem path: plan (cached), bind, execute.
   std::optional<RunResult>
   runSingle(const std::vector<codegen::ArgValue> &Args,
             const exec::ExecutionBackend &Backend, DiagnosticEngine &Diags,
-            const RunOptions &Options) const;
+            const RunOptions &Options,
+            const gpu::CostModel *CostModel = nullptr) const;
 
   std::unique_ptr<lang::FunctionDecl> Decl;
   lang::FunctionInfo Info;

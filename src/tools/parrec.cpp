@@ -31,6 +31,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "codegen/CudaEmitter.h"
+#include "compiler/Pipeline.h"
 #include "lang/Parser.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
@@ -54,12 +55,17 @@ int usage() {
   std::fprintf(stderr,
                "usage: parrec <command> [options] <file> [extents...]\n"
                "commands:\n"
-               "  run [--cpu] [--scan-workers=<n>] [--trace-out=<f>]\n"
-               "      [--trace-tree] [--stats[=json]] [--stats-out=<f>]\n"
+               "  run [--cpu] [--autotune] [--scan-workers=<n>]\n"
+               "      [--trace-out=<f>] [--trace-tree] [--stats[=json]]\n"
+               "      [--stats-out=<f>] [--dump-passes]\n"
+               "      [--disable-pass=<name>]\n"
                "      <script>           execute a script\n"
                "                         (--scan-workers: host threads per\n"
                "                         partition scan; 0 auto, 1 serial —\n"
-               "                         results are identical either way)\n"
+               "                         results are identical either way;\n"
+               "                         --autotune: score candidate\n"
+               "                         schedules with the cost model —\n"
+               "                         results are identical too)\n"
                "  check <function>       analyse a single function\n"
                "  schedule <fn> <n...>   derive the minimal schedule\n"
                "  emit <fn>              print synthesized CUDA source\n"
@@ -185,17 +191,28 @@ const char *optionValue(const char *Arg, const char *Name) {
 }
 
 int cmdRun(int Argc, char **Argv) {
-  bool UseCpu = false;
+  bool UseCpu = false, Autotune = false, DumpPasses = false;
   bool StatsHuman = false, StatsJson = false, TraceTree = false;
   unsigned ScanWorkers = 0;
   std::string TraceOut, StatsOut;
+  std::vector<std::string> DisabledPasses;
   int FileIndex = 2;
   for (; FileIndex < Argc && Argv[FileIndex][0] == '-'; ++FileIndex) {
     const char *Arg = Argv[FileIndex];
     const char *Value;
     if (std::strcmp(Arg, "--cpu") == 0)
       UseCpu = true;
-    else if ((Value = optionValue(Arg, "--scan-workers"))) {
+    else if (std::strcmp(Arg, "--autotune") == 0)
+      Autotune = true;
+    else if (std::strcmp(Arg, "--dump-passes") == 0)
+      DumpPasses = true;
+    else if ((Value = optionValue(Arg, "--disable-pass"))) {
+      if (!compiler::isKnownPass(Value)) {
+        std::fprintf(stderr, "error: unknown pass '%s'\n", Value);
+        return 2;
+      }
+      DisabledPasses.push_back(Value);
+    } else if ((Value = optionValue(Arg, "--scan-workers"))) {
       if (!parseCount("--scan-workers", Value, &ScanWorkers))
         return 2;
     } else if ((Value = optionValue(Arg, "--trace-out")))
@@ -215,6 +232,8 @@ int cmdRun(int Argc, char **Argv) {
   }
   if (FileIndex >= Argc)
     return usage();
+  if (!DisabledPasses.empty())
+    compiler::setDisabledPasses(std::move(DisabledPasses));
   if (!TraceOut.empty() || TraceTree)
     obs::Tracer::instance().enable();
   std::optional<std::string> Source = readFile(Argv[FileIndex]);
@@ -234,9 +253,24 @@ int cmdRun(int Argc, char **Argv) {
   Opts.BasePath = Dir;
   Opts.Run.Trace = obs::Tracer::enabled();
   Opts.Run.ScanWorkers = ScanWorkers;
+  Opts.Run.Autotune = Autotune;
   runtime::Interpreter Interp(Diags, std::move(Opts));
   std::optional<std::string> Output = Interp.run(*Source);
   std::fputs(Diags.str().c_str(), stderr);
+
+  if (DumpPasses) {
+    obs::MetricsSnapshot Snap = obs::MetricsRegistry::global().snapshot();
+    std::fprintf(stderr, "%-20s %8s %12s\n", "pass", "runs", "total ms");
+    for (const std::string &Name : compiler::allPassNames()) {
+      auto It = Snap.Distributions.find("compile.pass." + Name + ".ns");
+      uint64_t Runs = It == Snap.Distributions.end() ? 0 : It->second.Count;
+      double Ms =
+          It == Snap.Distributions.end() ? 0.0 : It->second.Sum / 1e6;
+      std::fprintf(stderr, "%-20s %8llu %12.3f%s\n", Name.c_str(),
+                   static_cast<unsigned long long>(Runs), Ms,
+                   compiler::isPassDisabled(Name) ? "  (disabled)" : "");
+    }
+  }
 
   if (!TraceOut.empty() &&
       !obs::Tracer::instance().writeChromeTrace(TraceOut)) {

@@ -17,6 +17,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bio/Fasta.h"
+#include "compiler/Pipeline.h"
 #include "exec/PlanCache.h"
 #include "gpu/Device.h"
 #include "obs/Json.h"
@@ -27,6 +28,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cstdint>
 #include <cstring>
@@ -592,4 +594,67 @@ TEST(MetricsTest, ServingEngineFeedsGlobalRegistry) {
   EXPECT_NE(Trace.find("\"serve.enqueue\""), std::string::npos);
   EXPECT_NE(Trace.find("\"serve.coalesce\""), std::string::npos);
   EXPECT_NE(Trace.find("\"serve.dispatch\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// The pass pipeline's unified naming: span == pass == metric
+//===----------------------------------------------------------------------===//
+
+/// One name per pass, everywhere: the pipeline wrapper emits span
+/// "compile.<pass>" and duration distribution "compile.pass.<pass>.ns",
+/// both derived from the registered pass name. Every compile.* span in a
+/// traced compile+run must map back to a registered pass (or one of the
+/// two non-pass wrappers), and every pass that ran must have recorded a
+/// duration sample.
+TEST(MetricsTest, PassSpanAndMetricNamesMatchRegisteredPasses) {
+  TracerSandbox Sandbox;
+  MetricsSnapshot Before = MetricsRegistry::global().snapshot();
+  Tracer::instance().enable();
+  CompiledRecurrence Fn = compileOrDie(EditDistanceSource);
+  bio::Sequence S("s", "kitten"), T("t", "sitting");
+  gpu::Device Dev;
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(Fn.runGpu(editDistanceArgs(S, T), Dev, Diags).has_value())
+      << Diags.str();
+  Tracer::instance().disable();
+  MetricsSnapshot After = MetricsRegistry::global().snapshot();
+
+  // Collect the compile.* spans. Anything under that prefix is either a
+  // registered pass or one of the two deliberate non-pass wrappers (the
+  // whole-function frontend span and the cached conditional-schedule
+  // derivation).
+  std::vector<std::string> SpanPasses;
+  for (const TraceEvent &E : Tracer::instance().hostEvents()) {
+    if (E.Name.rfind("compile.", 0) != 0)
+      continue;
+    std::string Suffix = E.Name.substr(std::strlen("compile."));
+    if (Suffix == "function" || Suffix == "conditional_schedules")
+      continue;
+    EXPECT_TRUE(compiler::isKnownPass(Suffix))
+        << "span '" << E.Name << "' does not match any registered pass";
+    SpanPasses.push_back(Suffix);
+  }
+
+  // The full frontend and default planning pipelines ran under the
+  // tracer: every one of their passes produced its span...
+  std::vector<std::string> Expected =
+      compiler::frontendPipeline().passNames();
+  for (const std::string &Name : compiler::planningPipeline().passNames())
+    Expected.push_back(Name);
+  for (const std::string &Name : Expected) {
+    EXPECT_NE(std::find(SpanPasses.begin(), SpanPasses.end(), Name),
+              SpanPasses.end())
+        << "no compile." << Name << " span recorded";
+
+    // ...and its compile.pass.<name>.ns duration sample, keyed by the
+    // same pass name.
+    std::string Metric = "compile.pass." + Name + ".ns";
+    auto It = After.Distributions.find(Metric);
+    ASSERT_NE(It, After.Distributions.end()) << Metric;
+    uint64_t CountBefore = 0;
+    if (auto B = Before.Distributions.find(Metric);
+        B != Before.Distributions.end())
+      CountBefore = B->second.Count;
+    EXPECT_GT(It->second.Count, CountBefore) << Metric;
+  }
 }

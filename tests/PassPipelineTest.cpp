@@ -1,0 +1,468 @@
+//===- PassPipelineTest.cpp - Tests for the compiler pass pipeline -----------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Golden tests for the explicit pass pipeline: registration order of the
+/// default pipelines, bit-identical plans and results against a
+/// hand-rolled replica of the legacy hardwired chain, deterministic
+/// shipped-script output through the pipelined interpreter (with and
+/// without the autotuner), the autotuner against the AST-evaluator
+/// oracle, plan-cache hits skipping the candidate search entirely, and
+/// the --disable-pass debugging knob (clean diagnostics and working
+/// fallbacks, never crashes).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bio/Fasta.h"
+#include "bio/HmmZoo.h"
+#include "codegen/Evaluator.h"
+#include "compiler/Pipeline.h"
+#include "exec/ExecutionBackend.h"
+#include "exec/Table.h"
+#include "gpu/Device.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "obs/Metrics.h"
+#include "poly/LoopGen.h"
+#include "runtime/CompiledRecurrence.h"
+#include "runtime/Interpreter.h"
+#include "solver/ScheduleSynthesis.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace parrec;
+using namespace parrec::runtime;
+using codegen::ArgValue;
+
+#ifndef PARREC_SCRIPTS_DIR
+#error "build must define PARREC_SCRIPTS_DIR"
+#endif
+
+namespace {
+
+std::string scriptsPath(const std::string &Relative) {
+  return std::string(PARREC_SCRIPTS_DIR) + "/" + Relative;
+}
+
+std::string readFileOrDie(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+// The recursions of the shipped examples/scripts/*.rdsl, verbatim.
+const char *ShippedSmithWatermanSource =
+    "int sw(matrix[dna] m, seq[dna] a, index[a] i, seq[dna] b, index[b] j) =\n"
+    "  if i == 0 then 0\n"
+    "  else if j == 0 then 0\n"
+    "  else 0 max (sw(i-1, j-1) + m[a[i-1], b[j-1]])\n"
+    "       max (sw(i-1, j) - 2) max (sw(i, j-1) - 2)\n";
+
+const char *ShippedEditDistanceSource =
+    "int d(seq[en] s, index[s] i, seq[en] t, index[t] j) =\n"
+    "  if i == 0 then j\n"
+    "  else if j == 0 then i\n"
+    "  else if s[i-1] == t[j-1] then d(i-1, j-1)\n"
+    "  else (d(i-1, j) min d(i, j-1) min d(i-1, j-1)) + 1\n";
+
+const char *ShippedCasinoForwardSource =
+    "prob forward(hmm h, state[h] s, seq[dice] x, index[x] i) =\n"
+    "  if i == 0 then\n"
+    "    if s.isstart then 1.0 else 0.0\n"
+    "  else\n"
+    "    (if s.isend then 1.0 else s.emission[x[i-1]]) *\n"
+    "    sum(t in s.transitionsto : t.prob * forward(t.start, i - 1))\n";
+
+CompiledRecurrence compileOrDie(const char *Source,
+                                std::vector<std::string> Extra = {}) {
+  DiagnosticEngine Diags;
+  auto Compiled =
+      CompiledRecurrence::compile(Source, Diags, std::move(Extra));
+  EXPECT_TRUE(Compiled.has_value()) << Diags.str();
+  return std::move(*Compiled);
+}
+
+std::vector<ArgValue> editDistanceArgs(const bio::Sequence &S,
+                                       const bio::Sequence &T) {
+  return {ArgValue::ofSeq(&S), ArgValue(), ArgValue::ofSeq(&T), ArgValue()};
+}
+
+/// RAII guard: whatever a test disables, the knob is clean afterwards.
+struct DisabledPassesGuard {
+  DisabledPassesGuard() { compiler::setDisabledPasses({}); }
+  ~DisabledPassesGuard() { compiler::setDisabledPasses({}); }
+};
+
+/// Replays the legacy hardwired chain — Parser, Sema::analyze,
+/// validateForExecution, compileToBytecode, findMinimalSchedule, sliding
+/// window, generateLoops, timeRange — with no pipeline involved, and
+/// executes the resulting plan on the simulated GPU. The pass pipeline
+/// must be bit-identical to this.
+struct HandRolled {
+  std::unique_ptr<lang::FunctionDecl> Decl;
+  std::optional<lang::FunctionInfo> Info;
+  std::shared_ptr<const codegen::BytecodeProgram> Bytecode;
+  exec::ExecutablePlan Plan;
+
+  static std::optional<HandRolled>
+  build(const char *Source, const solver::DomainBox &Box,
+        std::vector<std::string> Alphabets, DiagnosticEngine &Diags) {
+    HandRolled H;
+    lang::Parser P(Source, Diags);
+    H.Decl = P.parseFunctionOnly();
+    if (!H.Decl || Diags.hasErrors())
+      return std::nullopt;
+    lang::Sema Sema(Diags, Alphabets);
+    H.Info = Sema.analyze(*H.Decl);
+    if (!H.Info)
+      return std::nullopt;
+    H.Info->Decl = H.Decl.get();
+    if (!codegen::validateForExecution(*H.Decl, Diags))
+      return std::nullopt;
+    H.Bytecode = codegen::compileToBytecode(*H.Decl, *H.Info);
+
+    const solver::RecurrenceSpec &Rec = H.Info->Recurrence;
+    H.Plan.Box = Box;
+    H.Plan.Program = H.Bytecode;
+    std::optional<solver::Schedule> Minimal =
+        solver::findMinimalSchedule(Rec, Box, Diags);
+    if (!Minimal)
+      return std::nullopt;
+    H.Plan.Sched = std::move(*Minimal);
+    std::optional<int64_t> Window =
+        solver::slidingWindowDepth(Rec, H.Plan.Sched);
+    int DropDim = Window ? exec::pickWindowDropDim(H.Plan.Sched, Box) : -1;
+    if (Window && DropDim >= 0) {
+      H.Plan.UseWindow = true;
+      H.Plan.WindowDepth = *Window;
+      H.Plan.WindowDropDim = static_cast<unsigned>(DropDim);
+    }
+    std::vector<std::string> DimNames;
+    for (const lang::DimInfo &Dim : H.Info->Dims)
+      DimNames.push_back(Dim.Name);
+    poly::Polyhedron Domain(DimNames);
+    for (unsigned D = 0; D != Box.numDims(); ++D)
+      Domain.addBounds(D, Box.Lower[D], Box.Upper[D]);
+    H.Plan.Nest = poly::generateLoops(Domain, /*NumParams=*/0,
+                                      H.Plan.Sched.toAffineExpr(0));
+    auto TimeRange = H.Plan.Nest.timeRange({});
+    if (!TimeRange)
+      return std::nullopt;
+    H.Plan.FirstPartition = TimeRange->first;
+    H.Plan.LastPartition = TimeRange->second;
+    H.Plan.RootPartition = H.Plan.Sched.apply(Box.Upper);
+    return H;
+  }
+
+  exec::RunResult execute(const std::vector<ArgValue> &Args,
+                          const gpu::Device &Dev) const {
+    codegen::Evaluator Eval(*Decl, *Info);
+    Eval.bind(Args);
+    return exec::SimulatedGpuBackend(Dev.costModel())
+        .execute(Plan, Eval, exec::RunOptions{});
+  }
+};
+
+/// Compiles \p Source through the pass pipeline and asserts the plan and
+/// the executed run are bit-identical to the hand-rolled legacy chain.
+void expectPipelineMatchesHandRolled(const char *Source,
+                                     const std::vector<ArgValue> &Args,
+                                     std::vector<std::string> Extra = {}) {
+  CompiledRecurrence Fn = compileOrDie(Source, Extra);
+  gpu::Device Dev;
+  DiagnosticEngine Diags;
+  std::optional<solver::DomainBox> Box = Fn.domainFor(Args, Diags);
+  ASSERT_TRUE(Box.has_value()) << Diags.str();
+
+  std::vector<std::string> Alphabets = {"dna", "rna", "protein", "en"};
+  for (std::string &E : Extra)
+    Alphabets.push_back(std::move(E));
+  std::optional<HandRolled> Legacy =
+      HandRolled::build(Source, *Box, Alphabets, Diags);
+  ASSERT_TRUE(Legacy.has_value()) << Diags.str();
+
+  // Plans must agree field for field...
+  std::shared_ptr<const exec::ExecutablePlan> Plan =
+      Fn.planFor(*Box, {}, /*Preselected=*/nullptr, Diags);
+  ASSERT_NE(Plan, nullptr) << Diags.str();
+  EXPECT_EQ(Plan->Sched, Legacy->Plan.Sched);
+  EXPECT_EQ(Plan->UseWindow, Legacy->Plan.UseWindow);
+  EXPECT_EQ(Plan->WindowDepth, Legacy->Plan.WindowDepth);
+  EXPECT_EQ(Plan->WindowDropDim, Legacy->Plan.WindowDropDim);
+  EXPECT_EQ(Plan->FirstPartition, Legacy->Plan.FirstPartition);
+  EXPECT_EQ(Plan->LastPartition, Legacy->Plan.LastPartition);
+  EXPECT_EQ(Plan->RootPartition, Legacy->Plan.RootPartition);
+  EXPECT_EQ(Plan->TunedThreads, 0u);
+  EXPECT_EQ(Plan->Program != nullptr, Legacy->Bytecode != nullptr);
+
+  // ...and so must every observable of the executed runs: values, cell
+  // counts, modelled cycles, memory traffic.
+  auto Run = Fn.runGpu(Args, Dev, Diags);
+  ASSERT_TRUE(Run.has_value()) << Diags.str();
+  exec::RunResult Ref = Legacy->execute(Args, Dev);
+  EXPECT_EQ(Run->RootValue, Ref.RootValue);
+  EXPECT_EQ(Run->TableMax, Ref.TableMax);
+  EXPECT_EQ(Run->Cells, Ref.Cells);
+  EXPECT_EQ(Run->Partitions, Ref.Partitions);
+  EXPECT_EQ(Run->Cycles, Ref.Cycles);
+  EXPECT_EQ(Run->UsedSchedule, Ref.UsedSchedule);
+  EXPECT_EQ(Run->Metrics.Cycles, Ref.Metrics.Cycles);
+  EXPECT_EQ(Run->Metrics.TableBytes, Ref.Metrics.TableBytes);
+  EXPECT_EQ(Run->Metrics.SharedAccesses, Ref.Metrics.SharedAccesses);
+  EXPECT_EQ(Run->Metrics.GlobalAccesses, Ref.Metrics.GlobalAccesses);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Registration order and pass-name registry
+//===----------------------------------------------------------------------===//
+
+TEST(PassPipelineTest, RegistrationOrder) {
+  std::vector<std::string> Frontend = {"parse", "sema", "dependence",
+                                       "validate", "bytecode"};
+  std::vector<std::string> Planning = {"schedule_synthesis", "sliding_window",
+                                       "loopgen", "finalize"};
+  std::vector<std::string> Autotuned = {"schedule_synthesis", "autotune",
+                                        "sliding_window", "loopgen",
+                                        "finalize"};
+  EXPECT_EQ(compiler::frontendPipeline().passNames(), Frontend);
+  EXPECT_EQ(compiler::planningPipeline().passNames(), Planning);
+  EXPECT_EQ(compiler::autotunePlanningPipeline().passNames(), Autotuned);
+
+  // allPassNames is the frontend followed by the (autotuned) planning
+  // passes — the order --dump-passes prints.
+  std::vector<std::string> All = Frontend;
+  All.insert(All.end(), Autotuned.begin(), Autotuned.end());
+  EXPECT_EQ(compiler::allPassNames(), All);
+
+  for (const std::string &Name : All)
+    EXPECT_TRUE(compiler::isKnownPass(Name)) << Name;
+  EXPECT_FALSE(compiler::isKnownPass("nonsense"));
+  EXPECT_FALSE(compiler::isKnownPass(""));
+  EXPECT_FALSE(compiler::isKnownPass("Parse"));
+}
+
+//===----------------------------------------------------------------------===//
+// The default pipeline against the legacy hardwired chain, bit for bit
+//===----------------------------------------------------------------------===//
+
+TEST(PassPipelineTest, EditDistanceMatchesHandRolledChain) {
+  bio::Sequence S("s", "kitten"), T("t", "sitting");
+  expectPipelineMatchesHandRolled(ShippedEditDistanceSource,
+                                  editDistanceArgs(S, T));
+}
+
+TEST(PassPipelineTest, SmithWatermanMatchesHandRolledChain) {
+  DiagnosticEngine Diags;
+  auto Matrix = bio::SubstitutionMatrix::parse(
+      readFileOrDie(scriptsPath("data/dna_scores.txt")), Diags);
+  ASSERT_TRUE(Matrix.has_value()) << Diags.str();
+  bio::Sequence A("a", "ACGTACGTTGCA"), B("b", "ACGTTGCATGCA");
+  expectPipelineMatchesHandRolled(
+      ShippedSmithWatermanSource,
+      {ArgValue::ofMatrix(&*Matrix), ArgValue::ofSeq(&A), ArgValue(),
+       ArgValue::ofSeq(&B), ArgValue()});
+}
+
+TEST(PassPipelineTest, CasinoForwardMatchesHandRolledChain) {
+  bio::Hmm Casino = bio::makeCasinoModel();
+  bio::Sequence Rolls("rolls", "315116246446644245311321631164");
+  expectPipelineMatchesHandRolled(ShippedCasinoForwardSource,
+                                  {ArgValue::ofHmm(&Casino), ArgValue(),
+                                   ArgValue::ofSeq(&Rolls), ArgValue()},
+                                  {"dice"});
+}
+
+//===----------------------------------------------------------------------===//
+// Shipped scripts through the pipelined interpreter
+//===----------------------------------------------------------------------===//
+
+/// Every shipped script, run twice through the interpreter (which now
+/// compiles through the pass pipeline): output must be byte-identical
+/// run to run, and byte-identical with the autotuner on — the autotuner
+/// may only change modelled timing, never results.
+TEST(PassPipelineTest, ShippedScriptsDeterministicAndAutotuneInvariant) {
+  for (const char *Script :
+       {"smith_waterman.rdsl", "edit_distance.rdsl", "casino.rdsl"}) {
+    std::string Source = readFileOrDie(scriptsPath(Script));
+    auto runOnce = [&](bool Autotune) {
+      DiagnosticEngine Diags;
+      Interpreter::Options Opts;
+      Opts.UseGpu = false;
+      Opts.BasePath = PARREC_SCRIPTS_DIR;
+      Opts.Run.Autotune = Autotune;
+      Interpreter Interp(Diags, std::move(Opts));
+      auto Output = Interp.run(Source);
+      EXPECT_TRUE(Output.has_value()) << Script << ": " << Diags.str();
+      return Output ? *Output : std::string();
+    };
+    std::string First = runOnce(false);
+    EXPECT_EQ(First, runOnce(false)) << Script;
+    EXPECT_EQ(First, runOnce(true)) << Script << " (autotuned)";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The autotuner against the AST-evaluator oracle
+//===----------------------------------------------------------------------===//
+
+/// An autotuned run must produce exactly the values of the differential
+/// oracle (AST tree-walker, untuned plan): the tuner is free to pick a
+/// different schedule, window or thread count, but never a different
+/// answer.
+TEST(PassPipelineTest, AutotunedRunMatchesAstOracle) {
+  bio::Hmm Casino = bio::makeCasinoModel();
+  bio::Sequence S("s", "kitten"), T("t", "sitting");
+  bio::Sequence Rolls("rolls", "315116246446644245311321631164");
+  DiagnosticEngine MatrixDiags;
+  auto Matrix = bio::SubstitutionMatrix::parse(
+      readFileOrDie(scriptsPath("data/dna_scores.txt")), MatrixDiags);
+  ASSERT_TRUE(Matrix.has_value()) << MatrixDiags.str();
+  bio::Sequence A("a", "ACGTACGTTGCA"), B("b", "ACGTTGCATGCA");
+
+  struct Case {
+    const char *Name;
+    const char *Source;
+    std::vector<std::string> Extra;
+    std::vector<ArgValue> Args;
+  };
+  std::vector<Case> Cases = {
+      {"edit_distance", ShippedEditDistanceSource, {},
+       editDistanceArgs(S, T)},
+      {"smith_waterman", ShippedSmithWatermanSource, {},
+       {ArgValue::ofMatrix(&*Matrix), ArgValue::ofSeq(&A), ArgValue(),
+        ArgValue::ofSeq(&B), ArgValue()}},
+      {"forward", ShippedCasinoForwardSource, {"dice"},
+       {ArgValue::ofHmm(&Casino), ArgValue(), ArgValue::ofSeq(&Rolls),
+        ArgValue()}},
+  };
+
+  gpu::Device Dev;
+  for (const Case &C : Cases) {
+    CompiledRecurrence Fn = compileOrDie(C.Source, C.Extra);
+    DiagnosticEngine Diags;
+    exec::RunOptions Tuned;
+    Tuned.Autotune = true;
+    exec::RunOptions Oracle;
+    Oracle.UseAstEvaluator = true;
+    auto TunedRun = Fn.runGpu(C.Args, Dev, Diags, Tuned);
+    auto OracleRun = Fn.runGpu(C.Args, Dev, Diags, Oracle);
+    ASSERT_TRUE(TunedRun.has_value()) << C.Name << ": " << Diags.str();
+    ASSERT_TRUE(OracleRun.has_value()) << C.Name << ": " << Diags.str();
+    EXPECT_EQ(TunedRun->RootValue, OracleRun->RootValue) << C.Name;
+    EXPECT_EQ(TunedRun->TableMax, OracleRun->TableMax) << C.Name;
+    EXPECT_EQ(TunedRun->Cells, OracleRun->Cells) << C.Name;
+  }
+}
+
+/// The Autotune flag is part of the plan key: the first tuned run pays
+/// for the candidate search, a second same-shaped run hits the cache and
+/// evaluates zero candidates.
+TEST(PassPipelineTest, AutotunePlanCacheSkipsSearch) {
+  CompiledRecurrence Fn = compileOrDie(ShippedEditDistanceSource);
+  bio::Sequence S("s", "kitten"), T("t", "sitting");
+  gpu::Device Dev;
+  DiagnosticEngine Diags;
+  exec::RunOptions Tuned;
+  Tuned.Autotune = true;
+
+  obs::MetricsSnapshot S0 = obs::MetricsRegistry::global().snapshot();
+  auto First = Fn.runGpu(editDistanceArgs(S, T), Dev, Diags, Tuned);
+  ASSERT_TRUE(First.has_value()) << Diags.str();
+  obs::MetricsSnapshot S1 = obs::MetricsRegistry::global().snapshot();
+  uint64_t FirstCandidates = S1.counter("compile.autotune.candidates") -
+                             S0.counter("compile.autotune.candidates");
+  EXPECT_GT(FirstCandidates, 0u);
+  EXPECT_EQ(S1.counter("compile.autotune.runs") -
+                S0.counter("compile.autotune.runs"),
+            1u);
+
+  auto Second = Fn.runGpu(editDistanceArgs(S, T), Dev, Diags, Tuned);
+  ASSERT_TRUE(Second.has_value()) << Diags.str();
+  obs::MetricsSnapshot S2 = obs::MetricsRegistry::global().snapshot();
+  EXPECT_EQ(S2.counter("compile.autotune.candidates"),
+            S1.counter("compile.autotune.candidates"))
+      << "a plan-cache hit must not re-run the candidate search";
+  EXPECT_EQ(S2.counter("compile.autotune.runs"),
+            S1.counter("compile.autotune.runs"));
+  EXPECT_GE(Fn.planCacheStats().Hits, 1u);
+
+  // And the cached tuned plan reproduces the first run exactly.
+  EXPECT_EQ(First->RootValue, Second->RootValue);
+  EXPECT_EQ(First->Cells, Second->Cells);
+  EXPECT_EQ(First->Cycles, Second->Cycles);
+}
+
+//===----------------------------------------------------------------------===//
+// Disabling passes: clean diagnostics and working fallbacks
+//===----------------------------------------------------------------------===//
+
+TEST(PassPipelineTest, DisabledSemaFailsWithDiagnosticNotCrash) {
+  DisabledPassesGuard Guard;
+  compiler::setDisabledPasses({"sema"});
+  EXPECT_TRUE(compiler::isPassDisabled("sema"));
+  EXPECT_FALSE(compiler::isPassDisabled("parse"));
+  DiagnosticEngine Diags;
+  auto Compiled = CompiledRecurrence::compile(ShippedEditDistanceSource, Diags);
+  EXPECT_FALSE(Compiled.has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("requires"), std::string::npos)
+      << "downstream pass must name the missing prerequisite: "
+      << Diags.str();
+}
+
+TEST(PassPipelineTest, DisabledBytecodeFallsBackToAstEvaluator) {
+  bio::Sequence S("s", "kitten"), T("t", "sitting");
+  gpu::Device Dev;
+  DiagnosticEngine Diags;
+  CompiledRecurrence Baseline = compileOrDie(ShippedEditDistanceSource);
+  auto Want = Baseline.runGpu(editDistanceArgs(S, T), Dev, Diags);
+  ASSERT_TRUE(Want.has_value()) << Diags.str();
+
+  DisabledPassesGuard Guard;
+  compiler::setDisabledPasses({"bytecode"});
+  CompiledRecurrence Fn = compileOrDie(ShippedEditDistanceSource);
+  EXPECT_EQ(Fn.bytecode(), nullptr);
+  auto Got = Fn.runGpu(editDistanceArgs(S, T), Dev, Diags);
+  ASSERT_TRUE(Got.has_value()) << Diags.str();
+  EXPECT_EQ(Got->RootValue, Want->RootValue);
+  EXPECT_EQ(Got->TableMax, Want->TableMax);
+  EXPECT_EQ(Got->Cells, Want->Cells);
+}
+
+TEST(PassPipelineTest, DisabledSlidingWindowKeepsFullTable) {
+  bio::Sequence S("s", "kitten"), T("t", "sitting");
+  gpu::Device Dev;
+  DiagnosticEngine Diags;
+  CompiledRecurrence Baseline = compileOrDie(ShippedEditDistanceSource);
+  auto Want = Baseline.runGpu(editDistanceArgs(S, T), Dev, Diags);
+  ASSERT_TRUE(Want.has_value()) << Diags.str();
+
+  DisabledPassesGuard Guard;
+  compiler::setDisabledPasses({"sliding_window"});
+  CompiledRecurrence Fn = compileOrDie(ShippedEditDistanceSource);
+  std::optional<solver::DomainBox> Box =
+      Fn.domainFor(editDistanceArgs(S, T), Diags);
+  ASSERT_TRUE(Box.has_value()) << Diags.str();
+  std::shared_ptr<const exec::ExecutablePlan> Plan =
+      Fn.planFor(*Box, {}, /*Preselected=*/nullptr, Diags);
+  ASSERT_NE(Plan, nullptr) << Diags.str();
+  EXPECT_FALSE(Plan->UseWindow);
+  auto Got = Fn.runGpu(editDistanceArgs(S, T), Dev, Diags);
+  ASSERT_TRUE(Got.has_value()) << Diags.str();
+  EXPECT_EQ(Got->RootValue, Want->RootValue);
+  EXPECT_EQ(Got->TableMax, Want->TableMax);
+  EXPECT_EQ(Got->Cells, Want->Cells);
+}
