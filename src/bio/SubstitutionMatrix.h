@@ -53,6 +53,7 @@ public:
   }
 
   void setDefaultScore(int Score) { DefaultScore = Score; }
+  int defaultScore() const { return DefaultScore; }
 
   /// The BLOSUM62 matrix over the 20 standard amino acids.
   static const SubstitutionMatrix &blosum62();

@@ -1,0 +1,212 @@
+//===- NativeJit.h - Native host JIT for executable plans ---------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Run-time code generation for the host path, in the PyCUDA/PyOpenCL
+/// style: render one ExecutablePlan — its partition loop nest, its
+/// sliding-window (or dense) table addressing, and its bytecode cell body
+/// — as a specialised C translation unit, compile it with the system C
+/// compiler into a shared object, dlopen it, and dispatch the resolved
+/// kernel instead of interpreting bytecode.
+///
+/// Everything that is a *plan-time* constant is baked into the source:
+/// loop bounds, schedule coefficients, fastmod window addressing (the
+/// same slot math as exec::SlidingWindowTable), the result conversion,
+/// and the packed per-instruction cost deltas. Everything that varies
+/// per *binding* (sequences, matrices, the precomputed log-space HMM
+/// tables, scalar arguments, the table base pointer and the cost-model
+/// cycle weights) is passed at run time through JitArgs, so one cached
+/// kernel serves every problem that reuses the plan — exactly the
+/// contract the bytecode program already has.
+///
+/// The emitted code replicates the bytecode VM operation-for-operation
+/// (one floating-point operation per emitted statement, compiled with
+/// -ffp-contract=off, hexfloat literals for real immediates, the same
+/// libm call sequence for log-space arithmetic), so results, cost
+/// counters and modelled cycle totals are bit-identical to the VM and
+/// the AST oracle.
+///
+/// Compiled objects are cached on disk keyed by the schedule fingerprint
+/// plus a hash of the emitted source, so cold process starts reuse warm
+/// kernels without invoking the compiler. Any failure — unsupported
+/// body shape, missing or broken host compiler, dlopen error — degrades
+/// to the bytecode VM with a single warning line and a `jit.fallbacks`
+/// metric; it is never an error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_CODEGEN_NATIVEJIT_H
+#define PARREC_CODEGEN_NATIVEJIT_H
+
+#include "codegen/Bytecode.h"
+#include "codegen/Evaluator.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace parrec {
+namespace exec {
+class ExecutablePlan;
+} // namespace exec
+
+namespace codegen {
+
+/// POD mirrors of the VM's bound state, shared with the emitted C (which
+/// declares structurally identical structs). Every member is 8 bytes, so
+/// the layouts agree by construction on any common C ABI.
+struct JitSeq {
+  const char *Data;
+  int64_t Len;
+};
+
+struct JitMatrix {
+  const int64_t *Scores;  // size*size, row-major by alphabet index.
+  const int64_t *CharIdx; // 256 entries; -1 outside the alphabet.
+  int64_t Size;
+  int64_t DefaultScore;
+};
+
+struct JitHmm {
+  const double *LogTrans;      // One per transition (borrowed log cache).
+  const double *Emissions;     // NumStates x Stride dense log emissions.
+  const uint64_t *CharCol;     // 256-entry character -> emission column.
+  const uint64_t *TransFrom;   // Per transition: source state.
+  const uint64_t *TransTo;     // Per transition: target state.
+  const uint64_t *StateIsStart; // Per state: 0/1.
+  const uint64_t *StateIsEnd;
+  const uint64_t *AdjInOff;    // CSR offsets (NumStates+1) into AdjIn.
+  const uint64_t *AdjIn;       // transitionsTo lists, concatenated.
+  const uint64_t *AdjOutOff;
+  const uint64_t *AdjOut;      // transitionsFrom lists, concatenated.
+  uint64_t Stride;             // Emission row stride (alphabet + 1).
+};
+
+/// Per-run kernel inputs: the binding plus the table base pointer and the
+/// cost model's cycle weights (so one kernel serves both backends and
+/// both table residencies).
+struct JitArgs {
+  const JitSeq *Seqs;
+  const JitMatrix *Matrices;
+  const JitHmm *Hmms;
+  const int64_t *IntArgs;
+  const double *RealArgs;
+  double *Table;
+  uint64_t CycOp;
+  uint64_t CycTrans;
+  uint64_t CycTable;
+  uint64_t CycModel;
+};
+
+/// Per-invocation outputs, folded into the caller's WorkerSlot: the wide
+/// cost lanes (table writes include the per-cell store), cell count,
+/// running table maximum and the root-cell capture.
+struct JitSlot {
+  uint64_t Ops;
+  uint64_t TableReads;
+  uint64_t TableWrites;
+  uint64_t ModelReads;
+  uint64_t Transcendentals;
+  uint64_t Cells;
+  double TableMax;
+  double RootValue;
+  uint64_t HasRoot;
+};
+
+/// The kernel entry point: scans partition \p P for simulated threads
+/// [ThreadBegin, ThreadEnd) of a block of \p NumThreads, accumulating
+/// into \p Slot and writing each thread's modelled cycle total to
+/// \p ThreadCycles[t].
+using JitKernelFn = void (*)(const JitArgs *Args, int64_t P,
+                             uint32_t ThreadBegin, uint32_t ThreadEnd,
+                             uint32_t NumThreads, int32_t CheckRoot,
+                             JitSlot *Slot, uint64_t *ThreadCycles);
+
+/// A resolved kernel holding its dlopen handle open for as long as any
+/// plan references it.
+class JitKernel {
+public:
+  JitKernel(void *Handle, JitKernelFn Fn) : Handle(Handle), Fn(Fn) {}
+  JitKernel(const JitKernel &) = delete;
+  JitKernel &operator=(const JitKernel &) = delete;
+  ~JitKernel();
+
+  JitKernelFn fn() const { return Fn; }
+
+private:
+  void *Handle = nullptr;
+  JitKernelFn Fn = nullptr;
+};
+
+/// The per-binding state a jitted kernel consumes; mirrors
+/// BytecodeVM::bind field-for-field (and borrows the same Evaluator log
+/// caches, so every probability the kernel reads is bit-identical to the
+/// VM's). The Evaluator must stay alive and bound while the returned
+/// args are in use.
+class JitBinding {
+public:
+  JitBinding() = default;
+  JitBinding(const JitBinding &) = delete;
+  JitBinding &operator=(const JitBinding &) = delete;
+
+  void bind(const BytecodeProgram &Prog, const Evaluator &Eval);
+
+  /// Args with the binding pointers filled in; the caller sets Table and
+  /// the cycle weights per run.
+  JitArgs args() const { return Args; }
+
+private:
+  JitArgs Args{};
+  std::vector<JitSeq> Seqs;
+  std::vector<JitMatrix> Matrices;
+  std::vector<JitHmm> Hmms;
+  std::vector<int64_t> IntArgs;
+  std::vector<double> RealArgs;
+
+  struct MatrixData {
+    std::vector<int64_t> Scores;
+    std::vector<int64_t> CharIdx;
+  };
+  struct HmmData {
+    std::vector<double> Emissions;
+    std::vector<uint64_t> CharCol;
+    std::vector<uint64_t> From, To, IsStart, IsEnd;
+    std::vector<uint64_t> AdjInOff, AdjIn, AdjOutOff, AdjOut;
+  };
+  std::vector<MatrixData> MatrixStore;
+  std::vector<HmmData> HmmStore;
+};
+
+struct JitCompileOptions {
+  /// On-disk shared-object cache directory. Empty resolves, in order, to
+  /// $ParRec_JIT_CACHE, $PARREC_JIT_CACHE, ~/.cache/parrec-jit.
+  std::string CacheDir;
+};
+
+/// Renders, compiles (or loads from the disk cache) and resolves the
+/// kernel for \p Plan. Returns null on any failure after emitting a
+/// once-per-process warning and bumping `jit.fallbacks`; callers then
+/// keep using the bytecode VM. Records `jit.compile_ns` and bumps
+/// `jit.cache_hits` / `jit.cache_misses`.
+std::shared_ptr<const JitKernel>
+compileKernel(const exec::ExecutablePlan &Plan,
+              const JitCompileOptions &Opts);
+
+/// Renders the C translation unit for \p Plan without compiling it.
+/// Returns an empty string when the plan has a shape the emitter does
+/// not support (callers fall back to the VM). Exposed for tests.
+std::string renderKernelSource(const exec::ExecutablePlan &Plan);
+
+/// Number of fallback warning lines printed so far (0 or 1: the warning
+/// is emitted once per process). Exposed for tests.
+uint64_t jitWarningsEmitted();
+
+} // namespace codegen
+} // namespace parrec
+
+#endif // PARREC_CODEGEN_NATIVEJIT_H

@@ -8,6 +8,7 @@
 #include "compiler/Pipeline.h"
 
 #include "codegen/Evaluator.h"
+#include "codegen/NativeJit.h"
 #include "compiler/Autotuner.h"
 #include "exec/Table.h"
 #include "lang/Parser.h"
@@ -264,6 +265,20 @@ bool passFinalize(CompilationModule &M, obs::Span &S) {
   return true;
 }
 
+bool passJit(CompilationModule &M, obs::Span &S) {
+  if (!M.Box || !M.Plan)
+    return missing(M, "jit", "a planning request");
+  codegen::JitCompileOptions Opts;
+  Opts.CacheDir = M.Request.JitCacheDir;
+  // compileKernel owns the fallback path: on any failure it warns once,
+  // bumps jit.fallbacks and returns null, and the backend keeps using
+  // the bytecode VM — a JIT problem never fails compilation.
+  M.Plan->Kernel = codegen::compileKernel(*M.Plan, Opts);
+  if (S.active())
+    S.arg("compiled", M.Plan->Kernel != nullptr);
+  return true;
+}
+
 PassPipeline makeFrontendPipeline() {
   PassPipeline P;
   P.addPass(Pass{"parse",
@@ -276,7 +291,7 @@ PassPipeline makeFrontendPipeline() {
   return P;
 }
 
-PassPipeline makePlanningPipeline(bool Autotune) {
+PassPipeline makePlanningPipeline(bool Autotune, bool Jit) {
   PassPipeline P;
   P.addPass("schedule_synthesis", passScheduleSynthesis);
   if (Autotune)
@@ -284,6 +299,8 @@ PassPipeline makePlanningPipeline(bool Autotune) {
   P.addPass("sliding_window", passSlidingWindow);
   P.addPass("loopgen", passLoopGen);
   P.addPass("finalize", passFinalize);
+  if (Jit)
+    P.addPass("jit", passJit);
   return P;
 }
 
@@ -295,12 +312,26 @@ const PassPipeline &compiler::frontendPipeline() {
 }
 
 const PassPipeline &compiler::planningPipeline() {
-  static const PassPipeline P = makePlanningPipeline(/*Autotune=*/false);
+  static const PassPipeline P =
+      makePlanningPipeline(/*Autotune=*/false, /*Jit=*/false);
   return P;
 }
 
 const PassPipeline &compiler::autotunePlanningPipeline() {
-  static const PassPipeline P = makePlanningPipeline(/*Autotune=*/true);
+  static const PassPipeline P =
+      makePlanningPipeline(/*Autotune=*/true, /*Jit=*/false);
+  return P;
+}
+
+const PassPipeline &compiler::jitPlanningPipeline() {
+  static const PassPipeline P =
+      makePlanningPipeline(/*Autotune=*/false, /*Jit=*/true);
+  return P;
+}
+
+const PassPipeline &compiler::autotuneJitPlanningPipeline() {
+  static const PassPipeline P =
+      makePlanningPipeline(/*Autotune=*/true, /*Jit=*/true);
   return P;
 }
 
@@ -310,7 +341,8 @@ bool compiler::runFrontend(CompilationModule &M) {
 
 std::vector<std::string> compiler::allPassNames() {
   std::vector<std::string> Names = frontendPipeline().passNames();
-  for (std::string &N : autotunePlanningPipeline().passNames())
+  // The autotune+jit variant registers the full planning superset.
+  for (std::string &N : autotuneJitPlanningPipeline().passNames())
     Names.push_back(std::move(N));
   return Names;
 }
@@ -345,9 +377,12 @@ exec::buildPlan(const solver::RecurrenceSpec &Rec,
   M.Plan.emplace();
   M.Plan->Box = Box;
   M.Plan->Program = Req.Program;
-  const PassPipeline &Pipeline = Req.Autotune
-                                     ? compiler::autotunePlanningPipeline()
-                                     : compiler::planningPipeline();
+  const PassPipeline &Pipeline =
+      Req.Autotune
+          ? (Req.Jit ? compiler::autotuneJitPlanningPipeline()
+                     : compiler::autotunePlanningPipeline())
+          : (Req.Jit ? compiler::jitPlanningPipeline()
+                     : compiler::planningPipeline());
   if (!Pipeline.run(M))
     return std::nullopt;
   return std::move(M.Plan);

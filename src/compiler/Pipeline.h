@@ -139,6 +139,17 @@ const PassPipeline &planningPipeline();
 /// after schedule synthesis (RunOptions::Autotune / --autotune).
 const PassPipeline &autotunePlanningPipeline();
 
+/// The planning pipeline with the native JIT pass appended after
+/// finalize (RunOptions::Evaluator == Jit / --evaluator=jit): renders
+/// the finished plan as C, compiles it with the system compiler and
+/// attaches the resolved kernel. A JIT failure falls back to the
+/// bytecode VM; it never fails the pipeline.
+const PassPipeline &jitPlanningPipeline();
+
+/// Autotune and JIT combined: autotune after schedule synthesis, jit
+/// after finalize.
+const PassPipeline &autotuneJitPlanningPipeline();
+
 /// Runs the default frontend pipeline over \p M.
 bool runFrontend(CompilationModule &M);
 

@@ -20,6 +20,7 @@
 #include "exec/ExecutionBackend.h"
 
 #include "codegen/BytecodeVM.h"
+#include "codegen/NativeJit.h"
 #include "exec/ParallelFor.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
@@ -29,6 +30,7 @@
 #include <cstring>
 #include <limits>
 #include <mutex>
+#include <type_traits>
 
 using namespace parrec;
 using namespace parrec::exec;
@@ -142,6 +144,70 @@ void scanThreadRange(const ExecutablePlan &Plan, poly::ScanContext &Ctx,
   }
 }
 
+/// The uniform unit of work the scan drivers below dispatch: scan the
+/// cells of partition P owned by simulated threads [Begin, End). The
+/// cell-wise scanner interprets the loop nest per point; the JIT scanner
+/// hands the whole slice to one native kernel invocation.
+template <typename TableT, typename EvalT>
+struct CellScanner {
+  const ExecutablePlan &Plan;
+  TableT &Table;
+  const gpu::CostModel &Model;
+  bool IsGpu;
+  bool TableInShared;
+  EvalT Eval;
+  poly::ScanContext Ctx;
+
+  void operator()(bool CheckRoot, unsigned Threads, unsigned Begin,
+                  unsigned End, int64_t P, gpu::BlockTimer &Timer,
+                  WorkerSlot &Slot) {
+    if (CheckRoot)
+      scanThreadRange<true>(Plan, Ctx, Table, Model, IsGpu, TableInShared,
+                            Threads, Begin, End, P, Timer, Slot, Eval);
+    else
+      scanThreadRange<false>(Plan, Ctx, Table, Model, IsGpu,
+                             TableInShared, Threads, Begin, End, P, Timer,
+                             Slot, Eval);
+  }
+};
+
+/// Scanner over the natively jitted kernel: one call covers the whole
+/// (partition, thread-range) slice — the kernel walks the baked loop
+/// nest, writes the table through the baked slot addressing, accumulates
+/// the wide cost lanes and per-thread modelled cycles, and captures the
+/// running table max and the root cell. The fold below mirrors what
+/// scanThreadRange accumulates per cell; one invocation per slot keeps
+/// the strict-`>`/first-wins merge semantics exact.
+struct JitScanner {
+  codegen::JitKernelFn Fn = nullptr;
+  codegen::JitArgs Args{};
+  std::vector<uint64_t> Cycles; // One slot per simulated thread.
+
+  void operator()(bool CheckRoot, unsigned Threads, unsigned Begin,
+                  unsigned End, int64_t P, gpu::BlockTimer &Timer,
+                  WorkerSlot &Slot) {
+    codegen::JitSlot JS{};
+    JS.TableMax = -std::numeric_limits<double>::infinity();
+    Fn(&Args, P, Begin, End, Threads, CheckRoot ? 1 : 0, &JS,
+       Cycles.data());
+    Slot.Cost.Ops += JS.Ops;
+    Slot.Cost.TableReads += JS.TableReads;
+    Slot.Cost.TableWrites += JS.TableWrites;
+    Slot.Cost.ModelReads += JS.ModelReads;
+    Slot.Cost.Transcendentals += JS.Transcendentals;
+    Slot.Cells += JS.Cells;
+    if (JS.TableMax > Slot.TableMax)
+      Slot.TableMax = JS.TableMax;
+    if (JS.HasRoot) {
+      Slot.RootValue = JS.RootValue;
+      Slot.HasRoot = true;
+    }
+    for (unsigned T = Begin; T != End; ++T)
+      if (Cycles[T])
+        Timer.addThreadCycles(T, Cycles[T]);
+  }
+};
+
 /// Merges one worker's partition results into the run totals. Callers
 /// iterate slots in worker order, which equals simulated-thread order
 /// (workers own contiguous thread ranges), which equals the serial
@@ -158,14 +224,14 @@ void mergeSlot(const WorkerSlot &Slot, RunResult &Result,
 }
 
 /// The serial partition-by-partition scan core (Figure 8's template),
-/// monomorphised over the concrete table class and the cell evaluator so
-/// the per-cell path has no virtual calls and no type-erased callback.
-template <typename TableT, typename EvalT>
-void scanSerial(const ExecutablePlan &Plan, TableT &Table,
-                const gpu::CostModel &Model, bool IsGpu,
-                bool TableInShared, unsigned Threads,
-                gpu::BlockTimer &Timer, RunResult &Result, EvalT &Eval) {
-  poly::ScanContext Ctx = Plan.Nest.makeScanContext({});
+/// monomorphised over the concrete scanner (which fixes the table class
+/// and cell evaluator, or the jitted kernel) so the per-cell path has no
+/// virtual calls and no type-erased callback.
+template <typename MakeScannerT>
+void scanSerial(const ExecutablePlan &Plan, uint64_t SyncCycles,
+                unsigned Threads, gpu::BlockTimer &Timer,
+                RunResult &Result, const MakeScannerT &MakeScanner) {
+  auto Scanner = MakeScanner();
   WorkerSlot Slot;
   double TableMax = -std::numeric_limits<double>::infinity();
   for (int64_t P = Plan.FirstPartition; P <= Plan.LastPartition; ++P) {
@@ -174,18 +240,11 @@ void scanSerial(const ExecutablePlan &Plan, TableT &Table,
     // full table the root survives and is read once after the scan.
     uint64_t PartitionCells = 0;
     Slot.reset();
-    if (Plan.UseWindow && P == Plan.RootPartition)
-      scanThreadRange<true>(Plan, Ctx, Table, Model, IsGpu,
-                            TableInShared, Threads, 0, Threads, P, Timer,
-                            Slot, Eval);
-    else
-      scanThreadRange<false>(Plan, Ctx, Table, Model, IsGpu,
-                             TableInShared, Threads, 0, Threads, P,
-                             Timer, Slot, Eval);
+    Scanner(Plan.UseWindow && P == Plan.RootPartition, Threads, 0,
+            Threads, P, Timer, Slot);
     mergeSlot(Slot, Result, TableMax, PartitionCells);
     Result.Cells += PartitionCells;
-    Timer.closePartition(IsGpu ? Model.SyncCycles : 0, P,
-                         PartitionCells);
+    Timer.closePartition(SyncCycles, P, PartitionCells);
   }
   Result.TableMax = TableMax;
 }
@@ -197,15 +256,14 @@ void scanSerial(const ExecutablePlan &Plan, TableT &Table,
 /// decides whether the next partition is worth fanning out). Short
 /// partitions run entirely on worker 0 between the same barriers.
 ///
-/// \p MakeEval constructs one cell evaluator per worker, on that
-/// worker's thread.
-template <typename TableT, typename MakeEvalT>
-void scanParallel(const ExecutablePlan &Plan, TableT &Table,
-                  const gpu::CostModel &Model, bool IsGpu,
-                  bool TableInShared, unsigned Threads, unsigned Workers,
+/// \p MakeScanner constructs one scanner (cell evaluator or jitted
+/// kernel state) per worker, on that worker's thread.
+template <typename MakeScannerT>
+void scanParallel(const ExecutablePlan &Plan, uint64_t SyncCycles,
+                  unsigned Threads, unsigned Workers,
                   uint64_t GrainCells, gpu::BlockTimer &Timer,
                   RunResult &Result, ScanStats &Stats,
-                  const MakeEvalT &MakeEval) {
+                  const MakeScannerT &MakeScanner) {
   std::vector<WorkerSlot> Slots(Workers);
   SpinBarrier Barrier(Workers);
 
@@ -229,8 +287,7 @@ void scanParallel(const ExecutablePlan &Plan, TableT &Table,
   WorkerPool Pool(Workers);
   Pool.run([&](unsigned W) {
     WorkerSlot &Slot = Slots[W];
-    auto Eval = MakeEval();
-    poly::ScanContext Ctx = Plan.Nest.makeScanContext({});
+    auto Scanner = MakeScanner();
     for (int64_t P = Plan.FirstPartition; P <= Plan.LastPartition; ++P) {
       bool FanOut = Shared.FanOut;
       // Contiguous simulated-thread ranges keep the merge order equal
@@ -248,14 +305,8 @@ void scanParallel(const ExecutablePlan &Plan, TableT &Table,
       Slot.reset();
       if (Begin != End) {
         try {
-          if (Plan.UseWindow && P == Plan.RootPartition)
-            scanThreadRange<true>(Plan, Ctx, Table, Model, IsGpu,
-                                  TableInShared, Threads, Begin, End, P,
-                                  Timer, Slot, Eval);
-          else
-            scanThreadRange<false>(Plan, Ctx, Table, Model, IsGpu,
-                                   TableInShared, Threads, Begin, End, P,
-                                   Timer, Slot, Eval);
+          Scanner(Plan.UseWindow && P == Plan.RootPartition, Threads,
+                  Begin, End, P, Timer, Slot);
         } catch (...) {
           std::lock_guard<std::mutex> Lock(ErrorMutex);
           if (!FirstError)
@@ -272,8 +323,7 @@ void scanParallel(const ExecutablePlan &Plan, TableT &Table,
         // closePartition reads and resets every thread's cycle
         // accumulator, hence the second barrier below before any worker
         // may charge cycles to the next partition.
-        Timer.closePartition(IsGpu ? Model.SyncCycles : 0, P,
-                             PartitionCells);
+        Timer.closePartition(SyncCycles, P, PartitionCells);
         ++(FanOut ? Shared.ForkJoins : Shared.SerialPartitions);
         // The previous partition's size is a cheap, deterministic
         // estimate of the next one's (diagonal lengths change by at
@@ -342,44 +392,77 @@ RunResult scanPlan(const ExecutablePlan &Plan, codegen::Evaluator &Eval,
   Result.UsedSchedule = Plan.Sched;
   Result.TableMax = -std::numeric_limits<double>::infinity();
 
-  bool UseVm = Plan.Program != nullptr && !Options.UseAstEvaluator &&
-               !envForcesAstEvaluator();
+  bool ForceAst = Options.UseAstEvaluator || envForcesAstEvaluator() ||
+                  Options.Evaluator == EvalKind::Ast;
+  // Jit silently degrades to the VM when the plan carries no kernel:
+  // the jit pass already warned and counted the fallback at plan time.
+  bool UseJit = !ForceAst && Options.Evaluator == EvalKind::Jit &&
+                Plan.Kernel != nullptr && Plan.Kernel->fn() != nullptr &&
+                Plan.Program != nullptr;
+  bool UseVm = !ForceAst && !UseJit && Plan.Program != nullptr;
   ScanStats Stats;
   Stats.Workers = resolveScanWorkers(Plan, Options, Threads);
   uint64_t Grain = std::max<uint64_t>(Options.ScanGrainCells, 1);
+  uint64_t SyncCycles = IsGpu ? Model.SyncCycles : 0;
 
-  auto RunOn = [&](auto &ConcreteTable) {
+  // One binding per run (the jitted analogue of BytecodeVM::bind),
+  // shared read-only by every worker's JitScanner.
+  codegen::JitBinding JitBind;
+  if (UseJit)
+    JitBind.bind(*Plan.Program, Eval);
+
+  auto Drive = [&](const auto &MakeScanner) {
     if (Stats.Workers <= 1) {
-      if (UseVm) {
-        VmEval E{codegen::BytecodeVM(Plan.Program)};
-        E.Vm.bind(Eval);
-        scanSerial(Plan, ConcreteTable, Model, IsGpu, TableInShared,
-                   Threads, Timer, Result, E);
-      } else {
-        AstEval E{&Eval};
-        scanSerial(Plan, ConcreteTable, Model, IsGpu, TableInShared,
-                   Threads, Timer, Result, E);
-      }
+      scanSerial(Plan, SyncCycles, Threads, Timer, Result, MakeScanner);
       return;
     }
     obs::Span ForkSpan("exec.scan_fork", "exec");
-    if (UseVm) {
-      scanParallel(Plan, ConcreteTable, Model, IsGpu, TableInShared,
-                   Threads, Stats.Workers, Grain, Timer, Result, Stats,
-                   [&] {
-                     VmEval E{codegen::BytecodeVM(Plan.Program)};
-                     E.Vm.bind(Eval);
-                     return E;
-                   });
-    } else {
-      scanParallel(Plan, ConcreteTable, Model, IsGpu, TableInShared,
-                   Threads, Stats.Workers, Grain, Timer, Result, Stats,
-                   [&] { return AstEval{&Eval}; });
-    }
+    scanParallel(Plan, SyncCycles, Threads, Stats.Workers, Grain, Timer,
+                 Result, Stats, MakeScanner);
     if (ForkSpan.active()) {
       ForkSpan.arg("workers", Stats.Workers);
       ForkSpan.arg("fork_joins", Stats.ForkJoins);
       ForkSpan.arg("serial_partitions", Stats.SerialPartitions);
+    }
+  };
+
+  auto RunOn = [&](auto &ConcreteTable) {
+    using TableT = std::remove_reference_t<decltype(ConcreteTable)>;
+    if (UseJit) {
+      Drive([&] {
+        JitScanner S;
+        S.Fn = Plan.Kernel->fn();
+        S.Args = JitBind.args();
+        S.Args.Table = ConcreteTable.rawData();
+        // The kernel bakes the cycle *formula*; the weights come from
+        // the live cost model so one cached kernel serves both backends
+        // and both table residencies.
+        S.Args.CycOp = IsGpu ? Model.GpuCyclesPerOp : Model.CpuCyclesPerOp;
+        S.Args.CycTrans = IsGpu ? Model.GpuTranscendentalCycles
+                                : Model.CpuTranscendentalCycles;
+        S.Args.CycTable = IsGpu ? (TableInShared
+                                       ? Model.SharedMemLatencyCycles
+                                       : Model.GlobalMemLatencyCycles)
+                                : Model.CpuMemLatencyCycles;
+        S.Args.CycModel =
+            IsGpu ? Model.SharedMemLatencyCycles : Model.CpuMemLatencyCycles;
+        S.Cycles.assign(Threads, 0);
+        return S;
+      });
+    } else if (UseVm) {
+      Drive([&] {
+        VmEval E{codegen::BytecodeVM(Plan.Program)};
+        E.Vm.bind(Eval);
+        return CellScanner<TableT, VmEval>{
+            Plan,  ConcreteTable, Model, IsGpu, TableInShared,
+            std::move(E), Plan.Nest.makeScanContext({})};
+      });
+    } else {
+      Drive([&] {
+        return CellScanner<TableT, AstEval>{
+            Plan,  ConcreteTable, Model, IsGpu, TableInShared,
+            AstEval{&Eval}, Plan.Nest.makeScanContext({})};
+      });
     }
   };
   // Monomorphise on the concrete table class (both are final) so every
@@ -419,6 +502,7 @@ RunResult scanPlan(const ExecutablePlan &Plan, codegen::Evaluator &Eval,
   if (RunSpan.active()) {
     RunSpan.arg("backend", IsGpu ? "simulated-gpu" : "serial-cpu");
     RunSpan.arg("vm", UseVm);
+    RunSpan.arg("evaluator", UseJit ? "jit" : (UseVm ? "vm" : "ast"));
     RunSpan.arg("cells", Result.Cells);
     RunSpan.arg("partitions", static_cast<uint64_t>(Result.Partitions));
     RunSpan.arg("cycles", Result.Cycles);

@@ -30,6 +30,14 @@
 namespace parrec {
 namespace exec {
 
+/// Which cell evaluator executes the scan. Ast is the tree-walking
+/// oracle, Vm the bytecode interpreter, Jit the natively compiled kernel
+/// (NativeJit.h). All three are bit-identical in every observable; they
+/// differ only in host wall-clock speed. Jit silently degrades to Vm
+/// when the plan carries no kernel (unsupported shape, missing host
+/// compiler — the planner already warned and counted the fallback).
+enum class EvalKind { Ast, Vm, Jit };
+
 /// Options controlling one execution.
 struct RunOptions {
   /// Use the Section 4.8 sliding-window table when the schedule permits.
@@ -66,7 +74,16 @@ struct RunOptions {
   /// Evaluate cells with the AST tree-walker even when the plan carries a
   /// compiled bytecode program — the differential-testing oracle. The
   /// ParRec_EVAL_AST environment variable forces this globally.
+  /// Equivalent to Evaluator = EvalKind::Ast; kept for callers predating
+  /// the three-way knob. Either one forces the AST walker.
   bool UseAstEvaluator = false;
+  /// The cell evaluator (`parrec run --evaluator=ast|vm|jit`). Jit makes
+  /// planning run the native JIT pass and execution dispatch the
+  /// compiled kernel; Ast is the oracle; Vm is the default.
+  EvalKind Evaluator = EvalKind::Vm;
+  /// JIT disk-cache directory override (`--jit-cache-dir=`); empty
+  /// resolves to $ParRec_JIT_CACHE then ~/.cache/parrec-jit.
+  std::string JitCacheDir;
   /// Run the cost-model schedule autotuner when planning: candidate
   /// schedules / window choices / thread counts are scored with the
   /// simulator's modelled cycles and the winner is cached on the plan.

@@ -23,14 +23,15 @@ uint64_t PlanKey::hash() const {
   for (int64_t V : Upper)
     Hash = fnvMix(Hash, static_cast<uint64_t>(V));
   Hash = fnvMix(Hash, Schedule{RequestedSchedule}.fingerprint());
-  Hash = fnvMix(Hash, (Autotune ? 4u : 0u) | (UseSlidingWindow ? 2u : 0u) |
+  Hash = fnvMix(Hash, (Jit ? 8u : 0u) | (Autotune ? 4u : 0u) |
+                          (UseSlidingWindow ? 2u : 0u) |
                           (KeepTable ? 1u : 0u));
   return Hash;
 }
 
 PlanKey PlanKey::make(const solver::DomainBox &Box, bool UseSlidingWindow,
                       bool KeepTable, const Schedule *Requested,
-                      bool Autotune) {
+                      bool Autotune, bool Jit) {
   PlanKey Key;
   Key.Lower = Box.Lower;
   Key.Upper = Box.Upper;
@@ -39,6 +40,7 @@ PlanKey PlanKey::make(const solver::DomainBox &Box, bool UseSlidingWindow,
   Key.UseSlidingWindow = UseSlidingWindow;
   Key.KeepTable = KeepTable;
   Key.Autotune = Autotune;
+  Key.Jit = Jit;
   return Key;
 }
 

@@ -32,6 +32,7 @@
 namespace parrec {
 namespace codegen {
 struct BytecodeProgram;
+class JitKernel;
 } // namespace codegen
 namespace gpu {
 struct CostModel;
@@ -55,6 +56,11 @@ struct PlanKey {
   bool UseSlidingWindow = true;
   bool KeepTable = false;
   bool Autotune = false;
+  /// Whether the plan carries a native jitted kernel. A jitted and an
+  /// uninstalled plan for the same box must not share a cache slot:
+  /// a VM-first run would otherwise pin a kernel-less plan that every
+  /// later --evaluator=jit run keeps hitting.
+  bool Jit = false;
 
   friend bool operator==(const PlanKey &A, const PlanKey &B) = default;
 
@@ -63,7 +69,7 @@ struct PlanKey {
 
   static PlanKey make(const solver::DomainBox &Box, bool UseSlidingWindow,
                       bool KeepTable, const solver::Schedule *Requested,
-                      bool Autotune = false);
+                      bool Autotune = false, bool Jit = false);
 };
 
 struct PlanKeyHash {
@@ -91,6 +97,14 @@ struct PlanRequest {
   /// Cost model the autotuner scores candidates with; null means the
   /// default-constructed model. Never part of the PlanKey.
   const gpu::CostModel *CostModel = nullptr;
+  /// Run the native JIT pass after finalize: render the plan as C,
+  /// compile and attach the resolved kernel (RunOptions::Evaluator ==
+  /// Jit / `parrec run --evaluator=jit`).
+  bool Jit = false;
+  /// On-disk shared-object cache directory override for the JIT pass;
+  /// empty resolves to $ParRec_JIT_CACHE then ~/.cache/parrec-jit.
+  /// Never part of the PlanKey.
+  std::string JitCacheDir;
 };
 
 /// The immutable product of planning: consumed by ExecutionBackends, safe
@@ -121,6 +135,10 @@ public:
   /// simulated GPU backend falls back to the model's core count. An
   /// explicit RunOptions::Threads still wins.
   unsigned TunedThreads = 0;
+  /// The natively jitted scan kernel (NativeJit.h); null when the jit
+  /// pass did not run or fell back. Cached on the plan exactly like
+  /// Program, so PlanCache hits skip C emission and compilation too.
+  std::shared_ptr<const codegen::JitKernel> Kernel;
 
   int64_t numPartitions() const { return LastPartition - FirstPartition + 1; }
 

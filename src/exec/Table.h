@@ -45,6 +45,13 @@ class DpTable : public codegen::TableView {
 public:
   virtual void set(const int64_t *Point, double Value) = 0;
   virtual uint64_t bytes() const = 0;
+
+  /// Base pointer of the flat value storage, for jitted kernels that bake
+  /// the slot addressing into generated code (the same flatten/slot math
+  /// as get/set). Raw writes bypass the debug-build write-once poisoning
+  /// of FullTable; the generated nest preserves the invariant by
+  /// construction (it visits each point exactly once).
+  virtual double *rawData() = 0;
 };
 
 /// Dense row-major storage over the whole domain box.
@@ -73,6 +80,7 @@ public:
     Slot = Value;
   }
   uint64_t bytes() const override { return Data.size() * sizeof(double); }
+  double *rawData() override { return Data.data(); }
 
 private:
   solver::DomainBox Box;
@@ -141,6 +149,7 @@ public:
     Data[slot(Point)] = Value;
   }
   uint64_t bytes() const override { return Data.size() * sizeof(double); }
+  double *rawData() override { return Data.data(); }
 
 private:
   struct DimAddr {

@@ -168,9 +168,12 @@ CompiledRecurrence::planFor(const DomainBox &Box,
     PlanSpan.arg("function", Decl->Name);
   // Autotune is part of the key: tuned and untuned plans for the same
   // box may differ, and a hit on a tuned plan skips the whole search.
+  // So is Jit: a VM-first run must not pin a kernel-less plan that a
+  // later --evaluator=jit run would then hit.
+  bool WantJit = Options.Evaluator == exec::EvalKind::Jit;
   exec::PlanKey Key =
       exec::PlanKey::make(Box, Options.UseSlidingWindow, Options.KeepTable,
-                          Requested, Options.Autotune);
+                          Requested, Options.Autotune, WantJit);
   if (std::shared_ptr<const exec::ExecutablePlan> Cached =
           Plans->lookup(Key)) {
     if (PlanSpan.active())
@@ -191,6 +194,8 @@ CompiledRecurrence::planFor(const DomainBox &Box,
   Req.PreselectedSchedule = Preselected;
   Req.Program = Bytecode;
   Req.Autotune = Options.Autotune;
+  Req.Jit = WantJit;
+  Req.JitCacheDir = Options.JitCacheDir;
   Req.CostModel = CostModel;
   std::optional<exec::ExecutablePlan> Plan =
       exec::buildPlan(Info.Recurrence, DimNames, Box, Req, Diags);

@@ -41,6 +41,7 @@ namespace runtime {
 // The run request/result types live in the exec layer with the backends;
 // they are re-exported here for the library's public API.
 using exec::BatchResult;
+using exec::EvalKind;
 using exec::RunOptions;
 using exec::RunResult;
 

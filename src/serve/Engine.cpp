@@ -236,7 +236,9 @@ Future Engine::submit(Request Req,
   P.Key = exec::PlanKey::make(
       P.Box, P.Req.Options.UseSlidingWindow, P.Req.Options.KeepTable,
       P.Req.Options.ForcedSchedule ? &*P.Req.Options.ForcedSchedule
-                                   : nullptr);
+                                   : nullptr,
+      P.Req.Options.Autotune,
+      P.Req.Options.Evaluator == exec::EvalKind::Jit);
 
   size_t Depth = 0;
   bool Admitted = false;

@@ -56,6 +56,7 @@ int usage() {
                "usage: parrec <command> [options] <file> [extents...]\n"
                "commands:\n"
                "  run [--cpu] [--autotune] [--scan-workers=<n>]\n"
+               "      [--evaluator=ast|vm|jit] [--jit-cache-dir=<dir>]\n"
                "      [--trace-out=<f>] [--trace-tree] [--stats[=json]]\n"
                "      [--stats-out=<f>] [--dump-passes]\n"
                "      [--disable-pass=<name>]\n"
@@ -65,7 +66,10 @@ int usage() {
                "                         results are identical either way;\n"
                "                         --autotune: score candidate\n"
                "                         schedules with the cost model —\n"
-               "                         results are identical too)\n"
+               "                         results are identical too;\n"
+               "                         --evaluator: cell evaluator — ast\n"
+               "                         oracle, vm bytecode (default), jit\n"
+               "                         native; all bit-identical)\n"
                "  check <function>       analyse a single function\n"
                "  schedule <fn> <n...>   derive the minimal schedule\n"
                "  emit <fn>              print synthesized CUDA source\n"
@@ -194,7 +198,8 @@ int cmdRun(int Argc, char **Argv) {
   bool UseCpu = false, Autotune = false, DumpPasses = false;
   bool StatsHuman = false, StatsJson = false, TraceTree = false;
   unsigned ScanWorkers = 0;
-  std::string TraceOut, StatsOut;
+  exec::EvalKind Evaluator = exec::EvalKind::Vm;
+  std::string TraceOut, StatsOut, JitCacheDir;
   std::vector<std::string> DisabledPasses;
   int FileIndex = 2;
   for (; FileIndex < Argc && Argv[FileIndex][0] == '-'; ++FileIndex) {
@@ -215,6 +220,22 @@ int cmdRun(int Argc, char **Argv) {
     } else if ((Value = optionValue(Arg, "--scan-workers"))) {
       if (!parseCount("--scan-workers", Value, &ScanWorkers))
         return 2;
+    } else if ((Value = optionValue(Arg, "--evaluator"))) {
+      if (std::strcmp(Value, "ast") == 0)
+        Evaluator = exec::EvalKind::Ast;
+      else if (std::strcmp(Value, "vm") == 0)
+        Evaluator = exec::EvalKind::Vm;
+      else if (std::strcmp(Value, "jit") == 0)
+        Evaluator = exec::EvalKind::Jit;
+      else {
+        std::fprintf(stderr,
+                     "error: --evaluator must be ast, vm or jit, got "
+                     "'%s'\n",
+                     Value);
+        return 2;
+      }
+    } else if ((Value = optionValue(Arg, "--jit-cache-dir"))) {
+      JitCacheDir = Value;
     } else if ((Value = optionValue(Arg, "--trace-out")))
       TraceOut = Value;
     else if (std::strcmp(Arg, "--trace-tree") == 0)
@@ -254,6 +275,8 @@ int cmdRun(int Argc, char **Argv) {
   Opts.Run.Trace = obs::Tracer::enabled();
   Opts.Run.ScanWorkers = ScanWorkers;
   Opts.Run.Autotune = Autotune;
+  Opts.Run.Evaluator = Evaluator;
+  Opts.Run.JitCacheDir = JitCacheDir;
   runtime::Interpreter Interp(Diags, std::move(Opts));
   std::optional<std::string> Output = Interp.run(*Source);
   std::fputs(Diags.str().c_str(), stderr);

@@ -6,15 +6,18 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The bytecode VM's correctness contract: for every recursion it
-/// compiles, results AND cost accounting are bit-identical to the AST
-/// tree-walker on both backends, with and without the sliding window.
-/// Covers the shipped example scripts, the case-study recursions and
-/// randomized (seeded) HMMs, sequences and substitution scores.
+/// The evaluators' correctness contract: for every recursion the
+/// bytecode compiles, results AND cost accounting are bit-identical
+/// across all three cell evaluators — the AST tree-walker, the bytecode
+/// VM and the native JIT kernel — on both backends, with and without
+/// the sliding window. Covers the shipped example scripts, the
+/// case-study recursions and randomized (seeded) HMMs, sequences and
+/// substitution scores.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "bio/HmmZoo.h"
+#include "obs/Metrics.h"
 #include "runtime/CompiledRecurrence.h"
 #include "runtime/Interpreter.h"
 
@@ -22,6 +25,8 @@
 
 #include <fstream>
 #include <sstream>
+
+#include <unistd.h>
 
 using namespace parrec;
 using namespace parrec::runtime;
@@ -85,6 +90,14 @@ const char *DnaViterbiSource =
     "    (if s.isend then 1.0 else s.emission[x[i-1]]) *\n"
     "    max(t in s.transitionsto : t.prob * viterbi(t.start, i - 1))\n";
 
+/// A per-process JIT disk cache so concurrent test shards never share
+/// (or pollute) the user's real cache.
+const std::string &jitCacheDirForTest() {
+  static const std::string Dir =
+      "/tmp/parrec-jit-test-" + std::to_string(::getpid());
+  return Dir;
+}
+
 CompiledRecurrence compileOrDie(const char *Source,
                                 std::vector<std::string> Extra = {}) {
   DiagnosticEngine Diags;
@@ -94,10 +107,29 @@ CompiledRecurrence compileOrDie(const char *Source,
   return std::move(*Compiled);
 }
 
-/// Runs \p Args through the bytecode VM and the AST tree-walker on both
-/// backends, with the sliding window on and off, and asserts every
-/// observable — values, cell counts, cost events, simulated cycles — is
-/// bit-identical.
+/// Asserts every observable of two runs — values, cell counts, cost
+/// events, simulated cycles — is bit-identical.
+void expectRunsIdentical(const RunResult &Vm, const RunResult &Other,
+                         const char *OtherName, const std::string &Where) {
+  EXPECT_EQ(Vm.RootValue, Other.RootValue) << OtherName << Where;
+  EXPECT_EQ(Vm.TableMax, Other.TableMax) << OtherName << Where;
+  EXPECT_EQ(Vm.Cells, Other.Cells) << OtherName << Where;
+  EXPECT_EQ(Vm.Partitions, Other.Partitions) << OtherName << Where;
+  EXPECT_TRUE(Vm.Cost == Other.Cost)
+      << "cost counters diverged" << Where << ": VM {" << Vm.Cost.Ops
+      << ", " << Vm.Cost.TableReads << ", " << Vm.Cost.TableWrites << ", "
+      << Vm.Cost.ModelReads << ", " << Vm.Cost.Transcendentals << "} vs "
+      << OtherName << " {" << Other.Cost.Ops << ", "
+      << Other.Cost.TableReads << ", " << Other.Cost.TableWrites << ", "
+      << Other.Cost.ModelReads << ", " << Other.Cost.Transcendentals
+      << "}";
+  EXPECT_EQ(Vm.Cycles, Other.Cycles) << OtherName << Where;
+}
+
+/// Runs \p Args through the bytecode VM, the AST tree-walker and the
+/// native JIT kernel on both backends, with the sliding window on and
+/// off, and asserts every observable — values, cell counts, cost
+/// events, simulated cycles — is bit-identical across all three.
 void expectEvaluatorsAgree(const CompiledRecurrence &Fn,
                            const std::vector<ArgValue> &Args) {
   // The whole point is to exercise the VM: the recursion must compile.
@@ -107,12 +139,17 @@ void expectEvaluatorsAgree(const CompiledRecurrence &Fn,
   gpu::Device Dev;
   gpu::CostModel Model;
   DiagnosticEngine Diags;
+  uint64_t FallbacksBefore =
+      obs::MetricsRegistry::global().snapshot().counter("jit.fallbacks");
   for (bool Window : {true, false}) {
     for (bool Gpu : {true, false}) {
       RunOptions VmOpts;
       VmOpts.UseSlidingWindow = Window;
       RunOptions AstOpts = VmOpts;
       AstOpts.UseAstEvaluator = true;
+      RunOptions JitOpts = VmOpts;
+      JitOpts.Evaluator = EvalKind::Jit;
+      JitOpts.JitCacheDir = jitCacheDirForTest();
 
       auto RunWith = [&](const RunOptions &Opts) {
         return Gpu ? Fn.runGpu(Args, Dev, Diags, Opts)
@@ -120,27 +157,24 @@ void expectEvaluatorsAgree(const CompiledRecurrence &Fn,
       };
       auto Vm = RunWith(VmOpts);
       auto Ast = RunWith(AstOpts);
+      auto Jit = RunWith(JitOpts);
       ASSERT_TRUE(Vm.has_value()) << Diags.str();
       ASSERT_TRUE(Ast.has_value()) << Diags.str();
+      ASSERT_TRUE(Jit.has_value()) << Diags.str();
 
       std::string Where = std::string(" (window=") +
                           (Window ? "on" : "off") +
                           ", backend=" + (Gpu ? "gpu" : "cpu") + ")";
-      EXPECT_EQ(Vm->RootValue, Ast->RootValue) << Where;
-      EXPECT_EQ(Vm->TableMax, Ast->TableMax) << Where;
-      EXPECT_EQ(Vm->Cells, Ast->Cells) << Where;
-      EXPECT_EQ(Vm->Partitions, Ast->Partitions) << Where;
-      EXPECT_TRUE(Vm->Cost == Ast->Cost)
-          << "cost counters diverged" << Where << ": VM {"
-          << Vm->Cost.Ops << ", " << Vm->Cost.TableReads << ", "
-          << Vm->Cost.TableWrites << ", " << Vm->Cost.ModelReads << ", "
-          << Vm->Cost.Transcendentals << "} vs AST {" << Ast->Cost.Ops
-          << ", " << Ast->Cost.TableReads << ", " << Ast->Cost.TableWrites
-          << ", " << Ast->Cost.ModelReads << ", "
-          << Ast->Cost.Transcendentals << "}";
-      EXPECT_EQ(Vm->Cycles, Ast->Cycles) << Where;
+      expectRunsIdentical(*Vm, *Ast, "AST", Where);
+      expectRunsIdentical(*Vm, *Jit, "JIT", Where);
     }
   }
+  // The JIT legs must have run the compiled kernel, not the silent VM
+  // fallback — otherwise the comparison above proves nothing.
+  EXPECT_EQ(
+      obs::MetricsRegistry::global().snapshot().counter("jit.fallbacks"),
+      FallbacksBefore)
+      << "a JIT leg silently fell back to the bytecode VM";
 }
 
 /// Deterministic pseudo-random string over \p Letters.
@@ -296,24 +330,81 @@ TEST(DifferentialTest, PlansCarryTheCompiledProgram) {
   EXPECT_EQ(Again->Program.get(), Fn.bytecode().get());
 }
 
+TEST(DifferentialTest, JitUnderWorkerNesting) {
+  // The JIT composes with both host-parallel axes: one kernel
+  // invocation per (partition, simulated-thread-range) slice under
+  // ScanWorkers, and per-problem kernels under BatchWorkers — every
+  // observable bit-identical to the serial VM run.
+  CompiledRecurrence Fn = compileOrDie(SmithWatermanSource);
+  const bio::SubstitutionMatrix M =
+      bio::SubstitutionMatrix::matchMismatch(bio::Alphabet::dna(), 2, 1);
+  bio::Sequence A("a", randomString(bio::Alphabet::dna().letters(), 64, 5));
+  bio::Sequence B("b", randomString(bio::Alphabet::dna().letters(), 57, 9));
+  std::vector<ArgValue> Args = {ArgValue::ofMatrix(&M),
+                                ArgValue::ofSeq(&A), ArgValue(),
+                                ArgValue::ofSeq(&B), ArgValue()};
+  gpu::Device Dev;
+  DiagnosticEngine Diags;
+
+  RunOptions VmOpts;
+  VmOpts.ScanWorkers = 1;
+  auto Vm = Fn.runGpu(Args, Dev, Diags, VmOpts);
+  ASSERT_TRUE(Vm.has_value()) << Diags.str();
+
+  for (unsigned ScanWorkers : {1u, 3u}) {
+    RunOptions JitOpts;
+    JitOpts.Evaluator = EvalKind::Jit;
+    JitOpts.JitCacheDir = jitCacheDirForTest();
+    JitOpts.ScanWorkers = ScanWorkers;
+    JitOpts.ScanGrainCells = 1; // force the fan-out even on a small box
+    auto Jit = Fn.runGpu(Args, Dev, Diags, JitOpts);
+    ASSERT_TRUE(Jit.has_value()) << Diags.str();
+    expectRunsIdentical(*Vm, *Jit, "JIT",
+                        " (scan-workers=" + std::to_string(ScanWorkers) +
+                            ")");
+  }
+
+  // Batch nesting: the same problem replicated, batch workers > 1.
+  std::vector<std::vector<ArgValue>> Problems(4, Args);
+  RunOptions VmBatch;
+  VmBatch.BatchWorkers = 1;
+  RunOptions JitBatch;
+  JitBatch.Evaluator = EvalKind::Jit;
+  JitBatch.JitCacheDir = jitCacheDirForTest();
+  JitBatch.BatchWorkers = 2;
+  JitBatch.ScanWorkers = 2;
+  auto VmB = Fn.runGpuBatch(Problems, Dev, Diags, VmBatch);
+  auto JitB = Fn.runGpuBatch(Problems, Dev, Diags, JitBatch);
+  ASSERT_TRUE(VmB.has_value()) << Diags.str();
+  ASSERT_TRUE(JitB.has_value()) << Diags.str();
+  ASSERT_EQ(VmB->Problems.size(), JitB->Problems.size());
+  for (size_t I = 0; I != VmB->Problems.size(); ++I)
+    expectRunsIdentical(VmB->Problems[I], JitB->Problems[I], "JIT",
+                        " (batch problem " + std::to_string(I) + ")");
+  EXPECT_EQ(VmB->TotalCycles, JitB->TotalCycles);
+}
+
 TEST(DifferentialTest, ShippedScriptsProduceIdenticalOutput) {
   for (const char *Script :
        {"smith_waterman.rdsl", "edit_distance.rdsl", "casino.rdsl"}) {
     std::string Source = readFileOrDie(scriptsPath(Script));
-    auto RunScript = [&](bool UseAst) {
+    auto RunScript = [&](EvalKind Evaluator) {
       DiagnosticEngine Diags;
       Interpreter::Options Opts;
       Opts.BasePath = PARREC_SCRIPTS_DIR;
-      Opts.Run.UseAstEvaluator = UseAst;
+      Opts.Run.Evaluator = Evaluator;
+      Opts.Run.JitCacheDir = jitCacheDirForTest();
       Interpreter Interp(Diags, std::move(Opts));
       auto Output = Interp.run(Source);
       EXPECT_TRUE(Output.has_value())
           << Script << " failed: " << Diags.str();
       return Output.value_or("");
     };
-    std::string VmOut = RunScript(/*UseAst=*/false);
-    std::string AstOut = RunScript(/*UseAst=*/true);
+    std::string VmOut = RunScript(EvalKind::Vm);
+    std::string AstOut = RunScript(EvalKind::Ast);
+    std::string JitOut = RunScript(EvalKind::Jit);
     EXPECT_FALSE(VmOut.empty()) << Script;
     EXPECT_EQ(VmOut, AstOut) << Script;
+    EXPECT_EQ(VmOut, JitOut) << Script;
   }
 }

@@ -35,6 +35,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 using namespace parrec;
 using namespace parrec::obs;
 using codegen::ArgValue;
@@ -657,4 +659,41 @@ TEST(MetricsTest, PassSpanAndMetricNamesMatchRegisteredPasses) {
       CountBefore = B->second.Count;
     EXPECT_GT(It->second.Count, CountBefore) << Metric;
   }
+}
+
+/// The jit pass follows the same naming law as every other pass — span
+/// "compile.jit", metric "compile.pass.jit.ns" — and the JIT machinery
+/// itself reports under the "jit." prefix (jit.cache_hits,
+/// jit.cache_misses, jit.fallbacks counters; jit.compile_ns duration).
+TEST(MetricsTest, JitPassFollowsTheNamingLaw) {
+  TracerSandbox Sandbox;
+  Tracer::instance().enable();
+  CompiledRecurrence Fn = compileOrDie(EditDistanceSource);
+  bio::Sequence S("s", "kitten"), T("t", "sitting");
+  gpu::Device Dev;
+  DiagnosticEngine Diags;
+  exec::RunOptions Opts;
+  Opts.Evaluator = exec::EvalKind::Jit;
+  Opts.JitCacheDir =
+      "/tmp/parrec-jit-obstest-" + std::to_string(::getpid());
+  ASSERT_TRUE(
+      Fn.runGpu(editDistanceArgs(S, T), Dev, Diags, Opts).has_value())
+      << Diags.str();
+  Tracer::instance().disable();
+
+  EXPECT_TRUE(compiler::isKnownPass("jit"));
+  bool SawJitSpan = false;
+  for (const TraceEvent &E : Tracer::instance().hostEvents())
+    SawJitSpan |= E.Name == "compile.jit";
+  EXPECT_TRUE(SawJitSpan) << "no compile.jit span recorded";
+
+  MetricsSnapshot After = MetricsRegistry::global().snapshot();
+  EXPECT_NE(After.Distributions.find("compile.pass.jit.ns"),
+            After.Distributions.end());
+  // Exactly one of hit/miss fired, plus the compile duration on a miss;
+  // either way the counters exist under the documented names.
+  EXPECT_GE(After.counter("jit.cache_hits") +
+                After.counter("jit.cache_misses") +
+                After.counter("jit.fallbacks"),
+            1u);
 }

@@ -237,14 +237,18 @@ TEST(PassPipelineTest, RegistrationOrder) {
   std::vector<std::string> Autotuned = {"schedule_synthesis", "autotune",
                                         "sliding_window", "loopgen",
                                         "finalize"};
+  std::vector<std::string> Jitted = {"schedule_synthesis", "sliding_window",
+                                     "loopgen", "finalize", "jit"};
   EXPECT_EQ(compiler::frontendPipeline().passNames(), Frontend);
   EXPECT_EQ(compiler::planningPipeline().passNames(), Planning);
   EXPECT_EQ(compiler::autotunePlanningPipeline().passNames(), Autotuned);
+  EXPECT_EQ(compiler::jitPlanningPipeline().passNames(), Jitted);
 
-  // allPassNames is the frontend followed by the (autotuned) planning
-  // passes — the order --dump-passes prints.
+  // allPassNames is the frontend followed by the autotuned + jitted
+  // planning passes — the order --dump-passes prints.
   std::vector<std::string> All = Frontend;
   All.insert(All.end(), Autotuned.begin(), Autotuned.end());
+  All.push_back("jit");
   EXPECT_EQ(compiler::allPassNames(), All);
 
   for (const std::string &Name : All)
