@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition file written by parrec.
+
+Checks, line by line:
+  * every line is either `# TYPE <family> <counter|summary|histogram>`
+    or a sample `name[{labels}] value`;
+  * each family has exactly one TYPE line, appearing before its samples;
+  * metric names stay inside [a-zA-Z_:][a-zA-Z0-9_:]*;
+  * label blocks parse ({k="v",...} with \\\\, \\" and \\n escapes only);
+  * no duplicate (name, label set) sample;
+  * histogram bucket series are cumulative, end with le="+Inf", and the
+    +Inf bucket equals the series' _count sample.
+
+Usage: check_prom.py FILE [--require FAMILY]...
+Exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|summary|histogram)$")
+# One label: key="value" where value allows only \\, \" and \n escapes.
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\\\|\\"|\\n)*)"')
+
+
+def fail(lineno, msg):
+    sys.exit(f"check_prom: line {lineno}: {msg}")
+
+
+def parse_labels(block, lineno):
+    """Parses the inside of a {...} block into a sorted label tuple."""
+    labels = []
+    pos = 0
+    while pos < len(block):
+        m = LABEL_RE.match(block, pos)
+        if not m:
+            fail(lineno, f"bad label syntax at ...{block[pos:]!r}")
+        labels.append((m.group(1), m.group(2)))
+        pos = m.end()
+        if pos < len(block):
+            if block[pos] != ",":
+                fail(lineno, f"expected ',' between labels at ...{block[pos:]!r}")
+            pos += 1
+    return tuple(labels)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("file")
+    ap.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="FAMILY",
+        help="fail unless this family has a TYPE line and at least one sample",
+    )
+    args = ap.parse_args()
+
+    types = {}  # family -> type
+    seen_samples = set()  # (name, labels)
+    families_with_samples = set()
+    # (family, non-le labels) -> [(le, cumulative)] in file order.
+    buckets = {}
+    counts = {}  # (family, labels) -> _count value
+    lines = 0
+
+    with open(args.file) as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.rstrip("\n")
+            if not line:
+                fail(lineno, "empty line")
+            lines += 1
+            if line.startswith("#"):
+                m = TYPE_RE.match(line)
+                if not m:
+                    fail(lineno, f"unrecognised comment {line!r}")
+                family = m.group(1)
+                if family in types:
+                    fail(lineno, f"duplicate TYPE line for {family}")
+                types[family] = m.group(2)
+                continue
+
+            m = NAME_RE.match(line)
+            if not m:
+                fail(lineno, f"bad metric name in {line!r}")
+            name = m.group(0)
+            rest = line[m.end() :]
+            labels = ()
+            if rest.startswith("{"):
+                close = rest.find("}")
+                if close < 0:
+                    fail(lineno, "unterminated label block")
+                labels = parse_labels(rest[1:close], lineno)
+                rest = rest[close + 1 :]
+            if not rest.startswith(" "):
+                fail(lineno, f"expected ' value' after sample name in {line!r}")
+            try:
+                value = float(rest[1:])
+            except ValueError:
+                fail(lineno, f"bad sample value {rest[1:]!r}")
+
+            key = (name, labels)
+            if key in seen_samples:
+                fail(lineno, f"duplicate sample {name}{dict(labels)}")
+            seen_samples.add(key)
+
+            # A sample belongs to the longest declared family that is a
+            # prefix of its name (histogram/summary emit _bucket/_sum/
+            # _count under the family's TYPE line).
+            family = None
+            for suffix in ("", "_bucket", "_sum", "_count"):
+                if suffix and name.endswith(suffix):
+                    base = name[: -len(suffix)]
+                else:
+                    base = name if not suffix else None
+                if base and base in types:
+                    family = base
+                    break
+            if family is None:
+                fail(lineno, f"sample {name} has no TYPE line")
+            families_with_samples.add(family)
+
+            if name.endswith("_bucket") and types.get(family) == "histogram":
+                le = dict(labels).get("le")
+                if le is None:
+                    fail(lineno, f"histogram bucket {name} lacks an le label")
+                series = tuple(kv for kv in labels if kv[0] != "le")
+                buckets.setdefault((family, series), []).append((le, value, lineno))
+            if name.endswith("_count") and types.get(family) == "histogram":
+                counts[(family, labels)] = (value, lineno)
+
+    for (family, series), rows in buckets.items():
+        prev = -1.0
+        for le, cumulative, lineno in rows:
+            if cumulative < prev:
+                fail(lineno, f"{family}_bucket cumulative count decreases")
+            prev = cumulative
+        last_le, last_value, lineno = rows[-1]
+        if last_le != "+Inf":
+            fail(lineno, f"{family}_bucket series does not end with le=\"+Inf\"")
+        count = counts.get((family, series))
+        if count is None:
+            fail(lineno, f"{family} histogram series has buckets but no _count")
+        if count[0] != last_value:
+            fail(count[1], f"{family}_count != le=\"+Inf\" bucket ({count[0]} vs {last_value})")
+
+    for family in args.require:
+        if family not in types:
+            sys.exit(f"check_prom: required family {family} has no TYPE line")
+        if family not in families_with_samples:
+            sys.exit(f"check_prom: required family {family} has no samples")
+
+    if lines == 0:
+        sys.exit("check_prom: file is empty")
+    print(
+        f"check_prom: OK: {len(seen_samples)} samples across "
+        f"{len(types)} families in {args.file}"
+    )
+
+
+if __name__ == "__main__":
+    main()

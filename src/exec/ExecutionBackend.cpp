@@ -503,6 +503,12 @@ RunResult scanPlan(const ExecutablePlan &Plan, codegen::Evaluator &Eval,
     RunSpan.arg("backend", IsGpu ? "simulated-gpu" : "serial-cpu");
     RunSpan.arg("vm", UseVm);
     RunSpan.arg("evaluator", UseJit ? "jit" : (UseVm ? "vm" : "ast"));
+    if (Options.FlowId != 0) {
+      // Terminal hop of a served request's flow: the serve.enqueue ->
+      // coalesce -> dispatch chain arrows end on this scan slice.
+      RunSpan.arg("request", Options.FlowId);
+      RunSpan.flowEnd(Options.FlowId);
+    }
     RunSpan.arg("cells", Result.Cells);
     RunSpan.arg("partitions", static_cast<uint64_t>(Result.Partitions));
     RunSpan.arg("cycles", Result.Cycles);
@@ -515,6 +521,8 @@ RunResult scanPlan(const ExecutablePlan &Plan, codegen::Evaluator &Eval,
   // Per-run (never per-cell) registry updates.
   obs::MetricsRegistry &M = obs::MetricsRegistry::global();
   M.add("exec.runs");
+  M.add("exec.runs_by_evaluator",
+        obs::Labels{{"evaluator", UseJit ? "jit" : (UseVm ? "vm" : "ast")}});
   M.add("exec.cells_computed", Result.Cells);
   M.add("exec.cycles", Result.Cycles);
   M.add("exec.partitions", static_cast<uint64_t>(Result.Partitions));

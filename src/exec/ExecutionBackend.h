@@ -94,6 +94,11 @@ struct RunOptions {
   /// Implied by an enabled obs::Tracer; never changes results, only
   /// records how they were reached.
   bool Trace = false;
+  /// Trace flow id (the serving engine's RequestId): when non-zero and
+  /// tracing is on, the exec.scan span finishes this flow so the
+  /// request's serve-side slices link to the scan that ran it. Telemetry
+  /// only — never part of a plan key, never affects results.
+  uint64_t FlowId = 0;
 };
 
 /// The outcome of running one problem.

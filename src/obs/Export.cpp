@@ -1,0 +1,167 @@
+//===- Export.cpp - Continuous metrics export ---------------------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Export.h"
+
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+using namespace parrec;
+using namespace parrec::obs;
+
+//===----------------------------------------------------------------------===//
+// Prometheus text format
+//===----------------------------------------------------------------------===//
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; dots (and anything else)
+/// become underscores, and everything gets a parrec_ prefix.
+static std::string promName(const std::string &Name) {
+  std::string Out = "parrec_";
+  for (char C : Name) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '_' || C == ':';
+    Out += Ok ? C : '_';
+  }
+  return Out;
+}
+
+static std::string promDouble(double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+static void promHistogram(std::string &Out, const std::string &Name,
+                          const std::string &Rendered, const Histogram &H) {
+  // Labelled bucket series need the le label merged into the existing
+  // block: {tenant="x"} + le -> {tenant="x",le="..."}.
+  auto BucketSeries = [&](const std::string &Le) {
+    std::string S = Name + "_bucket";
+    if (Rendered.empty())
+      return S + "{le=\"" + Le + "\"}";
+    S += Rendered.substr(0, Rendered.size() - 1);
+    S += ",le=\"" + Le + "\"}";
+    return S;
+  };
+  uint64_t Cumulative = H.NonPositive;
+  if (H.NonPositive)
+    Out += BucketSeries("0") + " " + std::to_string(Cumulative) + "\n";
+  for (const auto &[Index, N] : H.Buckets) {
+    Cumulative += N;
+    Out += BucketSeries(promDouble(Histogram::bucketUpper(Index))) + " " +
+           std::to_string(Cumulative) + "\n";
+  }
+  Out += BucketSeries("+Inf") + " " + std::to_string(H.Count) + "\n";
+  Out += Name + "_sum" + Rendered + " " + promDouble(H.Sum) + "\n";
+  Out += Name + "_count" + Rendered + " " + std::to_string(H.Count) + "\n";
+}
+
+std::string parrec::obs::prometheusText(const MetricsSnapshot &S) {
+  std::string Out;
+  for (const auto &[Name, Value] : S.Counters) {
+    std::string N = promName(Name);
+    Out += "# TYPE " + N + " counter\n";
+    Out += N + " " + std::to_string(Value) + "\n";
+  }
+  for (const auto &[Name, Series] : S.LabelledCounters) {
+    std::string N = promName(Name);
+    Out += "# TYPE " + N + " counter\n";
+    for (const auto &[Rendered, Value] : Series)
+      Out += N + Rendered + " " + std::to_string(Value) + "\n";
+  }
+  for (const auto &[Name, D] : S.Distributions) {
+    std::string N = promName(Name);
+    Out += "# TYPE " + N + " summary\n";
+    Out += N + "_sum " + promDouble(D.Sum) + "\n";
+    Out += N + "_count " + std::to_string(D.Count) + "\n";
+  }
+  for (const auto &[Name, Series] : S.Histograms) {
+    std::string N = promName(Name);
+    Out += "# TYPE " + N + " histogram\n";
+    for (const auto &[Rendered, H] : Series)
+      promHistogram(Out, N, Rendered, H);
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsExporter
+//===----------------------------------------------------------------------===//
+
+MetricsExporter::MetricsExporter(Options O) : Opts(std::move(O)) {
+  if (Opts.IntervalMs > 0)
+    Thread = std::thread([this] { threadMain(); });
+}
+
+MetricsExporter::~MetricsExporter() { stop(); }
+
+void MetricsExporter::threadMain() {
+  std::unique_lock<std::mutex> Lock(WaitMutex);
+  while (!Stopping) {
+    WaitCv.wait_for(Lock, std::chrono::milliseconds(Opts.IntervalMs),
+                    [this] { return Stopping; });
+    if (Stopping)
+      break;
+    Lock.unlock();
+    flushNow();
+    Lock.lock();
+  }
+}
+
+void MetricsExporter::flushNow() {
+  std::lock_guard<std::mutex> Lock(FlushMutex);
+  MetricsSnapshot S = MetricsRegistry::global().snapshot();
+  uint64_t Seq = FlushCount.fetch_add(1, std::memory_order_relaxed);
+
+  if (!Opts.PromPath.empty()) {
+    // Write-then-rename so a scraper never sees a half-written file.
+    std::string Tmp = Opts.PromPath + ".tmp";
+    {
+      std::ofstream PromOut(Tmp, std::ios::binary | std::ios::trunc);
+      if (PromOut)
+        PromOut << prometheusText(S);
+    }
+    if (std::rename(Tmp.c_str(), Opts.PromPath.c_str()) != 0)
+      std::remove(Tmp.c_str());
+  }
+
+  if (!Opts.JsonlPath.empty()) {
+    std::ofstream JsonlOut(Opts.JsonlPath, std::ios::binary | std::ios::app);
+    if (JsonlOut) {
+      JsonWriter W;
+      W.beginObject();
+      W.key("seq").value(Seq);
+      if (Opts.TickSource)
+        W.key("tick").value(Opts.TickSource());
+      W.key("host_ns").value(Tracer::nowNs());
+      W.key("metrics").rawValue(S.json());
+      W.endObject();
+      JsonlOut << W.take() << '\n';
+    }
+  }
+}
+
+void MetricsExporter::stop() {
+  bool FirstStop;
+  {
+    std::lock_guard<std::mutex> Lock(WaitMutex);
+    FirstStop = !Stopping;
+    Stopping = true;
+  }
+  WaitCv.notify_all();
+  if (Thread.joinable())
+    Thread.join();
+  // One final snapshot so short runs and clean shutdowns always leave
+  // complete outputs behind.
+  if (FirstStop)
+    flushNow();
+}

@@ -1,0 +1,93 @@
+//===- Export.h - Continuous metrics export ------------------------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders MetricsSnapshot as Prometheus text exposition format and runs
+/// a background snapshot thread that rewrites a scrape file (atomic
+/// tmp-and-rename) and appends a JSONL time series at a configurable
+/// interval — the watch-a-soak path behind `parrec serve --prom-out= /
+/// --export-interval=`. Flushes are also callable synchronously
+/// (flushNow), which is how virtual-clock tests drive the exporter
+/// without waiting on wall time.
+///
+/// Exporting reads the registry; it never writes it, so export on vs off
+/// cannot change any counter, result or modelled cycle count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_OBS_EXPORT_H
+#define PARREC_OBS_EXPORT_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace parrec {
+namespace obs {
+
+struct MetricsSnapshot;
+
+/// Renders \p S in Prometheus text exposition format: one `# TYPE` line
+/// per family, `parrec_`-prefixed sanitised names, labelled series
+/// rendered `{k="v",...}`, histograms as cumulative `_bucket{le="..."}`
+/// series plus `_sum`/`_count`, distributions as summaries. Output is
+/// deterministic (families and series sorted) and never contains a
+/// duplicate (name, label set) sample.
+std::string prometheusText(const MetricsSnapshot &S);
+
+/// Background exporter of the global metrics registry.
+class MetricsExporter {
+public:
+  struct Options {
+    /// Prometheus scrape file, atomically replaced each flush ("" = off).
+    std::string PromPath;
+    /// JSONL time series, one snapshot object appended per flush ("" = off).
+    std::string JsonlPath;
+    /// Flush period for the background thread; 0 runs no thread (flushes
+    /// happen only via flushNow() and the final one in stop()).
+    uint64_t IntervalMs = 0;
+    /// Stamps each JSONL record with a caller-defined clock (the serving
+    /// engine's virtual tick under test); may be null.
+    std::function<uint64_t()> TickSource;
+  };
+
+  explicit MetricsExporter(Options O);
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter &) = delete;
+  MetricsExporter &operator=(const MetricsExporter &) = delete;
+
+  /// Takes one snapshot and writes every configured output. Safe from
+  /// any thread; serialised against the background thread.
+  void flushNow();
+
+  /// Stops the background thread (if any) and writes one final flush.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  uint64_t flushes() const { return FlushCount.load(std::memory_order_relaxed); }
+
+private:
+  void threadMain();
+
+  Options Opts;
+  std::mutex FlushMutex; ///< Serialises file writes across callers.
+  std::mutex WaitMutex;
+  std::condition_variable WaitCv;
+  bool Stopping = false;
+  std::atomic<uint64_t> FlushCount{0};
+  std::thread Thread;
+};
+
+} // namespace obs
+} // namespace parrec
+
+#endif // PARREC_OBS_EXPORT_H

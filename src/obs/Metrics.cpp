@@ -1,4 +1,4 @@
-//===- Metrics.cpp - Named counters and distributions -------------------------==//
+//===- Metrics.cpp - Named counters, histograms and label sets ----------------==//
 //
 // Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
 // from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
@@ -9,10 +9,156 @@
 
 #include "obs/Json.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 using namespace parrec;
 using namespace parrec::obs;
+
+//===----------------------------------------------------------------------===//
+// Labels
+//===----------------------------------------------------------------------===//
+
+Labels::Labels(
+    std::initializer_list<std::pair<std::string_view, std::string_view>> Init) {
+  Pairs.reserve(Init.size());
+  for (const auto &[Key, Value] : Init)
+    Pairs.emplace_back(std::string(Key), std::string(Value));
+  std::sort(Pairs.begin(), Pairs.end());
+}
+
+static void appendEscaped(std::string &Out, const std::string &Value) {
+  for (char C : Value) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      Out += C;
+    }
+  }
+}
+
+std::string Labels::render() const {
+  if (Pairs.empty())
+    return "";
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[Key, Value] : Pairs) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += Key;
+    Out += "=\"";
+    appendEscaped(Out, Value);
+    Out += '"';
+  }
+  Out += '}';
+  return Out;
+}
+
+Labels Labels::collapsed() const {
+  Labels Other;
+  Other.Pairs.reserve(Pairs.size());
+  for (const auto &[Key, Value] : Pairs) {
+    (void)Value;
+    Other.Pairs.emplace_back(Key, "other");
+  }
+  return Other;
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+int32_t Histogram::bucketIndex(double Value) {
+  return static_cast<int32_t>(
+      std::floor(std::log2(Value) * LogBucketsPerOctave));
+}
+
+double Histogram::bucketLower(int32_t Index) {
+  return std::exp2(static_cast<double>(Index) / LogBucketsPerOctave);
+}
+
+double Histogram::bucketUpper(int32_t Index) {
+  return std::exp2(static_cast<double>(Index + 1) / LogBucketsPerOctave);
+}
+
+double Histogram::relativeError() {
+  return std::exp2(1.0 / LogBucketsPerOctave) - 1.0;
+}
+
+void Histogram::record(double Value) {
+  if (Count == 0) {
+    Min = Max = Value;
+  } else {
+    if (Value < Min)
+      Min = Value;
+    if (Value > Max)
+      Max = Value;
+  }
+  ++Count;
+  Sum += Value;
+  if (Value > 0.0)
+    ++Buckets[bucketIndex(Value)];
+  else
+    ++NonPositive;
+}
+
+void Histogram::merge(const Histogram &Other) {
+  if (Other.Count == 0)
+    return;
+  if (Count == 0) {
+    Min = Other.Min;
+    Max = Other.Max;
+  } else {
+    Min = std::min(Min, Other.Min);
+    Max = std::max(Max, Other.Max);
+  }
+  Count += Other.Count;
+  Sum += Other.Sum;
+  NonPositive += Other.NonPositive;
+  for (const auto &[Index, N] : Other.Buckets)
+    Buckets[Index] += N;
+}
+
+double Histogram::percentile(double Q) const {
+  if (Count == 0)
+    return 0.0;
+  Q = std::min(std::max(Q, 0.0), 1.0);
+  // Rank of the requested sample in sorted order, 1-based: the same
+  // convention an exact nearest-rank percentile over the sorted samples
+  // would use.
+  uint64_t Rank =
+      static_cast<uint64_t>(std::ceil(Q * static_cast<double>(Count)));
+  if (Rank < 1)
+    Rank = 1;
+  uint64_t Seen = NonPositive;
+  if (Rank <= Seen)
+    return std::min(Min, 0.0);
+  for (const auto &[Index, N] : Buckets) {
+    Seen += N;
+    if (Rank <= Seen) {
+      // Geometric midpoint of the bucket halves the worst-case error
+      // relative to either edge; clamp into the observed range so a
+      // single-sample bucket reports an exact Min/Max.
+      double Mid = std::sqrt(bucketLower(Index) * bucketUpper(Index));
+      return std::min(std::max(Mid, Min), Max);
+    }
+  }
+  return Max;
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
 
 MetricsRegistry &MetricsRegistry::global() {
   static MetricsRegistry R;
@@ -26,6 +172,26 @@ void MetricsRegistry::add(std::string_view Name, uint64_t Delta) {
     Counters.emplace(std::string(Name), Delta);
   else
     It->second += Delta;
+}
+
+template <typename MapT>
+std::string MetricsRegistry::seriesKeyLocked(MapT &Series, const Labels &L) {
+  std::string Key = L.render();
+  if (Series.size() < MaxSeriesPerFamily || Series.count(Key))
+    return Key;
+  return L.collapsed().render();
+}
+
+void MetricsRegistry::add(std::string_view Name, const Labels &L,
+                          uint64_t Delta) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto FamilyIt = LabelledCounters.find(Name);
+  if (FamilyIt == LabelledCounters.end())
+    FamilyIt =
+        LabelledCounters
+            .emplace(std::string(Name), std::map<std::string, uint64_t>())
+            .first;
+  FamilyIt->second[seriesKeyLocked(FamilyIt->second, L)] += Delta;
 }
 
 void MetricsRegistry::record(std::string_view Name, double Value) {
@@ -45,11 +211,29 @@ void MetricsRegistry::record(std::string_view Name, double Value) {
     D.Max = Value;
 }
 
+void MetricsRegistry::observe(std::string_view Name, double Value) {
+  observe(Name, Labels(), Value);
+}
+
+void MetricsRegistry::observe(std::string_view Name, const Labels &L,
+                              double Value) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto FamilyIt = Histograms.find(Name);
+  if (FamilyIt == Histograms.end())
+    FamilyIt =
+        Histograms
+            .emplace(std::string(Name), std::map<std::string, Histogram>())
+            .first;
+  FamilyIt->second[seriesKeyLocked(FamilyIt->second, L)].record(Value);
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   MetricsSnapshot S;
   S.Counters.insert(Counters.begin(), Counters.end());
   S.Distributions.insert(Distributions.begin(), Distributions.end());
+  S.LabelledCounters.insert(LabelledCounters.begin(), LabelledCounters.end());
+  S.Histograms.insert(Histograms.begin(), Histograms.end());
   return S;
 }
 
@@ -57,6 +241,70 @@ void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> Lock(Mutex);
   Counters.clear();
   Distributions.clear();
+  LabelledCounters.clear();
+  Histograms.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsSnapshot
+//===----------------------------------------------------------------------===//
+
+uint64_t MetricsSnapshot::labelled(std::string_view Family,
+                                   std::string_view Rendered) const {
+  auto FamilyIt = LabelledCounters.find(std::string(Family));
+  if (FamilyIt == LabelledCounters.end())
+    return 0;
+  auto It = FamilyIt->second.find(std::string(Rendered));
+  return It == FamilyIt->second.end() ? 0 : It->second;
+}
+
+uint64_t MetricsSnapshot::labelledTotal(std::string_view Family) const {
+  auto FamilyIt = LabelledCounters.find(std::string(Family));
+  if (FamilyIt == LabelledCounters.end())
+    return 0;
+  uint64_t Total = 0;
+  for (const auto &[Rendered, Value] : FamilyIt->second)
+    Total += Value;
+  return Total;
+}
+
+const Histogram *MetricsSnapshot::histogram(std::string_view Family,
+                                            std::string_view Rendered) const {
+  auto FamilyIt = Histograms.find(std::string(Family));
+  if (FamilyIt == Histograms.end())
+    return nullptr;
+  auto It = FamilyIt->second.find(std::string(Rendered));
+  return It == FamilyIt->second.end() ? nullptr : &It->second;
+}
+
+Histogram MetricsSnapshot::histogramTotal(std::string_view Family) const {
+  Histogram Total;
+  auto FamilyIt = Histograms.find(std::string(Family));
+  if (FamilyIt == Histograms.end())
+    return Total;
+  for (const auto &[Rendered, H] : FamilyIt->second)
+    Total.merge(H);
+  return Total;
+}
+
+static void writeHistogram(JsonWriter &W, const Histogram &H) {
+  W.beginObject();
+  W.key("count").value(H.Count);
+  W.key("sum").value(H.Sum);
+  W.key("min").value(H.Min);
+  W.key("max").value(H.Max);
+  W.key("mean").value(H.mean());
+  W.key("p50").value(H.percentile(0.50));
+  W.key("p95").value(H.percentile(0.95));
+  W.key("p99").value(H.percentile(0.99));
+  W.key("nonpositive").value(H.NonPositive);
+  W.key("buckets").beginObject();
+  for (const auto &[Index, N] : H.Buckets) {
+    W.key(std::to_string(Index));
+    W.value(N);
+  }
+  W.endObject();
+  W.endObject();
 }
 
 std::string MetricsSnapshot::json() const {
@@ -79,6 +327,26 @@ std::string MetricsSnapshot::json() const {
     W.endObject();
   }
   W.endObject();
+  W.key("labelled_counters").beginObject();
+  for (const auto &[Name, Series] : LabelledCounters) {
+    W.key(Name).beginObject();
+    for (const auto &[Rendered, Value] : Series) {
+      W.key(Rendered);
+      W.value(Value);
+    }
+    W.endObject();
+  }
+  W.endObject();
+  W.key("histograms").beginObject();
+  for (const auto &[Name, Series] : Histograms) {
+    W.key(Name).beginObject();
+    for (const auto &[Rendered, H] : Series) {
+      W.key(Rendered);
+      writeHistogram(W, H);
+    }
+    W.endObject();
+  }
+  W.endObject();
   W.endObject();
   return W.take();
 }
@@ -94,6 +362,20 @@ std::string MetricsSnapshot::str() const {
                   Name.c_str(), static_cast<unsigned long long>(D.Count),
                   D.mean(), D.Min, D.Max);
     Out += Buf;
+  }
+  for (const auto &[Name, Series] : LabelledCounters)
+    for (const auto &[Rendered, Value] : Series)
+      Out += Name + Rendered + " = " + std::to_string(Value) + "\n";
+  for (const auto &[Name, Series] : Histograms) {
+    for (const auto &[Rendered, H] : Series) {
+      char Buf[200];
+      std::snprintf(Buf, sizeof(Buf),
+                    "%s%s = {count %llu, p50 %.6g, p95 %.6g, p99 %.6g}\n",
+                    Name.c_str(), Rendered.c_str(),
+                    static_cast<unsigned long long>(H.Count),
+                    H.percentile(0.50), H.percentile(0.95), H.percentile(0.99));
+      Out += Buf;
+    }
   }
   return Out;
 }

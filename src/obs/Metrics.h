@@ -1,4 +1,4 @@
-//===- Metrics.h - Named counters and distributions ---------------*- C++ -*-==//
+//===- Metrics.h - Named counters, histograms and label sets ------*- C++ -*-==//
 //
 // Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
 // from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
@@ -6,12 +6,25 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A process-global registry of named monotonic counters and value
-/// distributions, fed at coarse (per-run / per-plan) granularity by the
-/// execution pipeline: plan-cache hits and misses, bytecode programs
-/// compiled, cells computed, shared/global accesses, cycles, occupancy.
-/// Snapshots are deterministic (names sorted) and serialisable to JSON
-/// for `parrec --stats=json` and the bench metrics files.
+/// A process-global registry of named monotonic counters, value
+/// distributions, labelled counter families and fixed log-bucketed
+/// histogram families, fed at coarse (per-run / per-plan / per-request)
+/// granularity by the execution pipeline and the serving engine.
+///
+/// Labels are bounded-cardinality: a family keeps at most
+/// MetricsRegistry::MaxSeriesPerFamily distinct label sets; once the cap
+/// is hit, new label sets collapse to a single overflow series whose
+/// values are all "other", so a hostile tenant name stream cannot grow
+/// the registry without bound.
+///
+/// Histograms use fixed log-spaced buckets (LogBucketsPerOctave per
+/// doubling), so p50/p95/p99 read directly off the registry with a
+/// bounded relative error of Histogram::relativeError() and O(occupied
+/// buckets) memory — no sample retention, soak-safe.
+///
+/// Snapshots are deterministic (names and rendered label sets sorted)
+/// and serialisable to JSON for `parrec --stats=json`, the bench metrics
+/// files and the continuous exporter (Export.h).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,10 +32,13 @@
 #define PARREC_OBS_METRICS_H
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace parrec {
 namespace obs {
@@ -37,13 +53,85 @@ struct Distribution {
   double mean() const { return Count ? Sum / static_cast<double>(Count) : 0.0; }
 };
 
+/// A small set of key/value labels attached to a counter or histogram
+/// sample ({tenant, device, pass, evaluator, status} in practice). Keys
+/// are kept sorted so two logically equal sets render identically.
+class Labels {
+public:
+  Labels() = default;
+  Labels(std::initializer_list<std::pair<std::string_view, std::string_view>>
+             Pairs);
+
+  bool empty() const { return Pairs.empty(); }
+  const std::vector<std::pair<std::string, std::string>> &pairs() const {
+    return Pairs;
+  }
+
+  /// Canonical rendering: {k1="v1",k2="v2"}, keys sorted, values escaped
+  /// (\\, \" and \n); "" for the empty set. Used as the series key in
+  /// snapshots and directly valid as a Prometheus label block.
+  std::string render() const;
+
+  /// The same keys with every value replaced by "other": the series an
+  /// over-cardinality label set collapses to.
+  Labels collapsed() const;
+
+private:
+  std::vector<std::pair<std::string, std::string>> Pairs; // Sorted by key.
+};
+
+/// A fixed log-bucketed histogram: bucket I covers values in
+/// [2^(I/LogBucketsPerOctave), 2^((I+1)/LogBucketsPerOctave)), values
+/// <= 0 land in a dedicated non-positive bucket that sorts before every
+/// log bucket. Occupied buckets only are stored, so memory is bounded by
+/// the value range, never the sample count.
+struct Histogram {
+  /// Log buckets per doubling of the value; 8 gives a bucket width
+  /// (and thus worst-case percentile relative error) of 2^(1/8)-1 ~ 9%.
+  static constexpr int LogBucketsPerOctave = 8;
+
+  uint64_t Count = 0;
+  double Sum = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+  uint64_t NonPositive = 0;            ///< Samples with value <= 0.
+  std::map<int32_t, uint64_t> Buckets; ///< Bucket index -> count.
+
+  /// Index of the log bucket containing \p Value (> 0).
+  static int32_t bucketIndex(double Value);
+  /// Inclusive lower / exclusive upper bound of bucket \p Index.
+  static double bucketLower(int32_t Index);
+  static double bucketUpper(int32_t Index);
+  /// Worst-case relative error of percentile(): one bucket's width,
+  /// 2^(1/LogBucketsPerOctave) - 1.
+  static double relativeError();
+
+  void record(double Value);
+  /// Merges \p Other into this histogram (for cross-series totals).
+  void merge(const Histogram &Other);
+
+  double mean() const { return Count ? Sum / static_cast<double>(Count) : 0.0; }
+
+  /// The value at quantile \p Q in [0, 1]: the geometric midpoint of the
+  /// bucket holding the rank-ceil(Q*Count) sample (exact Min for the
+  /// non-positive bucket, clamped into [Min, Max]). Within one bucket's
+  /// relative error of the exact-sort percentile.
+  double percentile(double Q) const;
+};
+
 /// A point-in-time copy of the registry, detached from its locks.
 struct MetricsSnapshot {
   std::map<std::string, uint64_t> Counters;
   std::map<std::string, Distribution> Distributions;
+  /// Family name -> rendered label set -> value.
+  std::map<std::string, std::map<std::string, uint64_t>> LabelledCounters;
+  /// Family name -> rendered label set ("" when unlabelled) -> histogram.
+  std::map<std::string, std::map<std::string, Histogram>> Histograms;
 
-  /// Deterministic JSON: {"counters":{...},"distributions":{name:
-  /// {"count":..,"sum":..,"min":..,"max":..,"mean":..}}}, names sorted.
+  /// Deterministic JSON: {"counters":{...},"distributions":{...},
+  /// "labelled_counters":{family:{series:value}},
+  /// "histograms":{family:{series:{count,...,p50,p95,p99,buckets}}}},
+  /// names and series sorted.
   std::string json() const;
 
   /// Human-readable one-metric-per-line rendering, names sorted.
@@ -53,13 +141,29 @@ struct MetricsSnapshot {
     auto It = Counters.find(std::string(Name));
     return It == Counters.end() ? 0 : It->second;
   }
+
+  /// One labelled series of \p Family (\p Rendered as Labels::render()
+  /// produces it); 0 when absent.
+  uint64_t labelled(std::string_view Family, std::string_view Rendered) const;
+  /// Sum of every series of the labelled counter family \p Family.
+  uint64_t labelledTotal(std::string_view Family) const;
+
+  /// One series of a histogram family; null when absent.
+  const Histogram *histogram(std::string_view Family,
+                             std::string_view Rendered = "") const;
+  /// All series of \p Family merged into one histogram.
+  Histogram histogramTotal(std::string_view Family) const;
 };
 
 /// Thread-safe registry. Updates take one mutex; they happen at per-run,
-/// per-plan and per-compile granularity, never per cell, so the registry
-/// is always on.
+/// per-plan, per-compile and per-request granularity, never per cell, so
+/// the registry is always on.
 class MetricsRegistry {
 public:
+  /// Distinct label sets kept per family before new sets collapse to the
+  /// all-"other" overflow series.
+  static constexpr size_t MaxSeriesPerFamily = 64;
+
   static MetricsRegistry &global();
 
   MetricsRegistry() = default;
@@ -68,17 +172,33 @@ public:
 
   /// Adds \p Delta to the monotonic counter \p Name (created at 0).
   void add(std::string_view Name, uint64_t Delta = 1);
+  /// Adds \p Delta to the series of \p Name labelled \p L.
+  void add(std::string_view Name, const Labels &L, uint64_t Delta = 1);
 
   /// Records one sample of the distribution \p Name.
   void record(std::string_view Name, double Value);
+
+  /// Records one sample into the (optionally labelled) histogram family
+  /// \p Name.
+  void observe(std::string_view Name, double Value);
+  void observe(std::string_view Name, const Labels &L, double Value);
 
   MetricsSnapshot snapshot() const;
   void reset();
 
 private:
+  /// Resolves the series key for \p L inside \p Series, applying the
+  /// cardinality cap. Caller holds Mutex.
+  template <typename MapT>
+  static std::string seriesKeyLocked(MapT &Series, const Labels &L);
+
   mutable std::mutex Mutex;
   std::map<std::string, uint64_t, std::less<>> Counters;
   std::map<std::string, Distribution, std::less<>> Distributions;
+  std::map<std::string, std::map<std::string, uint64_t>, std::less<>>
+      LabelledCounters;
+  std::map<std::string, std::map<std::string, Histogram>, std::less<>>
+      Histograms;
 };
 
 } // namespace obs

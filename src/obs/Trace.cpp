@@ -161,6 +161,23 @@ std::string Tracer::chromeTraceJson() const {
     W.key("dur").value(static_cast<double>(E.DurNs) / 1000.0);
     writeArgs(W, E.Args);
     W.endObject();
+    // Flow events share one name/category per flow id chain and sit at
+    // the midpoint of their owning slice so the viewer binds each to the
+    // enclosing slice on this pid/tid ("bp":"e" on the finish).
+    for (const TraceFlow &F : E.Flows) {
+      W.beginObject();
+      W.key("ph").value(std::string_view(&F.Phase, 1));
+      W.key("name").value("serve.request");
+      W.key("cat").value("flow");
+      W.key("id").value(F.Id);
+      W.key("pid").value(static_cast<int64_t>(HostPid));
+      W.key("tid").value(static_cast<uint64_t>(E.Lane));
+      W.key("ts").value(
+          static_cast<double>(E.StartNs + E.DurNs / 2) / 1000.0);
+      if (F.Phase == 'f')
+        W.key("bp").value("e");
+      W.endObject();
+    }
   }
   for (const DeviceSlice &S : Device) {
     W.beginObject();
@@ -302,6 +319,12 @@ void Span::arg(std::string_view Key, bool Value) {
   if (!Active)
     return;
   Event.Args.push_back({std::string(Key), Value ? "true" : "false"});
+}
+
+void Span::flow(uint64_t Id, char Phase) {
+  if (!Active)
+    return;
+  Event.Flows.push_back({Id, Phase});
 }
 
 //===----------------------------------------------------------------------===//

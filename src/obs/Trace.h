@@ -48,6 +48,16 @@ struct TraceArg {
   std::string Json;
 };
 
+/// A flow-event binding attached to a host span: exported as a Chrome
+/// flow event (ph "s"/"t"/"f") anchored inside the span's slice, so every
+/// slice carrying the same flow id links up as one arrowed chain in the
+/// trace viewer. The serving engine uses the RequestId as the flow id to
+/// connect a request's enqueue -> coalesce -> dispatch -> scan spans.
+struct TraceFlow {
+  uint64_t Id = 0;
+  char Phase = 's'; ///< 's' start, 't' step, 'f' finish.
+};
+
 /// A completed host span (wall-clock domain).
 struct TraceEvent {
   std::string Name;
@@ -57,6 +67,7 @@ struct TraceEvent {
   uint32_t Lane = 0; ///< Host lane (one per recording thread).
   uint64_t Seq = 0;  ///< Recording order; tie-breaker for sorting.
   std::vector<TraceArg> Args;
+  std::vector<TraceFlow> Flows;
 
   uint64_t endNs() const { return StartNs + DurNs; }
 };
@@ -151,7 +162,18 @@ public:
   void arg(std::string_view Key, double Value);
   void arg(std::string_view Key, bool Value);
 
+  /// Attaches a flow binding to this span: the exported trace links every
+  /// slice carrying flow id \p Id into one chain. Start on the span that
+  /// originates the flow (serve.enqueue), step on intermediate hops
+  /// (serve.coalesce, serve.dispatch), end on the terminal hop
+  /// (exec.scan). No-ops when tracing is disabled.
+  void flowStart(uint64_t Id) { flow(Id, 's'); }
+  void flowStep(uint64_t Id) { flow(Id, 't'); }
+  void flowEnd(uint64_t Id) { flow(Id, 'f'); }
+
 private:
+  void flow(uint64_t Id, char Phase);
+
   bool Active;
   TraceEvent Event;
 };

@@ -14,6 +14,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
 
 using namespace parrec;
 using namespace parrec::serve;
@@ -45,6 +47,19 @@ double secondsSince(Wall::time_point From, Wall::time_point To) {
 /// Resolves a future: publish the response, wake waiters, run the
 /// callback on this thread. Never called with engine locks held, so a
 /// callback may re-enter the engine (e.g. submit a follow-up request).
+/// serve::Status values indexed by their underlying integer, for the
+/// flight recorder's packed status byte.
+std::vector<std::string> statusNameTable() {
+  return {"ok", "queue_full", "deadline", "aborted", "failed"};
+}
+
+/// The tenant label value for metrics: bounded-cardinality label sets
+/// make a hostile tenant stream safe, but an empty name still needs a
+/// stable, greppable value.
+std::string tenantLabel(const std::string &Tenant) {
+  return Tenant.empty() ? "none" : Tenant;
+}
+
 void resolve(detail::FutureState &State, Response &&Resp) {
   std::function<void(const Response &)> Callback;
   {
@@ -70,6 +85,7 @@ struct Engine::Pending {
   solver::DomainBox Box;
   uint64_t SubmitTick = 0;
   uint64_t Seq = 0;
+  uint32_t TenantId = 0; ///< Interned tenant, for flight-recorder entries.
   Wall::time_point SubmitWall;
 };
 
@@ -93,7 +109,12 @@ struct Engine::DeviceLane {
   bool Closed = false;       // Guarded by Mutex; no more batches coming.
 };
 
-Engine::Engine(Options Options) : Opts(std::move(Options)) {
+Engine::Engine(Options Options)
+    : Opts(std::move(Options)), Flight(Opts.FlightRecorderSlots) {
+  if (Opts.FlightDumpPath.empty())
+    if (const char *Env = std::getenv("ParRec_FLIGHT_DUMP"))
+      Opts.FlightDumpPath = Env;
+  TenantNames.push_back(""); // Id 0: unnamed tenant.
   Opts.Devices = std::max(1u, Opts.Devices);
   Opts.QueueCapacity = std::max<size_t>(1, Opts.QueueCapacity);
   Opts.MaxBatch = std::max<size_t>(1, Opts.MaxBatch);
@@ -152,6 +173,58 @@ Engine::Stats Engine::stats() const {
   return Counters;
 }
 
+uint32_t Engine::tenantId(const std::string &Tenant) {
+  if (Tenant.empty())
+    return 0;
+  std::lock_guard<std::mutex> Lock(TenantMutex);
+  auto It = TenantIdTable.find(Tenant);
+  if (It != TenantIdTable.end())
+    return It->second;
+  // Same bound as the metrics registry's series cap: beyond it every new
+  // tenant name shares one "other" id, so the table cannot grow without
+  // bound under a hostile name stream.
+  if (TenantIdTable.size() >= obs::MetricsRegistry::MaxSeriesPerFamily) {
+    auto OtherIt = TenantIdTable.find("other");
+    if (OtherIt != TenantIdTable.end())
+      return OtherIt->second;
+    uint32_t Id = static_cast<uint32_t>(TenantNames.size());
+    TenantNames.push_back("other");
+    TenantIdTable.emplace("other", Id);
+    return Id;
+  }
+  uint32_t Id = static_cast<uint32_t>(TenantNames.size());
+  TenantNames.push_back(Tenant);
+  TenantIdTable.emplace(Tenant, Id);
+  return Id;
+}
+
+std::string Engine::dumpFlightRecorder() const {
+  std::vector<std::string> Tenants;
+  {
+    std::lock_guard<std::mutex> Lock(TenantMutex);
+    Tenants = TenantNames;
+  }
+  return Flight.json(statusNameTable(), Tenants);
+}
+
+bool Engine::dumpFlightRecorder(const std::string &Path) const {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return false;
+  Out << dumpFlightRecorder() << '\n';
+  return static_cast<bool>(Out);
+}
+
+void Engine::maybeAutoDump(Status St) {
+  if (St != Status::Deadline && St != Status::Failed)
+    return;
+  if (Opts.FlightDumpPath.empty())
+    return;
+  if (FlightDumped.exchange(true, std::memory_order_acq_rel))
+    return;
+  dumpFlightRecorder(Opts.FlightDumpPath);
+}
+
 void Engine::complete(Pending &P, Status St, std::string Error) {
   uint64_t Now = now();
   Wall::time_point NowWall = Wall::now();
@@ -191,7 +264,15 @@ void Engine::complete(Pending &P, Status St, std::string Error) {
   case Status::Ok:
     break;
   }
+  M.add("serve.responses",
+        obs::Labels{{"status", statusName(St)},
+                    {"tenant", tenantLabel(P.Req.Tenant)}});
+  Flight.record(FlightEventKind::Complete, P.Req.Id, Now,
+                static_cast<uint8_t>(St), /*Device=*/0, P.TenantId,
+                /*Batch=*/0);
+  maybeAutoDump(St);
   Response Resp;
+  Resp.Id = P.Req.Id;
   Resp.St = St;
   Resp.SubmitTick = P.SubmitTick;
   Resp.CompleteTick = Now;
@@ -210,13 +291,18 @@ Future Engine::submit(Request Req,
   obs::Span Span("serve.enqueue", "serve");
   Pending P;
   P.Req = std::move(Req);
+  P.Req.Id = NextRequestId.fetch_add(1, std::memory_order_relaxed);
   P.State = State;
   P.SubmitTick = now();
   P.SubmitWall = Wall::now();
-  if (Span.active() && P.Req.Fn)
-    Span.arg("function", P.Req.Fn->decl().Name);
-  if (Span.active() && !P.Req.Tenant.empty())
-    Span.arg("tenant", P.Req.Tenant);
+  P.TenantId = tenantId(P.Req.Tenant);
+  if (Span.active()) {
+    Span.arg("request", P.Req.Id);
+    if (P.Req.Fn)
+      Span.arg("function", P.Req.Fn->decl().Name);
+    if (!P.Req.Tenant.empty())
+      Span.arg("tenant", P.Req.Tenant);
+  }
 
   // Validate and fingerprint on the submitting thread: the domain box
   // plus the plan key define which batch this request can join.
@@ -229,6 +315,8 @@ Future Engine::submit(Request Req,
   if (!Box) {
     if (Span.active())
       Span.arg("status", statusName(Status::Failed));
+    Flight.record(FlightEventKind::Submit, P.Req.Id, P.SubmitTick,
+                  static_cast<uint8_t>(Status::Failed), 0, P.TenantId, 0);
     complete(P, Status::Failed, Diags.str());
     return F;
   }
@@ -240,6 +328,12 @@ Future Engine::submit(Request Req,
       P.Req.Options.Autotune,
       P.Req.Options.Evaluator == exec::EvalKind::Jit);
 
+  // P is moved into the queue on admission; everything telemetry needs
+  // afterwards is captured first.
+  const uint64_t Id = P.Req.Id;
+  const uint32_t Tenant = P.TenantId;
+  const uint64_t SubmitTick = P.SubmitTick;
+  const std::string TenantLbl = tenantLabel(P.Req.Tenant);
   size_t Depth = 0;
   bool Admitted = false;
   {
@@ -257,11 +351,17 @@ Future Engine::submit(Request Req,
     // bound. The producer decides whether to retry, slow down or drop.
     if (Span.active())
       Span.arg("status", statusName(Status::QueueFull));
+    Flight.record(FlightEventKind::Submit, P.Req.Id, P.SubmitTick,
+                  static_cast<uint8_t>(Status::QueueFull), 0, P.TenantId, 0);
     complete(P, Status::QueueFull);
     return F;
   }
+  Flight.record(FlightEventKind::Submit, Id, SubmitTick,
+                static_cast<uint8_t>(Status::Ok), 0, Tenant, 0);
+  Span.flowStart(Id);
   M.add("serve.requests");
-  M.record("serve.queue_depth", static_cast<double>(Depth));
+  M.add("serve.requests_by_tenant", obs::Labels{{"tenant", TenantLbl}});
+  M.observe("serve.queue_depth", static_cast<double>(Depth));
   {
     std::lock_guard<std::mutex> Lock(StatsMutex);
     ++Counters.Submitted;
@@ -372,8 +472,6 @@ void Engine::coalescerMain() {
       }
       obs::MetricsRegistry &M = obs::MetricsRegistry::global();
       M.add("serve.batches");
-      M.record("serve.coalesced_per_batch",
-               static_cast<double>(B.Members.size()));
       {
         std::lock_guard<std::mutex> SLock(StatsMutex);
         ++Counters.Batches;
@@ -396,8 +494,18 @@ void Engine::coalescerMain() {
       }
 
       DeviceLane &Lane = *Lanes[NextDevice++ % Opts.Devices];
-      if (Span.active())
+      if (Span.active()) {
         Span.arg("device", Lane.Index);
+        for (const Pending &P : B.Members)
+          Span.flowStep(P.Req.Id);
+      }
+      M.observe("serve.coalesced_per_batch",
+                obs::Labels{{"device", std::to_string(Lane.Index)}},
+                static_cast<double>(B.Members.size()));
+      for (const Pending &P : B.Members)
+        Flight.record(FlightEventKind::Coalesce, P.Req.Id, now(),
+                      static_cast<uint8_t>(Status::Ok),
+                      static_cast<uint16_t>(Lane.Index), P.TenantId, B.Id);
       {
         std::lock_guard<std::mutex> LaneLock(Lane.Mutex);
         Lane.Batches.push_back(std::move(B));
@@ -458,7 +566,13 @@ void Engine::executeBatch(DeviceLane &Lane, Batch &B) {
     Span.arg("batch", B.Id);
     Span.arg("requests", static_cast<uint64_t>(Members.size()));
     Span.arg("function", B.Fn->decl().Name);
+    for (const Pending &P : Members)
+      Span.flowStep(P.Req.Id);
   }
+  for (const Pending &P : Members)
+    Flight.record(FlightEventKind::Dispatch, P.Req.Id, now(),
+                  static_cast<uint8_t>(Status::Ok),
+                  static_cast<uint16_t>(Lane.Index), P.TenantId, B.Id);
   Wall::time_point ExecStart = Wall::now();
 
   // The engine's host budget is divided per device, mirroring
@@ -480,6 +594,7 @@ void Engine::executeBatch(DeviceLane &Lane, Batch &B) {
     Eval.bind(Members[I].Req.Args);
     exec::RunOptions Ro = Members[I].Req.Options;
     Ro.ScanWorkers = ScanWorkers;
+    Ro.FlowId = Members[I].Req.Id; // Trace flow id only; never a result.
     Results[I] = Backend.execute(*B.Plan, Eval, Ro);
     if (obs::Tracer::enabled() && Results[I].Timeline)
       gpu::emitBlockTimeline(static_cast<unsigned>(I),
@@ -515,6 +630,7 @@ void Engine::executeBatch(DeviceLane &Lane, Batch &B) {
   for (size_t I = 0; I != Members.size(); ++I) {
     Pending &P = Members[I];
     Response Resp;
+    Resp.Id = P.Req.Id;
     Resp.St = Status::Ok;
     Resp.Result = std::move(Results[I]);
     Resp.SubmitTick = P.SubmitTick;
@@ -527,9 +643,17 @@ void Engine::executeBatch(DeviceLane &Lane, Batch &B) {
     Resp.BatchSize = Members.size();
     Resp.CompletionSeq =
         CompletionSeq.fetch_add(1, std::memory_order_relaxed);
-    M.record("serve.latency.queue_wait_seconds", Resp.QueueSeconds);
-    M.record("serve.latency.execute_seconds", Resp.ExecSeconds);
-    M.record("serve.latency.total_seconds", Resp.TotalSeconds);
+    obs::Labels TenantL{{"tenant", tenantLabel(P.Req.Tenant)}};
+    M.observe("serve.latency.queue_wait_seconds", TenantL,
+              Resp.QueueSeconds);
+    M.observe("serve.latency.execute_seconds", TenantL, Resp.ExecSeconds);
+    M.observe("serve.latency.total_seconds", TenantL, Resp.TotalSeconds);
+    M.add("serve.responses",
+          obs::Labels{{"status", statusName(Status::Ok)},
+                      {"tenant", tenantLabel(P.Req.Tenant)}});
+    Flight.record(FlightEventKind::Complete, P.Req.Id, Now,
+                  static_cast<uint8_t>(Status::Ok),
+                  static_cast<uint16_t>(Lane.Index), P.TenantId, B.Id);
     resolve(*P.State, std::move(Resp));
   }
 }

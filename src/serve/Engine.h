@@ -31,14 +31,17 @@
 
 #include "exec/Plan.h"
 #include "gpu/Device.h"
+#include "serve/FlightRecorder.h"
 #include "serve/Serve.h"
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -75,6 +78,12 @@ public:
     /// Start with the coalescer paused (deterministic tests: fill the
     /// queue, then resume()).
     bool StartPaused = false;
+    /// Flight-recorder ring capacity (rounded up to a power of two).
+    size_t FlightRecorderSlots = 1024;
+    /// When non-empty, the flight recorder is dumped to this path on the
+    /// first Deadline or Failed response (once per engine). Defaults
+    /// from the ParRec_FLIGHT_DUMP environment variable when empty.
+    std::string FlightDumpPath;
   };
 
   enum class ShutdownMode {
@@ -144,12 +153,26 @@ public:
   Stats stats() const;
   size_t queueDepth() const;
 
+  /// The flight recorder's current contents as one JSON document
+  /// (capacity, total recorded, dropped count, live events oldest
+  /// first). Always available — the recorder is always on.
+  std::string dumpFlightRecorder() const;
+  /// Writes dumpFlightRecorder() to \p Path; false on I/O failure.
+  bool dumpFlightRecorder(const std::string &Path) const;
+
 private:
   struct Pending;
   struct Batch;
   struct DeviceLane;
 
   void complete(Pending &P, Status St, std::string Error = {});
+  /// Interns \p Tenant into a bounded id table for flight-recorder
+  /// entries (id 0 = unnamed; over-cardinality names collapse to one
+  /// "other" id).
+  uint32_t tenantId(const std::string &Tenant);
+  /// Dumps the flight recorder to Opts.FlightDumpPath once, on the first
+  /// Deadline/Failed response.
+  void maybeAutoDump(Status St);
   void coalescerMain();
   void deviceMain(unsigned DeviceIndex);
   void executeBatch(DeviceLane &Lane, Batch &B);
@@ -173,6 +196,13 @@ private:
   mutable std::mutex StatsMutex;
   Stats Counters; // Guarded by StatsMutex.
   std::atomic<uint64_t> CompletionSeq{0};
+  std::atomic<uint64_t> NextRequestId{1};
+
+  FlightRecorder Flight;
+  std::atomic<bool> FlightDumped{false};
+  mutable std::mutex TenantMutex;
+  std::vector<std::string> TenantNames;          // Guarded by TenantMutex.
+  std::map<std::string, uint32_t> TenantIdTable; // Guarded by TenantMutex.
 
   std::thread Coalescer;
   std::vector<std::thread> DeviceThreads;

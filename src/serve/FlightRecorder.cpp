@@ -1,0 +1,124 @@
+//===- FlightRecorder.cpp - Ring buffer of request lifecycle events -----------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/FlightRecorder.h"
+
+#include "obs/Json.h"
+
+#include <algorithm>
+
+using namespace parrec;
+using namespace parrec::serve;
+
+const char *parrec::serve::flightEventKindName(FlightEventKind Kind) {
+  switch (Kind) {
+  case FlightEventKind::Submit:
+    return "submit";
+  case FlightEventKind::Coalesce:
+    return "coalesce";
+  case FlightEventKind::Dispatch:
+    return "dispatch";
+  case FlightEventKind::Complete:
+    return "complete";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(size_t Capacity) {
+  Cap = 16;
+  while (Cap < Capacity && Cap < (size_t(1) << 30))
+    Cap <<= 1;
+  Slots = std::make_unique<Slot[]>(Cap);
+}
+
+uint64_t FlightRecorder::pack(FlightEventKind Kind, uint8_t Status,
+                              uint16_t Device, uint32_t Tenant) {
+  return (static_cast<uint64_t>(Kind) << 56) |
+         (static_cast<uint64_t>(Status) << 48) |
+         (static_cast<uint64_t>(Device) << 32) | Tenant;
+}
+
+void FlightRecorder::record(FlightEventKind Kind, uint64_t Request,
+                            uint64_t Tick, uint8_t Status, uint16_t Device,
+                            uint32_t Tenant, uint64_t Batch) {
+  uint64_t Claim = Head.fetch_add(1, std::memory_order_relaxed);
+  Slot &S = Slots[Claim & (Cap - 1)];
+  // Invalidate, fill, publish: a reader that observes the final version
+  // stamp (acquire) sees the payload; one that races sees a version
+  // mismatch and skips the slot.
+  S.Version.store(0, std::memory_order_release);
+  S.Request.store(Request, std::memory_order_relaxed);
+  S.Tick.store(Tick, std::memory_order_relaxed);
+  S.Batch.store(Batch, std::memory_order_relaxed);
+  S.Packed.store(pack(Kind, Status, Device, Tenant),
+                 std::memory_order_relaxed);
+  S.Version.store(Claim + 1, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  std::vector<FlightEvent> Out;
+  Out.reserve(Cap);
+  for (size_t I = 0; I < Cap; ++I) {
+    const Slot &S = Slots[I];
+    uint64_t V1 = S.Version.load(std::memory_order_acquire);
+    if (V1 == 0)
+      continue;
+    FlightEvent E;
+    E.Request = S.Request.load(std::memory_order_relaxed);
+    E.Tick = S.Tick.load(std::memory_order_relaxed);
+    E.Batch = S.Batch.load(std::memory_order_relaxed);
+    uint64_t Packed = S.Packed.load(std::memory_order_relaxed);
+    uint64_t V2 = S.Version.load(std::memory_order_acquire);
+    if (V1 != V2)
+      continue; // A writer replaced this slot mid-copy.
+    E.Seq = V1 - 1;
+    E.Kind = static_cast<FlightEventKind>((Packed >> 56) & 0xff);
+    E.Status = static_cast<uint8_t>((Packed >> 48) & 0xff);
+    E.Device = static_cast<uint16_t>((Packed >> 32) & 0xffff);
+    E.Tenant = static_cast<uint32_t>(Packed & 0xffffffff);
+    Out.push_back(E);
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const FlightEvent &A, const FlightEvent &B) {
+              return A.Seq < B.Seq;
+            });
+  return Out;
+}
+
+std::string
+FlightRecorder::json(const std::vector<std::string> &StatusNames,
+                     const std::vector<std::string> &TenantNames) const {
+  std::vector<FlightEvent> Live = events();
+  uint64_t Recorded = recorded();
+  obs::JsonWriter W;
+  W.beginObject();
+  W.key("capacity").value(static_cast<uint64_t>(Cap));
+  W.key("recorded").value(Recorded);
+  W.key("dropped").value(Recorded > Cap ? Recorded - Cap : 0);
+  W.key("events").beginArray();
+  for (const FlightEvent &E : Live) {
+    W.beginObject();
+    W.key("seq").value(E.Seq);
+    W.key("event").value(flightEventKindName(E.Kind));
+    W.key("request").value(E.Request);
+    W.key("tick").value(E.Tick);
+    if (E.Status < StatusNames.size())
+      W.key("status").value(StatusNames[E.Status]);
+    else
+      W.key("status").value(static_cast<uint64_t>(E.Status));
+    W.key("device").value(static_cast<uint64_t>(E.Device));
+    W.key("batch").value(E.Batch);
+    if (E.Tenant < TenantNames.size())
+      W.key("tenant").value(TenantNames[E.Tenant]);
+    else
+      W.key("tenant").value(static_cast<uint64_t>(E.Tenant));
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.take();
+}

@@ -1,0 +1,111 @@
+//===- FlightRecorder.h - Ring buffer of request lifecycle events -*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size lock-free ring of recent request-lifecycle events
+/// (submit / coalesce / dispatch / complete, each with the request id,
+/// virtual tick, status, device, batch and tenant), recorded by the
+/// serving engine on every request and dumped as JSON on demand or
+/// automatically on the first Deadline/Failed response — so a bad p99
+/// tail is diagnosable after the fact without a tracer running.
+///
+/// Writers claim a slot with one fetch_add and publish it with a
+/// release-ordered version stamp; readers re-check the stamp after
+/// copying the fields and skip slots a concurrent writer is mid-update
+/// on. Every slot field is an atomic, so a snapshot during a wrap race
+/// yields a skipped (or, in the worst case, mixed-but-well-defined)
+/// entry, never undefined behaviour — the recorder is always on and must
+/// be TSan-clean under the engine's coalescer and device threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_SERVE_FLIGHTRECORDER_H
+#define PARREC_SERVE_FLIGHTRECORDER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace parrec {
+namespace serve {
+
+/// Where in its lifecycle a request was when the event fired.
+enum class FlightEventKind : uint8_t {
+  Submit = 0,   ///< Admitted to (or rejected at) the queue.
+  Coalesce = 1, ///< Absorbed into a batch by the coalescer.
+  Dispatch = 2, ///< Handed to a device lane for execution.
+  Complete = 3, ///< Terminal response published.
+};
+
+const char *flightEventKindName(FlightEventKind Kind);
+
+/// One decoded ring entry, in recording order.
+struct FlightEvent {
+  uint64_t Seq = 0; ///< Global claim index (monotonic across wraps).
+  FlightEventKind Kind = FlightEventKind::Submit;
+  uint64_t Request = 0;
+  uint64_t Tick = 0;
+  uint8_t Status = 0;   ///< serve::Status of the request at this point.
+  uint16_t Device = 0;  ///< Executing device lane (0 when not yet placed).
+  uint32_t Tenant = 0;  ///< Interned tenant id (0 = unnamed tenant).
+  uint64_t Batch = 0;   ///< Batch id (0 before coalescing).
+};
+
+class FlightRecorder {
+public:
+  /// \p Capacity is rounded up to a power of two, minimum 16.
+  explicit FlightRecorder(size_t Capacity = 1024);
+
+  FlightRecorder(const FlightRecorder &) = delete;
+  FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+  size_t capacity() const { return Cap; }
+  /// Total events ever recorded (recorded() - capacity() of them have
+  /// been overwritten once recorded() exceeds capacity()).
+  uint64_t recorded() const { return Head.load(std::memory_order_relaxed); }
+
+  void record(FlightEventKind Kind, uint64_t Request, uint64_t Tick,
+              uint8_t Status, uint16_t Device, uint32_t Tenant,
+              uint64_t Batch);
+
+  /// Decodes the currently live entries, oldest first. Entries a writer
+  /// is mid-update on are skipped.
+  std::vector<FlightEvent> events() const;
+
+  /// Renders the ring as one JSON document:
+  /// {"capacity":N,"recorded":N,"dropped":N,"events":[...]}, with
+  /// \p StatusNames and \p TenantNames resolving the packed ids (either
+  /// may be empty, in which case raw numbers are emitted).
+  std::string json(const std::vector<std::string> &StatusNames,
+                   const std::vector<std::string> &TenantNames) const;
+
+private:
+  struct Slot {
+    /// 0 = never written; otherwise claim index + 1, release-published
+    /// after the payload stores.
+    std::atomic<uint64_t> Version{0};
+    std::atomic<uint64_t> Request{0};
+    std::atomic<uint64_t> Tick{0};
+    std::atomic<uint64_t> Batch{0};
+    /// Kind, status, device and tenant packed into one word.
+    std::atomic<uint64_t> Packed{0};
+  };
+
+  static uint64_t pack(FlightEventKind Kind, uint8_t Status, uint16_t Device,
+                       uint32_t Tenant);
+
+  std::unique_ptr<Slot[]> Slots;
+  size_t Cap = 0; ///< Power of two; slot index is claim & (Cap - 1).
+  std::atomic<uint64_t> Head{0};
+};
+
+} // namespace serve
+} // namespace parrec
+
+#endif // PARREC_SERVE_FLIGHTRECORDER_H

@@ -21,6 +21,7 @@
 
 #include "exec/ExecutionBackend.h"
 
+#include <cassert>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -59,6 +60,12 @@ std::string_view statusName(Status S);
 /// pointed-to recursion, sequences, models and matrices must stay alive
 /// until the request's future resolves.
 struct Request {
+  /// Request id (trace id): allocated monotonically by Engine::submit —
+  /// any caller-set value is overwritten. Carried onto the Response, the
+  /// flight recorder and the exec-layer spans, and emitted as the Chrome
+  /// trace flow id linking this request's enqueue -> coalesce ->
+  /// dispatch -> scan slices.
+  uint64_t Id = 0;
   const runtime::CompiledRecurrence *Fn = nullptr;
   std::vector<codegen::ArgValue> Args;
   /// Plan-relevant knobs (sliding window, kept table, forced schedule,
@@ -77,6 +84,9 @@ struct Request {
 
 /// What a request resolved to.
 struct Response {
+  /// The request id Engine::submit allocated (0 only for responses that
+  /// never went through an engine).
+  uint64_t Id = 0;
   Status St = Status::Failed;
   /// Valid only when St == Status::Ok; bit-identical to a direct run.
   exec::RunResult Result;
@@ -119,13 +129,22 @@ public:
 
   bool valid() const { return State != nullptr; }
 
+  /// False for a default-constructed Future (no submitted request), so
+  /// polling an empty handle is safe.
   bool ready() const {
+    if (!State)
+      return false;
     std::lock_guard<std::mutex> Lock(State->Mutex);
     return State->Ready;
   }
 
-  /// Blocks until the response is available and returns it.
+  /// Blocks until the response is available and returns it. Waiting on a
+  /// default-constructed Future is a caller bug: there is no engine that
+  /// could ever resolve it, so the wait would deadlock — assert instead.
   const Response &wait() const {
+    assert(State &&
+           "serve::Future::wait() on a default-constructed Future: no "
+           "request was submitted, this wait can never resolve");
     std::unique_lock<std::mutex> Lock(State->Mutex);
     State->Cv.wait(Lock, [&] { return State->Ready; });
     return State->Resp;

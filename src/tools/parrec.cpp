@@ -33,6 +33,7 @@
 #include "codegen/CudaEmitter.h"
 #include "compiler/Pipeline.h"
 #include "lang/Parser.h"
+#include "obs/Export.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "poly/CPrinter.h"
@@ -79,9 +80,18 @@ int usage() {
                "      [--linger=<ticks>] [--no-coalesce]\n"
                "      [--batch-workers=<n>] [--scan-workers=<n>]\n"
                "      [--strict] [--stats-out=<f>] [--trace-out=<f>]\n"
+               "      [--prom-out=<f>] [--export-jsonl=<f>]\n"
+               "      [--export-interval=<ms>] [--flight-dump=<f>]\n"
                "                         replay a workload through the\n"
                "                         serving engine (--strict: fail\n"
-               "                         on any non-ok response)\n");
+               "                         on any non-ok response;\n"
+               "                         --prom-out: continuously export\n"
+               "                         Prometheus text; --export-jsonl:\n"
+               "                         append a JSONL metrics series;\n"
+               "                         --flight-dump: dump the flight\n"
+               "                         recorder here after the replay,\n"
+               "                         and on the first deadline/failed\n"
+               "                         response)\n");
   return 2;
 }
 
@@ -478,6 +488,8 @@ int cmdServe(int Argc, char **Argv) {
   serve::Engine::Options Opts;
   bool Strict = false;
   std::string Replay, StatsOut, TraceOut;
+  std::string PromOut, ExportJsonl, FlightDump;
+  uint64_t ExportIntervalMs = 0;
   for (int Index = 2; Index < Argc; ++Index) {
     const char *Arg = Argv[Index];
     const char *Value;
@@ -536,10 +548,24 @@ int cmdServe(int Argc, char **Argv) {
       StatsOut = Value;
     } else if ((Value = optionValue(Arg, "--trace-out"))) {
       TraceOut = Value;
+    } else if ((Value = optionValue(Arg, "--prom-out"))) {
+      PromOut = Value;
+    } else if ((Value = optionValue(Arg, "--export-jsonl"))) {
+      ExportJsonl = Value;
+    } else if ((Value = optionValue(Arg, "--export-interval"))) {
+      if (!parseCount("--export-interval", Value, &ExportIntervalMs))
+        return 2;
+    } else if ((Value = optionValue(Arg, "--flight-dump"))) {
+      FlightDump = Value;
     } else {
       std::fprintf(stderr, "error: unknown serve option '%s'\n", Arg);
       return 2;
     }
+  }
+  if (ExportIntervalMs != 0 && PromOut.empty() && ExportJsonl.empty()) {
+    std::fprintf(stderr, "error: --export-interval needs --prom-out "
+                         "and/or --export-jsonl\n");
+    return 2;
   }
   if (Replay.empty()) {
     std::fprintf(stderr,
@@ -566,8 +592,30 @@ int cmdServe(int Argc, char **Argv) {
     return 1;
   }
 
+  if (!FlightDump.empty())
+    Opts.FlightDumpPath = FlightDump;
   serve::Engine Engine(Opts);
+
+  // The exporter samples the registry on its own thread during the
+  // replay; stop() below writes the final snapshot, so even a replay
+  // shorter than one interval leaves complete outputs.
+  std::optional<obs::MetricsExporter> Exporter;
+  if (!PromOut.empty() || !ExportJsonl.empty()) {
+    obs::MetricsExporter::Options ExportOpts;
+    ExportOpts.PromPath = PromOut;
+    ExportOpts.JsonlPath = ExportJsonl;
+    ExportOpts.IntervalMs = ExportIntervalMs;
+    ExportOpts.TickSource = [&Engine] { return Engine.now(); };
+    Exporter.emplace(std::move(ExportOpts));
+  }
+
   serve::ReplayReport Report = serve::replay(Engine, *Workload);
+  if (Exporter)
+    Exporter->stop();
+  if (!FlightDump.empty() &&
+      !Engine.dumpFlightRecorder(FlightDump))
+    std::fprintf(stderr, "error: cannot write flight dump to '%s'\n",
+                 FlightDump.c_str());
 
   std::printf("replayed %llu requests across %u device(s)\n",
               static_cast<unsigned long long>(Report.Total),

@@ -20,6 +20,7 @@
 #include "compiler/Pipeline.h"
 #include "exec/PlanCache.h"
 #include "gpu/Device.h"
+#include "obs/Export.h"
 #include "obs/Json.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
@@ -30,8 +31,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -569,20 +575,35 @@ TEST(MetricsTest, ServingEngineFeedsGlobalRegistry) {
             Before.counter("serve.batches"));
 
   // Queue depth, batch occupancy and the latency split all record as
-  // distributions.
+  // log-bucketed histogram families, so percentiles read directly off
+  // the registry.
   for (const char *Name :
        {"serve.queue_depth", "serve.coalesced_per_batch",
         "serve.latency.queue_wait_seconds",
         "serve.latency.execute_seconds",
         "serve.latency.total_seconds"}) {
-    auto It = After.Distributions.find(Name);
-    ASSERT_NE(It, After.Distributions.end()) << Name;
-    uint64_t CountBefore = 0;
-    if (auto B = Before.Distributions.find(Name);
-        B != Before.Distributions.end())
-      CountBefore = B->second.Count;
-    EXPECT_GT(It->second.Count, CountBefore) << Name;
+    Histogram Total = After.histogramTotal(Name);
+    EXPECT_GT(Total.Count, Before.histogramTotal(Name).Count) << Name;
   }
+  // The per-tenant and per-status labelled counters saw the same
+  // traffic: two admissions, one ok / one deadline / one queue_full.
+  EXPECT_EQ(After.labelledTotal("serve.requests_by_tenant"),
+            Before.labelledTotal("serve.requests_by_tenant") + 2);
+  EXPECT_EQ(After.labelled("serve.responses",
+                           "{status=\"ok\",tenant=\"none\"}"),
+            Before.labelled("serve.responses",
+                            "{status=\"ok\",tenant=\"none\"}") +
+                1);
+  EXPECT_EQ(After.labelled("serve.responses",
+                           "{status=\"deadline\",tenant=\"none\"}"),
+            Before.labelled("serve.responses",
+                            "{status=\"deadline\",tenant=\"none\"}") +
+                1);
+  EXPECT_EQ(After.labelled("serve.responses",
+                           "{status=\"queue_full\",tenant=\"none\"}"),
+            Before.labelled("serve.responses",
+                            "{status=\"queue_full\",tenant=\"none\"}") +
+                1);
 
   // The snapshot JSON (what `parrec serve --stats-out` writes) carries
   // the serve section and parses back.
@@ -696,4 +717,250 @@ TEST(MetricsTest, JitPassFollowsTheNamingLaw) {
                 After.counter("jit.cache_misses") +
                 After.counter("jit.fallbacks"),
             1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Labels, log-bucketed histograms, Prometheus text, continuous export
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsTest, LabelRenderingIsOrderIndependentAndEscaped) {
+  Labels A{{"tenant", "acme"}, {"device", "0"}};
+  Labels B{{"device", "0"}, {"tenant", "acme"}};
+  EXPECT_EQ(A.render(), B.render());
+  EXPECT_EQ(A.render(), "{device=\"0\",tenant=\"acme\"}");
+  EXPECT_EQ(Labels{}.render(), "");
+  EXPECT_EQ(A.collapsed().render(), "{device=\"other\",tenant=\"other\"}");
+  // Hostile values escape so the rendering stays both a stable snapshot
+  // key and a syntactically valid Prometheus label block.
+  Labels Hostile{{"tenant", "a\"b\\c\nd"}};
+  EXPECT_EQ(Hostile.render(), "{tenant=\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(MetricsTest, LabelCardinalityCapCollapsesOverflowToOther) {
+  MetricsRegistry Registry;
+  const size_t Cap = MetricsRegistry::MaxSeriesPerFamily;
+  const size_t Tenants = Cap + 40;
+  for (size_t I = 0; I != Tenants; ++I)
+    Registry.add("requests", Labels{{"tenant", "t" + std::to_string(I)}});
+  // Admitted series keep absorbing their own traffic after the cap hits.
+  Registry.add("requests", Labels{{"tenant", "t0"}});
+  // A post-cap name that never got a series still lands in the overflow.
+  Registry.add("requests", Labels{{"tenant", "one-more"}});
+
+  MetricsSnapshot S = Registry.snapshot();
+  const auto &Series = S.LabelledCounters.at("requests");
+  // Cap distinct admitted series plus the single all-"other" overflow.
+  EXPECT_EQ(Series.size(), Cap + 1);
+  EXPECT_EQ(S.labelledTotal("requests"), Tenants + 2);
+  EXPECT_EQ(S.labelled("requests", "{tenant=\"t0\"}"), 2u);
+  EXPECT_EQ(S.labelled("requests", "{tenant=\"other\"}"),
+            (Tenants - Cap) + 1);
+  // The overflow tenants never became series of their own.
+  EXPECT_EQ(S.labelled("requests", "{tenant=\"one-more\"}"), 0u);
+  EXPECT_EQ(S.labelled("requests",
+                       "{tenant=\"t" + std::to_string(Cap) + "\"}"),
+            0u);
+  EXPECT_TRUE(JsonValidator(S.json()).valid());
+}
+
+TEST(MetricsTest, HistogramPercentilesMatchExactSortWithinOneBucket) {
+  // Three latency-like shapes: uniform, log-uniform (spans ~19 octaves),
+  // and a near-constant distribution with one outlier.
+  std::vector<std::vector<double>> Cases;
+  {
+    std::vector<double> Uniform;
+    for (int I = 1; I <= 1000; ++I)
+      Uniform.push_back(static_cast<double>(I) * 0.001);
+    Cases.push_back(std::move(Uniform));
+  }
+  {
+    std::vector<double> Geometric;
+    double V = 1e-6;
+    for (int I = 0; I != 200; ++I) {
+      Geometric.push_back(V);
+      V *= 1.1;
+    }
+    Cases.push_back(std::move(Geometric));
+  }
+  {
+    std::vector<double> Spike(500, 0.25);
+    Spike.push_back(7.0);
+    Cases.push_back(std::move(Spike));
+  }
+
+  for (const std::vector<double> &Values : Cases) {
+    Histogram H;
+    for (double V : Values)
+      H.record(V);
+    EXPECT_EQ(H.Count, Values.size());
+
+    std::vector<double> Sorted = Values;
+    std::sort(Sorted.begin(), Sorted.end());
+    for (double Q : {0.50, 0.95, 0.99}) {
+      size_t Rank =
+          static_cast<size_t>(std::ceil(Q * static_cast<double>(Sorted.size())));
+      double Exact = Sorted[Rank - 1];
+      double Approx = H.percentile(Q);
+      EXPECT_NEAR(Approx, Exact, Exact * Histogram::relativeError())
+          << "q=" << Q << " n=" << Sorted.size();
+    }
+    EXPECT_DOUBLE_EQ(H.Min, Sorted.front());
+    EXPECT_DOUBLE_EQ(H.Max, Sorted.back());
+  }
+
+  // Non-positive samples take the dedicated bucket and resolve to Min.
+  Histogram NonPos;
+  NonPos.record(-1.0);
+  NonPos.record(0.0);
+  NonPos.record(2.0);
+  EXPECT_EQ(NonPos.NonPositive, 2u);
+  EXPECT_DOUBLE_EQ(NonPos.percentile(0.50), -1.0);
+  EXPECT_LE(NonPos.percentile(0.99), 2.0);
+
+  // Merging series preserves totals (histogramTotal's contract).
+  Histogram Left, Right;
+  Left.record(1.0);
+  Left.record(4.0);
+  Right.record(2.0);
+  Left.merge(Right);
+  EXPECT_EQ(Left.Count, 3u);
+  EXPECT_DOUBLE_EQ(Left.Sum, 7.0);
+  EXPECT_DOUBLE_EQ(Left.Min, 1.0);
+  EXPECT_DOUBLE_EQ(Left.Max, 4.0);
+}
+
+TEST(MetricsTest, PrometheusTextIsWellFormedAndDuplicateFree) {
+  MetricsRegistry Registry;
+  Registry.add("serve.requests", 3);
+  Registry.add("serve.responses", Labels{{"status", "ok"}, {"tenant", "a"}}, 2);
+  Registry.add("serve.responses", Labels{{"status", "deadline"}, {"tenant", "a"}});
+  Registry.record("compile.pass.fuse.ns", 120.0);
+  Registry.observe("serve.latency.total_seconds", Labels{{"tenant", "a"}}, 0.5);
+  Registry.observe("serve.latency.total_seconds", Labels{{"tenant", "a"}},
+                   0.002);
+  Registry.observe("serve.latency.total_seconds", Labels{{"tenant", "a"}},
+                   -0.1);
+  Registry.observe("serve.queue_depth", 4.0);
+
+  std::string Text = prometheusText(Registry.snapshot());
+  EXPECT_NE(Text.find("# TYPE parrec_serve_requests counter\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("# TYPE parrec_serve_responses counter\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("# TYPE parrec_compile_pass_fuse_ns summary\n"),
+            std::string::npos);
+  EXPECT_NE(
+      Text.find("# TYPE parrec_serve_latency_total_seconds histogram\n"),
+      std::string::npos);
+  EXPECT_NE(Text.find("parrec_serve_requests 3\n"), std::string::npos);
+  EXPECT_NE(Text.find("parrec_serve_responses{status=\"ok\",tenant=\"a\"} 2\n"),
+            std::string::npos);
+  // The non-positive sample folds into the le="0" cumulative bucket and
+  // every labelled bucket merges le into the existing label block.
+  EXPECT_NE(Text.find(
+                "parrec_serve_latency_total_seconds_bucket{tenant=\"a\",le="),
+            std::string::npos);
+  EXPECT_NE(
+      Text.find("parrec_serve_latency_total_seconds_bucket{tenant=\"a\","
+                "le=\"0\"} 1\n"),
+      std::string::npos);
+  EXPECT_NE(
+      Text.find("parrec_serve_latency_total_seconds_bucket{tenant=\"a\","
+                "le=\"+Inf\"} 3\n"),
+      std::string::npos);
+  EXPECT_NE(Text.find("parrec_serve_latency_total_seconds_count{tenant=\"a\"}"
+                      " 3\n"),
+            std::string::npos);
+
+  // Line-level invariants: TYPE once per family, no duplicate
+  // (name, label set) sample, cumulative buckets never decrease.
+  std::set<std::string> TypedFamilies;
+  std::set<std::string> SampleKeys;
+  uint64_t LastCumulative = 0;
+  std::istringstream Lines(Text);
+  std::string Line;
+  while (std::getline(Lines, Line)) {
+    ASSERT_FALSE(Line.empty());
+    if (Line.rfind("# TYPE ", 0) == 0) {
+      std::string Family = Line.substr(7, Line.find(' ', 7) - 7);
+      EXPECT_TRUE(TypedFamilies.insert(Family).second)
+          << "duplicate TYPE line for " << Family;
+      continue;
+    }
+    size_t ValueAt = Line.rfind(' ');
+    ASSERT_NE(ValueAt, std::string::npos) << Line;
+    std::string Key = Line.substr(0, ValueAt);
+    EXPECT_TRUE(SampleKeys.insert(Key).second)
+        << "duplicate sample " << Key;
+    // Metric names stay inside Prometheus' [a-zA-Z0-9_:] alphabet.
+    for (char C : Key.substr(0, Key.find('{')))
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+                  C == ':')
+          << Line;
+    if (Key.find("_bucket{") != std::string::npos) {
+      uint64_t Cumulative = std::stoull(Line.substr(ValueAt + 1));
+      EXPECT_GE(Cumulative, LastCumulative) << Line;
+      LastCumulative = Key.find("le=\"+Inf\"") != std::string::npos
+                           ? 0
+                           : Cumulative;
+    }
+  }
+}
+
+TEST(MetricsTest, ExporterWritesPromFileAndJsonlSeries) {
+  const std::string Base =
+      "/tmp/parrec-obstest-export-" + std::to_string(::getpid());
+  const std::string Prom = Base + ".prom";
+  const std::string Jsonl = Base + ".jsonl";
+  std::remove(Prom.c_str());
+  std::remove(Jsonl.c_str());
+
+  uint64_t Tick = 41;
+  MetricsRegistry::global().add("obs.exporter_test_flushes");
+  {
+    MetricsExporter::Options Opts;
+    Opts.PromPath = Prom;
+    Opts.JsonlPath = Jsonl;
+    Opts.IntervalMs = 0; // No background thread: flushes are explicit.
+    Opts.TickSource = [&Tick] { return Tick; };
+    MetricsExporter Exporter(Opts);
+    Exporter.flushNow();
+    Tick = 42;
+    Exporter.stop(); // stop() always writes one final flush.
+    Exporter.stop(); // Idempotent.
+    EXPECT_EQ(Exporter.flushes(), 2u);
+  }
+
+  std::ifstream PromIn(Prom);
+  ASSERT_TRUE(PromIn.good()) << Prom;
+  std::stringstream PromText;
+  PromText << PromIn.rdbuf();
+  EXPECT_NE(PromText.str().find("parrec_obs_exporter_test_flushes"),
+            std::string::npos);
+  // The scrape file is the atomically-renamed final copy; no .tmp left.
+  EXPECT_FALSE(std::ifstream(Prom + ".tmp").good());
+
+  std::ifstream JsonlIn(Jsonl);
+  ASSERT_TRUE(JsonlIn.good()) << Jsonl;
+  std::string Line;
+  uint64_t Seq = 0;
+  const uint64_t ExpectedTicks[] = {41, 42};
+  while (std::getline(JsonlIn, Line)) {
+    std::string Error;
+    std::optional<JsonValue> Doc = parseJson(Line, &Error);
+    ASSERT_TRUE(Doc.has_value()) << Error << ": " << Line;
+    EXPECT_EQ(Doc->integerOr("seq", -1), static_cast<int64_t>(Seq));
+    ASSERT_LT(Seq, 2u);
+    EXPECT_EQ(Doc->integerOr("tick", -1),
+              static_cast<int64_t>(ExpectedTicks[Seq]));
+    const JsonValue *Metrics = Doc->member("metrics");
+    ASSERT_TRUE(Metrics && Metrics->isObject());
+    EXPECT_TRUE(Metrics->member("counters"));
+    EXPECT_TRUE(Metrics->member("histograms"));
+    ++Seq;
+  }
+  EXPECT_EQ(Seq, 2u);
+
+  std::remove(Prom.c_str());
+  std::remove(Jsonl.c_str());
 }

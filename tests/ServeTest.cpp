@@ -18,7 +18,9 @@
 #include "bio/Fasta.h"
 #include "bio/HmmZoo.h"
 #include "bio/SubstitutionMatrix.h"
+#include "obs/Export.h"
 #include "obs/Json.h"
+#include "obs/Trace.h"
 #include "runtime/CompiledRecurrence.h"
 #include "serve/Engine.h"
 #include "serve/Workload.h"
@@ -26,9 +28,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <deque>
+#include <fstream>
 #include <iterator>
 #include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include <unistd.h>
 
 using namespace parrec;
 using namespace parrec::runtime;
@@ -520,4 +529,277 @@ TEST(ServeWorkloadTest, ReplayCompletesEverythingAndReportsJson) {
   const obs::JsonValue *Statuses = Parsed->member("by_status");
   ASSERT_NE(Statuses, nullptr);
   EXPECT_EQ(Statuses->integerOr("ok", -1), 8);
+}
+
+//===----------------------------------------------------------------------===//
+// Request-scoped telemetry: ids, flight recorder, flow events, bit-identity
+//===----------------------------------------------------------------------===//
+
+TEST(ServeFutureTest, DefaultConstructedFutureIsSafeToPoll) {
+  // Regression: ready() used to dereference the null state. An empty
+  // handle must poll as not-ready forever, never crash.
+  serve::Future Empty;
+  EXPECT_FALSE(Empty.valid());
+  EXPECT_FALSE(Empty.ready());
+  serve::Future Copy = Empty;
+  EXPECT_FALSE(Copy.valid());
+  EXPECT_FALSE(Copy.ready());
+}
+
+TEST(ServeEngineTest, RequestIdsAreUniqueAndCarriedOntoResponses) {
+  TinyProblem P;
+  serve::Engine::Options Opts;
+  Opts.StartPaused = true;
+  serve::Engine Engine(Opts);
+  std::vector<serve::Future> Futures;
+  for (int I = 0; I != 4; ++I)
+    Futures.push_back(Engine.submit(P.request()));
+  Engine.shutdown(serve::Engine::ShutdownMode::Drain);
+
+  std::set<uint64_t> Ids;
+  for (serve::Future &F : Futures) {
+    const serve::Response &Resp = F.wait();
+    EXPECT_EQ(Resp.St, serve::Status::Ok);
+    EXPECT_GT(Resp.Id, 0u) << "0 is reserved for engine-less responses";
+    Ids.insert(Resp.Id);
+  }
+  EXPECT_EQ(Ids.size(), Futures.size());
+}
+
+TEST(ServeEngineTest, FlightRecorderRingWrapsWithoutCorruption) {
+  TinyProblem P;
+  serve::Engine::Options Opts;
+  Opts.StartPaused = true;
+  Opts.FlightRecorderSlots = 16; // Tiny on purpose: 12 requests x 4
+                                 // lifecycle events wrap the ring twice.
+  serve::Engine Engine(Opts);
+  std::vector<serve::Future> Futures;
+  for (int I = 0; I != 12; ++I) {
+    serve::Request Req = P.request();
+    Req.Tenant = (I % 2) ? "alpha" : "";
+    Futures.push_back(Engine.submit(std::move(Req)));
+  }
+  Engine.shutdown(serve::Engine::ShutdownMode::Drain);
+  for (serve::Future &F : Futures)
+    EXPECT_EQ(F.wait().St, serve::Status::Ok);
+
+  std::string Dump = Engine.dumpFlightRecorder();
+  std::string Error;
+  std::optional<obs::JsonValue> Doc = obs::parseJson(Dump, &Error);
+  ASSERT_TRUE(Doc.has_value()) << Error << ": " << Dump;
+
+  const int64_t Capacity = Doc->integerOr("capacity", 0);
+  EXPECT_EQ(Capacity, 16);
+  // submit + coalesce + dispatch + complete, once per request.
+  const int64_t Recorded = Doc->integerOr("recorded", 0);
+  EXPECT_EQ(Recorded, 12 * 4);
+  EXPECT_EQ(Doc->integerOr("dropped", -1), Recorded - Capacity);
+
+  const obs::JsonValue *Events = Doc->member("events");
+  ASSERT_TRUE(Events && Events->isArray());
+  ASSERT_EQ(Events->array().size(), static_cast<size_t>(Capacity));
+  // Survivors are exactly the newest ring-full, in sequence order, each
+  // a well-formed lifecycle record.
+  int64_t PrevSeq = -1;
+  for (const obs::JsonValue &E : Events->array()) {
+    const int64_t Seq = E.integerOr("seq", -1);
+    EXPECT_GT(Seq, PrevSeq);
+    EXPECT_GE(Seq, Recorded - Capacity);
+    EXPECT_LT(Seq, Recorded);
+    PrevSeq = Seq;
+    EXPECT_GT(E.integerOr("request", 0), 0);
+    const std::string Kind = E.stringOr("event", "");
+    EXPECT_TRUE(Kind == "submit" || Kind == "coalesce" ||
+                Kind == "dispatch" || Kind == "complete")
+        << Kind;
+    const std::string Tenant = E.stringOr("tenant", "?");
+    EXPECT_TRUE(Tenant.empty() || Tenant == "alpha") << Tenant;
+  }
+}
+
+TEST(ServeEngineTest, TraceFlowEventsLinkTheRequestLifecycle) {
+  TinyProblem P;
+  obs::Tracer::instance().disable();
+  obs::Tracer::instance().reset();
+  obs::Tracer::instance().enable();
+
+  std::vector<uint64_t> Ids;
+  {
+    serve::Engine::Options Opts;
+    Opts.StartPaused = true;
+    serve::Engine Engine(Opts);
+    serve::Future A = Engine.submit(P.request());
+    serve::Future B = Engine.submit(P.request());
+    Engine.shutdown(serve::Engine::ShutdownMode::Drain);
+    EXPECT_EQ(A.wait().St, serve::Status::Ok);
+    EXPECT_EQ(B.wait().St, serve::Status::Ok);
+    Ids = {A.wait().Id, B.wait().Id};
+  }
+  obs::Tracer::instance().disable();
+  std::string Trace = obs::Tracer::instance().chromeTraceJson();
+  obs::Tracer::instance().reset();
+
+  std::string Error;
+  std::optional<obs::JsonValue> Doc = obs::parseJson(Trace, &Error);
+  ASSERT_TRUE(Doc.has_value()) << Error;
+  const obs::JsonValue *Events = Doc->member("traceEvents");
+  ASSERT_TRUE(Events && Events->isArray());
+
+  // Every request id must thread one flow chain through the trace:
+  // a start at enqueue, at least one step, and a finish at the scan.
+  std::map<int64_t, std::set<std::string>> PhasesById;
+  for (const obs::JsonValue &E : Events->array()) {
+    if (E.stringOr("cat", "") != "flow")
+      continue;
+    EXPECT_EQ(E.stringOr("name", ""), "serve.request");
+    PhasesById[E.integerOr("id", -1)].insert(E.stringOr("ph", ""));
+  }
+  ASSERT_EQ(Ids.size(), 2u);
+  EXPECT_NE(Ids[0], Ids[1]);
+  for (uint64_t Id : Ids) {
+    auto It = PhasesById.find(static_cast<int64_t>(Id));
+    ASSERT_NE(It, PhasesById.end()) << "no flow events for request " << Id;
+    EXPECT_TRUE(It->second.count("s")) << "missing flow start for " << Id;
+    EXPECT_TRUE(It->second.count("t")) << "missing flow step for " << Id;
+    EXPECT_TRUE(It->second.count("f")) << "missing flow finish for " << Id;
+  }
+}
+
+TEST(ServeEngineTest, TelemetryOnOffIsBitIdentical) {
+  MixedProblems P;
+  const std::string Base =
+      "/tmp/parrec-servetest-telemetry-" + std::to_string(::getpid());
+
+  // One full pass over the problem set on every evaluator, with the
+  // whole telemetry stack either off or on: tracing, flow events, the
+  // labelled registry, the flight recorder and the exporter must change
+  // nothing observable about the results.
+  auto runAll = [&](bool Telemetry) {
+    obs::Tracer::instance().disable();
+    obs::Tracer::instance().reset();
+    std::optional<obs::MetricsExporter> Exporter;
+    if (Telemetry) {
+      obs::Tracer::instance().enable();
+      obs::MetricsExporter::Options ExportOpts;
+      ExportOpts.PromPath = Base + ".prom";
+      ExportOpts.JsonlPath = Base + ".jsonl";
+      Exporter.emplace(ExportOpts);
+    }
+
+    serve::Engine::Options Opts;
+    Opts.Devices = 2;
+    Opts.MaxBatch = 4;
+    Opts.StartPaused = true;
+    Opts.FlightRecorderSlots = Telemetry ? 32 : 1024;
+    serve::Engine Engine(Opts);
+    std::vector<serve::Future> Futures;
+    for (exec::EvalKind Eval :
+         {exec::EvalKind::Ast, exec::EvalKind::Vm, exec::EvalKind::Jit}) {
+      for (size_t I = 0; I != P.size(); ++I) {
+        serve::Request Req;
+        Req.Fn = P.Fns[I];
+        Req.Args = P.Args[I];
+        Req.Options.Evaluator = Eval;
+        if (Eval == exec::EvalKind::Jit)
+          Req.Options.JitCacheDir = Base + "-jit";
+        Req.Tenant = Telemetry ? "traced" : "plain";
+        Futures.push_back(Engine.submit(std::move(Req)));
+      }
+    }
+    if (Telemetry)
+      Exporter->flushNow();
+    Engine.shutdown(serve::Engine::ShutdownMode::Drain);
+    std::vector<serve::Response> Out;
+    for (serve::Future &F : Futures)
+      Out.push_back(F.wait());
+    if (Telemetry) {
+      Exporter->stop();
+      EXPECT_GE(Exporter->flushes(), 2u);
+      EXPECT_FALSE(Engine.dumpFlightRecorder().empty());
+      std::remove((Base + ".prom").c_str());
+      std::remove((Base + ".jsonl").c_str());
+    }
+    obs::Tracer::instance().disable();
+    obs::Tracer::instance().reset();
+    return Out;
+  };
+
+  std::vector<serve::Response> Plain = runAll(/*Telemetry=*/false);
+  std::vector<serve::Response> Traced = runAll(/*Telemetry=*/true);
+  ASSERT_EQ(Plain.size(), Traced.size());
+  for (size_t I = 0; I != Plain.size(); ++I) {
+    ASSERT_EQ(Plain[I].St, serve::Status::Ok) << Plain[I].Error;
+    ASSERT_EQ(Traced[I].St, serve::Status::Ok) << Traced[I].Error;
+    expectIdentical(Plain[I].Result, Traced[I].Result);
+  }
+}
+
+TEST(ServeWorkloadTest, ReportPercentilesAreHistogramBacked) {
+  // The replay report now reads its percentiles off a log-bucketed
+  // histogram instead of retaining and sorting every latency (the
+  // bounded-error-vs-exact-sort law itself is proven against exact
+  // sorts in ObsTest). Here: the percentiles a real replay reports are
+  // ordered, positive and inside the observed latency range.
+  serve::WorkloadSpec Spec;
+  serve::TenantSpec Tenant;
+  Tenant.Name = "t";
+  Tenant.Kind = "forward";
+  Tenant.Requests = 24;
+  Tenant.MinLength = 16;
+  Tenant.MaxLength = 32;
+  Tenant.MeanGapTicks = 1;
+  Tenant.Seed = 3;
+  Spec.Tenants.push_back(Tenant);
+
+  DiagnosticEngine Diags;
+  auto Workload = serve::Workload::build(Spec, Diags);
+  ASSERT_TRUE(Workload.has_value()) << Diags.str();
+  serve::Engine::Options Opts;
+  Opts.MaxBatch = 4;
+  serve::Engine Engine(Opts);
+  serve::ReplayReport Report = serve::replay(Engine, *Workload);
+
+  ASSERT_EQ(Report.okCount(), 24u);
+  EXPECT_GT(Report.P50Seconds, 0.0);
+  EXPECT_LE(Report.P50Seconds, Report.P95Seconds);
+  EXPECT_LE(Report.P95Seconds, Report.P99Seconds);
+  EXPECT_LE(Report.P99Seconds, Report.WallSeconds);
+  EXPECT_GT(Report.Throughput, 0.0);
+}
+
+TEST(ServeEngineTest, AutoDumpsFlightRecorderOnFirstDeadline) {
+  TinyProblem P;
+  const std::string Path = "/tmp/parrec-servetest-autodump-" +
+                           std::to_string(::getpid()) + ".json";
+  std::remove(Path.c_str());
+
+  serve::Engine::Options Opts;
+  Opts.StartPaused = true;
+  Opts.FlightDumpPath = Path; // What ParRec_FLIGHT_DUMP defaults into.
+  serve::Engine Engine(Opts);
+  serve::Request Expiring = P.request();
+  Expiring.DeadlineTick = 1;
+  serve::Future Late = Engine.submit(std::move(Expiring));
+  serve::Future Fine = Engine.submit(P.request());
+  Engine.advanceTo(5);
+  Engine.shutdown(serve::Engine::ShutdownMode::Drain);
+  EXPECT_EQ(Late.wait().St, serve::Status::Deadline);
+  EXPECT_EQ(Fine.wait().St, serve::Status::Ok);
+
+  // The first Deadline response wrote the post-mortem, exactly once.
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << "no auto-dump at " << Path;
+  std::stringstream Text;
+  Text << In.rdbuf();
+  std::string Error;
+  std::optional<obs::JsonValue> Doc = obs::parseJson(Text.str(), &Error);
+  ASSERT_TRUE(Doc.has_value()) << Error;
+  EXPECT_GT(Doc->integerOr("recorded", 0), 0);
+  const obs::JsonValue *Events = Doc->member("events");
+  ASSERT_TRUE(Events && Events->isArray());
+  bool SawDeadline = false;
+  for (const obs::JsonValue &E : Events->array())
+    SawDeadline |= E.stringOr("status", "") == "deadline";
+  EXPECT_TRUE(SawDeadline);
+  std::remove(Path.c_str());
 }
