@@ -99,6 +99,19 @@ struct RunOptions {
   /// request's serve-side slices link to the scan that ran it. Telemetry
   /// only — never part of a plan key, never affects results.
   uint64_t FlowId = 0;
+  /// Pipeline batch members across the device (`parrec run --pipeline`):
+  /// partition k+1 of problem i+1 overlaps partition k of problem i on
+  /// the same multiprocessor instead of waiting for problem i to drain,
+  /// and per-problem completion cycles are recorded. Re-times work that
+  /// already happened: results, costs and per-problem cycle totals stay
+  /// bit-identical; only BatchResult::TotalCycles (modelled wall clock)
+  /// may drop. Never part of a plan key.
+  bool Pipeline = false;
+  /// With Pipeline, pack consecutive problems whose partitions underfill
+  /// a block into one simulated launch (per-problem lane offsets). Same
+  /// bit-identity guarantee; no effect without Pipeline. Never part of a
+  /// plan key.
+  bool PackSmall = false;
 };
 
 /// The outcome of running one problem.
@@ -137,6 +150,17 @@ struct BatchResult {
   std::vector<RunResult> Problems;
   uint64_t TotalCycles = 0;
   double Seconds = 0.0;
+  /// Per-problem modelled completion cycle (kernel launch included).
+  /// Under the barrier dispatcher every problem completes at batch end
+  /// (== TotalCycles); under RunOptions::Pipeline each problem resolves
+  /// the moment its last partition drains.
+  std::vector<uint64_t> CompletionCycles;
+  /// Cycles recovered by cross-problem overlap, summed over
+  /// multiprocessors (0 on the barrier path).
+  uint64_t OverlapCycles = 0;
+  /// Cycles multiprocessors idled waiting for the busiest one, summed
+  /// (0 on the barrier path).
+  uint64_t IdleCycles = 0;
 };
 
 /// Executes planned problems. Implementations are stateless beyond their

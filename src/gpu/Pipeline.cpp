@@ -1,0 +1,227 @@
+//===- Pipeline.cpp - Systolic cross-problem batch pipelining ---------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpu/Pipeline.h"
+
+#include "obs/Trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <numeric>
+
+using namespace parrec;
+using namespace parrec::gpu;
+
+PipelineProfile PipelineProfile::make(
+    std::shared_ptr<const std::vector<PartitionSample>> Timeline,
+    uint64_t TotalCycles, unsigned Threads) {
+  PipelineProfile P;
+  P.TotalCycles = TotalCycles;
+  P.Threads = Threads;
+  if (Timeline && !Timeline->empty()) {
+    P.Timeline = std::move(Timeline);
+    unsigned Demand = 0;
+    for (const PartitionSample &S : *P.Timeline)
+      Demand = std::max(Demand, S.ActiveThreads);
+    // A problem always holds at least one lane while resident.
+    P.DemandLanes = std::max(Demand, 1u);
+  } else {
+    // No timeline: model the problem as one opaque stage that fills the
+    // block, which makes it unpackable and pins its whole duration.
+    P.DemandLanes = Threads;
+  }
+  return P;
+}
+
+namespace {
+
+size_t stageCount(const PipelineProfile &P) {
+  return P.Timeline ? P.Timeline->size() : 1;
+}
+
+uint64_t stageCost(const PipelineProfile &P, size_t Stage) {
+  if (!P.Timeline)
+    return P.TotalCycles;
+  const PartitionSample &S = (*P.Timeline)[Stage];
+  return S.MaxThreadCycles + S.BarrierCycles;
+}
+
+} // namespace
+
+PipelinePlanner::PipelinePlanner(const CostModel &Model, bool PackSmall,
+                                 bool RecordStageStarts)
+    : Model(Model), PackSmall(PackSmall),
+      RecordStageStarts(RecordStageStarts),
+      Mps(std::max(1u, Model.NumMultiprocessors)) {}
+
+bool PipelinePlanner::joinsOpenGroup(const PipelineProfile &Profile) const {
+  if (!PackSmall || OpenMembers.empty())
+    return false;
+  const PipelineProfile &First = OpenProfiles.front();
+  // Packed problems share one launch's lockstep stages, so they must
+  // agree on block width and stage count, and their lane demands must
+  // fit the block side by side.
+  if (!Profile.Timeline || !First.Timeline)
+    return false;
+  if (Profile.Threads != First.Threads)
+    return false;
+  if (stageCount(Profile) != stageCount(First))
+    return false;
+  return OpenDemand + Profile.DemandLanes <= Profile.Threads;
+}
+
+std::vector<size_t> PipelinePlanner::add(PipelineProfile Profile) {
+  assert(!Finished && "add() after finish()");
+  size_t Index = Placements.size();
+  Placements.emplace_back();
+  std::vector<size_t> Sealed;
+  if (!joinsOpenGroup(Profile))
+    Sealed = sealOpenGroup();
+  Placements[Index].LaneOffset = OpenDemand;
+  OpenDemand += Profile.DemandLanes;
+  OpenMembers.push_back(Index);
+  OpenProfiles.push_back(std::move(Profile));
+  return Sealed;
+}
+
+std::vector<size_t> PipelinePlanner::sealOpenGroup() {
+  std::vector<size_t> Sealed = std::move(OpenMembers);
+  OpenMembers.clear();
+  OpenDemand = 0;
+  std::vector<PipelineProfile> Profiles = std::move(OpenProfiles);
+  OpenProfiles.clear();
+  if (Sealed.empty())
+    return Sealed;
+
+  // The packed launch advances in lockstep, so each stage costs the
+  // slowest member's slice of it.
+  size_t Stages = stageCount(Profiles.front());
+  std::vector<uint64_t> Cost(Stages, 0);
+  for (const PipelineProfile &P : Profiles)
+    for (size_t S = 0; S != Stages; ++S)
+      Cost[S] = std::max(Cost[S], stageCost(P, S));
+  uint64_t Serial =
+      std::accumulate(Cost.begin(), Cost.end(), uint64_t{0});
+
+  // Place the launch on the multiprocessor that finishes it earliest
+  // under the tandem recurrence; ties go to the lowest index so the
+  // schedule is deterministic.
+  unsigned Best = 0;
+  uint64_t BestFinish = 0;
+  std::vector<uint64_t> Finish(Stages), BestStageFinish;
+  for (unsigned M = 0; M != Mps.size(); ++M) {
+    const std::vector<uint64_t> &Prev = Mps[M].LastFinish;
+    uint64_t Last = 0;
+    for (size_t S = 0; S != Stages; ++S) {
+      uint64_t Start = Last;
+      if (S < Prev.size())
+        Start = std::max(Start, Prev[S]);
+      Last = Start + Cost[S];
+      Finish[S] = Last;
+    }
+    if (!M || Last < BestFinish) {
+      Best = M;
+      BestFinish = Last;
+      BestStageFinish = Finish;
+    }
+  }
+
+  Multiprocessor &Mp = Mps[Best];
+  Mp.LastFinish = BestStageFinish;
+  Mp.FinalFinish = BestFinish;
+  Mp.SerialCycles += Serial;
+  Mp.Used = true;
+
+  uint64_t Completion = BestFinish + Model.KernelLaunchCycles;
+  std::vector<uint64_t> Starts;
+  if (RecordStageStarts) {
+    Starts.resize(Stages);
+    for (size_t S = 0; S != Stages; ++S)
+      Starts[S] =
+          BestStageFinish[S] - Cost[S] + Model.KernelLaunchCycles;
+  }
+  for (size_t Member : Sealed) {
+    PipelinePlacement &P = Placements[Member];
+    P.Multiprocessor = Best;
+    P.Group = NextGroup;
+    P.CompletionCycles = Completion;
+    P.StageStartCycles = Starts;
+  }
+  ++NextGroup;
+  return Sealed;
+}
+
+std::vector<size_t> PipelinePlanner::finish() {
+  assert(!Finished && "finish() called twice");
+  std::vector<size_t> Sealed = sealOpenGroup();
+  Finished = true;
+
+  Stats.Groups = NextGroup;
+  uint64_t MaxFinish = 0;
+  for (const Multiprocessor &Mp : Mps)
+    if (Mp.Used)
+      MaxFinish = std::max(MaxFinish, Mp.FinalFinish);
+  Stats.MakespanCycles =
+      numProblems() ? MaxFinish + Model.KernelLaunchCycles : 0;
+  for (const Multiprocessor &Mp : Mps) {
+    if (!Mp.Used)
+      continue;
+    // Back-to-back execution is feasible, so the pipelined finish never
+    // exceeds the serial sum; the difference is the recovered overlap.
+    uint64_t Overlap = Mp.SerialCycles - Mp.FinalFinish;
+    uint64_t Idle = MaxFinish - Mp.FinalFinish;
+    Stats.MultiprocessorFinish.push_back(Mp.FinalFinish);
+    Stats.MultiprocessorOverlap.push_back(Overlap);
+    Stats.MultiprocessorIdle.push_back(Idle);
+    Stats.OverlapCycles += Overlap;
+    Stats.IdleCycles += Idle;
+  }
+  return Sealed;
+}
+
+void gpu::emitBlockTimeline(unsigned Block,
+                            const std::vector<PartitionSample> &Timeline,
+                            const std::vector<uint64_t> &StageStarts,
+                            unsigned LaneOffset, uint64_t Problem) {
+  if (!obs::Tracer::enabled())
+    return;
+  obs::Tracer &T = obs::Tracer::instance();
+  size_t Stages = std::min(Timeline.size(), StageStarts.size());
+  for (size_t I = 0; I != Stages; ++I) {
+    const PartitionSample &S = Timeline[I];
+    obs::DeviceSlice Slice;
+    Slice.Block = Block;
+    Slice.Name = "p" + std::to_string(Problem) + " partition " +
+                 std::to_string(S.Partition);
+    Slice.StartCycles = StageStarts[I];
+    Slice.DurCycles = S.MaxThreadCycles;
+    Slice.Args = {
+        {"problem", std::to_string(Problem)},
+        {"lane_offset", std::to_string(LaneOffset)},
+        {"partition", std::to_string(S.Partition)},
+        {"cells", std::to_string(S.Cells)},
+        {"max_thread_cycles", std::to_string(S.MaxThreadCycles)},
+        {"sum_thread_cycles", std::to_string(S.SumThreadCycles)},
+        {"active_threads", std::to_string(S.ActiveThreads)},
+        {"threads", std::to_string(S.Threads)},
+    };
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.4f", S.occupancy());
+    Slice.Args.push_back({"occupancy", Buf});
+    T.recordDevice(std::move(Slice));
+    if (S.BarrierCycles) {
+      obs::DeviceSlice BarrierSlice;
+      BarrierSlice.Block = Block;
+      BarrierSlice.Name = "barrier";
+      BarrierSlice.StartCycles = StageStarts[I] + S.MaxThreadCycles;
+      BarrierSlice.DurCycles = S.BarrierCycles;
+      BarrierSlice.Args = {{"problem", std::to_string(Problem)}};
+      T.recordDevice(std::move(BarrierSlice));
+    }
+  }
+}

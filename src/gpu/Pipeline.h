@@ -1,0 +1,188 @@
+//===- Pipeline.h - Systolic cross-problem batch pipelining -------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Models systolic overlap between the problems of one batch. The barrier
+/// dispatcher (Device::dispatchProblems) runs each problem's partitions
+/// back-to-back on its multiprocessor; the pipeline planner instead lets
+/// partition k+1 of problem i+1 start as soon as partition k of problem i
+/// has released the multiprocessor's stage resource, so a problem's root
+/// cell resolves — and its result can be published — long before the
+/// batch drains. Small problems whose partitions underfill a block can
+/// additionally be packed into one simulated launch with per-problem
+/// lane offsets.
+///
+/// The planner only re-times work that has already been executed: it
+/// consumes per-partition timelines and never touches values, costs or
+/// per-problem cycle totals, so every observable except the modelled
+/// wall clock is bit-identical to the barrier path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_GPU_PIPELINE_H
+#define PARREC_GPU_PIPELINE_H
+
+#include "gpu/Device.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace parrec {
+namespace gpu {
+
+/// One problem's modelled execution profile, distilled from the
+/// partition timeline its block timer recorded.
+struct PipelineProfile {
+  /// Per-partition samples; shared with the run result so profiling a
+  /// batch does not copy timelines.
+  std::shared_ptr<const std::vector<PartitionSample>> Timeline;
+  /// The problem's serial cycle total (sum over partitions of
+  /// max-thread + barrier cycles). Kept for cross-checking; the planner
+  /// never alters it.
+  uint64_t TotalCycles = 0;
+  /// Block width the problem ran under.
+  unsigned Threads = 0;
+  /// Lanes the problem actually needs: max ActiveThreads over its
+  /// partitions. Packing sums demands, never widths.
+  unsigned DemandLanes = 0;
+
+  /// Builds a profile from a recorded timeline. DemandLanes is derived
+  /// from the samples; an empty timeline degrades to an unpackable
+  /// single stage of \p TotalCycles.
+  static PipelineProfile
+  make(std::shared_ptr<const std::vector<PartitionSample>> Timeline,
+       uint64_t TotalCycles, unsigned Threads);
+};
+
+/// Where one problem landed and when its result resolves. Cycles are
+/// measured from batch start and include the kernel launch.
+struct PipelinePlacement {
+  /// Multiprocessor the problem's (packed) launch occupies.
+  unsigned Multiprocessor = 0;
+  /// First lane of the problem within its block (0 unless packed).
+  unsigned LaneOffset = 0;
+  /// Packed-launch id, sequential in submission order.
+  uint64_t Group = 0;
+  /// Cycle at which the problem's root cell resolves.
+  uint64_t CompletionCycles = 0;
+  /// Per-partition start cycles, recorded only when the planner was
+  /// asked for them (trace emission).
+  std::vector<uint64_t> StageStartCycles;
+};
+
+/// Batch-level accounting, valid after PipelinePlanner::finish().
+struct PipelineStats {
+  /// Busiest-multiprocessor finish plus the kernel launch: the batch's
+  /// modelled wall clock.
+  uint64_t MakespanCycles = 0;
+  /// Cycles saved by overlap, summed over multiprocessors: serial
+  /// (back-to-back) cycles minus pipelined finish, per multiprocessor.
+  uint64_t OverlapCycles = 0;
+  /// Cycles multiprocessors idle waiting for the busiest one, summed.
+  uint64_t IdleCycles = 0;
+  /// Launches after packing (== problems when packing is off).
+  uint64_t Groups = 0;
+  /// Per used multiprocessor: pipelined finish cycle (launch excluded).
+  std::vector<uint64_t> MultiprocessorFinish;
+  /// Per used multiprocessor: serial minus pipelined cycles.
+  std::vector<uint64_t> MultiprocessorOverlap;
+  /// Per used multiprocessor: busiest finish minus own finish.
+  std::vector<uint64_t> MultiprocessorIdle;
+};
+
+/// Plans the systolic execution of one batch. Problems are fed in
+/// submission order via add(); the planner packs compatible consecutive
+/// small problems into one launch (when enabled), assigns each sealed
+/// launch to the multiprocessor that finishes it earliest, and times its
+/// partitions with the tandem recurrence
+///
+///   finish(g, p) = max(finish(g, p-1), finish(prev, p)) + cost(g, p)
+///
+/// where prev is the launch previously placed on the same
+/// multiprocessor: stage p of launch g may start once g's own stage p-1
+/// is done *and* the predecessor has released stage p. Back-to-back
+/// execution is always a feasible schedule, so a launch's makespan never
+/// exceeds the barrier dispatcher's load for the same assignment; every
+/// stage costs at least the barrier's SyncCycles, so two multi-partition
+/// launches sharing a multiprocessor strictly overlap.
+///
+/// add() and finish() return the indices of problems whose placement
+/// became final (their launch was sealed), in submission order — the
+/// hook serve uses to resolve futures before the batch drains. All
+/// decisions are deterministic in submission order.
+class PipelinePlanner {
+public:
+  PipelinePlanner(const CostModel &Model, bool PackSmall,
+                  bool RecordStageStarts);
+
+  /// Feeds the next problem (submission order). Returns the problems
+  /// finalised by this step: when \p Profile does not join the open
+  /// packed launch, that launch seals and its members' placements —
+  /// completion cycle included — are final.
+  std::vector<size_t> add(PipelineProfile Profile);
+
+  /// Seals the open launch and computes batch stats. Returns the last
+  /// problems to become final.
+  std::vector<size_t> finish();
+
+  size_t numProblems() const { return Placements.size(); }
+
+  /// Valid once the problem has been finalised (returned by add() or
+  /// finish()).
+  const PipelinePlacement &placement(size_t Problem) const {
+    return Placements[Problem];
+  }
+
+  /// Valid after finish().
+  const PipelineStats &stats() const { return Stats; }
+
+private:
+  struct Multiprocessor {
+    /// Stage finish cycles of the launch last placed here.
+    std::vector<uint64_t> LastFinish;
+    /// Finish cycle of that launch (== LastFinish.back()).
+    uint64_t FinalFinish = 0;
+    /// Sum of serial launch costs placed here (for overlap accounting).
+    uint64_t SerialCycles = 0;
+    bool Used = false;
+  };
+
+  bool joinsOpenGroup(const PipelineProfile &Profile) const;
+  std::vector<size_t> sealOpenGroup();
+
+  CostModel Model;
+  bool PackSmall = false;
+  bool RecordStageStarts = false;
+
+  std::vector<PipelinePlacement> Placements;
+  std::vector<Multiprocessor> Mps;
+  PipelineStats Stats;
+  bool Finished = false;
+
+  // The open (not yet sealed) packed launch.
+  std::vector<size_t> OpenMembers;
+  std::vector<PipelineProfile> OpenProfiles;
+  unsigned OpenDemand = 0;
+  uint64_t NextGroup = 0;
+};
+
+/// Emits \p Timeline as overlapped per-partition slices on
+/// simulated-device lane \p Block, starting each partition at the
+/// pipeline-planned cycle in \p StageStarts rather than back-to-back
+/// from zero. \p LaneOffset and \p Problem label the slices so packed
+/// problems sharing a block stay distinguishable. No-op when tracing is
+/// disabled.
+void emitBlockTimeline(unsigned Block,
+                       const std::vector<PartitionSample> &Timeline,
+                       const std::vector<uint64_t> &StageStarts,
+                       unsigned LaneOffset, uint64_t Problem);
+
+} // namespace gpu
+} // namespace parrec
+
+#endif // PARREC_GPU_PIPELINE_H

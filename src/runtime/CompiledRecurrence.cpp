@@ -9,6 +9,8 @@
 
 #include "compiler/Pipeline.h"
 #include "exec/ParallelFor.h"
+#include "gpu/Pipeline.h"
+#include "obs/Metrics.h"
 #include "obs/Trace.h"
 
 #include <algorithm>
@@ -299,29 +301,92 @@ std::optional<BatchResult> CompiledRecurrence::runGpuBatch(
   if (!PerProblem.ScanWorkers)
     PerProblem.ScanWorkers =
         std::max(1u, exec::hostWorkerBudget() / BatchWorkers);
+  // The pipeline planner re-times the batch from per-partition
+  // timelines, so pipelined runs always record them; the extra samples
+  // are dropped below unless the caller asked to keep them. Recording is
+  // observable only through RunResult::Timeline (proven bit-identical by
+  // the trace tests), so this cannot perturb results.
+  bool WantTimeline = Options.Trace || obs::Tracer::enabled();
+  if (Options.Pipeline)
+    PerProblem.Trace = true;
   exec::parallelFor(
       BatchWorkers, Problems.size(), [&](size_t I) {
         Evaluator Eval(*Decl, Info);
         Eval.bind(Problems[I]);
         Batch.Problems[I] = Backend.execute(*Plans[I], Eval, PerProblem);
         // One device lane per problem: each simulates its own block on
-        // its own multiprocessor.
-        if (obs::Tracer::enabled() && Batch.Problems[I].Timeline)
+        // its own multiprocessor. Pipelined batches emit after planning
+        // instead, with overlapped per-stage offsets.
+        if (!Options.Pipeline && obs::Tracer::enabled() &&
+            Batch.Problems[I].Timeline)
           gpu::emitBlockTimeline(static_cast<unsigned>(I),
                                  *Batch.Problems[I].Timeline);
       });
 
-  std::vector<uint64_t> ProblemCycles;
-  ProblemCycles.reserve(Batch.Problems.size());
-  for (const RunResult &R : Batch.Problems)
-    ProblemCycles.push_back(R.Cycles);
   {
     obs::Span DispatchSpan("exec.dispatch", "exec");
-    Batch.TotalCycles = Device.dispatchProblems(ProblemCycles);
-    if (DispatchSpan.active()) {
-      DispatchSpan.arg("problems",
-                       static_cast<uint64_t>(ProblemCycles.size()));
-      DispatchSpan.arg("makespan_cycles", Batch.TotalCycles);
+    if (Options.Pipeline) {
+      // Systolic dispatch: feed problems to the planner in submission
+      // order; it packs underfilled blocks (when asked), overlaps
+      // consecutive launches' partitions on each multiprocessor, and
+      // yields per-problem completion cycles.
+      gpu::PipelinePlanner Planner(Device.costModel(), Options.PackSmall,
+                                   /*RecordStageStarts=*/
+                                   obs::Tracer::enabled());
+      for (RunResult &R : Batch.Problems)
+        Planner.add(gpu::PipelineProfile::make(
+            R.Timeline, R.Cycles,
+            static_cast<unsigned>(R.Metrics.Threads)));
+      Planner.finish();
+      const gpu::PipelineStats &S = Planner.stats();
+      Batch.TotalCycles = S.MakespanCycles;
+      Batch.OverlapCycles = S.OverlapCycles;
+      Batch.IdleCycles = S.IdleCycles;
+      Batch.CompletionCycles.resize(Batch.Problems.size());
+      for (size_t I = 0; I != Batch.Problems.size(); ++I)
+        Batch.CompletionCycles[I] = Planner.placement(I).CompletionCycles;
+      obs::MetricsRegistry &M = obs::MetricsRegistry::global();
+      for (size_t Mp = 0; Mp != S.MultiprocessorFinish.size(); ++Mp) {
+        M.observe("exec.pipeline_overlap_cycles",
+                  static_cast<double>(S.MultiprocessorOverlap[Mp]));
+        M.observe("exec.device_idle_cycles",
+                  static_cast<double>(S.MultiprocessorIdle[Mp]));
+      }
+      if (obs::Tracer::enabled())
+        for (size_t I = 0; I != Batch.Problems.size(); ++I)
+          if (Batch.Problems[I].Timeline) {
+            const gpu::PipelinePlacement &P = Planner.placement(I);
+            gpu::emitBlockTimeline(P.Multiprocessor,
+                                   *Batch.Problems[I].Timeline,
+                                   P.StageStartCycles, P.LaneOffset, I);
+          }
+      if (!WantTimeline)
+        for (RunResult &R : Batch.Problems)
+          R.Timeline.reset();
+      if (DispatchSpan.active()) {
+        DispatchSpan.arg("problems",
+                         static_cast<uint64_t>(Batch.Problems.size()));
+        DispatchSpan.arg("makespan_cycles", Batch.TotalCycles);
+        DispatchSpan.arg("pipelined", uint64_t{1});
+        DispatchSpan.arg("groups", S.Groups);
+        DispatchSpan.arg("overlap_cycles", S.OverlapCycles);
+        DispatchSpan.arg("idle_cycles", S.IdleCycles);
+      }
+    } else {
+      std::vector<uint64_t> ProblemCycles;
+      ProblemCycles.reserve(Batch.Problems.size());
+      for (const RunResult &R : Batch.Problems)
+        ProblemCycles.push_back(R.Cycles);
+      Batch.TotalCycles = Device.dispatchProblems(ProblemCycles);
+      // Under the barrier dispatcher nothing resolves before the batch
+      // drains.
+      Batch.CompletionCycles.assign(Batch.Problems.size(),
+                                    Batch.TotalCycles);
+      if (DispatchSpan.active()) {
+        DispatchSpan.arg("problems",
+                         static_cast<uint64_t>(ProblemCycles.size()));
+        DispatchSpan.arg("makespan_cycles", Batch.TotalCycles);
+      }
     }
   }
   Batch.Seconds = Device.costModel().gpuSeconds(Batch.TotalCycles);

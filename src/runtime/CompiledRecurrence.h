@@ -124,7 +124,12 @@ public:
 
   /// Runs many problems on the simulated GPU, dispatching one problem per
   /// multiprocessor with per-problem conditional schedules (Section 4.7).
-  /// Problems are simulated concurrently across host worker threads
+  /// With RunOptions::Pipeline the batch is dispatched systolically —
+  /// consecutive problems' partitions overlap on each multiprocessor and
+  /// BatchResult::CompletionCycles records when each problem resolves;
+  /// RunOptions::PackSmall additionally packs underfilled blocks. Either
+  /// knob changes only the modelled wall clock, never per-problem
+  /// results. Problems are simulated concurrently across host worker threads
   /// (RunOptions::BatchWorkers); results are bit-identical for any
   /// worker count.
   std::optional<BatchResult>

@@ -8,6 +8,7 @@
 #include "serve/Engine.h"
 
 #include "exec/ParallelFor.h"
+#include "gpu/Pipeline.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "runtime/CompiledRecurrence.h"
@@ -588,6 +589,12 @@ void Engine::executeBatch(DeviceLane &Lane, Batch &B) {
                              ? Opts.ScanWorkersPerDevice
                              : std::max(1u, Budget / BatchWorkers);
 
+  if (Opts.Pipeline) {
+    executeBatchPipelined(Lane, B, Members, Span, ExecStart, Backend,
+                          BatchWorkers, ScanWorkers);
+    return;
+  }
+
   std::vector<exec::RunResult> Results(Members.size());
   exec::parallelFor(BatchWorkers, Members.size(), [&](size_t I) {
     codegen::Evaluator Eval(B.Fn->decl(), B.Fn->info());
@@ -641,6 +648,8 @@ void Engine::executeBatch(DeviceLane &Lane, Batch &B) {
     Resp.Device = Lane.Index;
     Resp.BatchId = B.Id;
     Resp.BatchSize = Members.size();
+    // Everything in a barrier batch resolves when the batch drains.
+    Resp.CompletionCycle = Makespan;
     Resp.CompletionSeq =
         CompletionSeq.fetch_add(1, std::memory_order_relaxed);
     obs::Labels TenantL{{"tenant", tenantLabel(P.Req.Tenant)}};
@@ -655,6 +664,129 @@ void Engine::executeBatch(DeviceLane &Lane, Batch &B) {
                   static_cast<uint8_t>(Status::Ok),
                   static_cast<uint16_t>(Lane.Index), P.TenantId, B.Id);
     resolve(*P.State, std::move(Resp));
+  }
+}
+
+void Engine::executeBatchPipelined(DeviceLane &Lane, Batch &B,
+                                   std::vector<Pending> &Members,
+                                   obs::Span &Span,
+                                   std::chrono::steady_clock::time_point
+                                       ExecStart,
+                                   const exec::SimulatedGpuBackend &Backend,
+                                   unsigned BatchWorkers,
+                                   unsigned ScanWorkers) {
+  // Systolic dispatch with early publication: completed problems feed a
+  // pipeline planner in submission order; the moment a problem's launch
+  // seals, its placement — completion cycle included — is final and its
+  // future resolves, while later batch members may still be executing.
+  // PublishMutex serialises planner feeding and publication, so futures
+  // resolve in submission order and the flight recorder's Complete
+  // events carry monotone request ids. Callbacks therefore run under
+  // this batch-local mutex (never an engine lock): they may re-enter the
+  // engine, but must not block on a *later* future of the same batch —
+  // the same constraint the barrier path's in-order resolution imposes.
+  gpu::PipelinePlanner Planner(Lane.Device.costModel(), Opts.PackSmall,
+                               /*RecordStageStarts=*/
+                               obs::Tracer::enabled());
+  std::vector<exec::RunResult> Results(Members.size());
+  std::vector<char> Done(Members.size(), 0);
+  size_t Cursor = 0;
+  std::mutex PublishMutex;
+  obs::MetricsRegistry &M = obs::MetricsRegistry::global();
+
+  // Publishes one finalised problem. PublishMutex held.
+  auto Publish = [&](size_t I) {
+    const gpu::PipelinePlacement &Pl = Planner.placement(I);
+    Pending &P = Members[I];
+    if (obs::Tracer::enabled() && Results[I].Timeline)
+      gpu::emitBlockTimeline(Pl.Multiprocessor, *Results[I].Timeline,
+                             Pl.StageStartCycles, Pl.LaneOffset,
+                             P.Req.Id);
+    // The planner needed the timeline; the caller may not have.
+    if (!P.Req.Options.Trace && !obs::Tracer::enabled())
+      Results[I].Timeline.reset();
+    Wall::time_point NowWall = Wall::now();
+    uint64_t Now = now();
+    Response Resp;
+    Resp.Id = P.Req.Id;
+    Resp.St = Status::Ok;
+    Resp.Result = std::move(Results[I]);
+    Resp.SubmitTick = P.SubmitTick;
+    Resp.CompleteTick = Now;
+    Resp.QueueSeconds = secondsSince(P.SubmitWall, ExecStart);
+    Resp.ExecSeconds = secondsSince(ExecStart, NowWall);
+    Resp.TotalSeconds = secondsSince(P.SubmitWall, NowWall);
+    Resp.Device = Lane.Index;
+    Resp.BatchId = B.Id;
+    Resp.BatchSize = Members.size();
+    Resp.CompletionCycle = Pl.CompletionCycles;
+    Resp.CompletionSeq =
+        CompletionSeq.fetch_add(1, std::memory_order_relaxed);
+    obs::Labels TenantL{{"tenant", tenantLabel(P.Req.Tenant)}};
+    M.observe("serve.latency.queue_wait_seconds", TenantL,
+              Resp.QueueSeconds);
+    M.observe("serve.latency.execute_seconds", TenantL, Resp.ExecSeconds);
+    M.observe("serve.latency.total_seconds", TenantL, Resp.TotalSeconds);
+    M.add("serve.responses",
+          obs::Labels{{"status", statusName(Status::Ok)},
+                      {"tenant", tenantLabel(P.Req.Tenant)}});
+    Flight.record(FlightEventKind::Complete, P.Req.Id, Now,
+                  static_cast<uint8_t>(Status::Ok),
+                  static_cast<uint16_t>(Lane.Index), P.TenantId, B.Id);
+    resolve(*P.State, std::move(Resp));
+  };
+
+  exec::parallelFor(BatchWorkers, Members.size(), [&](size_t I) {
+    codegen::Evaluator Eval(B.Fn->decl(), B.Fn->info());
+    Eval.bind(Members[I].Req.Args);
+    exec::RunOptions Ro = Members[I].Req.Options;
+    Ro.ScanWorkers = ScanWorkers;
+    Ro.FlowId = Members[I].Req.Id; // Trace flow id only; never a result.
+    Ro.Trace = true; // The planner re-times the partition timeline.
+    Results[I] = Backend.execute(*B.Plan, Eval, Ro);
+    std::lock_guard<std::mutex> Lock(PublishMutex);
+    Done[I] = 1;
+    // Feed the prefix of completed problems to the planner in
+    // submission order; publish whatever it finalises.
+    while (Cursor < Members.size() && Done[Cursor]) {
+      for (size_t Final : Planner.add(gpu::PipelineProfile::make(
+               Results[Cursor].Timeline, Results[Cursor].Cycles,
+               static_cast<unsigned>(Results[Cursor].Metrics.Threads))))
+        Publish(Final);
+      ++Cursor;
+    }
+  });
+
+  uint64_t Makespan = 0;
+  {
+    std::lock_guard<std::mutex> Lock(PublishMutex);
+    for (size_t Final : Planner.finish())
+      Publish(Final);
+    const gpu::PipelineStats &S = Planner.stats();
+    Makespan = S.MakespanCycles;
+    for (size_t Mp = 0; Mp != S.MultiprocessorFinish.size(); ++Mp) {
+      M.observe("exec.pipeline_overlap_cycles",
+                static_cast<double>(S.MultiprocessorOverlap[Mp]));
+      M.observe("exec.device_idle_cycles",
+                static_cast<double>(S.MultiprocessorIdle[Mp]));
+    }
+    if (Span.active()) {
+      Span.arg("makespan_cycles", Makespan);
+      Span.arg("pipelined", uint64_t{1});
+      Span.arg("groups", S.Groups);
+      Span.arg("overlap_cycles", S.OverlapCycles);
+      Span.arg("idle_cycles", S.IdleCycles);
+      Span.arg("batch_workers", BatchWorkers);
+      Span.arg("scan_workers", ScanWorkers);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Counters.DeviceBatches[Lane.Index];
+    Counters.DeviceRequests[Lane.Index] += Members.size();
+    Counters.DeviceCycles[Lane.Index] += Makespan;
+    Counters.Completed += Members.size();
   }
 }
 

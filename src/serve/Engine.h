@@ -35,6 +35,7 @@
 #include "serve/Serve.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -46,6 +47,10 @@
 #include <vector>
 
 namespace parrec {
+namespace obs {
+class Span;
+} // namespace obs
+
 namespace serve {
 
 /// The serving engine. Thread-safe: any thread may submit; completion
@@ -75,6 +80,17 @@ public:
     /// Host worker threads per problem scan; 0 shares the per-device
     /// budget left after batch striping.
     unsigned ScanWorkersPerDevice = 0;
+    /// Dispatch each batch systolically (gpu::PipelinePlanner):
+    /// consecutive problems' partitions overlap on a multiprocessor and
+    /// every future resolves the moment its problem's launch seals —
+    /// before the batch drains. Response::CompletionCycle records the
+    /// modelled resolution point. Results are bit-identical to the
+    /// barrier path; only modelled device cycles change.
+    bool Pipeline = false;
+    /// With Pipeline, pack consecutive small problems of a batch into
+    /// one simulated launch (per-problem lane offsets). No effect
+    /// without Pipeline.
+    bool PackSmall = false;
     /// Start with the coalescer paused (deterministic tests: fill the
     /// queue, then resume()).
     bool StartPaused = false;
@@ -176,6 +192,13 @@ private:
   void coalescerMain();
   void deviceMain(unsigned DeviceIndex);
   void executeBatch(DeviceLane &Lane, Batch &B);
+  /// The Options::Pipeline dispatch path: systolic overlap plus early,
+  /// in-submission-order future resolution.
+  void executeBatchPipelined(DeviceLane &Lane, Batch &B,
+                             std::vector<Pending> &Members, obs::Span &Span,
+                             std::chrono::steady_clock::time_point ExecStart,
+                             const exec::SimulatedGpuBackend &Backend,
+                             unsigned BatchWorkers, unsigned ScanWorkers);
 
   Options Opts;
   std::atomic<uint64_t> Clock{0};

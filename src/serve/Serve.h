@@ -105,6 +105,12 @@ struct Response {
   /// Completion order stamp (monotonic across the engine); lets tests
   /// observe dispatch ordering deterministically.
   uint64_t CompletionSeq = 0;
+  /// Modelled cycle (batch-start domain, kernel launch included) at
+  /// which this request's result resolved on its device. Equals the
+  /// batch makespan on the barrier path; under Engine::Options::Pipeline
+  /// it is the problem's own completion, strictly earlier than batch end
+  /// for every non-final member.
+  uint64_t CompletionCycle = 0;
   /// Diagnostic text for Failed responses.
   std::string Error;
 };

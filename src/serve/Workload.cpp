@@ -279,15 +279,24 @@ ReplayReport serve::replay(Engine &E, const Workload &W) {
   // reported quantiles (ServeTest cross-checks the bound against an
   // exact sort).
   obs::Histogram OkLatency;
+  obs::Histogram OkCompletion;
   for (Future &F : Futures) {
     const Response &Resp = F.wait();
     ++Report.ByStatus[std::string(statusName(Resp.St))];
-    if (Resp.St == Status::Ok)
+    if (Resp.St == Status::Ok) {
       OkLatency.record(Resp.TotalSeconds);
+      OkCompletion.record(static_cast<double>(Resp.CompletionCycle));
+    }
   }
   Report.P50Seconds = OkLatency.percentile(0.50);
   Report.P95Seconds = OkLatency.percentile(0.95);
   Report.P99Seconds = OkLatency.percentile(0.99);
+  Report.CompletionCycleP50 =
+      static_cast<uint64_t>(OkCompletion.percentile(0.50));
+  Report.CompletionCycleP95 =
+      static_cast<uint64_t>(OkCompletion.percentile(0.95));
+  Report.CompletionCycleP99 =
+      static_cast<uint64_t>(OkCompletion.percentile(0.99));
   Report.WallSeconds =
       std::chrono::duration<double>(End - Start).count();
   Report.Throughput =
@@ -319,6 +328,11 @@ std::string ReplayReport::json() const {
   Json.key("modelled").beginObject();
   Json.key("busiest_device_cycles").value(ModelledCycles);
   Json.key("busiest_device_seconds").value(ModelledSeconds);
+  Json.key("completion_cycles").beginObject();
+  Json.key("p50").value(CompletionCycleP50);
+  Json.key("p95").value(CompletionCycleP95);
+  Json.key("p99").value(CompletionCycleP99);
+  Json.endObject();
   Json.endObject();
   Json.key("engine").beginObject();
   Json.key("submitted").value(Stats.Submitted);

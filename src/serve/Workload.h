@@ -122,6 +122,12 @@ struct ReplayReport {
   /// Modelled device time: the busiest device's accumulated makespan.
   uint64_t ModelledCycles = 0;
   double ModelledSeconds = 0.0;
+  /// Per-problem modelled completion-cycle percentiles over Ok
+  /// responses (Response::CompletionCycle). Under a pipelined engine
+  /// the spread below a batch's makespan is the early-publication win.
+  uint64_t CompletionCycleP50 = 0;
+  uint64_t CompletionCycleP95 = 0;
+  uint64_t CompletionCycleP99 = 0;
   Engine::Stats Stats;
 
   uint64_t okCount() const {

@@ -57,6 +57,7 @@ int usage() {
                "usage: parrec <command> [options] <file> [extents...]\n"
                "commands:\n"
                "  run [--cpu] [--autotune] [--scan-workers=<n>]\n"
+               "      [--pipeline|--no-pipeline] [--pack-small]\n"
                "      [--evaluator=ast|vm|jit] [--jit-cache-dir=<dir>]\n"
                "      [--trace-out=<f>] [--trace-tree] [--stats[=json]]\n"
                "      [--stats-out=<f>] [--dump-passes]\n"
@@ -70,7 +71,12 @@ int usage() {
                "                         results are identical too;\n"
                "                         --evaluator: cell evaluator — ast\n"
                "                         oracle, vm bytecode (default), jit\n"
-               "                         native; all bit-identical)\n"
+               "                         native; all bit-identical;\n"
+               "                         --pipeline: overlap batch members'\n"
+               "                         partitions across multiprocessors,\n"
+               "                         --pack-small: pack underfilled\n"
+               "                         blocks (needs --pipeline) — both\n"
+               "                         change modelled wall-clock only)\n"
                "  check <function>       analyse a single function\n"
                "  schedule <fn> <n...>   derive the minimal schedule\n"
                "  emit <fn>              print synthesized CUDA source\n"
@@ -78,6 +84,7 @@ int usage() {
                "  serve --replay=<w.json> [--devices=<n>]\n"
                "      [--queue-cap=<n>] [--max-batch=<n>]\n"
                "      [--linger=<ticks>] [--no-coalesce]\n"
+               "      [--pipeline|--no-pipeline] [--pack-small]\n"
                "      [--batch-workers=<n>] [--scan-workers=<n>]\n"
                "      [--strict] [--stats-out=<f>] [--trace-out=<f>]\n"
                "      [--prom-out=<f>] [--export-jsonl=<f>]\n"
@@ -207,6 +214,7 @@ const char *optionValue(const char *Arg, const char *Name) {
 int cmdRun(int Argc, char **Argv) {
   bool UseCpu = false, Autotune = false, DumpPasses = false;
   bool StatsHuman = false, StatsJson = false, TraceTree = false;
+  bool Pipeline = false, PackSmall = false;
   unsigned ScanWorkers = 0;
   exec::EvalKind Evaluator = exec::EvalKind::Vm;
   std::string TraceOut, StatsOut, JitCacheDir;
@@ -219,6 +227,12 @@ int cmdRun(int Argc, char **Argv) {
       UseCpu = true;
     else if (std::strcmp(Arg, "--autotune") == 0)
       Autotune = true;
+    else if (std::strcmp(Arg, "--pipeline") == 0)
+      Pipeline = true;
+    else if (std::strcmp(Arg, "--no-pipeline") == 0)
+      Pipeline = false;
+    else if (std::strcmp(Arg, "--pack-small") == 0)
+      PackSmall = true;
     else if (std::strcmp(Arg, "--dump-passes") == 0)
       DumpPasses = true;
     else if ((Value = optionValue(Arg, "--disable-pass"))) {
@@ -263,6 +277,10 @@ int cmdRun(int Argc, char **Argv) {
   }
   if (FileIndex >= Argc)
     return usage();
+  if (PackSmall && !Pipeline) {
+    std::fprintf(stderr, "error: --pack-small requires --pipeline\n");
+    return 2;
+  }
   if (!DisabledPasses.empty())
     compiler::setDisabledPasses(std::move(DisabledPasses));
   if (!TraceOut.empty() || TraceTree)
@@ -285,6 +303,8 @@ int cmdRun(int Argc, char **Argv) {
   Opts.Run.Trace = obs::Tracer::enabled();
   Opts.Run.ScanWorkers = ScanWorkers;
   Opts.Run.Autotune = Autotune;
+  Opts.Run.Pipeline = Pipeline;
+  Opts.Run.PackSmall = PackSmall;
   Opts.Run.Evaluator = Evaluator;
   Opts.Run.JitCacheDir = JitCacheDir;
   runtime::Interpreter Interp(Diags, std::move(Opts));
@@ -534,6 +554,12 @@ int cmdServe(int Argc, char **Argv) {
         return 2;
     } else if (std::strcmp(Arg, "--no-coalesce") == 0) {
       Opts.Coalesce = false;
+    } else if (std::strcmp(Arg, "--pipeline") == 0) {
+      Opts.Pipeline = true;
+    } else if (std::strcmp(Arg, "--no-pipeline") == 0) {
+      Opts.Pipeline = false;
+    } else if (std::strcmp(Arg, "--pack-small") == 0) {
+      Opts.PackSmall = true;
     } else if ((Value = optionValue(Arg, "--batch-workers"))) {
       if (!parseCount("--batch-workers", Value,
                       &Opts.BatchWorkersPerDevice))
@@ -561,6 +587,10 @@ int cmdServe(int Argc, char **Argv) {
       std::fprintf(stderr, "error: unknown serve option '%s'\n", Arg);
       return 2;
     }
+  }
+  if (Opts.PackSmall && !Opts.Pipeline) {
+    std::fprintf(stderr, "error: --pack-small requires --pipeline\n");
+    return 2;
   }
   if (ExportIntervalMs != 0 && PromOut.empty() && ExportJsonl.empty()) {
     std::fprintf(stderr, "error: --export-interval needs --prom-out "
@@ -636,6 +666,11 @@ int cmdServe(int Argc, char **Argv) {
   std::printf("modelled busiest device: %llu cycles (%.6fs)\n",
               static_cast<unsigned long long>(Report.ModelledCycles),
               Report.ModelledSeconds);
+  std::printf(
+      "completion cycles p50/p95/p99: %llu / %llu / %llu\n",
+      static_cast<unsigned long long>(Report.CompletionCycleP50),
+      static_cast<unsigned long long>(Report.CompletionCycleP95),
+      static_cast<unsigned long long>(Report.CompletionCycleP99));
 
   if (!TraceOut.empty() &&
       !obs::Tracer::instance().writeChromeTrace(TraceOut)) {

@@ -27,6 +27,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <deque>
@@ -802,4 +803,168 @@ TEST(ServeEngineTest, AutoDumpsFlightRecorderOnFirstDeadline) {
     SawDeadline |= E.stringOr("status", "") == "deadline";
   EXPECT_TRUE(SawDeadline);
   std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Pipelined dispatch: early completion, bit-identity, monotone events
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Four same-shape Smith-Waterman problems — one coalesced batch.
+struct SameShapeProblems {
+  CompiledRecurrence Sw = compileOrDie(SwSource);
+  std::deque<bio::Sequence> Seqs;
+  std::vector<std::vector<ArgValue>> Args;
+
+  explicit SameShapeProblems(size_t Count) {
+    const bio::SubstitutionMatrix &Blosum =
+        bio::SubstitutionMatrix::blosum62();
+    Seqs.push_back(bio::randomSequence(bio::Alphabet::protein(), 32,
+                                       /*Seed=*/0xBEE, "query"));
+    const bio::Sequence *Query = &Seqs.back();
+    for (size_t I = 0; I != Count; ++I) {
+      Seqs.push_back(bio::randomSequence(bio::Alphabet::protein(), 24,
+                                         200 + I,
+                                         "s" + std::to_string(I)));
+      Args.push_back({ArgValue::ofMatrix(&Blosum), ArgValue::ofSeq(Query),
+                      ArgValue(), ArgValue::ofSeq(&Seqs.back()),
+                      ArgValue()});
+    }
+  }
+};
+
+} // namespace
+
+TEST(ServeEngineTest, PipelinedFuturesResolveBeforeBatchEnd) {
+  SameShapeProblems P(4);
+
+  // Oracle: direct runs on the same (saturated) cost model.
+  gpu::CostModel Model;
+  Model.NumMultiprocessors = 2; // 4 problems must share 2 MPs.
+  gpu::Device Direct(Model);
+  std::vector<RunResult> Expected;
+  for (const auto &Args : P.Args) {
+    DiagnosticEngine Diags;
+    auto R = P.Sw.runGpu(Args, Direct, Diags);
+    ASSERT_TRUE(R.has_value()) << Diags.str();
+    Expected.push_back(std::move(*R));
+  }
+
+  serve::Engine::Options Opts;
+  Opts.Model = Model;
+  Opts.Devices = 1;
+  Opts.MaxBatch = 4;
+  Opts.StartPaused = true;
+  Opts.Pipeline = true;
+  // One worker executes members in submission order, so when problem 0's
+  // future resolves the tail of the batch has not even started.
+  Opts.BatchWorkersPerDevice = 1;
+  serve::Engine Engine(Opts);
+
+  std::vector<serve::Future> Futures(P.Args.size());
+  std::atomic<int> LaterReady{-1};
+  for (size_t I = 0; I != P.Args.size(); ++I) {
+    serve::Request Req;
+    Req.Fn = &P.Sw;
+    Req.Args = P.Args[I];
+    if (I == 0)
+      Futures[I] = Engine.submit(
+          std::move(Req), [&](const serve::Response &) {
+            // Fires the moment problem 0's launch seals: the last batch
+            // member must still be unresolved — the early-publication
+            // win, observed from the outside.
+            LaterReady = Futures.back().ready() ? 1 : 0;
+          });
+    else
+      Futures[I] = Engine.submit(std::move(Req));
+  }
+  Engine.shutdown(serve::Engine::ShutdownMode::Drain);
+
+  std::vector<uint64_t> Completions;
+  for (size_t I = 0; I != Futures.size(); ++I) {
+    const serve::Response &Resp = Futures[I].wait();
+    ASSERT_EQ(Resp.St, serve::Status::Ok) << Resp.Error;
+    expectIdentical(Expected[I], Resp.Result);
+    EXPECT_FALSE(Resp.Result.Timeline) << "planner timeline leaked";
+    Completions.push_back(Resp.CompletionCycle);
+  }
+  EXPECT_EQ(LaterReady.load(), 0);
+
+  // One batch ran, so the device's accumulated cycles are its makespan:
+  // the earliest problem resolves strictly before batch end, the last
+  // one exactly at it.
+  serve::Engine::Stats Stats = Engine.stats();
+  ASSERT_EQ(Stats.Batches, 1u);
+  uint64_t BatchEnd = Stats.DeviceCycles[0];
+  EXPECT_EQ(*std::max_element(Completions.begin(), Completions.end()),
+            BatchEnd);
+  EXPECT_LT(*std::min_element(Completions.begin(), Completions.end()),
+            BatchEnd);
+}
+
+TEST(ServeEngineTest, PipelinedEngineMatchesBarrierEngineBitForBit) {
+  SameShapeProblems P(8);
+
+  auto RunEngine = [&](bool Pipeline, bool PackSmall) {
+    serve::Engine::Options Opts;
+    Opts.Devices = 1;
+    Opts.MaxBatch = 4;
+    Opts.StartPaused = true;
+    Opts.Pipeline = Pipeline;
+    Opts.PackSmall = PackSmall;
+    serve::Engine Engine(Opts);
+    std::vector<serve::Future> Futures;
+    for (const auto &Args : P.Args) {
+      serve::Request Req;
+      Req.Fn = &P.Sw;
+      Req.Args = Args;
+      Futures.push_back(Engine.submit(std::move(Req)));
+    }
+    Engine.shutdown(serve::Engine::ShutdownMode::Drain);
+    std::pair<std::vector<serve::Response>, std::string> Out;
+    for (serve::Future &F : Futures) {
+      EXPECT_EQ(F.wait().St, serve::Status::Ok);
+      Out.first.push_back(F.wait());
+    }
+    Out.second = Engine.dumpFlightRecorder();
+    return Out;
+  };
+
+  auto [Barrier, BarrierDump] = RunEngine(false, false);
+  auto [Piped, PipedDump] = RunEngine(true, false);
+  auto [Packed, PackedDump] = RunEngine(true, true);
+  (void)BarrierDump;
+  ASSERT_EQ(Barrier.size(), Piped.size());
+  ASSERT_EQ(Barrier.size(), Packed.size());
+  for (size_t I = 0; I != Barrier.size(); ++I) {
+    expectIdentical(Barrier[I].Result, Piped[I].Result);
+    expectIdentical(Barrier[I].Result, Packed[I].Result);
+    // Barrier batches resolve everything at batch end; pipelined
+    // completions never pass it.
+    EXPECT_LE(Piped[I].CompletionCycle, Barrier[I].CompletionCycle);
+    EXPECT_GT(Piped[I].CompletionCycle, 0u);
+  }
+
+  // The pipelined engine's early publication must keep the flight
+  // recorder's complete events monotone in request id (one device,
+  // batches in submission order, members published in order).
+  for (const std::string &Dump : {PipedDump, PackedDump}) {
+    std::string Error;
+    std::optional<obs::JsonValue> Doc = obs::parseJson(Dump, &Error);
+    ASSERT_TRUE(Doc.has_value()) << Error;
+    const obs::JsonValue *Events = Doc->member("events");
+    ASSERT_TRUE(Events && Events->isArray());
+    int64_t PrevId = 0;
+    size_t Completes = 0;
+    for (const obs::JsonValue &E : Events->array()) {
+      if (E.stringOr("event", "") != "complete")
+        continue;
+      ++Completes;
+      const int64_t Id = E.integerOr("request", -1);
+      EXPECT_GT(Id, PrevId) << "complete events out of request order";
+      PrevId = Id;
+    }
+    EXPECT_EQ(Completes, P.Args.size());
+  }
 }
