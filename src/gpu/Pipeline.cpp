@@ -108,11 +108,14 @@ std::vector<size_t> PipelinePlanner::sealOpenGroup() {
   uint64_t Serial =
       std::accumulate(Cost.begin(), Cost.end(), uint64_t{0});
 
-  // Place the launch on the multiprocessor that finishes it earliest
-  // under the tandem recurrence; ties go to the lowest index so the
-  // schedule is deterministic.
+  // Place the launch on the multiprocessor whose resulting finish is
+  // earliest. A launch with fewer stages than a resident predecessor
+  // can drain while the predecessor's deeper stages are still in
+  // flight, so the candidate's finish is max(FinalFinish, Last), not
+  // the new launch's own last stage alone; ties go to the lowest index
+  // so the schedule is deterministic.
   unsigned Best = 0;
-  uint64_t BestFinish = 0;
+  uint64_t BestFinish = 0, BestKey = 0;
   std::vector<uint64_t> Finish(Stages), BestStageFinish;
   for (unsigned M = 0; M != Mps.size(); ++M) {
     const std::vector<uint64_t> &Prev = Mps[M].LastFinish;
@@ -124,18 +127,14 @@ std::vector<size_t> PipelinePlanner::sealOpenGroup() {
       Last = Start + Cost[S];
       Finish[S] = Last;
     }
-    if (!M || Last < BestFinish) {
+    uint64_t Key = std::max(Mps[M].FinalFinish, Last);
+    if (!M || Key < BestKey) {
       Best = M;
+      BestKey = Key;
       BestFinish = Last;
       BestStageFinish = Finish;
     }
   }
-
-  Multiprocessor &Mp = Mps[Best];
-  Mp.LastFinish = BestStageFinish;
-  Mp.FinalFinish = BestFinish;
-  Mp.SerialCycles += Serial;
-  Mp.Used = true;
 
   uint64_t Completion = BestFinish + Model.KernelLaunchCycles;
   std::vector<uint64_t> Starts;
@@ -145,6 +144,18 @@ std::vector<size_t> PipelinePlanner::sealOpenGroup() {
       Starts[S] =
           BestStageFinish[S] - Cost[S] + Model.KernelLaunchCycles;
   }
+
+  // Stage-finish entries of earlier launches beyond this launch's depth
+  // are still live dependencies for deeper successors: carry them
+  // forward, clamped to this launch's finish (the pipeline drains in
+  // order), and never let the multiprocessor's finish regress.
+  Multiprocessor &Mp = Mps[Best];
+  for (size_t S = Stages; S < Mp.LastFinish.size(); ++S)
+    BestStageFinish.push_back(std::max(Mp.LastFinish[S], BestFinish));
+  Mp.LastFinish = std::move(BestStageFinish);
+  Mp.FinalFinish = std::max(Mp.FinalFinish, BestFinish);
+  Mp.SerialCycles += Serial;
+  Mp.Used = true;
   for (size_t Member : Sealed) {
     PipelinePlacement &P = Placements[Member];
     P.Multiprocessor = Best;

@@ -143,9 +143,13 @@ public:
 
 private:
   struct Multiprocessor {
-    /// Stage finish cycles of the launch last placed here.
+    /// Per-stage finish cycles successors must wait on: the last
+    /// launch's stages, plus carried-forward finishes of earlier
+    /// launches that ran deeper than it.
     std::vector<uint64_t> LastFinish;
-    /// Finish cycle of that launch (== LastFinish.back()).
+    /// Latest finish cycle over all launches placed here; monotone in
+    /// placement order even when a short launch drains before its
+    /// predecessor's deeper stages.
     uint64_t FinalFinish = 0;
     /// Sum of serial launch costs placed here (for overlap accounting).
     uint64_t SerialCycles = 0;

@@ -303,10 +303,11 @@ std::optional<BatchResult> CompiledRecurrence::runGpuBatch(
         std::max(1u, exec::hostWorkerBudget() / BatchWorkers);
   // The pipeline planner re-times the batch from per-partition
   // timelines, so pipelined runs always record them; the extra samples
-  // are dropped below unless the caller asked to keep them. Recording is
-  // observable only through RunResult::Timeline (proven bit-identical by
-  // the trace tests), so this cannot perturb results.
-  bool WantTimeline = Options.Trace || obs::Tracer::enabled();
+  // are dropped below unless the caller asked to keep them. A globally
+  // enabled tracer does not keep them either — device slices are
+  // emitted before the drop, and the barrier path leaves Timeline empty
+  // in that case, so keeping it would break bit-identity.
+  bool WantTimeline = Options.Trace;
   if (Options.Pipeline)
     PerProblem.Trace = true;
   exec::parallelFor(

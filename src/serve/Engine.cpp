@@ -702,8 +702,12 @@ void Engine::executeBatchPipelined(DeviceLane &Lane, Batch &B,
       gpu::emitBlockTimeline(Pl.Multiprocessor, *Results[I].Timeline,
                              Pl.StageStartCycles, Pl.LaneOffset,
                              P.Req.Id);
-    // The planner needed the timeline; the caller may not have.
-    if (!P.Req.Options.Trace && !obs::Tracer::enabled())
+    // The planner needed the timeline; the caller may not have. The
+    // tracer already got its device slices above, and the barrier path
+    // never carries a timeline for requests that did not ask — so drop
+    // it unless the request itself set Trace, keeping response payloads
+    // identical across engines.
+    if (!P.Req.Options.Trace)
       Results[I].Timeline.reset();
     Wall::time_point NowWall = Wall::now();
     uint64_t Now = now();

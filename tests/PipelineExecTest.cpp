@@ -96,7 +96,83 @@ gpu::Device saturatedDevice() {
   return gpu::Device(Model);
 }
 
+/// A synthetic profile of \p StageCycles.size() partitions, each costing
+/// its entry (no barrier), on a \p Threads-wide block.
+gpu::PipelineProfile makeProfile(const std::vector<uint64_t> &StageCycles,
+                                 unsigned Threads) {
+  std::vector<gpu::PartitionSample> T;
+  uint64_t Total = 0;
+  for (size_t I = 0; I != StageCycles.size(); ++I) {
+    gpu::PartitionSample S;
+    S.Partition = static_cast<int64_t>(I);
+    S.Cells = Threads;
+    S.MaxThreadCycles = StageCycles[I];
+    S.SumThreadCycles = StageCycles[I] * Threads;
+    S.ActiveThreads = Threads;
+    S.Threads = Threads;
+    Total += StageCycles[I];
+    T.push_back(S);
+  }
+  return gpu::PipelineProfile::make(
+      std::make_shared<const std::vector<gpu::PartitionSample>>(
+          std::move(T)),
+      Total, Threads);
+}
+
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// Planner unit tests: mixed stage counts on one multiprocessor
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineExecTest, ShortLaunchNeverRegressesMultiprocessorFinish) {
+  // A 1-stage launch landing behind a 4-stage one on the same (only)
+  // multiprocessor drains at cycle 110 while the predecessor runs to
+  // 400. The multiprocessor's finish — and so the batch makespan — must
+  // not regress to the short launch's finish.
+  gpu::CostModel Model;
+  Model.NumMultiprocessors = 1;
+  uint64_t Launch = Model.KernelLaunchCycles;
+
+  gpu::PipelinePlanner Planner(Model, /*PackSmall=*/false,
+                               /*RecordStageStarts=*/false);
+  Planner.add(makeProfile({100, 100, 100, 100}, 32));
+  Planner.add(makeProfile({10}, 32));
+  Planner.finish();
+
+  EXPECT_EQ(Planner.placement(0).CompletionCycles, 400 + Launch);
+  EXPECT_EQ(Planner.placement(1).CompletionCycles, 110 + Launch);
+  EXPECT_EQ(Planner.stats().MakespanCycles, 400 + Launch);
+  for (size_t I = 0; I != Planner.numProblems(); ++I)
+    EXPECT_LE(Planner.placement(I).CompletionCycles,
+              Planner.stats().MakespanCycles);
+}
+
+TEST(PipelineExecTest, DeepLaunchWaitsOnCarriedPredecessorStages) {
+  // Deep, short, deep on one multiprocessor: the second deep launch must
+  // still wait on the *first* deep launch's stages 1..3 even though the
+  // short launch in between never occupied them, so its stages finish at
+  // 210/310/410/510 and the overlap accounting stays exact (no
+  // underflow).
+  gpu::CostModel Model;
+  Model.NumMultiprocessors = 1;
+  uint64_t Launch = Model.KernelLaunchCycles;
+
+  gpu::PipelinePlanner Planner(Model, /*PackSmall=*/false,
+                               /*RecordStageStarts=*/false);
+  Planner.add(makeProfile({100, 100, 100, 100}, 32));
+  Planner.add(makeProfile({10}, 32));
+  Planner.add(makeProfile({100, 100, 100, 100}, 32));
+  Planner.finish();
+
+  EXPECT_EQ(Planner.placement(2).CompletionCycles, 510 + Launch);
+  EXPECT_EQ(Planner.stats().MakespanCycles, 510 + Launch);
+  // Serial dispatch would take 400 + 10 + 400 = 810 cycles.
+  EXPECT_EQ(Planner.stats().OverlapCycles, 810 - 510);
+  for (size_t I = 0; I != Planner.numProblems(); ++I)
+    EXPECT_LE(Planner.placement(I).CompletionCycles,
+              Planner.stats().MakespanCycles);
+}
 
 //===----------------------------------------------------------------------===//
 // Bit-identity sweep: evaluators x window x scan workers x packing
@@ -212,6 +288,47 @@ TEST(PipelineExecTest, SaturatedDeviceOverlapsStrictly) {
             Pipelined->TotalCycles);
   for (size_t I = 0; I != Completions.size(); ++I)
     EXPECT_GE(Completions[I], Pipelined->Problems[I].Cycles + Launch);
+}
+
+TEST(PipelineExecTest, MixedDepthBatchKeepsCompletionsWithinMakespan) {
+  // Long and short subjects interleaved (different partition counts) on
+  // a saturated two-multiprocessor device: short launches land behind
+  // long ones, the configuration where a regressing multiprocessor
+  // finish would publish a completion past the reported makespan.
+  SwBatch B(/*QueryLen=*/32, {48, 8, 48, 8, 8, 40, 8, 8});
+  gpu::Device Device = saturatedDevice();
+
+  DiagnosticEngine Diags;
+  auto Barrier = B.Sw.runGpuBatch(B.Problems, Device, Diags, {});
+  ASSERT_TRUE(Barrier.has_value()) << Diags.str();
+
+  uint64_t Launch = Device.costModel().KernelLaunchCycles;
+  for (bool Pack : {false, true}) {
+    SCOPED_TRACE("pack=" + std::to_string(Pack));
+    RunOptions Piped;
+    Piped.Pipeline = true;
+    Piped.PackSmall = Pack;
+    auto Pipelined = B.Sw.runGpuBatch(B.Problems, Device, Diags, Piped);
+    ASSERT_TRUE(Pipelined.has_value()) << Diags.str();
+
+    uint64_t Longest = 0;
+    for (size_t I = 0; I != B.Problems.size(); ++I) {
+      expectIdentical(Barrier->Problems[I], Pipelined->Problems[I]);
+      Longest = std::max(Longest, Pipelined->Problems[I].Cycles);
+    }
+
+    // The makespan covers every member: no completion may exceed it,
+    // the last completion is the makespan, and the busiest device runs
+    // at least the longest single problem.
+    ASSERT_EQ(Pipelined->CompletionCycles.size(), B.Problems.size());
+    for (uint64_t C : Pipelined->CompletionCycles)
+      EXPECT_LE(C, Pipelined->TotalCycles);
+    EXPECT_EQ(*std::max_element(Pipelined->CompletionCycles.begin(),
+                                Pipelined->CompletionCycles.end()),
+              Pipelined->TotalCycles);
+    EXPECT_GE(Pipelined->TotalCycles, Longest + Launch);
+    EXPECT_LE(Pipelined->TotalCycles, Barrier->TotalCycles);
+  }
 }
 
 TEST(PipelineExecTest, PackingRecoversUnderfilledBlocks) {
