@@ -1,0 +1,135 @@
+//===- InputDigest.cpp - Content digest of bound arguments ------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/InputDigest.h"
+
+#include "bio/Hmm.h"
+#include "bio/Sequence.h"
+#include "bio/SubstitutionMatrix.h"
+
+#include <cstring>
+
+using namespace parrec;
+using namespace parrec::exec;
+
+namespace {
+
+/// One FNV-1a stream. The two streams differ in offset basis and in a
+/// per-stream tweak mixed into every byte, so they are not merely
+/// shifted copies of each other.
+class Fnv {
+public:
+  Fnv(uint64_t Basis, uint8_t Tweak) : State(Basis), Tweak(Tweak) {}
+
+  void byte(uint8_t B) {
+    State ^= static_cast<uint64_t>(B ^ Tweak);
+    State *= 1099511628211ull;
+  }
+  void bytes(const void *Data, size_t Size) {
+    const uint8_t *P = static_cast<const uint8_t *>(Data);
+    for (size_t I = 0; I != Size; ++I)
+      byte(P[I]);
+  }
+  void u64(uint64_t V) { bytes(&V, sizeof V); }
+  void f64(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof Bits);
+    u64(Bits);
+  }
+
+  uint64_t value() const { return State; }
+
+private:
+  uint64_t State;
+  uint8_t Tweak;
+};
+
+/// Hashes one argument into both streams. A leading tag byte per
+/// argument keeps adjacent arguments from melting into one byte stream
+/// (e.g. a sequence "ab" + "c" vs "a" + "bc").
+void hashArg(const codegen::ArgValue &A, Fnv &L, Fnv &H) {
+  auto tag = [&](uint8_t T) {
+    L.byte(T);
+    H.byte(T);
+  };
+  if (A.Seq) {
+    tag(1);
+    const std::string &Data = A.Seq->data();
+    L.u64(Data.size());
+    H.u64(Data.size());
+    L.bytes(Data.data(), Data.size());
+    H.bytes(Data.data(), Data.size());
+    return;
+  }
+  if (A.Matrix) {
+    tag(2);
+    const bio::Alphabet &Alpha = A.Matrix->alphabet();
+    L.bytes(Alpha.letters().data(), Alpha.letters().size());
+    H.bytes(Alpha.letters().data(), Alpha.letters().size());
+    L.u64(static_cast<uint64_t>(A.Matrix->defaultScore()));
+    H.u64(static_cast<uint64_t>(A.Matrix->defaultScore()));
+    for (unsigned I = 0; I != Alpha.size(); ++I)
+      for (unsigned J = 0; J != Alpha.size(); ++J) {
+        uint64_t S =
+            static_cast<uint64_t>(A.Matrix->scoreByIndex(I, J));
+        L.u64(S);
+        H.u64(S);
+      }
+    return;
+  }
+  if (A.Hmm) {
+    tag(3);
+    const bio::Alphabet &Alpha = A.Hmm->alphabet();
+    L.bytes(Alpha.letters().data(), Alpha.letters().size());
+    H.bytes(Alpha.letters().data(), Alpha.letters().size());
+    L.u64(A.Hmm->numStates());
+    H.u64(A.Hmm->numStates());
+    for (unsigned I = 0; I != A.Hmm->numStates(); ++I) {
+      const bio::HmmState &S = A.Hmm->state(I);
+      uint8_t Flags = static_cast<uint8_t>((S.IsStart ? 1 : 0) |
+                                           (S.IsEnd ? 2 : 0));
+      L.byte(Flags);
+      H.byte(Flags);
+      L.u64(S.Emissions.size());
+      H.u64(S.Emissions.size());
+      for (double E : S.Emissions) {
+        L.f64(E);
+        H.f64(E);
+      }
+    }
+    L.u64(A.Hmm->numTransitions());
+    H.u64(A.Hmm->numTransitions());
+    for (unsigned I = 0; I != A.Hmm->numTransitions(); ++I) {
+      const bio::HmmTransition &T = A.Hmm->transition(I);
+      L.u64(T.From);
+      H.u64(T.From);
+      L.u64(T.To);
+      H.u64(T.To);
+      L.f64(T.Prob);
+      H.f64(T.Prob);
+    }
+    return;
+  }
+  // Scalar (or index placeholder): both fields, tagged.
+  tag(4);
+  L.u64(static_cast<uint64_t>(A.Int));
+  H.u64(static_cast<uint64_t>(A.Int));
+  L.f64(A.Real);
+  H.f64(A.Real);
+}
+
+} // namespace
+
+InputDigest exec::inputDigest(const std::vector<codegen::ArgValue> &Args) {
+  Fnv L(14695981039346656037ull, 0x00);
+  Fnv H(0x9E3779B97F4A7C15ull, 0x5C);
+  L.u64(Args.size());
+  H.u64(Args.size());
+  for (const codegen::ArgValue &A : Args)
+    hashArg(A, L, H);
+  return InputDigest{L.value(), H.value()};
+}

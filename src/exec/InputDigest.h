@@ -1,0 +1,50 @@
+//===- InputDigest.h - Content digest of bound arguments ----------*- C++ -*-==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 128-bit content digest over a request's bound arguments (sequences,
+/// substitution matrices, HMMs, scalars), for the serving layer's result
+/// memoization: together with the exec::PlanKey it identifies a request
+/// up to bit-identical results. The digest hashes *contents*, never
+/// pointer identity, so two requests binding different Sequence objects
+/// with the same residues collide on purpose. Sequence and state names
+/// are excluded — they never reach a cell body.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PARREC_EXEC_INPUTDIGEST_H
+#define PARREC_EXEC_INPUTDIGEST_H
+
+#include "codegen/Evaluator.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace parrec {
+namespace exec {
+
+/// Two independent 64-bit FNV-1a streams; a single 64-bit hash keying a
+/// result cache would make a silent wrong answer merely improbable,
+/// 128 bits make it negligible.
+struct InputDigest {
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+
+  bool operator==(const InputDigest &O) const {
+    return Lo == O.Lo && Hi == O.Hi;
+  }
+  bool operator!=(const InputDigest &O) const { return !(*this == O); }
+};
+
+/// Digests the bound-argument vector of one request on the batch path.
+/// Deterministic in the argument contents and their order.
+InputDigest inputDigest(const std::vector<codegen::ArgValue> &Args);
+
+} // namespace exec
+} // namespace parrec
+
+#endif // PARREC_EXEC_INPUTDIGEST_H

@@ -7,6 +7,7 @@
 
 #include "serve/Engine.h"
 
+#include "exec/InputDigest.h"
 #include "exec/ParallelFor.h"
 #include "gpu/Pipeline.h"
 #include "obs/Metrics.h"
@@ -45,9 +46,6 @@ double secondsSince(Wall::time_point From, Wall::time_point To) {
   return std::chrono::duration<double>(To - From).count();
 }
 
-/// Resolves a future: publish the response, wake waiters, run the
-/// callback on this thread. Never called with engine locks held, so a
-/// callback may re-enter the engine (e.g. submit a follow-up request).
 /// serve::Status values indexed by their underlying integer, for the
 /// flight recorder's packed status byte.
 std::vector<std::string> statusNameTable() {
@@ -61,6 +59,9 @@ std::string tenantLabel(const std::string &Tenant) {
   return Tenant.empty() ? "none" : Tenant;
 }
 
+/// Resolves a future: publish the response, wake waiters, run the
+/// callback on this thread. Never called with engine locks held, so a
+/// callback may re-enter the engine (e.g. submit a follow-up request).
 void resolve(detail::FutureState &State, Response &&Resp) {
   std::function<void(const Response &)> Callback;
   {
@@ -74,21 +75,23 @@ void resolve(detail::FutureState &State, Response &&Resp) {
     Callback(State.Resp);
 }
 
-} // namespace
+/// Estimated modelled cost of one batch for least-loaded placement:
+/// domain cells per member times the member count. A deliberate
+/// estimate — actual cycles are only known after execution — but
+/// monotone in problem size and deterministic, which is what placement
+/// needs.
+uint64_t estimateBatchCost(const exec::PlanKey &Key, size_t Members) {
+  uint64_t Cells = 1;
+  for (size_t I = 0; I != Key.Lower.size(); ++I) {
+    int64_t Extent = Key.Upper[I] - Key.Lower[I] + 1;
+    if (Extent > 0)
+      Cells *= static_cast<uint64_t>(Extent);
+  }
+  return std::max<uint64_t>(1, Cells) *
+         std::max<size_t>(1, Members);
+}
 
-/// A request admitted to the submission queue, with everything the
-/// coalescer needs precomputed on the submitting thread: the domain box
-/// and the plan key whose equality defines batch compatibility.
-struct Engine::Pending {
-  Request Req;
-  std::shared_ptr<detail::FutureState> State;
-  exec::PlanKey Key;
-  solver::DomainBox Box;
-  uint64_t SubmitTick = 0;
-  uint64_t Seq = 0;
-  uint32_t TenantId = 0; ///< Interned tenant, for flight-recorder entries.
-  Wall::time_point SubmitWall;
-};
+} // namespace
 
 /// A closed batch: one plan, many compatible requests, one device.
 struct Engine::Batch {
@@ -120,12 +123,19 @@ Engine::Engine(Options Options)
   Opts.QueueCapacity = std::max<size_t>(1, Opts.QueueCapacity);
   Opts.MaxBatch = std::max<size_t>(1, Opts.MaxBatch);
   Paused = Opts.StartPaused;
+  for (const auto &[Tenant, Weight] : Opts.TenantWeights)
+    Queue.setWeight(Tenant, Weight);
+  if (Opts.Memo)
+    Memo = Opts.Memo;
+  else if (Opts.MemoCapacity)
+    Memo = std::make_shared<MemoCache>(Opts.MemoCapacity);
   {
     std::lock_guard<std::mutex> Lock(StatsMutex);
     Counters.DeviceBatches.assign(Opts.Devices, 0);
     Counters.DeviceRequests.assign(Opts.Devices, 0);
     Counters.DeviceCycles.assign(Opts.Devices, 0);
   }
+  LaneAssignedCost.assign(Opts.Devices, 0);
   Lanes.reserve(Opts.Devices);
   for (unsigned I = 0; I != Opts.Devices; ++I) {
     auto Lane = std::make_unique<DeviceLane>();
@@ -283,6 +293,60 @@ void Engine::complete(Pending &P, Status St, std::string Error) {
   resolve(*P.State, std::move(Resp));
 }
 
+void Engine::completeMemoHit(Pending &P, MemoCache::Entry Hit) {
+  // A hit is a completed Ok request that never touched the queue or a
+  // device: full submit + complete bookkeeping, zero device counters.
+  uint64_t Now = now();
+  Wall::time_point NowWall = Wall::now();
+  obs::MetricsRegistry &M = obs::MetricsRegistry::global();
+  const std::string TenantLbl = tenantLabel(P.Req.Tenant);
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Counters.Submitted;
+    ++Counters.Completed;
+    ++Counters.MemoHits;
+  }
+  M.add("serve.requests");
+  M.add("serve.requests_by_tenant", obs::Labels{{"tenant", TenantLbl}});
+  M.add("serve.responses", obs::Labels{{"status", statusName(Status::Ok)},
+                                       {"tenant", TenantLbl}});
+  obs::Labels TenantL{{"tenant", TenantLbl}};
+  double Total = secondsSince(P.SubmitWall, NowWall);
+  M.observe("serve.latency.queue_wait_seconds", TenantL, 0.0);
+  M.observe("serve.latency.execute_seconds", TenantL, 0.0);
+  M.observe("serve.latency.total_seconds", TenantL, Total);
+  Flight.record(FlightEventKind::Submit, P.Req.Id, P.SubmitTick,
+                static_cast<uint8_t>(Status::Ok), 0, P.TenantId, 0);
+  Flight.record(FlightEventKind::Complete, P.Req.Id, Now,
+                static_cast<uint8_t>(Status::Ok), 0, P.TenantId, 0);
+  Response Resp;
+  Resp.Id = P.Req.Id;
+  Resp.St = Status::Ok;
+  Resp.Result = std::move(Hit.Result);
+  Resp.SubmitTick = P.SubmitTick;
+  Resp.CompleteTick = Now;
+  Resp.TotalSeconds = Total;
+  Resp.CompletionSeq = CompletionSeq.fetch_add(1, std::memory_order_relaxed);
+  Resp.CompletionCycle = Hit.CompletionCycle;
+  Resp.Memoized = true;
+  resolve(*P.State, std::move(Resp));
+}
+
+void Engine::maybeMemoize(const Pending &P, const exec::RunResult &R,
+                          uint64_t CompletionCycle) {
+  if (!P.Memoize || !Memo)
+    return;
+  MemoCache::Entry E;
+  E.Result = R;
+  // Run-scoped objects never enter the cache: the request did not ask
+  // for a table or a timeline (Memoize excludes those), but a globally
+  // enabled tracer can still have attached a timeline.
+  E.Result.Timeline.reset();
+  E.Result.Table.reset();
+  E.CompletionCycle = CompletionCycle;
+  Memo->insert(P.MemoKey, std::move(E));
+}
+
 Future Engine::submit(Request Req,
                       std::function<void(const Response &)> Callback) {
   auto State = std::make_shared<detail::FutureState>();
@@ -329,6 +393,23 @@ Future Engine::submit(Request Req,
       P.Req.Options.Autotune,
       P.Req.Options.Evaluator == exec::EvalKind::Jit);
 
+  // Result memoization (the serving-layer PlanCache): identical request
+  // contents under an identical plan key resolve from the cache without
+  // queueing. Requests that keep run-scoped payloads are exempt.
+  if (Memo && !P.Req.Options.KeepTable && !P.Req.Options.Trace) {
+    P.Memoize = true;
+    P.MemoKey.Fn = reinterpret_cast<uintptr_t>(P.Req.Fn);
+    P.MemoKey.Plan = P.Key;
+    P.MemoKey.Digest = exec::inputDigest(P.Req.Args);
+    P.MemoKey.Threads = P.Req.Options.Threads;
+    if (std::optional<MemoCache::Entry> Hit = Memo->lookup(P.MemoKey)) {
+      if (Span.active())
+        Span.arg("status", "memo_hit");
+      completeMemoHit(P, std::move(*Hit));
+      return F;
+    }
+  }
+
   // P is moved into the queue on admission; everything telemetry needs
   // afterwards is captured first.
   const uint64_t Id = P.Req.Id;
@@ -336,14 +417,17 @@ Future Engine::submit(Request Req,
   const uint64_t SubmitTick = P.SubmitTick;
   const std::string TenantLbl = tenantLabel(P.Req.Tenant);
   size_t Depth = 0;
+  size_t TenantDepth = 0;
   bool Admitted = false;
   {
     std::lock_guard<std::mutex> Lock(QueueMutex);
     if (!Stopping && Queue.size() < Opts.QueueCapacity) {
       P.Seq = NextRequestSeq++;
+      const std::string &TenantName = P.Req.Tenant;
       Admitted = true;
-      Queue.push_back(std::move(P));
+      Queue.push(std::move(P));
       Depth = Queue.size();
+      TenantDepth = Queue.tenantDepth(TenantName);
     }
   }
   obs::MetricsRegistry &M = obs::MetricsRegistry::global();
@@ -362,7 +446,11 @@ Future Engine::submit(Request Req,
   Span.flowStart(Id);
   M.add("serve.requests");
   M.add("serve.requests_by_tenant", obs::Labels{{"tenant", TenantLbl}});
+  M.add("serve.tenant.enqueued", obs::Labels{{"tenant", TenantLbl}});
   M.observe("serve.queue_depth", static_cast<double>(Depth));
+  M.observe("serve.tenant.queue_depth",
+            obs::Labels{{"tenant", TenantLbl}},
+            static_cast<double>(TenantDepth));
   {
     std::lock_guard<std::mutex> Lock(StatsMutex);
     ++Counters.Submitted;
@@ -377,7 +465,66 @@ Future Engine::submit(Request Req,
   return F;
 }
 
+bool Engine::tryContinuousJoin(Pending &P) {
+  if (!Opts.Coalesce || Opts.MaxBatch <= 1)
+    return false;
+  for (std::unique_ptr<DeviceLane> &LanePtr : Lanes) {
+    DeviceLane &Lane = *LanePtr;
+    uint64_t BatchId = 0;
+    bool Joined = false;
+    uint64_t RequestId = 0;
+    uint32_t Tenant = 0;
+    std::string TenantName;
+    {
+      std::lock_guard<std::mutex> LaneLock(Lane.Mutex);
+      // Only batches still sitting in the lane deque are candidates: a
+      // batch deviceMain has popped is executing and never reopened.
+      for (Batch &B : Lane.Batches) {
+        if (B.Fn != P.Req.Fn || !(B.Key == P.Key) ||
+            B.Members.size() >= Opts.MaxBatch)
+          continue;
+        BatchId = B.Id;
+        RequestId = P.Req.Id;
+        Tenant = P.TenantId;
+        TenantName = P.Req.Tenant;
+        B.Members.push_back(std::move(P));
+        Joined = true;
+        break;
+      }
+    }
+    if (!Joined)
+      continue;
+    Flight.record(FlightEventKind::Coalesce, RequestId, now(),
+                  static_cast<uint8_t>(Status::Ok),
+                  static_cast<uint16_t>(Lane.Index), Tenant, BatchId);
+    obs::MetricsRegistry &M = obs::MetricsRegistry::global();
+    M.add("serve.continuous_joins");
+    M.add("serve.tenant.absorbed",
+          obs::Labels{{"tenant", tenantLabel(TenantName)}});
+    {
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      ++Counters.ContinuousJoins;
+    }
+    return true;
+  }
+  return false;
+}
+
+unsigned Engine::pickLane(const Batch &B) {
+  // Least-loaded by accumulated estimated modelled cycles. The load is
+  // never decremented as batches finish: decisions depend only on the
+  // batch sequence (LPT-style greedy placement), never on wall-clock
+  // execution progress, so a replay places every batch identically.
+  unsigned Best = 0;
+  for (unsigned I = 1; I < LaneAssignedCost.size(); ++I)
+    if (LaneAssignedCost[I] < LaneAssignedCost[Best])
+      Best = I;
+  LaneAssignedCost[Best] += estimateBatchCost(B.Key, B.Members.size());
+  return Best;
+}
+
 void Engine::coalescerMain() {
+  obs::MetricsRegistry &M = obs::MetricsRegistry::global();
   std::unique_lock<std::mutex> Lock(QueueMutex);
   while (true) {
     QueueCv.wait(Lock, [&] {
@@ -393,27 +540,34 @@ void Engine::coalescerMain() {
 
     // Requests shed while assembling; completed after the lock drops.
     std::vector<Pending> Shed;
-    auto takeAt = [&](size_t Index) {
-      Pending P = std::move(Queue[Index]);
-      Queue.erase(Queue.begin() + static_cast<ptrdiff_t>(Index));
-      return P;
-    };
-    auto expired = [&](const Pending &P) {
-      return P.Req.DeadlineTick != 0 && now() > P.Req.DeadlineTick;
-    };
 
-    // Head selection: highest priority first, FIFO (queue order) within
-    // a priority level.
-    size_t HeadIndex = 0;
-    for (size_t I = 1; I < Queue.size(); ++I)
-      if (Queue[I].Req.Priority > Queue[HeadIndex].Req.Priority)
-        HeadIndex = I;
-    Pending Head = takeAt(HeadIndex);
-    if (expired(Head)) {
+    // Head selection: strict priority across classes, deficit round
+    // robin across tenants within a class, FIFO within a tenant.
+    std::optional<Pending> HeadOpt = Queue.pop(now(), &Shed);
+    if (!HeadOpt) {
       Lock.unlock();
-      complete(Head, Status::Deadline);
+      for (Pending &P : Shed)
+        complete(P, Status::Deadline);
       Lock.lock();
       continue;
+    }
+    Pending Head = std::move(*HeadOpt);
+
+    // Continuous batching: a head whose PlanKey matches a batch still
+    // waiting in a lane joins that batch instead of opening a new one
+    // (and a new linger window). Lane locks nest outside the queue
+    // lock, so drop it first.
+    if (Opts.ContinuousBatch) {
+      Lock.unlock();
+      for (Pending &P : Shed)
+        complete(P, Status::Deadline);
+      Shed.clear();
+      M.add("serve.tenant.dequeued",
+            obs::Labels{{"tenant", tenantLabel(Head.Req.Tenant)}});
+      bool Joined = tryContinuousJoin(Head);
+      Lock.lock();
+      if (Joined)
+        continue;
     }
 
     Batch B;
@@ -427,24 +581,18 @@ void Engine::coalescerMain() {
     // Absorb every compatible queued request, in submission order. The
     // SubmitTick bound makes the linger window a property of virtual
     // time alone: a request virtually submitted after the window closed
-    // never joins, however slowly this thread is scheduled.
+    // never joins, however slowly this thread is scheduled. Absorption
+    // consumes no fair-queue deficit — riders share a batch the head's
+    // tenant already paid for.
     auto absorb = [&] {
-      for (size_t I = 0;
-           I < Queue.size() && B.Members.size() < Opts.MaxBatch;) {
-        if (Queue[I].SubmitTick > CloseTick) {
-          ++I;
-          continue;
-        }
-        if (!(Queue[I].Req.Fn == B.Fn && Queue[I].Key == B.Key)) {
-          ++I;
-          continue;
-        }
-        Pending P = takeAt(I);
-        if (expired(P))
-          Shed.push_back(std::move(P));
-        else
-          B.Members.push_back(std::move(P));
-      }
+      if (B.Members.size() >= Opts.MaxBatch)
+        return;
+      Queue.absorb(
+          [&](const Pending &P) {
+            return P.SubmitTick <= CloseTick && P.Req.Fn == B.Fn &&
+                   P.Key == B.Key;
+          },
+          Opts.MaxBatch - B.Members.size(), now(), B.Members, Shed);
     };
 
     if (Opts.Coalesce && Opts.MaxBatch > 1) {
@@ -462,6 +610,14 @@ void Engine::coalescerMain() {
     Lock.unlock();
     for (Pending &P : Shed)
       complete(P, Status::Deadline);
+    if (!Opts.ContinuousBatch)
+      M.add("serve.tenant.dequeued",
+            obs::Labels{{"tenant",
+                         tenantLabel(B.Members[0].Req.Tenant)}});
+    for (size_t I = 1; I < B.Members.size(); ++I)
+      M.add("serve.tenant.absorbed",
+            obs::Labels{{"tenant",
+                         tenantLabel(B.Members[I].Req.Tenant)}});
 
     {
       obs::Span Span("serve.coalesce", "serve");
@@ -471,7 +627,6 @@ void Engine::coalescerMain() {
         Span.arg("function", B.Fn->decl().Name);
         Span.arg("fingerprint", B.Key.hash());
       }
-      obs::MetricsRegistry &M = obs::MetricsRegistry::global();
       M.add("serve.batches");
       {
         std::lock_guard<std::mutex> SLock(StatsMutex);
@@ -494,7 +649,7 @@ void Engine::coalescerMain() {
         continue;
       }
 
-      DeviceLane &Lane = *Lanes[NextDevice++ % Opts.Devices];
+      DeviceLane &Lane = *Lanes[pickLane(B)];
       if (Span.active()) {
         Span.arg("device", Lane.Index);
         for (const Pending &P : B.Members)
@@ -636,6 +791,7 @@ void Engine::executeBatch(DeviceLane &Lane, Batch &B) {
   uint64_t Now = now();
   for (size_t I = 0; I != Members.size(); ++I) {
     Pending &P = Members[I];
+    maybeMemoize(P, Results[I], Makespan);
     Response Resp;
     Resp.Id = P.Req.Id;
     Resp.St = Status::Ok;
@@ -709,6 +865,7 @@ void Engine::executeBatchPipelined(DeviceLane &Lane, Batch &B,
     // identical across engines.
     if (!P.Req.Options.Trace)
       Results[I].Timeline.reset();
+    maybeMemoize(P, Results[I], Pl.CompletionCycles);
     Wall::time_point NowWall = Wall::now();
     uint64_t Now = now();
     Response Resp;
@@ -804,11 +961,8 @@ void Engine::shutdown(ShutdownMode Mode) {
     Stopping = true;
     Paused = false;
     Draining = Mode == ShutdownMode::Drain;
-    if (Mode == ShutdownMode::Abort) {
-      for (Pending &P : Queue)
-        ToAbort.push_back(std::move(P));
-      Queue.clear();
-    }
+    if (Mode == ShutdownMode::Abort)
+      ToAbort = Queue.drain();
   }
   QueueCv.notify_all();
   if (Mode == ShutdownMode::Abort) {

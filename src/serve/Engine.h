@@ -8,14 +8,28 @@
 /// \file
 /// An always-on serving layer in front of the exec pipeline, shaped like
 /// an inference server: admission through a bounded submission queue
-/// (QueueFull backpressure instead of unbounded growth), a coalescer
-/// thread that groups compatible requests — same recursion, same
-/// ExecutablePlan key — into batches closed on a size-or-max-linger
-/// trigger, and a dispatcher that round-robins closed batches across N
-/// simulated gpu::Device instances, each with its own slice of the host
-/// worker budget. One plan (and one compiled bytecode program, via the
-/// function's PlanCache) serves a whole batch; one modelled kernel
-/// launch covers the batch instead of one per request.
+/// (QueueFull backpressure instead of unbounded growth), per-tenant
+/// weighted fair queueing (strict priority classes, deficit round robin
+/// within a class — see FairQueue.h), a coalescer thread that groups
+/// compatible requests — same recursion, same ExecutablePlan key — into
+/// batches closed on a size-or-max-linger trigger, and a dispatcher that
+/// places closed batches on the least-loaded of N simulated gpu::Device
+/// instances (by accumulated estimated modelled cycles, lowest index on
+/// ties — deterministic in the batch sequence), each with its own slice
+/// of the host worker budget. One plan (and one compiled bytecode
+/// program, via the function's PlanCache) serves a whole batch; one
+/// modelled kernel launch covers the batch instead of one per request.
+///
+/// Two serving-layer caches/short-circuits ride on top:
+///  - Options::ContinuousBatch admits a request whose PlanKey exactly
+///    matches a batch still waiting in a device lane into that batch
+///    (respecting MaxBatch) instead of opening a new linger window; a
+///    batch a device has dequeued is never reopened.
+///  - Options::MemoCapacity / Options::Memo memoize finished results
+///    keyed on (function, PlanKey, input digest, thread override):
+///    identical requests skip execution and resolve immediately with a
+///    bit-identical payload (Response::Memoized). Requests that keep
+///    tables or timelines are never memoized.
 ///
 /// Time is virtual: deadlines and the coalescer's linger window are
 /// measured on a caller-advanced tick clock (Engine::advanceTo), so
@@ -31,7 +45,9 @@
 
 #include "exec/Plan.h"
 #include "gpu/Device.h"
+#include "serve/FairQueue.h"
 #include "serve/FlightRecorder.h"
+#include "serve/MemoCache.h"
 #include "serve/Serve.h"
 
 #include <atomic>
@@ -60,7 +76,7 @@ public:
   struct Options {
     /// Cost model shared by every simulated device.
     gpu::CostModel Model;
-    /// Simulated gpu::Device instances fed round-robin.
+    /// Simulated gpu::Device instances; batches go to the least-loaded.
     unsigned Devices = 1;
     /// Submission-queue bound; submissions beyond it resolve to
     /// Status::QueueFull immediately.
@@ -74,6 +90,22 @@ public:
     /// When false every request dispatches as its own batch (the
     /// ablation baseline).
     bool Coalesce = true;
+    /// Fair-queue weights per tenant name (missing tenants weigh 1,
+    /// values clamp to >= 1): under backlog, tenants of one priority
+    /// class are served proportionally to their weights.
+    std::map<std::string, uint64_t> TenantWeights;
+    /// Admit a late-arriving request with an exactly-matching PlanKey
+    /// into a compatible batch still queued in a device lane instead of
+    /// opening a new batch and linger window. Never exceeds MaxBatch,
+    /// never touches a batch the device has already dequeued. Changes
+    /// when work dispatches, never what it computes.
+    bool ContinuousBatch = false;
+    /// Result-memoization capacity in entries; 0 disables memoization
+    /// (unless Memo is set). See MemoCache.h for the key derivation.
+    size_t MemoCapacity = 0;
+    /// Shared memo cache; overrides MemoCapacity. A Router passes one
+    /// cache to all shards so re-routed repeats still hit.
+    std::shared_ptr<MemoCache> Memo;
     /// Host worker threads per device for the problems of one batch;
     /// 0 divides exec::hostWorkerBudget() across the devices.
     unsigned BatchWorkersPerDevice = 0;
@@ -120,6 +152,11 @@ public:
     uint64_t Failed = 0;
     uint64_t Batches = 0;
     uint64_t MaxQueueDepth = 0;
+    /// Ok responses served from the memo cache, without execution.
+    uint64_t MemoHits = 0;
+    /// Requests admitted into an already-queued batch (continuous
+    /// batching) instead of opening a new one.
+    uint64_t ContinuousJoins = 0;
     /// Per-device totals; devices run concurrently, so the modelled
     /// makespan of the whole engine is the max entry of DeviceCycles.
     std::vector<uint64_t> DeviceBatches;
@@ -145,8 +182,8 @@ public:
 
   /// Admits one request. Returns a Future that resolves when the
   /// request completes (or immediately, for QueueFull / Failed
-  /// rejections). \p Callback, when set, runs on the completing thread
-  /// right after the future becomes ready.
+  /// rejections and memo hits). \p Callback, when set, runs on the
+  /// completing thread right after the future becomes ready.
   Future submit(Request Req,
                 std::function<void(const Response &)> Callback = {});
 
@@ -168,6 +205,9 @@ public:
 
   Stats stats() const;
   size_t queueDepth() const;
+  /// The shared or engine-local memo cache; null when memoization is
+  /// off.
+  const std::shared_ptr<MemoCache> &memoCache() const { return Memo; }
 
   /// The flight recorder's current contents as one JSON document
   /// (capacity, total recorded, dropped count, live events oldest
@@ -177,9 +217,39 @@ public:
   bool dumpFlightRecorder(const std::string &Path) const;
 
 private:
-  struct Pending;
   struct Batch;
   struct DeviceLane;
+  using Wall = std::chrono::steady_clock;
+
+  /// A request admitted to the submission queue, with everything the
+  /// coalescer needs precomputed on the submitting thread: the domain
+  /// box and the plan key whose equality defines batch compatibility.
+  struct Pending {
+    Request Req;
+    std::shared_ptr<detail::FutureState> State;
+    exec::PlanKey Key;
+    solver::DomainBox Box;
+    uint64_t SubmitTick = 0;
+    uint64_t Seq = 0;
+    uint32_t TenantId = 0; ///< Interned tenant, for flight records.
+    /// True when this request is memo-eligible (memoization on, no kept
+    /// table, no timeline): its result is inserted under MemoKey.
+    bool Memoize = false;
+    MemoCache::Key MemoKey;
+    Wall::time_point SubmitWall;
+  };
+
+  /// FairQueue field access for Pending.
+  struct PendingTraits {
+    static const std::string &tenant(const Pending &P) {
+      return P.Req.Tenant;
+    }
+    static int priority(const Pending &P) { return P.Req.Priority; }
+    static uint64_t seq(const Pending &P) { return P.Seq; }
+    static uint64_t deadline(const Pending &P) {
+      return P.Req.DeadlineTick;
+    }
+  };
 
   void complete(Pending &P, Status St, std::string Error = {});
   /// Interns \p Tenant into a bounded id table for flight-recorder
@@ -191,6 +261,21 @@ private:
   void maybeAutoDump(Status St);
   void coalescerMain();
   void deviceMain(unsigned DeviceIndex);
+  /// Continuous batching: tries to admit \p P into a compatible batch
+  /// still waiting in a device lane. Coalescer thread; takes lane locks,
+  /// never the queue lock.
+  bool tryContinuousJoin(Pending &P);
+  /// Least-loaded device choice: the lane with the smallest accumulated
+  /// estimated modelled cycles (cells x members per batch), lowest index
+  /// on ties. Coalescer thread only, so placement is deterministic in
+  /// the batch sequence.
+  unsigned pickLane(const Batch &B);
+  /// Resolves a memo hit: full Ok bookkeeping, no queue, no device.
+  void completeMemoHit(Pending &P, MemoCache::Entry Hit);
+  /// Copies \p R (table/timeline stripped) into the memo cache under
+  /// P.MemoKey, when P is memo-eligible.
+  void maybeMemoize(const Pending &P, const exec::RunResult &R,
+                    uint64_t CompletionCycle);
   void executeBatch(DeviceLane &Lane, Batch &B);
   /// The Options::Pipeline dispatch path: systolic overlap plus early,
   /// in-submission-order future resolution.
@@ -205,16 +290,18 @@ private:
 
   mutable std::mutex QueueMutex;
   std::condition_variable QueueCv; // Coalescer waits here.
-  std::deque<Pending> Queue;       // Guarded by QueueMutex.
+  FairQueue<Pending, PendingTraits> Queue; // Guarded by QueueMutex.
   bool Paused = false;             // Guarded by QueueMutex.
   bool Stopping = false;           // Guarded by QueueMutex.
   bool Draining = false;           // Guarded by QueueMutex.
   uint64_t NextRequestSeq = 0;     // Guarded by QueueMutex.
   uint64_t NextBatchId = 0;        // Coalescer thread only.
-  unsigned NextDevice = 0;         // Coalescer thread only.
+  std::vector<uint64_t> LaneAssignedCost; // Coalescer thread only.
 
   std::vector<std::unique_ptr<DeviceLane>> Lanes;
   bool CoalescerDone = false; // Guarded by QueueMutex.
+
+  std::shared_ptr<MemoCache> Memo; // Null when memoization is off.
 
   mutable std::mutex StatsMutex;
   Stats Counters; // Guarded by StatsMutex.

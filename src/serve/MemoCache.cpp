@@ -1,0 +1,67 @@
+//===- MemoCache.cpp - Bounded result memoization cache ---------------------==//
+//
+// Part of ParRec, a reproduction of "Synthesising Graphics Card Programs
+// from DSLs" (Cartey, Lyngsø, de Moor; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/MemoCache.h"
+
+#include "obs/Metrics.h"
+
+using namespace parrec;
+using namespace parrec::serve;
+
+uint64_t MemoCache::entryBytes(const Entry &E) {
+  // Memoized payloads never carry a table or a timeline (the engine
+  // refuses to memoize those requests), so the footprint is the struct
+  // plus the schedule's coefficient vector.
+  return sizeof(Slot) +
+         E.Result.UsedSchedule.Coefficients.size() * sizeof(int64_t);
+}
+
+std::optional<MemoCache::Entry> MemoCache::lookup(const Key &K) {
+  obs::MetricsRegistry &M = obs::MetricsRegistry::global();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Index.find(K);
+  if (It == Index.end()) {
+    ++Counters.Misses;
+    M.add("serve.memo.misses");
+    return std::nullopt;
+  }
+  Lru.splice(Lru.begin(), Lru, It->second);
+  ++Counters.Hits;
+  M.add("serve.memo.hits");
+  M.add("serve.memo.hit_bytes", entryBytes(It->second->second));
+  return It->second->second;
+}
+
+void MemoCache::insert(const Key &K, Entry E) {
+  obs::MetricsRegistry &M = obs::MetricsRegistry::global();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Index.count(K))
+    return; // A concurrent duplicate execution already inserted it.
+  uint64_t Bytes = entryBytes(E);
+  Lru.emplace_front(K, std::move(E));
+  Index.emplace(K, Lru.begin());
+  ++Counters.Insertions;
+  Counters.Bytes += Bytes;
+  M.add("serve.memo.inserted_bytes", Bytes);
+  while (Lru.size() > Capacity) {
+    Counters.Bytes -= entryBytes(Lru.back().second);
+    Index.erase(Lru.back().first);
+    Lru.pop_back();
+    ++Counters.Evictions;
+    M.add("serve.memo.evictions");
+  }
+}
+
+MemoCache::Stats MemoCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters;
+}
+
+size_t MemoCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Lru.size();
+}

@@ -109,8 +109,13 @@ struct Response {
   /// which this request's result resolved on its device. Equals the
   /// batch makespan on the barrier path; under Engine::Options::Pipeline
   /// it is the problem's own completion, strictly earlier than batch end
-  /// for every non-final member.
+  /// for every non-final member. For a memo hit it is the modelled
+  /// completion of the execution that populated the cache.
   uint64_t CompletionCycle = 0;
+  /// True when the result was served from the engine's memo cache:
+  /// Result is a bit-identical copy of the original execution's payload
+  /// and no device time was spent (Device/BatchId/BatchSize are zero).
+  bool Memoized = false;
   /// Diagnostic text for Failed responses.
   std::string Error;
 };

@@ -7,6 +7,8 @@
 
 #include "serve/Workload.h"
 
+#include "serve/Router.h"
+
 #include "bio/Fasta.h"
 #include "bio/HmmZoo.h"
 #include "bio/SubstitutionMatrix.h"
@@ -118,6 +120,10 @@ bool parseTenant(const obs::JsonValue &Doc, size_t Index, TenantSpec &Out,
   Out.DeadlineTicks =
       static_cast<uint64_t>(Doc.integerOr("deadline_ticks", 0));
   Out.Priority = static_cast<int>(Doc.integerOr("priority", 0));
+  int64_t Weight = Doc.integerOr("weight", 1);
+  if (Weight < 1)
+    return specError(Error, Where + ": weight must be at least 1");
+  Out.Weight = static_cast<uint64_t>(Weight);
   Out.Seed = static_cast<uint64_t>(Doc.integerOr("seed", Index + 1));
   return true;
 }
@@ -251,7 +257,13 @@ std::optional<Workload> Workload::build(const WorkloadSpec &Spec,
   return W;
 }
 
-ReplayReport serve::replay(Engine &E, const Workload &W) {
+namespace {
+
+/// The submission/collection core shared by the Engine and Router
+/// replay overloads; \p Host needs advanceTo, submit and shutdown.
+template <typename Host>
+ReplayReport replayCore(Host &E, const Workload &W,
+                        uint64_t LingerTicks) {
   auto Start = std::chrono::steady_clock::now();
   std::vector<Future> Futures;
   Futures.reserve(W.events().size());
@@ -267,7 +279,7 @@ ReplayReport serve::replay(Engine &E, const Workload &W) {
   }
   // Push the clock past the last linger window, then finish everything
   // still admitted.
-  E.advanceTo(W.lastTick() + E.options().LingerTicks + 1);
+  E.advanceTo(W.lastTick() + LingerTicks + 1);
   E.shutdown(Engine::ShutdownMode::Drain);
   auto End = std::chrono::steady_clock::now();
 
@@ -280,17 +292,29 @@ ReplayReport serve::replay(Engine &E, const Workload &W) {
   // exact sort).
   obs::Histogram OkLatency;
   obs::Histogram OkCompletion;
-  for (Future &F : Futures) {
-    const Response &Resp = F.wait();
+  std::map<std::string, obs::Histogram> TenantLatency;
+  for (size_t I = 0; I != Futures.size(); ++I) {
+    const Response &Resp = Futures[I].wait();
     ++Report.ByStatus[std::string(statusName(Resp.St))];
     if (Resp.St == Status::Ok) {
       OkLatency.record(Resp.TotalSeconds);
       OkCompletion.record(static_cast<double>(Resp.CompletionCycle));
+      const std::string &Tenant = W.events()[I].Tenant;
+      TenantLatency[Tenant.empty() ? "none" : Tenant].record(
+          Resp.TotalSeconds);
     }
   }
   Report.P50Seconds = OkLatency.percentile(0.50);
   Report.P95Seconds = OkLatency.percentile(0.95);
   Report.P99Seconds = OkLatency.percentile(0.99);
+  for (const auto &[Tenant, Hist] : TenantLatency) {
+    ReplayReport::TenantLatency TL;
+    TL.Ok = Hist.Count;
+    TL.P50Seconds = Hist.percentile(0.50);
+    TL.P95Seconds = Hist.percentile(0.95);
+    TL.P99Seconds = Hist.percentile(0.99);
+    Report.ByTenant.emplace(Tenant, TL);
+  }
   Report.CompletionCycleP50 =
       static_cast<uint64_t>(OkCompletion.percentile(0.50));
   Report.CompletionCycleP95 =
@@ -303,10 +327,33 @@ ReplayReport serve::replay(Engine &E, const Workload &W) {
       Report.WallSeconds > 0.0
           ? static_cast<double>(OkLatency.Count) / Report.WallSeconds
           : 0.0;
+  return Report;
+}
+
+} // namespace
+
+ReplayReport serve::replay(Engine &E, const Workload &W) {
+  ReplayReport Report = replayCore(E, W, E.options().LingerTicks);
   Report.Stats = E.stats();
   Report.ModelledCycles = Report.Stats.maxDeviceCycles();
   Report.ModelledSeconds =
       E.options().Model.gpuSeconds(Report.ModelledCycles);
+  return Report;
+}
+
+ReplayReport serve::replay(Router &R, const Workload &W) {
+  ReplayReport Report =
+      replayCore(R, W, R.options().Shard.LingerTicks);
+  Router::Stats S = R.stats();
+  Report.Stats = S.Total;
+  Report.ModelledCycles = Report.Stats.maxDeviceCycles();
+  Report.ModelledSeconds =
+      R.options().Shard.Model.gpuSeconds(Report.ModelledCycles);
+  Report.RouterShards = R.shards();
+  Report.RouterSpilled = S.Spilled;
+  Report.RouterRerouted = S.Rerouted;
+  Report.RouterDrains = S.Drains;
+  Report.RouterReadmits = S.Readmits;
   return Report;
 }
 
@@ -322,6 +369,18 @@ std::string ReplayReport::json() const {
   Json.key("p50").value(P50Seconds);
   Json.key("p95").value(P95Seconds);
   Json.key("p99").value(P99Seconds);
+  Json.endObject();
+  Json.key("tenants").beginObject();
+  for (const auto &[Tenant, TL] : ByTenant) {
+    Json.key(Tenant).beginObject();
+    Json.key("ok").value(TL.Ok);
+    Json.key("latency_seconds").beginObject();
+    Json.key("p50").value(TL.P50Seconds);
+    Json.key("p95").value(TL.P95Seconds);
+    Json.key("p99").value(TL.P99Seconds);
+    Json.endObject();
+    Json.endObject();
+  }
   Json.endObject();
   Json.key("wall_seconds").value(WallSeconds);
   Json.key("throughput_ok_per_second").value(Throughput);
@@ -343,6 +402,8 @@ std::string ReplayReport::json() const {
   Json.key("failed").value(Stats.Failed);
   Json.key("batches").value(Stats.Batches);
   Json.key("max_queue_depth").value(Stats.MaxQueueDepth);
+  Json.key("memo_hits").value(Stats.MemoHits);
+  Json.key("continuous_joins").value(Stats.ContinuousJoins);
   Json.key("devices").beginArray();
   for (size_t I = 0; I != Stats.DeviceBatches.size(); ++I) {
     Json.beginObject();
@@ -353,6 +414,15 @@ std::string ReplayReport::json() const {
   }
   Json.endArray();
   Json.endObject();
+  if (RouterShards != 0) {
+    Json.key("router").beginObject();
+    Json.key("shards").value(static_cast<uint64_t>(RouterShards));
+    Json.key("spilled").value(RouterSpilled);
+    Json.key("rerouted").value(RouterRerouted);
+    Json.key("drains").value(RouterDrains);
+    Json.key("readmits").value(RouterReadmits);
+    Json.endObject();
+  }
   Json.endObject();
   return Json.take();
 }

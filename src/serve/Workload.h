@@ -54,6 +54,9 @@ struct TenantSpec {
   /// Per-request deadline, relative to its submit tick; 0 = none.
   uint64_t DeadlineTicks = 0;
   int Priority = 0;
+  /// Fair-queue weight within this tenant's priority class (>= 1):
+  /// under backlog tenants are served proportionally to their weights.
+  uint64_t Weight = 1;
   /// Seed for this tenant's sequence content and arrival gaps.
   uint64_t Seed = 1;
 };
@@ -61,6 +64,14 @@ struct TenantSpec {
 /// A parsed workload file: {"tenants": [{...}, ...]}.
 struct WorkloadSpec {
   std::vector<TenantSpec> Tenants;
+
+  /// The per-tenant weight map for Engine::Options::TenantWeights.
+  std::map<std::string, uint64_t> tenantWeights() const {
+    std::map<std::string, uint64_t> W;
+    for (const TenantSpec &T : Tenants)
+      W[T.Name] = T.Weight;
+    return W;
+  }
 };
 
 /// Parses a workload document. On failure returns nullopt and stores a
@@ -108,6 +119,15 @@ private:
 
 /// What a replay run observed.
 struct ReplayReport {
+  /// Per-tenant Ok-latency summary (histogram-backed percentiles, same
+  /// error bound as the global ones).
+  struct TenantLatency {
+    uint64_t Ok = 0;
+    double P50Seconds = 0.0;
+    double P95Seconds = 0.0;
+    double P99Seconds = 0.0;
+  };
+
   uint64_t Total = 0;
   /// statusName() -> count, over every submitted request.
   std::map<std::string, uint64_t> ByStatus;
@@ -115,6 +135,8 @@ struct ReplayReport {
   double P50Seconds = 0.0;
   double P95Seconds = 0.0;
   double P99Seconds = 0.0;
+  /// Keyed by tenant name (empty label -> "none").
+  std::map<std::string, TenantLatency> ByTenant;
   /// Wall time of the whole replay (submission through drain).
   double WallSeconds = 0.0;
   /// Ok responses per wall second.
@@ -129,6 +151,13 @@ struct ReplayReport {
   uint64_t CompletionCycleP95 = 0;
   uint64_t CompletionCycleP99 = 0;
   Engine::Stats Stats;
+  /// Router-level counters; present (RouterShards != 0) only for the
+  /// replay(Router&, ...) overload.
+  unsigned RouterShards = 0;
+  uint64_t RouterSpilled = 0;
+  uint64_t RouterRerouted = 0;
+  uint64_t RouterDrains = 0;
+  uint64_t RouterReadmits = 0;
 
   uint64_t okCount() const {
     auto It = ByStatus.find("ok");
@@ -139,10 +168,17 @@ struct ReplayReport {
   std::string json() const;
 };
 
+class Router;
+
 /// Replays \p W against \p E: advances the virtual clock to each event's
 /// tick, submits, then drains the engine and aggregates the responses.
 /// The engine is shut down (Drain) when this returns.
 ReplayReport replay(Engine &E, const Workload &W);
+
+/// Replays \p W through a front router: identical submission schedule,
+/// shard-aggregated stats, plus the router counters in the report.
+/// Every shard is shut down (Drain) when this returns.
+ReplayReport replay(Router &R, const Workload &W);
 
 } // namespace serve
 } // namespace parrec

@@ -38,6 +38,7 @@
 #include "obs/Trace.h"
 #include "poly/CPrinter.h"
 #include "runtime/Interpreter.h"
+#include "serve/Router.h"
 #include "serve/Workload.h"
 #include "support/StringUtils.h"
 
@@ -84,6 +85,9 @@ int usage() {
                "  serve --replay=<w.json> [--devices=<n>]\n"
                "      [--queue-cap=<n>] [--max-batch=<n>]\n"
                "      [--linger=<ticks>] [--no-coalesce]\n"
+               "      [--router-shards=<n>] [--spill-depth=<n>]\n"
+               "      [--tenant-weight=<name>=<w>] [--continuous-batch]\n"
+               "      [--memo-cap=<entries>]\n"
                "      [--pipeline|--no-pipeline] [--pack-small]\n"
                "      [--batch-workers=<n>] [--scan-workers=<n>]\n"
                "      [--strict] [--stats-out=<f>] [--trace-out=<f>]\n"
@@ -92,6 +96,16 @@ int usage() {
                "                         replay a workload through the\n"
                "                         serving engine (--strict: fail\n"
                "                         on any non-ok response;\n"
+               "                         --router-shards: front router over\n"
+               "                         N engine shards, --spill-depth:\n"
+               "                         re-route when the sticky shard's\n"
+               "                         queue is deeper than this;\n"
+               "                         --tenant-weight: fair-queue weight\n"
+               "                         override (repeatable);\n"
+               "                         --continuous-batch: admit matching\n"
+               "                         late arrivals into queued batches;\n"
+               "                         --memo-cap: memoize results, LRU\n"
+               "                         over this many entries;\n"
                "                         --prom-out: continuously export\n"
                "                         Prometheus text; --export-jsonl:\n"
                "                         append a JSONL metrics series;\n"
@@ -510,6 +524,9 @@ int cmdServe(int Argc, char **Argv) {
   std::string Replay, StatsOut, TraceOut;
   std::string PromOut, ExportJsonl, FlightDump;
   uint64_t ExportIntervalMs = 0;
+  unsigned RouterShards = 0; // 0 = no front router, direct engine.
+  uint64_t SpillDepth = 0;
+  std::map<std::string, uint64_t> WeightOverrides;
   for (int Index = 2; Index < Argc; ++Index) {
     const char *Arg = Argv[Index];
     const char *Value;
@@ -554,6 +571,41 @@ int cmdServe(int Argc, char **Argv) {
         return 2;
     } else if (std::strcmp(Arg, "--no-coalesce") == 0) {
       Opts.Coalesce = false;
+    } else if ((Value = optionValue(Arg, "--router-shards"))) {
+      if (!parseCount("--router-shards", Value, &RouterShards))
+        return 2;
+      if (RouterShards == 0) {
+        std::fprintf(stderr,
+                     "error: --router-shards must be at least 1\n");
+        return 2;
+      }
+    } else if ((Value = optionValue(Arg, "--spill-depth"))) {
+      if (!parseCount("--spill-depth", Value, &SpillDepth))
+        return 2;
+    } else if ((Value = optionValue(Arg, "--tenant-weight"))) {
+      const char *Eq = std::strchr(Value, '=');
+      if (!Eq || Eq == Value) {
+        std::fprintf(stderr, "error: --tenant-weight needs "
+                             "<name>=<weight>, got '%s'\n",
+                     Value);
+        return 2;
+      }
+      uint64_t Weight = 0;
+      if (!parseCount("--tenant-weight", Eq + 1, &Weight))
+        return 2;
+      if (Weight == 0) {
+        std::fprintf(stderr,
+                     "error: --tenant-weight must be at least 1\n");
+        return 2;
+      }
+      WeightOverrides[std::string(Value, Eq)] = Weight;
+    } else if (std::strcmp(Arg, "--continuous-batch") == 0) {
+      Opts.ContinuousBatch = true;
+    } else if ((Value = optionValue(Arg, "--memo-cap"))) {
+      uint64_t Cap = 0;
+      if (!parseCount("--memo-cap", Value, &Cap))
+        return 2;
+      Opts.MemoCapacity = static_cast<size_t>(Cap);
     } else if (std::strcmp(Arg, "--pipeline") == 0) {
       Opts.Pipeline = true;
     } else if (std::strcmp(Arg, "--no-pipeline") == 0) {
@@ -624,7 +676,22 @@ int cmdServe(int Argc, char **Argv) {
 
   if (!FlightDump.empty())
     Opts.FlightDumpPath = FlightDump;
-  serve::Engine Engine(Opts);
+  // Fair-queue weights: workload spec first, CLI overrides on top.
+  Opts.TenantWeights = Spec->tenantWeights();
+  for (const auto &[Tenant, Weight] : WeightOverrides)
+    Opts.TenantWeights[Tenant] = Weight;
+
+  std::optional<serve::Engine> Engine;
+  std::optional<serve::Router> Router;
+  if (RouterShards != 0) {
+    serve::Router::Options RouterOpts;
+    RouterOpts.Shard = Opts;
+    RouterOpts.Shards = RouterShards;
+    RouterOpts.SpillQueueDepth = static_cast<size_t>(SpillDepth);
+    Router.emplace(std::move(RouterOpts));
+  } else {
+    Engine.emplace(Opts);
+  }
 
   // The exporter samples the registry on its own thread during the
   // replay; stop() below writes the final snapshot, so even a replay
@@ -635,15 +702,20 @@ int cmdServe(int Argc, char **Argv) {
     ExportOpts.PromPath = PromOut;
     ExportOpts.JsonlPath = ExportJsonl;
     ExportOpts.IntervalMs = ExportIntervalMs;
-    ExportOpts.TickSource = [&Engine] { return Engine.now(); };
+    if (Router)
+      ExportOpts.TickSource = [&Router] { return Router->now(); };
+    else
+      ExportOpts.TickSource = [&Engine] { return Engine->now(); };
     Exporter.emplace(std::move(ExportOpts));
   }
 
-  serve::ReplayReport Report = serve::replay(Engine, *Workload);
+  serve::ReplayReport Report = Router
+                                   ? serve::replay(*Router, *Workload)
+                                   : serve::replay(*Engine, *Workload);
   if (Exporter)
     Exporter->stop();
-  if (!FlightDump.empty() &&
-      !Engine.dumpFlightRecorder(FlightDump))
+  if (!FlightDump.empty() && Engine &&
+      !Engine->dumpFlightRecorder(FlightDump))
     std::fprintf(stderr, "error: cannot write flight dump to '%s'\n",
                  FlightDump.c_str());
 
@@ -663,6 +735,24 @@ int cmdServe(int Argc, char **Argv) {
               Report.Throughput, Report.WallSeconds);
   std::printf("latency p50/p95/p99: %.6fs / %.6fs / %.6fs\n",
               Report.P50Seconds, Report.P95Seconds, Report.P99Seconds);
+  for (const auto &[Tenant, TL] : Report.ByTenant)
+    std::printf("  tenant %-12s ok=%llu p50/p95/p99: %.6fs / %.6fs / "
+                "%.6fs\n",
+                Tenant.c_str(), static_cast<unsigned long long>(TL.Ok),
+                TL.P50Seconds, TL.P95Seconds, TL.P99Seconds);
+  if (Report.Stats.MemoHits || Report.Stats.ContinuousJoins)
+    std::printf("memo hits: %llu, continuous joins: %llu\n",
+                static_cast<unsigned long long>(Report.Stats.MemoHits),
+                static_cast<unsigned long long>(
+                    Report.Stats.ContinuousJoins));
+  if (Report.RouterShards)
+    std::printf("router: %u shard(s), spilled=%llu rerouted=%llu "
+                "drains=%llu readmits=%llu\n",
+                Report.RouterShards,
+                static_cast<unsigned long long>(Report.RouterSpilled),
+                static_cast<unsigned long long>(Report.RouterRerouted),
+                static_cast<unsigned long long>(Report.RouterDrains),
+                static_cast<unsigned long long>(Report.RouterReadmits));
   std::printf("modelled busiest device: %llu cycles (%.6fs)\n",
               static_cast<unsigned long long>(Report.ModelledCycles),
               Report.ModelledSeconds);

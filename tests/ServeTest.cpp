@@ -29,6 +29,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <deque>
 #include <fstream>
@@ -37,6 +39,7 @@
 #include <optional>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include <unistd.h>
 
@@ -966,5 +969,377 @@ TEST(ServeEngineTest, PipelinedEngineMatchesBarrierEngineBitForBit) {
       PrevId = Id;
     }
     EXPECT_EQ(Completes, P.Args.size());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fair queueing, continuous batching, memoization, device placement
+//===----------------------------------------------------------------------===//
+
+TEST(ServeEngineTest, PicksLeastLoadedDeviceByModelledCycles) {
+  // One big Smith-Waterman problem followed by small ones, singleton
+  // batches, two devices. Pure round robin would alternate and leave
+  // device 0 the straggler; load-aware placement parks the big batch on
+  // device 0 and routes every small one to device 1 until the modelled
+  // backlogs even out.
+  CompiledRecurrence Sw = compileOrDie(SwSource);
+  const bio::SubstitutionMatrix &Blosum = bio::SubstitutionMatrix::blosum62();
+  std::deque<bio::Sequence> Seqs;
+  Seqs.push_back(bio::randomSequence(bio::Alphabet::protein(), 32,
+                                     /*Seed=*/0xD0E, "query"));
+  const bio::Sequence *Query = &Seqs.back();
+  auto requestWithSubject = [&](int64_t Length, uint64_t Seed) {
+    Seqs.push_back(bio::randomSequence(bio::Alphabet::protein(), Length,
+                                       Seed, "s"));
+    serve::Request Req;
+    Req.Fn = &Sw;
+    Req.Args = {ArgValue::ofMatrix(&Blosum), ArgValue::ofSeq(Query),
+                ArgValue(), ArgValue::ofSeq(&Seqs.back()), ArgValue()};
+    return Req;
+  };
+
+  serve::Engine::Options Opts;
+  Opts.Devices = 2;
+  Opts.Coalesce = false;
+  Opts.StartPaused = true;
+  serve::Engine Engine(Opts);
+
+  // 33x65 = 2145 modelled cells; each small one is 33x5 = 165. Four
+  // smalls never catch up, so all of them belong on device 1.
+  serve::Future Big = Engine.submit(requestWithSubject(64, 900));
+  std::vector<serve::Future> Smalls;
+  for (int I = 0; I != 4; ++I)
+    Smalls.push_back(Engine.submit(requestWithSubject(4, 901 + I)));
+  Engine.shutdown(serve::Engine::ShutdownMode::Drain);
+
+  ASSERT_EQ(Big.wait().St, serve::Status::Ok) << Big.wait().Error;
+  EXPECT_EQ(Big.wait().Device, 0u);
+  for (serve::Future &F : Smalls) {
+    ASSERT_EQ(F.wait().St, serve::Status::Ok) << F.wait().Error;
+    EXPECT_EQ(F.wait().Device, 1u);
+  }
+  serve::Engine::Stats Stats = Engine.stats();
+  ASSERT_EQ(Stats.DeviceRequests.size(), 2u);
+  EXPECT_EQ(Stats.DeviceRequests[0], 1u);
+  EXPECT_EQ(Stats.DeviceRequests[1], 4u);
+}
+
+TEST(ServeEngineTest, WeightedTenantsDispatchInDeficitRoundRobinOrder) {
+  TinyProblem P;
+  serve::Engine::Options Opts;
+  Opts.Devices = 1;
+  Opts.Coalesce = false; // Singleton batches: dispatch order == pop order.
+  Opts.StartPaused = true;
+  Opts.TenantWeights = {{"heavy", 10}, {"light", 1}};
+  serve::Engine Engine(Opts);
+
+  // 20 + 20 requests interleaved at submission; the schedule must come
+  // out in DRR order regardless: bursts of 10 heavy, one light.
+  std::vector<serve::Future> Heavy, Light;
+  for (int I = 0; I != 20; ++I) {
+    serve::Request H = P.request();
+    H.Tenant = "heavy";
+    Heavy.push_back(Engine.submit(std::move(H)));
+    serve::Request L = P.request();
+    L.Tenant = "light";
+    Light.push_back(Engine.submit(std::move(L)));
+  }
+  Engine.shutdown(serve::Engine::ShutdownMode::Drain);
+
+  // (CompletionSeq, isHeavy), sorted by completion order.
+  std::vector<std::pair<uint64_t, bool>> Order;
+  for (serve::Future &F : Heavy) {
+    ASSERT_EQ(F.wait().St, serve::Status::Ok) << F.wait().Error;
+    Order.push_back({F.wait().CompletionSeq, true});
+  }
+  for (serve::Future &F : Light) {
+    ASSERT_EQ(F.wait().St, serve::Status::Ok) << F.wait().Error;
+    Order.push_back({F.wait().CompletionSeq, false});
+  }
+  std::sort(Order.begin(), Order.end());
+
+  auto heavyIn = [&](size_t First) {
+    size_t N = 0;
+    for (size_t I = 0; I != First && I != Order.size(); ++I)
+      N += Order[I].second;
+    return N;
+  };
+  // First 11 dispatches: a full heavy quantum then one light; first 22:
+  // two rounds. After heavy drains, light gets the device to itself.
+  EXPECT_EQ(heavyIn(11), 10u);
+  EXPECT_EQ(heavyIn(22), 20u);
+  EXPECT_EQ(heavyIn(Order.size()), 20u);
+}
+
+TEST(ServeEngineTest, ContinuousBatchAdmitsLateArrivalsIntoQueuedBatch) {
+  // A plug request blocks the only device inside its completion
+  // callback; a seed batch of a different shape queues behind it; late
+  // arrivals with the seed's exact PlanKey must join that queued batch
+  // instead of opening new ones.
+  SameShapeProblems Plug(1);
+  TinyProblem P;
+
+  gpu::Device Direct;
+  DiagnosticEngine Diags;
+  auto Expected = P.Forward.runGpu(
+      {ArgValue::ofHmm(&P.Genes), ArgValue(), ArgValue::ofSeq(&P.X),
+       ArgValue()},
+      Direct, Diags);
+  ASSERT_TRUE(Expected.has_value()) << Diags.str();
+
+  serve::Engine::Options Opts;
+  Opts.Devices = 1;
+  Opts.MaxBatch = 8;
+  Opts.LingerTicks = 0;
+  Opts.ContinuousBatch = true;
+  serve::Engine Engine(Opts);
+
+  std::mutex Mutex;
+  std::condition_variable Cv;
+  bool PlugDone = false, Released = false;
+  serve::Request PlugReq;
+  PlugReq.Fn = &Plug.Sw;
+  PlugReq.Args = Plug.Args[0];
+  serve::Future PlugF =
+      Engine.submit(std::move(PlugReq), [&](const serve::Response &) {
+        std::unique_lock<std::mutex> Lock(Mutex);
+        PlugDone = true;
+        Cv.notify_all();
+        Cv.wait(Lock, [&] { return Released; });
+      });
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Cv.wait(Lock, [&] { return PlugDone; });
+  }
+
+  // Device held. Seed the queued batch, wait until the coalescer has
+  // formed it, then trickle in the stragglers.
+  std::vector<serve::Future> Members;
+  Members.push_back(Engine.submit(P.request()));
+  auto waitFor = [&](auto Done) {
+    for (int Spin = 0; Spin != 2000 && !Done(); ++Spin)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return Done();
+  };
+  ASSERT_TRUE(waitFor([&] { return Engine.stats().Batches == 2; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  for (int I = 0; I != 3; ++I)
+    Members.push_back(Engine.submit(P.request()));
+  ASSERT_TRUE(waitFor([&] { return Engine.stats().ContinuousJoins == 3; }));
+
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Released = true;
+  }
+  Cv.notify_all();
+  Engine.shutdown(serve::Engine::ShutdownMode::Drain);
+
+  EXPECT_EQ(PlugF.wait().St, serve::Status::Ok);
+  const serve::Response &Seed = Members.front().wait();
+  ASSERT_EQ(Seed.St, serve::Status::Ok) << Seed.Error;
+  for (serve::Future &F : Members) {
+    const serve::Response &R = F.wait();
+    ASSERT_EQ(R.St, serve::Status::Ok) << R.Error;
+    expectIdentical(*Expected, R.Result);
+    EXPECT_EQ(R.BatchId, Seed.BatchId) << "late arrival opened a new batch";
+    EXPECT_EQ(R.BatchSize, 4u);
+  }
+  serve::Engine::Stats Stats = Engine.stats();
+  EXPECT_EQ(Stats.Batches, 2u);
+  EXPECT_EQ(Stats.ContinuousJoins, 3u);
+  EXPECT_EQ(Stats.Completed, 5u);
+}
+
+TEST(ServeEngineTest, MemoizedRepeatsAreBitIdenticalAndSkipExecution) {
+  TinyProblem P;
+  serve::Engine::Options Opts;
+  Opts.MemoCapacity = 8;
+  serve::Engine Engine(Opts);
+
+  const serve::Response First = Engine.submit(P.request()).wait();
+  ASSERT_EQ(First.St, serve::Status::Ok) << First.Error;
+  EXPECT_FALSE(First.Memoized);
+
+  // The repeat resolves from the cache: bit-identical payload, honest
+  // modelled completion, no device and no queueing.
+  const serve::Response Repeat = Engine.submit(P.request()).wait();
+  ASSERT_EQ(Repeat.St, serve::Status::Ok) << Repeat.Error;
+  EXPECT_TRUE(Repeat.Memoized);
+  expectIdentical(First.Result, Repeat.Result);
+  EXPECT_EQ(Repeat.CompletionCycle, First.CompletionCycle);
+  EXPECT_EQ(Repeat.BatchId, 0u);
+  EXPECT_EQ(Repeat.BatchSize, 0u);
+
+  // A request that keeps its table carries run-scoped payload and must
+  // never be memoized — in either direction.
+  serve::Request Kept = P.request();
+  Kept.Options.KeepTable = true;
+  const serve::Response KeptResp = Engine.submit(std::move(Kept)).wait();
+  ASSERT_EQ(KeptResp.St, serve::Status::Ok) << KeptResp.Error;
+  EXPECT_FALSE(KeptResp.Memoized);
+  ASSERT_TRUE(KeptResp.Result.Table != nullptr);
+
+  serve::Request KeptAgain = P.request();
+  KeptAgain.Options.KeepTable = true;
+  EXPECT_FALSE(Engine.submit(std::move(KeptAgain)).wait().Memoized);
+
+  Engine.shutdown(serve::Engine::ShutdownMode::Drain);
+  serve::Engine::Stats Stats = Engine.stats();
+  EXPECT_EQ(Stats.MemoHits, 1u);
+  uint64_t DeviceRequests = 0;
+  for (uint64_t N : Stats.DeviceRequests)
+    DeviceRequests += N;
+  EXPECT_EQ(DeviceRequests, 3u) << "memo hit must not reach a device";
+}
+
+TEST(ServeEngineTest, AbortDuringPipelinedFlightResolvesEachExactlyOnce) {
+  // Abort while a pipelined batch is mid-execution: the in-flight batch
+  // finishes (Ok), everything undispatched resolves as Aborted, every
+  // future resolves exactly once, and the flight recorder's complete
+  // events for the executed batch stay monotone in request id.
+  SameShapeProblems P(4);
+  TinyProblem Tail;
+
+  serve::Engine::Options Opts;
+  Opts.Devices = 1;
+  Opts.MaxBatch = 4;
+  Opts.StartPaused = true;
+  Opts.Pipeline = true;
+  Opts.BatchWorkersPerDevice = 1;
+  serve::Engine Engine(Opts);
+
+  std::mutex Mutex;
+  std::condition_variable Cv;
+  bool InFlight = false, Released = false;
+  std::vector<std::unique_ptr<std::atomic<int>>> Fired;
+  auto countingCallback = [&](bool Blocks) {
+    Fired.push_back(std::make_unique<std::atomic<int>>(0));
+    std::atomic<int> *Count = Fired.back().get();
+    return [&, Count, Blocks](const serve::Response &) {
+      ++*Count;
+      if (!Blocks)
+        return;
+      std::unique_lock<std::mutex> Lock(Mutex);
+      InFlight = true;
+      Cv.notify_all();
+      Cv.wait(Lock, [&] { return Released; });
+    };
+  };
+
+  std::vector<serve::Future> Batch, Queued;
+  for (size_t I = 0; I != P.Args.size(); ++I) {
+    serve::Request Req;
+    Req.Fn = &P.Sw;
+    Req.Args = P.Args[I];
+    Batch.push_back(Engine.submit(std::move(Req), countingCallback(I == 0)));
+  }
+  for (int I = 0; I != 2; ++I)
+    Queued.push_back(Engine.submit(Tail.request(), countingCallback(false)));
+  Engine.resume();
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Cv.wait(Lock, [&] { return InFlight; });
+  }
+  // Device wedged inside batch 1. Fire the abort concurrently; it must
+  // flush what it can and then wait out the in-flight batch.
+  std::thread Aborter([&] {
+    Engine.shutdown(serve::Engine::ShutdownMode::Abort);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Released = true;
+  }
+  Cv.notify_all();
+  Aborter.join();
+
+  for (serve::Future &F : Batch) {
+    ASSERT_TRUE(F.ready());
+    EXPECT_EQ(F.wait().St, serve::Status::Ok) << F.wait().Error;
+  }
+  for (serve::Future &F : Queued) {
+    ASSERT_TRUE(F.ready());
+    const serve::Response &R = F.wait();
+    EXPECT_TRUE(R.St == serve::Status::Ok || R.St == serve::Status::Aborted);
+  }
+  for (const auto &Count : Fired)
+    EXPECT_EQ(Count->load(), 1) << "a future resolved twice (or never)";
+  serve::Engine::Stats Stats = Engine.stats();
+  EXPECT_EQ(Stats.Completed + Stats.Aborted, 6u);
+  EXPECT_GE(Stats.Completed, 4u);
+
+  // Exactly one terminal flight event per request, monotone ids within
+  // the executed pipelined batch.
+  std::string Error;
+  std::optional<obs::JsonValue> Doc =
+      obs::parseJson(Engine.dumpFlightRecorder(), &Error);
+  ASSERT_TRUE(Doc.has_value()) << Error;
+  const obs::JsonValue *Events = Doc->member("events");
+  ASSERT_TRUE(Events && Events->isArray());
+  std::set<int64_t> CompletedIds;
+  int64_t PrevBatchId = 0;
+  for (const obs::JsonValue &E : Events->array()) {
+    if (E.stringOr("event", "") != "complete")
+      continue;
+    const int64_t Id = E.integerOr("request", -1);
+    EXPECT_TRUE(CompletedIds.insert(Id).second)
+        << "request " << Id << " completed twice";
+    if (E.stringOr("status", "") == "ok" && Id <= 4) {
+      EXPECT_GT(Id, PrevBatchId) << "pipelined completes out of order";
+      PrevBatchId = Id;
+    }
+  }
+  EXPECT_EQ(CompletedIds.size(), 6u);
+}
+
+TEST(ServeWorkloadTest, ReplayReportsPerTenantLatencyPercentiles) {
+  serve::WorkloadSpec Spec;
+  for (const char *Name : {"gold", "bronze"}) {
+    serve::TenantSpec Tenant;
+    Tenant.Name = Name;
+    Tenant.Kind = "forward";
+    Tenant.Requests = Name[0] == 'g' ? 12u : 8u;
+    Tenant.MinLength = 16;
+    Tenant.MaxLength = 24;
+    Tenant.MeanGapTicks = 1;
+    Tenant.Weight = Name[0] == 'g' ? 4 : 1;
+    Tenant.Seed = Name[0];
+    Spec.Tenants.push_back(Tenant);
+  }
+
+  DiagnosticEngine Diags;
+  auto Workload = serve::Workload::build(Spec, Diags);
+  ASSERT_TRUE(Workload.has_value()) << Diags.str();
+  serve::Engine::Options Opts;
+  Opts.MaxBatch = 4;
+  Opts.TenantWeights = Spec.tenantWeights();
+  serve::Engine Engine(Opts);
+  serve::ReplayReport Report = serve::replay(Engine, *Workload);
+
+  ASSERT_EQ(Report.okCount(), 20u);
+  ASSERT_EQ(Report.ByTenant.size(), 2u);
+  ASSERT_TRUE(Report.ByTenant.count("gold"));
+  ASSERT_TRUE(Report.ByTenant.count("bronze"));
+  EXPECT_EQ(Report.ByTenant["gold"].Ok, 12u);
+  EXPECT_EQ(Report.ByTenant["bronze"].Ok, 8u);
+  for (auto &[Name, T] : Report.ByTenant) {
+    EXPECT_GT(T.P50Seconds, 0.0) << Name;
+    EXPECT_LE(T.P50Seconds, T.P95Seconds) << Name;
+    EXPECT_LE(T.P95Seconds, T.P99Seconds) << Name;
+  }
+
+  // The JSON snapshot carries the same per-tenant block (what
+  // serve --stats-out persists).
+  std::string Error;
+  auto Parsed = obs::parseJson(Report.json(), &Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error;
+  const obs::JsonValue *Tenants = Parsed->member("tenants");
+  ASSERT_TRUE(Tenants != nullptr);
+  for (const char *Name : {"gold", "bronze"}) {
+    const obs::JsonValue *T = Tenants->member(Name);
+    ASSERT_TRUE(T != nullptr) << Name;
+    const obs::JsonValue *Latency = T->member("latency_seconds");
+    ASSERT_TRUE(Latency != nullptr) << Name;
+    EXPECT_GT(Latency->numberOr("p99", 0.0), 0.0) << Name;
   }
 }
